@@ -1,0 +1,56 @@
+// Ablation (paper §I cites Dale et al.'s LUT as prior art it builds on):
+// kernel-coefficient computation via the LUT versus direct Kaiser-Bessel
+// (Bessel-series) evaluation — the cost Part 1 would pay without a table.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/convolution.hpp"
+#include "kernels/kaiser_bessel.hpp"
+#include "kernels/lut.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+int main() {
+  print_header("Ablation — LUT vs direct kernel evaluation in Part 1");
+  const auto row = default_row_scaled();
+  const auto set = make_set(datasets::TrajectoryType::kRandom, row);
+  const GridDesc g = make_grid(3, row.n, 2.0);
+
+  std::printf("%-5s %14s %14s %10s\n", "W", "LUT (s)", "direct (s)", "LUT gain");
+  for (const double W : {2.0, 4.0, 8.0}) {
+    const auto kb = kernels::KaiserBessel::with_beatty_beta(W, 2.0);
+    const kernels::KernelLut lut(kb, 1024);
+
+    volatile float sink = 0.0f;
+    const double t_lut = time_call([&] {
+      WindowBuf wb;
+      float acc = 0.0f;
+      for (index_t p = 0; p < set.count(); ++p) {
+        float coord[3] = {set.coords[0][static_cast<std::size_t>(p)],
+                          set.coords[1][static_cast<std::size_t>(p)],
+                          set.coords[2][static_cast<std::size_t>(p)]};
+        compute_window(g, lut, coord, 3, false, wb);
+        acc += wb.win[0][0];
+      }
+      sink = sink + acc;
+    });
+    // Direct: same neighbour enumeration, Bessel-series kernel per weight.
+    const double t_direct = time_call([&] {
+      double acc = 0.0;
+      for (index_t p = 0; p < set.count(); ++p) {
+        for (int d = 0; d < 3; ++d) {
+          const float k = set.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(p)];
+          const auto x1 = static_cast<index_t>(std::ceil(k - W));
+          const auto x2 = static_cast<index_t>(std::floor(k + W));
+          for (index_t u = x1; u <= x2; ++u) {
+            acc += kb.value(static_cast<double>(u) - static_cast<double>(k));
+          }
+        }
+      }
+      sink = sink + static_cast<float>(acc);
+    });
+    std::printf("%-5.0f %14.4f %14.4f %9.1fx\n", W, t_lut, t_direct, t_direct / t_lut);
+  }
+  return 0;
+}

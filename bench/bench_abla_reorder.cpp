@@ -1,0 +1,38 @@
+// Ablation (paper §III-D reports a 7% average gain and up to 25% miss-
+// latency reduction on radial): sample reordering off / on, across tile
+// sizes, single-thread adjoint convolution per dataset.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+int main() {
+  print_header("Ablation — sample reorder and tile size (1 thread, ADJ)");
+  const auto row = default_row_scaled();
+  const GridDesc g = make_grid(3, row.n, 2.0);
+
+  std::printf("%-8s %12s", "dataset", "no reorder");
+  for (const index_t tile : {2, 4, 8, 16}) std::printf("   tile=%-2lld  ", static_cast<long long>(tile));
+  std::printf("\n");
+
+  for (const auto& set : all_sets(row)) {
+    const cvecf raw = random_values(set.count(), 3);
+    std::printf("%-8s", datasets::trajectory_name(set.type));
+    {
+      PlanConfig cfg = optimized_config(1);
+      cfg.reorder = false;
+      Nufft plan(g, set, cfg);
+      std::printf(" %11.4fs", time_call([&] { plan.spread(raw.data()); }));
+    }
+    for (const index_t tile : {2, 4, 8, 16}) {
+      PlanConfig cfg = optimized_config(1);
+      cfg.reorder_tile = tile;
+      Nufft plan(g, set, cfg);
+      std::printf("  %9.4fs", time_call([&] { plan.spread(raw.data()); }));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (paper §I/§VII: "expected to scale to wider SIMD on future
+// many-core architectures"): scalar vs 128-bit SSE vs 256-bit AVX2+FMA
+// convolution, single thread, both operators, W ∈ {2, 4, 8}.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/convolution_avx2.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+int main() {
+  print_header("Ablation — SIMD width: scalar vs SSE vs AVX2 (1 thread)");
+  if (!avx2_available()) {
+    std::printf("CPU lacks AVX2+FMA; reporting scalar and SSE only.\n");
+  }
+  const auto row = default_row_scaled();
+  const GridDesc g = make_grid(3, row.n, 2.0);
+  const auto set = make_set(datasets::TrajectoryType::kRadial, row);
+  const cvecf raw = random_values(set.count(), 8);
+  cvecf out(raw.size());
+
+  std::printf("%-4s %-4s %12s %12s %12s %12s %12s\n", "W", "op", "scalar (s)", "SSE (s)",
+              "AVX2 (s)", "SSE x", "AVX2 x");
+  for (const double W : {2.0, 4.0, 8.0}) {
+    for (const bool adjoint : {true, false}) {
+      auto run = [&](PlanConfig cfg) {
+        Nufft plan(g, set, cfg);
+        return adjoint ? time_call([&] { plan.spread(raw.data()); })
+                       : time_call([&] { plan.interp(out.data()); });
+      };
+      PlanConfig scalar_cfg = optimized_config(1, W);
+      scalar_cfg.use_simd = false;
+      PlanConfig sse_cfg = optimized_config(1, W);
+      sse_cfg.isa = SimdIsa::kSse;
+      const double ts = run(scalar_cfg);
+      const double tsse = run(sse_cfg);
+      double tavx = 0.0;
+      if (avx2_available()) {
+        PlanConfig avx_cfg = optimized_config(1, W);
+        avx_cfg.isa = SimdIsa::kAvx2;
+        tavx = run(avx_cfg);
+      }
+      std::printf("%-4.0f %-4s %12.4f %12.4f %12.4f %11.2fx %11.2fx\n", W,
+                  adjoint ? "ADJ" : "FWD", ts, tsse, tavx, ts / tsse,
+                  tavx > 0 ? ts / tavx : 0.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation (iterative-solver cost model): applying the normal operator
+// AᴴA through the explicit forward+adjoint NUFFT pair versus the
+// Toeplitz-embedded form (two 2N-FFTs, no convolution). The crossover
+// governs which engine an iterative reconstruction should use per
+// iteration; both need the plan for the right-hand side.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/toeplitz.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+int main() {
+  print_header("Ablation — normal operator: NUFFT pair vs Toeplitz embedding");
+  const auto row = default_row_scaled();
+  const GridDesc g = make_grid(3, row.n, 2.0);
+  const int threads = bench_threads();
+
+  std::printf("%-8s %12s %14s %14s %10s\n", "dataset", "samples", "pair (s)", "toeplitz (s)",
+              "ratio");
+  for (const auto& set : all_sets(row)) {
+    const PlanConfig cfg = optimized_config(threads);
+    Nufft plan(g, set, cfg);
+    ToeplitzNormal normal(g, set, cfg);
+
+    const cvecf x = random_values(g.image_elems(), 4);
+    cvecf raw(static_cast<std::size_t>(set.count()));
+    cvecf out(static_cast<std::size_t>(g.image_elems()));
+
+    const double pair = time_call([&] {
+      plan.forward(x.data(), raw.data());
+      plan.adjoint(raw.data(), out.data());
+    });
+    const double toep = time_call([&] { normal.apply(x.data(), out.data()); });
+    std::printf("%-8s %12lld %14.4f %14.4f %9.2fx\n", datasets::trajectory_name(set.type),
+                static_cast<long long>(set.count()), pair, toep, pair / toep);
+  }
+  std::printf("(Toeplitz trades the K·(2W)^d convolution for two (2N)^d FFTs)\n");
+  return 0;
+}

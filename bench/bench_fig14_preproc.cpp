@@ -1,0 +1,43 @@
+// Fig. 14: one-time preprocessing cost versus one NUFFT iteration (one
+// forward + one adjoint call) across the thread sweep. The paper's point:
+// preprocessing is mostly serial, so its *ratio* to one iteration grows
+// with cores (0.16x at 1 core → 1.67x at 40), but it amortizes over the
+// 10s–100s of iterations of a real solver.
+#include <cstdio>
+
+#include "common.hpp"
+#include "common/timer.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+int main() {
+  print_header("Fig. 14 — preprocessing overhead vs one FWD+ADJ iteration");
+  const auto row = default_row_scaled();
+  const GridDesc g = make_grid(3, row.n, 2.0);
+  const auto set = make_set(datasets::TrajectoryType::kRadial, row);
+  const cvecf img = random_values(g.image_elems(), 1);
+  const cvecf raw = random_values(set.count(), 2);
+
+  std::printf("%-8s %14s %16s %10s\n", "threads", "preproc (s)", "1 iteration (s)", "ratio");
+  for (const int threads : thread_sweep()) {
+    const PlanConfig cfg = optimized_config(threads);
+    double preproc = 1e300;
+    const int reps = 3;
+    for (int r = 0; r < reps; ++r) {
+      Timer t;
+      Nufft plan(g, set, cfg);
+      preproc = std::min(preproc, plan.plan().stats.total_s);
+    }
+    Nufft plan(g, set, cfg);
+    cvecf out_raw(raw.size());
+    cvecf out_img(img.size());
+    const double iter = time_call([&] {
+      plan.forward(img.data(), out_raw.data());
+      plan.adjoint(raw.data(), out_img.data());
+    });
+    std::printf("%-8d %14.4f %16.4f %9.2fx\n", threads, preproc, iter, preproc / iter);
+  }
+  std::printf("(paper: ratio 0.16x at 1 core -> 1.67x at 40 cores)\n");
+  return 0;
+}

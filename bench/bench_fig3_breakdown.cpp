@@ -1,0 +1,64 @@
+// Fig. 3 and Fig. 8: execution-time breakdown of one forward + adjoint
+// NUFFT pair — scalar sequential (Fig. 3) and fully optimized parallel
+// (Fig. 8). The paper's observation: the two convolutions dominate the
+// scalar code, and the optimizations close most of the gap to the FFT.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+namespace {
+
+struct Breakdown {
+  double adj_conv, fwd_conv, fft, scale, total;
+};
+
+Breakdown measure(Nufft& plan, const cvecf& img, const cvecf& raw) {
+  cvecf out_raw(raw.size());
+  cvecf out_img(img.size());
+  Breakdown b{};
+  time_call([&] {
+    plan.forward(img.data(), out_raw.data());
+    plan.adjoint(raw.data(), out_img.data());
+  });
+  const auto& f = plan.last_forward_stats();
+  const auto& a = plan.last_adjoint_stats();
+  b.fwd_conv = f.conv_s;
+  b.adj_conv = a.conv_s;
+  b.fft = f.fft_s + a.fft_s;
+  b.scale = f.scale_s + a.scale_s;
+  b.total = f.total_s + a.total_s;
+  return b;
+}
+
+void print(const char* label, const Breakdown& b) {
+  std::printf("%-22s %9.4f %9.4f %9.4f %9.4f %9.4f   |  %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
+              label, b.adj_conv, b.fwd_conv, b.fft, b.scale, b.total, 100 * b.adj_conv / b.total,
+              100 * b.fwd_conv / b.total, 100 * b.fft / b.total, 100 * b.scale / b.total);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 3 / Fig. 8 — NUFFT execution-time breakdown");
+  const auto row = default_row_scaled();
+  const auto set = make_set(datasets::TrajectoryType::kRadial, row);
+  const GridDesc g = make_grid(3, row.n, 2.0);
+  const cvecf img = random_values(g.image_elems(), 1);
+  const cvecf raw = random_values(set.count(), 2);
+
+  std::printf("%-22s %9s %9s %9s %9s %9s   |  shares of total\n", "variant", "ADJconv",
+              "FWDconv", "FFTs", "scale", "total(s)");
+
+  {
+    Nufft plan(g, set, baseline_config());
+    print("Fig3: scalar seq", measure(plan, img, raw));
+  }
+  {
+    Nufft plan(g, set, optimized_config(bench_threads()));
+    print("Fig8: optimized par", measure(plan, img, raw));
+  }
+  return 0;
+}

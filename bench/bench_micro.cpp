@@ -1,0 +1,185 @@
+// Micro-benchmarks (google-benchmark): the primitive operations underneath
+// the table/figure benches — FFT sizes, kernel evaluation, LUT lookups,
+// window computation, histogram/partitioning, scheduler round trips.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/convolution.hpp"
+#include "fft/fft1d.hpp"
+#include "fft/fftnd.hpp"
+#include "kernels/bessel.hpp"
+#include "kernels/kaiser_bessel.hpp"
+#include "kernels/lut.hpp"
+#include "parallel/partitioner.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace {
+
+using namespace nufft;
+
+void BM_Fft1dPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  fft::Fft1d<float> plan(n, fft::Direction::kForward);
+  aligned_vector<cfloat> data = bench::random_values(static_cast<index_t>(n), 1);
+  aligned_vector<cfloat> out(n), scratch(plan.scratch_size());
+  for (auto _ : state) {
+    plan.transform(data.data(), out.data(), scratch.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1dPow2)->Arg(64)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_Fft1dBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  fft::Fft1d<float> plan(n, fft::Direction::kForward);
+  aligned_vector<cfloat> data = bench::random_values(static_cast<index_t>(n), 2);
+  aligned_vector<cfloat> out(n), scratch(plan.scratch_size());
+  for (auto _ : state) {
+    plan.transform(data.data(), out.data(), scratch.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Fft1dBluestein)->Arg(160)->Arg(480)->Arg(640);
+
+void BM_Fft3d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  fft::FftNd<float> plan({n, n, n}, fft::Direction::kForward);
+  aligned_vector<cfloat> data = bench::random_values(static_cast<index_t>(n * n * n), 3);
+  ThreadPool pool(bench_threads());
+  for (auto _ : state) {
+    plan.transform(data.data(), pool);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft3d)->Arg(32)->Arg(64);
+
+void BM_BesselI0(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::bessel_i0(x));
+    x += 0.37;
+    if (x > 35.0) x = 0.1;
+  }
+}
+BENCHMARK(BM_BesselI0);
+
+void BM_KaiserBesselValue(benchmark::State& state) {
+  const auto kb = kernels::KaiserBessel::with_beatty_beta(4.0, 2.0);
+  double d = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kb.value(d));
+    d += 0.013;
+    if (d > 4.0) d = 0.0;
+  }
+}
+BENCHMARK(BM_KaiserBesselValue);
+
+void BM_LutLookup(benchmark::State& state) {
+  const auto kb = kernels::KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const kernels::KernelLut lut(kb, 1024);
+  float d = 0.0f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lut(d));
+    d += 0.013f;
+    if (d > 4.0f) d = 0.0f;
+  }
+}
+BENCHMARK(BM_LutLookup);
+
+void BM_ComputeWindow3d(benchmark::State& state) {
+  const GridDesc g = make_grid(3, 64, 2.0);
+  const auto kb = kernels::KaiserBessel::with_beatty_beta(
+      static_cast<double>(state.range(0)), 2.0);
+  const kernels::KernelLut lut(kb, 1024);
+  WindowBuf wb;
+  float c = 17.3f;
+  for (auto _ : state) {
+    float coord[3] = {c, c + 11.1f, c + 23.7f};
+    compute_window(g, lut, coord, 3, true, wb);
+    benchmark::DoNotOptimize(wb.win[0][0]);
+    c += 0.37f;
+    if (c > 90.0f) c = 17.3f;
+  }
+}
+BENCHMARK(BM_ComputeWindow3d)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ScatterSimd3d(benchmark::State& state) {
+  const GridDesc g = make_grid(3, 64, 2.0);
+  const auto kb = kernels::KaiserBessel::with_beatty_beta(
+      static_cast<double>(state.range(0)), 2.0);
+  const kernels::KernelLut lut(kb, 1024);
+  const auto st = g.grid_strides();
+  cvecf grid(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  WindowBuf wb;
+  float coord[3] = {40.3f, 51.7f, 66.1f};
+  compute_window(g, lut, coord, 3, true, wb);
+  for (auto _ : state) {
+    adj_scatter_simd<3>(grid.data(), st, wb, cfloat(1.0f, -1.0f));
+    benchmark::DoNotOptimize(grid.data());
+  }
+}
+BENCHMARK(BM_ScatterSimd3d)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GatherSimd3d(benchmark::State& state) {
+  const GridDesc g = make_grid(3, 64, 2.0);
+  const auto kb = kernels::KaiserBessel::with_beatty_beta(
+      static_cast<double>(state.range(0)), 2.0);
+  const kernels::KernelLut lut(kb, 1024);
+  const auto st = g.grid_strides();
+  const cvecf grid = bench::random_values(g.grid_elems(), 5);
+  WindowBuf wb;
+  float coord[3] = {40.3f, 51.7f, 66.1f};
+  compute_window(g, lut, coord, 3, true, wb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fwd_gather_simd<3>(grid.data(), st, wb));
+  }
+}
+BENCHMARK(BM_GatherSimd3d)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CumulativeHistogram(benchmark::State& state) {
+  const auto row = bench::default_row_scaled();
+  const auto set = bench::make_set(datasets::TrajectoryType::kRandom, row);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cumulative_histogram(set.coords[0].data(), set.count(), set.m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * set.count());
+}
+BENCHMARK(BM_CumulativeHistogram);
+
+void BM_VariableLayout(benchmark::State& state) {
+  const auto row = bench::default_row_scaled();
+  const auto set = bench::make_set(datasets::TrajectoryType::kRadial, row);
+  const std::array<index_t, 3> ext{set.m, set.m, set.m};
+  const std::array<const float*, 3> coords{set.coords[0].data(), set.coords[1].data(),
+                                           set.coords[2].data()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_variable_layout(3, ext, coords, set.count(), 8, 9));
+  }
+}
+BENCHMARK(BM_VariableLayout);
+
+void BM_SchedulerDrain(benchmark::State& state) {
+  // Overhead of draining an empty-bodied task graph.
+  PartitionLayout layout;
+  layout.dim = 3;
+  const int p = static_cast<int>(state.range(0));
+  layout.num_parts = {p, p, p};
+  for (int d = 0; d < 3; ++d) {
+    for (int i = 0; i <= p; ++i) layout.bounds[static_cast<std::size_t>(d)].push_back(i * 16);
+  }
+  TaskGraph graph(layout);
+  std::vector<index_t> weights(static_cast<std::size_t>(graph.size()), 1);
+  std::vector<char> priv(static_cast<std::size_t>(graph.size()), 0);
+  ThreadPool pool(bench_threads());
+  for (auto _ : state) {
+    run_task_graph(graph, weights, priv, pool, [](int, int, JobPhase) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * graph.size());
+}
+BENCHMARK(BM_SchedulerDrain)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

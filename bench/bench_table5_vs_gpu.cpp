@@ -1,0 +1,40 @@
+// Table V: our CPU NUFFT at the GPU comparison problem (N=344, K=344,
+// S=9000 — Nam et al.'s kooshball acquisition). The GTX480 column cannot be
+// regenerated without that hardware; the paper's published numbers are
+// reported as fixed reference constants next to our measured CPU times.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+int main() {
+  print_header("Table V — vs published GPU implementation (GTX480 column = paper constants)");
+  const index_t sh = shrink();
+  datasets::TrajectoryParams tp;
+  tp.n = std::max<index_t>(8, 344 / sh);
+  tp.k = std::max<index_t>(8, 344 / sh);
+  tp.s = std::max<index_t>(1, (9000 * 344 / sh / sh / sh + tp.k - 1) / tp.k);
+  const auto set = datasets::make_trajectory(datasets::TrajectoryType::kRadial, 3, tp);
+  const GridDesc g = make_grid(3, tp.n, 2.0);
+  std::printf("problem: N=%lld K=%lld S=%lld (%lld samples)\n", static_cast<long long>(tp.n),
+              static_cast<long long>(tp.k), static_cast<long long>(tp.s),
+              static_cast<long long>(set.count()));
+
+  const cvecf img = random_values(g.image_elems(), 1);
+  const cvecf raw = random_values(set.count(), 2);
+  cvecf out_raw(raw.size());
+  cvecf out_img(img.size());
+
+  Nufft ours(g, set, optimized_config(bench_threads(), 4.0));
+  const double fwd = time_call([&] { ours.forward(img.data(), out_raw.data()); });
+  const double adj = time_call([&] { ours.adjoint(raw.data(), out_img.data()); });
+
+  std::printf("%-20s %14s %20s\n", "", "ours (CPU)", "GTX480 (paper)");
+  std::printf("%-20s %14.4f %20s\n", "ADJ NUFFT (sec)", adj, "0.94 (at N=344)");
+  std::printf("%-20s %14.4f %20s\n", "FWD NUFFT (sec)", fwd, "0.66 (at N=344)");
+  std::printf("%-20s %14.4f %20s\n", "Total (sec)", adj + fwd, "1.60 (at N=344)");
+  std::printf("(paper: WSM12C 1.79s = 0.89x of GPU; SNB16C 1.11s = 1.44x of GPU)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace nufft::bench {
+
+index_t shrink() { return paper_scale() ? 1 : 4; }
+
+datasets::Table1Row row_at_scale(int table1_id) {
+  for (const auto& row : datasets::table1()) {
+    if (row.id == table1_id) return datasets::scaled(row, shrink());
+  }
+  throw Error("unknown Table I row id");
+}
+
+datasets::Table1Row default_row_scaled() {
+  return datasets::scaled(datasets::default_row(), shrink());
+}
+
+datasets::SampleSet make_set(datasets::TrajectoryType type, const datasets::Table1Row& row,
+                             int dim) {
+  return datasets::make_trajectory(type, dim, datasets::params_for(row));
+}
+
+std::vector<datasets::SampleSet> all_sets(const datasets::Table1Row& row, int dim) {
+  std::vector<datasets::SampleSet> sets;
+  sets.push_back(make_set(datasets::TrajectoryType::kRadial, row, dim));
+  sets.push_back(make_set(datasets::TrajectoryType::kRandom, row, dim));
+  sets.push_back(make_set(datasets::TrajectoryType::kSpiral, row, dim));
+  return sets;
+}
+
+double time_call(const std::function<void()>& fn, int default_reps) {
+  const int reps = std::max(1, bench_reps(default_reps));
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+PlanConfig optimized_config(int threads, double W) {
+  PlanConfig cfg;
+  cfg.threads = threads;
+  cfg.kernel_radius = W;
+  return cfg;  // defaults are the paper's full optimization set
+}
+
+PlanConfig baseline_config(double W) {
+  PlanConfig cfg;
+  cfg.threads = 1;
+  cfg.kernel_radius = W;
+  cfg.use_simd = false;
+  cfg.reorder = false;
+  cfg.variable_partitions = false;
+  cfg.priority_queue = false;
+  cfg.selective_privatization = false;
+  return cfg;
+}
+
+std::vector<int> thread_sweep() {
+  // Sweep to at least 4 software threads even on a single hardware core so
+  // the scheduling machinery is exercised; on such machines the speedup
+  // columns are structural, not wall-clock (see EXPERIMENTS.md).
+  const int max_t = std::max(4, bench_threads());
+  std::vector<int> sweep{1};
+  for (int t = 2; t < max_t; t *= 2) sweep.push_back(t);
+  if (sweep.back() != max_t) sweep.push_back(max_t);
+  return sweep;
+}
+
+void print_header(const std::string& title) {
+  const auto row = default_row_scaled();
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("scale: %s (shrink %lld; default row N=%lld K=%lld S=%lld)  threads<=%d\n",
+              paper_scale() ? "PAPER" : "container", static_cast<long long>(shrink()),
+              static_cast<long long>(row.n), static_cast<long long>(row.k),
+              static_cast<long long>(row.s), bench_threads());
+}
+
+cvecf random_values(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvecf v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = cfloat(static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1)));
+  }
+  return v;
+}
+
+}  // namespace nufft::bench

@@ -1,0 +1,57 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary runs stand-alone with container-scale defaults and
+// honours:
+//   NUFFT_PAPER=1       full paper-scale problem sizes (Table I as printed)
+//   NUFFT_THREADS=n     max software thread count for parallel variants
+//   NUFFT_BENCH_REPS=n  repetitions per measurement (min over reps reported)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/types.hpp"
+#include "core/nufft.hpp"
+#include "datasets/presets.hpp"
+#include "datasets/trajectory.hpp"
+
+namespace nufft::bench {
+
+/// Shrink factor applied to Table I rows: 1 at paper scale, 4 by default
+/// (N=256 → 64 etc., sampling rate preserved).
+index_t shrink();
+
+/// A Table I row at the current scale.
+datasets::Table1Row row_at_scale(int table1_id);
+
+/// The paper's default dataset row (N=256, SR=0.75) at the current scale.
+datasets::Table1Row default_row_scaled();
+
+/// Generate a trajectory for a (scaled) row.
+datasets::SampleSet make_set(datasets::TrajectoryType type, const datasets::Table1Row& row,
+                             int dim = 3);
+
+/// All three dataset types for one row.
+std::vector<datasets::SampleSet> all_sets(const datasets::Table1Row& row, int dim = 3);
+
+/// Minimum wall-clock seconds of fn() over bench_reps(default_reps) runs.
+double time_call(const std::function<void()>& fn, int default_reps = 3);
+
+/// The paper's "most optimized" configuration at `threads`.
+PlanConfig optimized_config(int threads, double W = 4.0);
+
+/// The scalar sequential baseline configuration (Fig. 3 / Table II "Base").
+PlanConfig baseline_config(double W = 4.0);
+
+/// Thread counts for scaling sweeps: {1, 2, ..., bench_threads()} capped.
+std::vector<int> thread_sweep();
+
+/// Print the standard bench header (scale, threads, reps).
+void print_header(const std::string& title);
+
+/// Random complex vectors for operator inputs.
+cvecf random_values(index_t n, std::uint64_t seed = 4242);
+
+}  // namespace nufft::bench

@@ -1,0 +1,214 @@
+// nufft_tool — command-line driver for ad-hoc NUFFT runs.
+//
+//   $ ./nufft_tool --dim 3 --n 64 --type radial --w 4 --threads 8 --reps 3
+//   $ ./nufft_tool --n 32 --verify            # check against the exact NUDFT
+//   $ ./nufft_tool --isa avx2 --op adjoint
+//
+// Options (all have defaults):
+//   --dim {1,2,3}        transform dimensionality          (3)
+//   --n N                image size per dimension          (64)
+//   --sr R               sampling rate, K·S ≈ N^dim·R      (0.75)
+//   --type {radial,random,spiral}                          (radial)
+//   --w W                kernel radius                     (4)
+//   --alpha A            oversampling ratio                (2.0)
+//   --threads T          software threads                  (hardware)
+//   --isa {scalar,sse,avx2,auto}                           (sse)
+//   --op {forward,adjoint,both}                            (both)
+//   --reps R             timing repetitions                (3)
+//   --verify             compare against the direct NUDFT (small n only)
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/nudft.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/nufft.hpp"
+#include "datasets/trajectory.hpp"
+
+using namespace nufft;
+
+namespace {
+
+struct Args {
+  int dim = 3;
+  index_t n = 64;
+  double sr = 0.75;
+  std::string type = "radial";
+  double w = 4.0;
+  double alpha = 2.0;
+  int threads = bench_threads();
+  std::string isa = "sse";
+  std::string op = "both";
+  int reps = 3;
+  bool verify = false;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (flag == "--verify") {
+      a.verify = true;
+    } else if (flag == "--dim") {
+      const char* v = next();
+      if (!v) return false;
+      a.dim = std::atoi(v);
+    } else if (flag == "--n") {
+      const char* v = next();
+      if (!v) return false;
+      a.n = std::atoll(v);
+    } else if (flag == "--sr") {
+      const char* v = next();
+      if (!v) return false;
+      a.sr = std::atof(v);
+    } else if (flag == "--type") {
+      const char* v = next();
+      if (!v) return false;
+      a.type = v;
+    } else if (flag == "--w") {
+      const char* v = next();
+      if (!v) return false;
+      a.w = std::atof(v);
+    } else if (flag == "--alpha") {
+      const char* v = next();
+      if (!v) return false;
+      a.alpha = std::atof(v);
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      a.threads = std::atoi(v);
+    } else if (flag == "--isa") {
+      const char* v = next();
+      if (!v) return false;
+      a.isa = v;
+    } else if (flag == "--op") {
+      const char* v = next();
+      if (!v) return false;
+      a.op = v;
+    } else if (flag == "--reps") {
+      const char* v = next();
+      if (!v) return false;
+      a.reps = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see header comment for usage)\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return 2;
+
+  datasets::TrajectoryType type;
+  if (a.type == "radial") {
+    type = datasets::TrajectoryType::kRadial;
+  } else if (a.type == "random") {
+    type = datasets::TrajectoryType::kRandom;
+  } else if (a.type == "spiral") {
+    type = datasets::TrajectoryType::kSpiral;
+  } else {
+    std::fprintf(stderr, "unknown trajectory type: %s\n", a.type.c_str());
+    return 2;
+  }
+
+  datasets::TrajectoryParams tp;
+  tp.n = a.n;
+  tp.k = 2 * a.n;
+  tp.alpha = a.alpha;
+  const double total = std::pow(static_cast<double>(a.n), a.dim) * a.sr;
+  tp.s = std::max<index_t>(1, static_cast<index_t>(std::llround(total / static_cast<double>(tp.k))));
+  const auto set = datasets::make_trajectory(type, a.dim, tp);
+  const GridDesc g = make_grid(a.dim, a.n, a.alpha);
+
+  PlanConfig cfg;
+  cfg.kernel_radius = a.w;
+  cfg.threads = a.threads;
+  if (a.isa == "scalar") {
+    cfg.use_simd = false;
+  } else if (a.isa == "sse") {
+    cfg.isa = SimdIsa::kSse;
+  } else if (a.isa == "avx2") {
+    cfg.isa = SimdIsa::kAvx2;
+  } else if (a.isa == "auto") {
+    cfg.isa = SimdIsa::kAuto;
+  } else {
+    std::fprintf(stderr, "unknown isa: %s\n", a.isa.c_str());
+    return 2;
+  }
+
+  std::printf("nufft_tool: dim=%d N=%lld M=%lld samples=%lld (%s) W=%.1f alpha=%.2f "
+              "threads=%d isa=%s\n",
+              a.dim, static_cast<long long>(a.n), static_cast<long long>(g.m[0]),
+              static_cast<long long>(set.count()), a.type.c_str(), a.w, a.alpha, a.threads,
+              a.isa.c_str());
+
+  Timer plan_t;
+  Nufft plan(g, set, cfg);
+  std::printf("plan: %.4f s preprocessing, %d tasks (%d privatized)\n", plan_t.seconds(),
+              plan.plan().stats.tasks, plan.plan().stats.privatized_tasks);
+
+  Rng rng(1);
+  cvecf img(static_cast<std::size_t>(g.image_elems()));
+  for (auto& v : img) v = cfloat(static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1)));
+  cvecf raw(static_cast<std::size_t>(set.count()));
+
+  if (a.op == "forward" || a.op == "both") {
+    double best = 1e300;
+    for (int r = 0; r < a.reps; ++r) {
+      Timer t;
+      plan.forward(img.data(), raw.data());
+      best = std::min(best, t.seconds());
+    }
+    const auto& s = plan.last_forward_stats();
+    std::printf("forward: %.4f s (conv %.4f, fft %.4f, scale %.4f)  %.2f Msamples/s\n", best,
+                s.conv_s, s.fft_s, s.scale_s, static_cast<double>(set.count()) / best / 1e6);
+  }
+  if (a.op == "adjoint" || a.op == "both") {
+    cvecf out(static_cast<std::size_t>(g.image_elems()));
+    for (auto& v : raw) v = cfloat(static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1)));
+    double best = 1e300;
+    for (int r = 0; r < a.reps; ++r) {
+      Timer t;
+      plan.adjoint(raw.data(), out.data());
+      best = std::min(best, t.seconds());
+    }
+    const auto& s = plan.last_adjoint_stats();
+    std::printf("adjoint: %.4f s (conv %.4f, fft %.4f, scale %.4f)  %.2f Msamples/s\n", best,
+                s.conv_s, s.fft_s, s.scale_s, static_cast<double>(set.count()) / best / 1e6);
+  }
+
+  if (a.verify) {
+    if (static_cast<double>(g.image_elems()) * static_cast<double>(set.count()) > 5e9) {
+      std::printf("verify: problem too large for the O(N^d·K) direct check, skipping\n");
+      return 0;
+    }
+    plan.forward(img.data(), raw.data());
+    ThreadPool pool(a.threads);
+    std::vector<cdouble> exact(static_cast<std::size_t>(set.count()));
+    baselines::nudft_forward(g, set, img.data(), exact.data(), pool);
+    double num = 0, den = 0;
+    for (index_t i = 0; i < set.count(); ++i) {
+      const cdouble d = cdouble(raw[static_cast<std::size_t>(i)].real(),
+                                raw[static_cast<std::size_t>(i)].imag()) -
+                        exact[static_cast<std::size_t>(i)];
+      num += std::norm(d);
+      den += std::norm(exact[static_cast<std::size_t>(i)]);
+    }
+    std::printf("verify: forward vs exact NUDFT relative L2 error = %.3e\n",
+                std::sqrt(num / den));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "baselines/adjoint_atomic.hpp"
+
+#include <atomic>
+
+#include "common/error.hpp"
+#include "core/convolution.hpp"
+
+namespace nufft::baselines {
+
+namespace {
+
+inline void atomic_add(float& target, float v) {
+  std::atomic_ref<float> ref(target);
+  float cur = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+template <int DIM>
+void spread_atomic_dim(const GridDesc& g, const kernels::KernelLut& lut,
+                       const datasets::SampleSet& samples, const cfloat* raw, cfloat* grid,
+                       ThreadPool& pool) {
+  const auto st = g.grid_strides();
+  const index_t count = samples.count();
+  pool.parallel_for(count, [&](index_t b, index_t e) {
+    WindowBuf wb;
+    for (index_t p = b; p < e; ++p) {
+      float coord[3];
+      for (int d = 0; d < DIM; ++d) {
+        coord[d] = samples.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(p)];
+      }
+      compute_window(g, lut, coord, DIM, false, wb);
+      const cfloat v = raw[p];
+      // Scatter with per-component atomic adds.
+      const int lx = DIM >= 3 ? wb.len[0] : 1;
+      const int ly = DIM >= 2 ? wb.len[DIM - 2] : 1;
+      const int lz = wb.len[DIM - 1];
+      for (int ix = 0; ix < lx; ++ix) {
+        const float wx = DIM >= 3 ? wb.win[0][ix] : 1.0f;
+        const index_t bx = DIM >= 3 ? wb.idx[0][ix] * st[0] : 0;
+        for (int iy = 0; iy < ly; ++iy) {
+          const float wxy = DIM >= 2 ? wx * wb.win[DIM - 2][iy] : wx;
+          const index_t bxy = bx + (DIM >= 2 ? wb.idx[DIM - 2][iy] * st[DIM - 2] : 0);
+          const cfloat tmp = v * wxy;
+          for (int iz = 0; iz < lz; ++iz) {
+            const cfloat c = tmp * wb.win[DIM - 1][iz];
+            auto* cell = reinterpret_cast<float*>(grid + bxy + wb.idx[DIM - 1][iz]);
+            atomic_add(cell[0], c.real());
+            atomic_add(cell[1], c.imag());
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void spread_atomic(const GridDesc& g, const kernels::KernelLut& lut,
+                   const datasets::SampleSet& samples, const cfloat* raw, cfloat* grid,
+                   ThreadPool& pool) {
+  switch (g.dim) {
+    case 1:
+      spread_atomic_dim<1>(g, lut, samples, raw, grid, pool);
+      return;
+    case 2:
+      spread_atomic_dim<2>(g, lut, samples, raw, grid, pool);
+      return;
+    case 3:
+      spread_atomic_dim<3>(g, lut, samples, raw, grid, pool);
+      return;
+    default:
+      throw Error("unsupported dimension");
+  }
+}
+
+}  // namespace nufft::baselines

@@ -1,0 +1,24 @@
+// Baseline adjoint convolution using hardware atomic updates
+// (paper §III-B: "one can use atomic update instructions ... high overhead,
+// and will not scale to a large number of threads").
+//
+// Samples are split across threads by plain loop partitioning; every grid
+// write is a pair of atomic float additions. Bit-level results differ from
+// the deterministic scheduler only by floating-point addition order.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "datasets/trajectory.hpp"
+#include "kernels/lut.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nufft::baselines {
+
+/// Scatter all samples onto `grid` (grid_elems values, NOT cleared here)
+/// using atomic adds.
+void spread_atomic(const GridDesc& g, const kernels::KernelLut& lut,
+                   const datasets::SampleSet& samples, const cfloat* raw, cfloat* grid,
+                   ThreadPool& pool);
+
+}  // namespace nufft::baselines

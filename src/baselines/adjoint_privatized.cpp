@@ -1,0 +1,74 @@
+#include "baselines/adjoint_privatized.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/convolution.hpp"
+
+namespace nufft::baselines {
+
+namespace {
+
+template <int DIM>
+void spread_privatized_dim(const GridDesc& g, const kernels::KernelLut& lut,
+                           const datasets::SampleSet& samples, const cfloat* raw, cfloat* grid,
+                           ThreadPool& pool) {
+  const auto st = g.grid_strides();
+  const index_t count = samples.count();
+  const auto elems = static_cast<std::size_t>(g.grid_elems());
+  const int nthreads = pool.size();
+
+  // Context 0 writes the shared grid directly; contexts >= 1 get a private
+  // copy. (With 1 thread this degenerates to the sequential algorithm.)
+  std::vector<cvecf> priv(static_cast<std::size_t>(nthreads > 1 ? nthreads - 1 : 0));
+  for (auto& b : priv) {
+    b.resize(elems);
+    zero_complex(b.data(), elems);
+  }
+
+  pool.parallel_for_tid(count, std::max<index_t>(1, count / (nthreads * 8)),
+                        [&](int tid, index_t b, index_t e) {
+                          cfloat* dst = tid == 0 ? grid : priv[static_cast<std::size_t>(tid - 1)].data();
+                          WindowBuf wb;
+                          for (index_t p = b; p < e; ++p) {
+                            float coord[3];
+                            for (int d = 0; d < DIM; ++d) {
+                              coord[d] = samples.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(p)];
+                            }
+                            compute_window(g, lut, coord, DIM, false, wb);
+                            adj_scatter_scalar<DIM>(dst, st, wb, raw[p]);
+                          }
+                        });
+
+  // Global reduction: grid += Σ private copies, parallel over grid chunks.
+  if (!priv.empty()) {
+    pool.parallel_for(static_cast<index_t>(elems), [&](index_t b, index_t e) {
+      for (const auto& copy : priv) {
+        const cfloat* src = copy.data();
+        for (index_t i = b; i < e; ++i) grid[i] += src[i];
+      }
+    });
+  }
+}
+
+}  // namespace
+
+void spread_privatized(const GridDesc& g, const kernels::KernelLut& lut,
+                       const datasets::SampleSet& samples, const cfloat* raw, cfloat* grid,
+                       ThreadPool& pool) {
+  switch (g.dim) {
+    case 1:
+      spread_privatized_dim<1>(g, lut, samples, raw, grid, pool);
+      return;
+    case 2:
+      spread_privatized_dim<2>(g, lut, samples, raw, grid, pool);
+      return;
+    case 3:
+      spread_privatized_dim<3>(g, lut, samples, raw, grid, pool);
+      return;
+    default:
+      throw Error("unsupported dimension");
+  }
+}
+
+}  // namespace nufft::baselines

@@ -1,0 +1,24 @@
+// Baseline adjoint convolution with full-grid thread privatization — the
+// approach of the Shu et al. comparator in Table IV, and the "privatization
+// [18]" strategy the paper argues does not scale: every thread owns a
+// complete copy of the M^d grid and a global tree reduction merges them.
+//
+// Memory cost is threads × grid, which is exactly the scalability problem
+// the paper's selective privatization removes.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "datasets/trajectory.hpp"
+#include "kernels/lut.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nufft::baselines {
+
+/// Scatter all samples onto `grid` (NOT cleared here) via full per-thread
+/// private grids plus a parallel reduction.
+void spread_privatized(const GridDesc& g, const kernels::KernelLut& lut,
+                       const datasets::SampleSet& samples, const cfloat* raw, cfloat* grid,
+                       ThreadPool& pool);
+
+}  // namespace nufft::baselines

@@ -1,0 +1,97 @@
+#include "baselines/nudft.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft::baselines {
+
+namespace {
+
+// Centered image coordinate of flat index i along dimension d, and the loop
+// over all image voxels with their per-dimension centered indices.
+template <class Body>
+void for_each_voxel(const GridDesc& g, ThreadPool& pool, Body&& body) {
+  const int dim = g.dim;
+  const index_t n0 = g.n[0];
+  const index_t n1 = dim >= 2 ? g.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g.n[2] : 1;
+  pool.parallel_for(n0, [&](index_t b, index_t e) {
+    for (index_t i0 = b; i0 < e; ++i0) {
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        for (index_t i2 = 0; i2 < n2; ++i2) {
+          const index_t flat = (i0 * n1 + i1) * n2 + i2;
+          double nc[3] = {static_cast<double>(i0 - g.n[0] / 2), 0.0, 0.0};
+          if (dim >= 2) nc[1] = static_cast<double>(i1 - g.n[1] / 2);
+          if (dim >= 3) nc[2] = static_cast<double>(i2 - g.n[2] / 2);
+          body(flat, nc);
+        }
+      }
+    }
+  });
+}
+
+// Phase Σ_d (w_d - M_d/2)·n_d / M_d for one (sample, voxel) pair.
+inline double phase(const GridDesc& g, const datasets::SampleSet& s, index_t p,
+                    const double* nc) {
+  double acc = 0.0;
+  for (int d = 0; d < g.dim; ++d) {
+    const double w = static_cast<double>(s.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(p)]);
+    const double m = static_cast<double>(g.m[static_cast<std::size_t>(d)]);
+    acc += (w - 0.5 * m) * nc[d] / m;
+  }
+  return acc;
+}
+
+}  // namespace
+
+void nudft_forward(const GridDesc& g, const datasets::SampleSet& samples, const cfloat* image,
+                   cdouble* out, ThreadPool& pool) {
+  const index_t count = samples.count();
+  const index_t voxels = g.image_elems();
+  // Parallelize over samples: each output is an independent sum.
+  pool.parallel_for(count, [&](index_t pb, index_t pe) {
+    std::vector<double> nc_buf;
+    for (index_t p = pb; p < pe; ++p) {
+      cdouble acc(0.0, 0.0);
+      // Serial voxel loop (test sizes only).
+      const int dim = g.dim;
+      const index_t n1 = dim >= 2 ? g.n[1] : 1;
+      const index_t n2 = dim >= 3 ? g.n[2] : 1;
+      for (index_t flat = 0; flat < voxels; ++flat) {
+        double nc[3] = {0.0, 0.0, 0.0};
+        index_t rem = flat;
+        const index_t i2 = rem % n2;
+        rem /= n2;
+        const index_t i1 = rem % n1;
+        rem /= n1;
+        const index_t i0 = rem;
+        nc[0] = static_cast<double>(i0 - g.n[0] / 2);
+        if (dim >= 2) nc[1] = static_cast<double>(i1 - g.n[1] / 2);
+        if (dim >= 3) nc[2] = static_cast<double>(i2 - g.n[2] / 2);
+        const double ph = -kTwoPi * phase(g, samples, p, nc);
+        const cfloat v = image[flat];
+        acc += cdouble(static_cast<double>(v.real()), static_cast<double>(v.imag())) *
+               cdouble(std::cos(ph), std::sin(ph));
+      }
+      out[p] = acc;
+    }
+  });
+}
+
+void nudft_adjoint(const GridDesc& g, const datasets::SampleSet& samples, const cfloat* raw,
+                   cdouble* image, ThreadPool& pool) {
+  const index_t count = samples.count();
+  for_each_voxel(g, pool, [&](index_t flat, const double* nc) {
+    cdouble acc(0.0, 0.0);
+    for (index_t p = 0; p < count; ++p) {
+      const double ph = kTwoPi * phase(g, samples, p, nc);
+      const cfloat v = raw[p];
+      acc += cdouble(static_cast<double>(v.real()), static_cast<double>(v.imag())) *
+             cdouble(std::cos(ph), std::sin(ph));
+    }
+    image[flat] = acc;
+  });
+}
+
+}  // namespace nufft::baselines

@@ -1,0 +1,23 @@
+// Direct (exact) non-uniform DFT — the O(N^d·K) accuracy oracle.
+//
+// Evaluates, in double precision regardless of the input type,
+//   forward:  F(w) = Σ_n f[n] · e^{-2πi Σ_d (w_d - M_d/2)·n_d / M_d}
+//   adjoint:  f[n] = Σ_w F(w) · e^{+2πi Σ_d (w_d - M_d/2)·n_d / M_d}
+// with n centered per dimension — the same convention the fast operators
+// approximate. Use only at test sizes.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "datasets/trajectory.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nufft::baselines {
+
+void nudft_forward(const GridDesc& g, const datasets::SampleSet& samples, const cfloat* image,
+                   cdouble* out, ThreadPool& pool);
+
+void nudft_adjoint(const GridDesc& g, const datasets::SampleSet& samples, const cfloat* raw,
+                   cdouble* image, ThreadPool& pool);
+
+}  // namespace nufft::baselines

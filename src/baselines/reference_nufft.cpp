@@ -1,0 +1,161 @@
+#include "baselines/reference_nufft.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "baselines/adjoint_privatized.hpp"
+#include "core/convolution.hpp"
+#include "kernels/rolloff.hpp"
+
+namespace nufft::baselines {
+
+ReferenceNufft::ReferenceNufft(const GridDesc& g, const datasets::SampleSet& samples,
+                               double kernel_radius, int threads)
+    : g_(g), samples_(&samples) {
+  NUFFT_CHECK(samples.dim == g.dim);
+  pool_ = std::make_unique<ThreadPool>(threads);
+  const auto kernel =
+      kernels::make_kernel(kernels::KernelType::kKaiserBessel, kernel_radius, g.alpha);
+  lut_ = std::make_unique<kernels::KernelLut>(*kernel, 1024);
+
+  std::vector<std::size_t> dims;
+  for (int d = 0; d < g.dim; ++d) dims.push_back(static_cast<std::size_t>(g.m[static_cast<std::size_t>(d)]));
+  fft_fwd_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kForward);
+  fft_inv_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kInverse);
+
+  for (int d = 0; d < g.dim; ++d) {
+    const index_t n = g.n[static_cast<std::size_t>(d)];
+    const index_t m = g.m[static_cast<std::size_t>(d)];
+    fvec s = kernels::rolloff_1d(*kernel, n, m);
+    auto& wrap = wrap_[static_cast<std::size_t>(d)];
+    wrap.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      const index_t centered = i - n / 2;
+      if ((centered & 1) != 0) s[static_cast<std::size_t>(i)] = -s[static_cast<std::size_t>(i)];
+      wrap[static_cast<std::size_t>(i)] = centered >= 0 ? centered : centered + m;
+    }
+    scale_[static_cast<std::size_t>(d)] = std::move(s);
+  }
+  grid_.resize(static_cast<std::size_t>(g.grid_elems()));
+}
+
+ReferenceNufft::~ReferenceNufft() = default;
+
+void ReferenceNufft::image_to_grid(const cfloat* image) {
+  zero_complex(grid_.data(), grid_.size());
+  const int dim = g_.dim;
+  const auto st = g_.grid_strides();
+  const index_t n0 = g_.n[0];
+  const index_t n1 = dim >= 2 ? g_.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g_.n[2] : 1;
+  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+    for (index_t i0 = b; i0 < e; ++i0) {
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        const cfloat* src = image + (i0 * n1 + i1) * n2;
+        cfloat* dst = grid_.data() + wrap_[0][static_cast<std::size_t>(i0)] * st[0] +
+                      (dim >= 2 ? wrap_[1][static_cast<std::size_t>(i1)] * st[1] : 0);
+        float f01 = scale_[0][static_cast<std::size_t>(i0)];
+        if (dim >= 2) f01 *= scale_[1][static_cast<std::size_t>(i1)];
+        if (dim >= 3) {
+          for (index_t i2 = 0; i2 < n2; ++i2) {
+            dst[wrap_[2][static_cast<std::size_t>(i2)]] =
+                src[i2] * (f01 * scale_[2][static_cast<std::size_t>(i2)]);
+          }
+        } else {
+          dst[0] = src[0] * f01;
+        }
+      }
+    }
+  });
+}
+
+void ReferenceNufft::grid_to_image(cfloat* image) {
+  const int dim = g_.dim;
+  const auto st = g_.grid_strides();
+  const index_t n0 = g_.n[0];
+  const index_t n1 = dim >= 2 ? g_.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g_.n[2] : 1;
+  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+    for (index_t i0 = b; i0 < e; ++i0) {
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        cfloat* dst = image + (i0 * n1 + i1) * n2;
+        const cfloat* src = grid_.data() + wrap_[0][static_cast<std::size_t>(i0)] * st[0] +
+                            (dim >= 2 ? wrap_[1][static_cast<std::size_t>(i1)] * st[1] : 0);
+        float f01 = scale_[0][static_cast<std::size_t>(i0)];
+        if (dim >= 2) f01 *= scale_[1][static_cast<std::size_t>(i1)];
+        if (dim >= 3) {
+          for (index_t i2 = 0; i2 < n2; ++i2) {
+            dst[i2] = src[wrap_[2][static_cast<std::size_t>(i2)]] *
+                      (f01 * scale_[2][static_cast<std::size_t>(i2)]);
+          }
+        } else {
+          dst[0] = src[0] * f01;
+        }
+      }
+    }
+  });
+}
+
+namespace {
+
+template <int DIM>
+void interp_loop(const GridDesc& g, const kernels::KernelLut& lut,
+                 const datasets::SampleSet& samples, const cfloat* grid, cfloat* raw,
+                 ThreadPool& pool) {
+  const auto st = g.grid_strides();
+  pool.parallel_for(samples.count(), [&](index_t b, index_t e) {
+    WindowBuf wb;
+    for (index_t p = b; p < e; ++p) {
+      float coord[3];
+      for (int d = 0; d < DIM; ++d) {
+        coord[d] = samples.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(p)];
+      }
+      compute_window(g, lut, coord, DIM, false, wb);
+      raw[p] = fwd_gather_scalar<DIM>(grid, st, wb);
+    }
+  });
+}
+
+}  // namespace
+
+void ReferenceNufft::forward(const cfloat* image, cfloat* raw) {
+  Timer total;
+  Timer t;
+  image_to_grid(image);
+  fwd_stats_.scale_s = t.seconds();
+  t.reset();
+  fft_fwd_->transform(grid_.data(), *pool_);
+  fwd_stats_.fft_s = t.seconds();
+  t.reset();
+  switch (g_.dim) {
+    case 1:
+      interp_loop<1>(g_, *lut_, *samples_, grid_.data(), raw, *pool_);
+      break;
+    case 2:
+      interp_loop<2>(g_, *lut_, *samples_, grid_.data(), raw, *pool_);
+      break;
+    default:
+      interp_loop<3>(g_, *lut_, *samples_, grid_.data(), raw, *pool_);
+      break;
+  }
+  fwd_stats_.conv_s = t.seconds();
+  fwd_stats_.total_s = total.seconds();
+}
+
+void ReferenceNufft::adjoint(const cfloat* raw, cfloat* image) {
+  Timer total;
+  Timer t;
+  zero_complex(grid_.data(), grid_.size());
+  spread_privatized(g_, *lut_, *samples_, raw, grid_.data(), *pool_);
+  adj_stats_.conv_s = t.seconds();
+  t.reset();
+  fft_inv_->transform(grid_.data(), *pool_);
+  adj_stats_.fft_s = t.seconds();
+  t.reset();
+  grid_to_image(image);
+  adj_stats_.scale_s = t.seconds();
+  adj_stats_.total_s = total.seconds();
+}
+
+}  // namespace nufft::baselines

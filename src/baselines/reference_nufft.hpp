@@ -1,0 +1,49 @@
+// Reference multithreaded NUFFT in the style of the Shu et al. comparator
+// of Table IV: loop-partitioned forward convolution, full-grid thread
+// privatization for the adjoint, no sample reordering, no task machinery,
+// scalar (non-SIMD) convolution. Same math and conventions as nufft::Nufft,
+// so outputs agree to rounding.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "core/stats.hpp"
+#include "datasets/trajectory.hpp"
+#include "fft/fftnd.hpp"
+#include "kernels/lut.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nufft::baselines {
+
+class ReferenceNufft {
+ public:
+  ReferenceNufft(const GridDesc& g, const datasets::SampleSet& samples, double kernel_radius,
+                 int threads);
+  ~ReferenceNufft();
+
+  void forward(const cfloat* image, cfloat* raw);
+  void adjoint(const cfloat* raw, cfloat* image);
+
+  const OperatorStats& last_forward_stats() const { return fwd_stats_; }
+  const OperatorStats& last_adjoint_stats() const { return adj_stats_; }
+
+ private:
+  void image_to_grid(const cfloat* image);
+  void grid_to_image(cfloat* image);
+
+  GridDesc g_;
+  const datasets::SampleSet* samples_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<kernels::KernelLut> lut_;
+  std::unique_ptr<fft::FftNd<float>> fft_fwd_;
+  std::unique_ptr<fft::FftNd<float>> fft_inv_;
+  std::array<fvec, 3> scale_;
+  std::array<std::vector<index_t>, 3> wrap_;
+  cvecf grid_;
+  OperatorStats fwd_stats_;
+  OperatorStats adj_stats_;
+};
+
+}  // namespace nufft::baselines

@@ -1,0 +1,33 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace nufft {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+int bench_threads() {
+  const auto hw = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  return static_cast<int>(env_int("NUFFT_THREADS", hw > 0 ? hw : 1));
+}
+
+bool paper_scale() { return env_flag("NUFFT_PAPER"); }
+
+int bench_reps(int fallback) {
+  return static_cast<int>(env_int("NUFFT_BENCH_REPS", fallback));
+}
+
+}  // namespace nufft

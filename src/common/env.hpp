@@ -1,0 +1,30 @@
+// Environment-variable helpers shared by the benchmark harness.
+//
+// Every bench binary honours:
+//   NUFFT_PAPER=1       run full paper-scale problem sizes
+//   NUFFT_THREADS=n     software thread count (default: hardware_concurrency)
+//   NUFFT_BENCH_REPS=n  repetitions per measurement
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nufft {
+
+/// Integer environment variable with a default; returns `fallback` when the
+/// variable is unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// True when the variable is set to a non-empty value other than "0".
+bool env_flag(const char* name);
+
+/// Thread count used by benches: NUFFT_THREADS, else hardware_concurrency().
+int bench_threads();
+
+/// True when NUFFT_PAPER requests full paper-scale problem sizes.
+bool paper_scale();
+
+/// Repetitions for a bench measurement (NUFFT_BENCH_REPS, else `fallback`).
+int bench_reps(int fallback);
+
+}  // namespace nufft

@@ -1,0 +1,41 @@
+// Error handling: precondition checks that throw, and debug-only assertions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nufft {
+
+/// Exception type thrown by all NUFFT precondition failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "NUFFT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace nufft
+
+/// Verify a caller-facing precondition; throws nufft::Error when violated.
+#define NUFFT_CHECK(expr)                                                      \
+  do {                                                                         \
+    if (!(expr)) ::nufft::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NUFFT_CHECK_MSG(expr, msg)                                             \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      std::ostringstream os_;                                                  \
+      os_ << msg;                                                              \
+      ::nufft::detail::throw_check_failure(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                          \
+  } while (0)

@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// Dataset generation and tests must be bit-reproducible across platforms and
+// standard-library versions, so the library carries its own small PRNG
+// (xoshiro256**, public domain algorithm by Blackman & Vigna) and its own
+// uniform/normal transforms instead of <random> distributions, whose output
+// is implementation-defined.
+#pragma once
+
+#include <cstdint>
+
+namespace nufft {
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG with a 256-bit state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace nufft

@@ -1,0 +1,33 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// instrumented scheduler.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace nufft {
+
+/// Monotonic wall-clock timer with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Monotonic timestamp in nanoseconds; cheap enough for per-task
+/// instrumentation in the scheduler overlap tests.
+std::uint64_t now_ns();
+
+}  // namespace nufft

@@ -1,0 +1,37 @@
+// Fundamental value types shared across the library.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstdint>
+
+#include "common/aligned.hpp"
+
+namespace nufft {
+
+/// The NUFFT proper runs in single precision, as in the paper (4-wide SSE).
+using real_t = float;
+using cfloat = std::complex<float>;
+using cdouble = std::complex<double>;
+
+/// Interleaved complex buffers. std::complex<float> has guaranteed
+/// (re, im) layout, so SIMD code may reinterpret these as float lanes.
+using cvecf = aligned_vector<cfloat>;
+using cvecd = aligned_vector<cdouble>;
+using fvec = aligned_vector<float>;
+using dvec = aligned_vector<double>;
+
+using index_t = std::int64_t;
+
+/// Zero a complex buffer. std::complex is not trivially default-
+/// constructible in the eyes of -Wclass-memaccess; fill_n compiles to the
+/// same memset without the diagnostic.
+template <class T>
+inline void zero_complex(std::complex<T>* p, std::size_t n) {
+  std::fill_n(p, n, std::complex<T>(0, 0));
+}
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace nufft

@@ -1,0 +1,29 @@
+#include "core/grid.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft {
+
+GridDesc GridDesc::isotropic(int dim, index_t n, double alpha) {
+  NUFFT_CHECK(dim >= 1 && dim <= 3);
+  NUFFT_CHECK(n >= 2);
+  NUFFT_CHECK(alpha >= 1.0);
+  GridDesc g;
+  g.dim = dim;
+  g.alpha = alpha;
+  const auto m = static_cast<index_t>(std::llround(alpha * static_cast<double>(n)));
+  NUFFT_CHECK(m >= n);
+  for (int d = 0; d < dim; ++d) {
+    g.n[static_cast<std::size_t>(d)] = n;
+    g.m[static_cast<std::size_t>(d)] = m;
+  }
+  return g;
+}
+
+GridDesc make_grid(int dim, index_t n, double alpha) {
+  return GridDesc::isotropic(dim, n, alpha);
+}
+
+}  // namespace nufft

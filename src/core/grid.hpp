@@ -1,0 +1,47 @@
+// Geometry of the image and the oversampled Cartesian grid.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace nufft {
+
+/// Sizes of the centered N^dim image and the M^dim oversampled grid.
+/// Memory layout is row-major with dimension 0 slowest and the last
+/// dimension contiguous; for dim == 3 that is x (slowest), y, z (fastest) —
+/// the paper's inner convolution loop runs along z.
+struct GridDesc {
+  int dim = 3;
+  std::array<index_t, 3> n{0, 0, 0};  // image size per dimension
+  std::array<index_t, 3> m{0, 0, 0};  // oversampled grid size per dimension
+  double alpha = 2.0;                 // oversampling ratio M/N
+
+  static GridDesc isotropic(int dim, index_t n, double alpha);
+
+  index_t image_elems() const {
+    index_t t = 1;
+    for (int d = 0; d < dim; ++d) t *= n[static_cast<std::size_t>(d)];
+    return t;
+  }
+  index_t grid_elems() const {
+    index_t t = 1;
+    for (int d = 0; d < dim; ++d) t *= m[static_cast<std::size_t>(d)];
+    return t;
+  }
+
+  /// Row strides of the oversampled grid (stride of dimension d).
+  std::array<index_t, 3> grid_strides() const {
+    std::array<index_t, 3> s{1, 1, 1};
+    for (int d = dim - 2; d >= 0; --d) {
+      s[static_cast<std::size_t>(d)] =
+          s[static_cast<std::size_t>(d + 1)] * m[static_cast<std::size_t>(d + 1)];
+    }
+    return s;
+  }
+};
+
+GridDesc make_grid(int dim, index_t n, double alpha);
+
+}  // namespace nufft

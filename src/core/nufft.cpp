@@ -1,0 +1,390 @@
+#include "core/nufft.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/convolution.hpp"
+#include "core/convolution_avx2.hpp"
+#include "kernels/rolloff.hpp"
+
+namespace nufft {
+
+namespace {
+
+// Wrap an unwrapped grid coordinate into [0, m); preprocessing guarantees
+// coordinates stay within one period of the grid.
+inline index_t wrap_coord(index_t v, index_t m) {
+  if (v < 0) return v + m;
+  if (v >= m) return v - m;
+  return v;
+}
+
+// Dispatch a per-sample convolution body over a compile-time dimension.
+template <class F1, class F2, class F3>
+void dim_dispatch(int dim, F1&& f1, F2&& f2, F3&& f3) {
+  switch (dim) {
+    case 1:
+      f1();
+      return;
+    case 2:
+      f2();
+      return;
+    case 3:
+      f3();
+      return;
+    default:
+      throw Error("unsupported dimension");
+  }
+}
+
+}  // namespace
+
+Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg)
+    : Nufft(g, samples, cfg, Preprocessed{}) {}
+
+Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg,
+             Preprocessed restored)
+    : g_(g), cfg_(cfg), nsamples_(samples.count()) {
+  NUFFT_CHECK(samples.dim == g.dim);
+  for (int d = 0; d < g.dim; ++d) {
+    NUFFT_CHECK_MSG(samples.m == g.m[static_cast<std::size_t>(d)],
+                    "sample set generated for a different grid size");
+  }
+  pool_ = std::make_unique<ThreadPool>(cfg.threads);
+  if (restored.graph != nullptr) {
+    NUFFT_CHECK_MSG(static_cast<index_t>(restored.orig_index.size()) == nsamples_,
+                    "restored plan does not match the sample set");
+    pp_ = std::move(restored);
+  } else {
+    pp_ = preprocess(g_, samples, cfg_);
+  }
+
+  std::vector<std::size_t> dims;
+  for (int d = 0; d < g.dim; ++d) dims.push_back(static_cast<std::size_t>(g.m[static_cast<std::size_t>(d)]));
+  fft_fwd_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kForward);
+  fft_inv_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kInverse);
+
+  // Rolloff precompensation with the ±1 chop baked in per dimension:
+  // scale[d][i] = (−1)^(i − N/2) / apodization(i − N/2).
+  const auto kernel = kernels::make_kernel(cfg.kernel, cfg.kernel_radius, g.alpha);
+  for (int d = 0; d < g.dim; ++d) {
+    const index_t n = g.n[static_cast<std::size_t>(d)];
+    const index_t m = g.m[static_cast<std::size_t>(d)];
+    fvec s = kernels::rolloff_1d(*kernel, n, m);
+    auto& wrap = wrap_[static_cast<std::size_t>(d)];
+    wrap.resize(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      const index_t centered = i - n / 2;
+      if ((centered & 1) != 0) s[static_cast<std::size_t>(i)] = -s[static_cast<std::size_t>(i)];
+      wrap[static_cast<std::size_t>(i)] = centered >= 0 ? centered : centered + m;
+    }
+    scale_[static_cast<std::size_t>(d)] = std::move(s);
+  }
+
+  grid_.resize(static_cast<std::size_t>(g_.grid_elems()));
+
+  // Pre-allocate private buffers for privatized tasks (reused every call).
+  private_bufs_.resize(pp_.tasks.size());
+  for (std::size_t k = 0; k < pp_.tasks.size(); ++k) {
+    if (pp_.privatized[k]) {
+      private_bufs_[k].resize(static_cast<std::size_t>(pp_.tasks[k].box_elems(g_.dim)));
+    }
+  }
+
+  // The LUT lives in the plan for the whole lifetime.
+  lut_ = std::make_unique<kernels::KernelLut>(*kernel, cfg.lut_samples_per_unit);
+
+  // Resolve the vector path once. kAuto prefers AVX2 when the CPU has it;
+  // an explicit kAvx2 request on an unsupported CPU is a caller error.
+  if (!cfg.use_simd) {
+    conv_mode_ = ConvMode::kScalar;
+  } else if (cfg.isa == SimdIsa::kAvx2 ||
+             (cfg.isa == SimdIsa::kAuto && avx2_available())) {
+    NUFFT_CHECK_MSG(avx2_available(), "AVX2 kernels requested on a CPU without AVX2+FMA");
+    conv_mode_ = ConvMode::kAvx2;
+  } else {
+    conv_mode_ = ConvMode::kSse;
+  }
+}
+
+Nufft::~Nufft() = default;
+
+void Nufft::clear_grid() {
+  cfloat* p = grid_.data();
+  pool_->parallel_for(static_cast<index_t>(grid_.size()), [&](index_t b, index_t e) {
+    zero_complex(p + b, static_cast<std::size_t>(e - b));
+  });
+}
+
+void Nufft::image_to_grid(const cfloat* image) {
+  clear_grid();
+  const int dim = g_.dim;
+  const auto st = g_.grid_strides();
+  const index_t n0 = g_.n[0];
+  const index_t n1 = dim >= 2 ? g_.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g_.n[2] : 1;
+  const fvec& s0 = scale_[0];
+  const fvec* s1 = dim >= 2 ? &scale_[1] : nullptr;
+  const fvec* s2 = dim >= 3 ? &scale_[2] : nullptr;
+  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+    for (index_t i0 = b; i0 < e; ++i0) {
+      const float f0 = s0[static_cast<std::size_t>(i0)];
+      const index_t g0 = wrap_[0][static_cast<std::size_t>(i0)];
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        const float f01 = dim >= 2 ? f0 * (*s1)[static_cast<std::size_t>(i1)] : f0;
+        const index_t g1 = dim >= 2 ? wrap_[1][static_cast<std::size_t>(i1)] : 0;
+        const cfloat* src = image + (i0 * n1 + i1) * n2;
+        cfloat* dst = grid_.data() + g0 * st[0] + (dim >= 2 ? g1 * st[1] : 0);
+        if (dim >= 3) {
+          for (index_t i2 = 0; i2 < n2; ++i2) {
+            dst[wrap_[2][static_cast<std::size_t>(i2)]] =
+                src[i2] * (f01 * (*s2)[static_cast<std::size_t>(i2)]);
+          }
+        } else {
+          dst[0] = src[0] * f01;
+        }
+      }
+    }
+  });
+}
+
+void Nufft::grid_to_image(cfloat* image) const {
+  const int dim = g_.dim;
+  const auto st = g_.grid_strides();
+  const index_t n0 = g_.n[0];
+  const index_t n1 = dim >= 2 ? g_.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g_.n[2] : 1;
+  const fvec& s0 = scale_[0];
+  const fvec* s1 = dim >= 2 ? &scale_[1] : nullptr;
+  const fvec* s2 = dim >= 3 ? &scale_[2] : nullptr;
+  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+    for (index_t i0 = b; i0 < e; ++i0) {
+      const float f0 = s0[static_cast<std::size_t>(i0)];
+      const index_t g0 = wrap_[0][static_cast<std::size_t>(i0)];
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        const float f01 = dim >= 2 ? f0 * (*s1)[static_cast<std::size_t>(i1)] : f0;
+        const index_t g1 = dim >= 2 ? wrap_[1][static_cast<std::size_t>(i1)] : 0;
+        cfloat* dst = image + (i0 * n1 + i1) * n2;
+        const cfloat* src = grid_.data() + g0 * st[0] + (dim >= 2 ? g1 * st[1] : 0);
+        if (dim >= 3) {
+          for (index_t i2 = 0; i2 < n2; ++i2) {
+            dst[i2] = src[wrap_[2][static_cast<std::size_t>(i2)]] *
+                      (f01 * (*s2)[static_cast<std::size_t>(i2)]);
+          }
+        } else {
+          dst[0] = src[0] * f01;
+        }
+      }
+    }
+  });
+}
+
+void Nufft::interp(cfloat* raw) {
+  const auto st = g_.grid_strides();
+  const cfloat* grid = grid_.data();
+  const int ntasks = static_cast<int>(pp_.tasks.size());
+
+  dim_dispatch(
+      g_.dim,
+      [&] { interp_dim<1>(grid, st, raw, ntasks); },
+      [&] { interp_dim<2>(grid, st, raw, ntasks); },
+      [&] { interp_dim<3>(grid, st, raw, ntasks); });
+}
+
+template <int DIM>
+void Nufft::interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfloat* raw,
+                       int ntasks) {
+  const ConvMode mode = conv_mode_;
+  const bool fill_dup = mode != ConvMode::kScalar;
+  pool_->parallel_for_tid(ntasks, 1, [&](int, index_t kb, index_t ke) {
+    WindowBuf wb;
+    for (index_t k = kb; k < ke; ++k) {
+      const ConvTask& task = pp_.tasks[static_cast<std::size_t>(k)];
+      for (index_t i = task.begin; i < task.end; ++i) {
+        float coord[3];
+        for (int d = 0; d < DIM; ++d) {
+          coord[d] = pp_.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+        }
+        compute_window(g_, *lut_, coord, DIM, fill_dup, wb);
+        cfloat v;
+        switch (mode) {
+          case ConvMode::kScalar:
+            v = fwd_gather_scalar<DIM>(grid, st, wb);
+            break;
+          case ConvMode::kSse:
+            v = fwd_gather_simd<DIM>(grid, st, wb);
+            break;
+          default:
+            v = fwd_gather_avx2<DIM>(grid, st, wb);
+            break;
+        }
+        raw[pp_.orig_index[static_cast<std::size_t>(i)]] = v;
+      }
+    }
+  });
+}
+
+void Nufft::run_spread(const cfloat* raw, OperatorStats* stats) {
+  const auto st = g_.grid_strides();
+  dim_dispatch(
+      g_.dim, [&] { spread_dim<1>(raw, st, stats); }, [&] { spread_dim<2>(raw, st, stats); },
+      [&] { spread_dim<3>(raw, st, stats); });
+}
+
+template <int DIM>
+void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st,
+                       OperatorStats* stats) {
+  cfloat* grid = grid_.data();
+  const ConvMode mode = conv_mode_;
+  const bool fill_dup = mode != ConvMode::kScalar;
+
+  // Convolve one task's samples into `dst` (the global grid, or a private
+  // box with box-local indices).
+  auto convolve_range = [&](const ConvTask& task, cfloat* dst,
+                            const std::array<index_t, 3>& strides, bool box_local) {
+    WindowBuf wb;
+    for (index_t i = task.begin; i < task.end; ++i) {
+      float coord[3];
+      for (int d = 0; d < DIM; ++d) {
+        coord[d] = pp_.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+      }
+      compute_window(g_, *lut_, coord, DIM, fill_dup, wb);
+      if (box_local) {
+        // Rebase neighbour indices into the private box; the box covers the
+        // partition plus the kernel radius, so no wrapping can occur.
+        for (int d = 0; d < DIM; ++d) {
+          for (int t = 0; t < wb.len[d]; ++t) {
+            wb.idx[d][t] = wb.start[d] + t - task.box_lo[static_cast<std::size_t>(d)];
+          }
+        }
+        wb.inner_contiguous = true;
+      }
+      const cfloat v = raw[pp_.orig_index[static_cast<std::size_t>(i)]];
+      switch (mode) {
+        case ConvMode::kScalar:
+          adj_scatter_scalar<DIM>(dst, strides, wb, v);
+          break;
+        case ConvMode::kSse:
+          adj_scatter_simd<DIM>(dst, strides, wb, v);
+          break;
+        default:
+          adj_scatter_avx2<DIM>(dst, strides, wb, v);
+          break;
+      }
+    }
+  };
+
+  auto body = [&](int task_id, int, JobPhase phase) {
+    const ConvTask& task = pp_.tasks[static_cast<std::size_t>(task_id)];
+    switch (phase) {
+      case JobPhase::kConvolve:
+        convolve_range(task, grid, st, false);
+        break;
+      case JobPhase::kPrivateConvolve: {
+        auto& buf = private_bufs_[static_cast<std::size_t>(task_id)];
+        zero_complex(buf.data(), buf.size());
+        std::array<index_t, 3> bst{1, 1, 1};
+        for (int d = DIM - 2; d >= 0; --d) {
+          bst[static_cast<std::size_t>(d)] =
+              bst[static_cast<std::size_t>(d + 1)] *
+              (task.box_hi[static_cast<std::size_t>(d + 1)] -
+               task.box_lo[static_cast<std::size_t>(d + 1)]);
+        }
+        convolve_range(task, buf.data(), bst, true);
+        break;
+      }
+      case JobPhase::kReduce: {
+        // Merge the private box into the global grid, wrapping mod M.
+        const auto& buf = private_bufs_[static_cast<std::size_t>(task_id)];
+        std::array<index_t, 3> blen{1, 1, 1};
+        for (int d = 0; d < DIM; ++d) {
+          blen[static_cast<std::size_t>(d)] = task.box_hi[static_cast<std::size_t>(d)] -
+                                              task.box_lo[static_cast<std::size_t>(d)];
+        }
+        const index_t rows = DIM >= 2 ? blen[0] * (DIM >= 3 ? blen[1] : 1) : 1;
+        const index_t inner = blen[static_cast<std::size_t>(DIM - 1)];
+        for (index_t r = 0; r < rows; ++r) {
+          const index_t b0 = DIM >= 3 ? r / blen[1] : (DIM == 2 ? r : 0);
+          const index_t b1 = DIM >= 3 ? r % blen[1] : 0;
+          index_t base = 0;
+          if (DIM >= 2) {
+            const index_t u0 = wrap_coord(task.box_lo[0] + b0, g_.m[0]);
+            base += u0 * st[0];
+          }
+          if (DIM >= 3) {
+            const index_t u1 = wrap_coord(task.box_lo[1] + b1, g_.m[1]);
+            base += u1 * st[1];
+          }
+          const cfloat* src = buf.data() + r * inner;
+          const index_t lo = task.box_lo[static_cast<std::size_t>(DIM - 1)];
+          const index_t m = g_.m[static_cast<std::size_t>(DIM - 1)];
+          for (index_t c = 0; c < inner; ++c) {
+            grid[base + wrap_coord(lo + c, m)] += src[c];
+          }
+        }
+        break;
+      }
+    }
+  };
+
+  SchedulerStats sstats;
+  if (cfg_.color_barrier_schedule) {
+    sstats = run_task_graph_colored(*pp_.graph, pp_.weights, *pool_, body);
+  } else {
+    SchedulerConfig scfg;
+    scfg.priority_queue = cfg_.priority_queue;
+    scfg.record_trace = cfg_.record_trace;
+    sstats = run_task_graph(*pp_.graph, pp_.weights, pp_.privatized, *pool_, body, scfg);
+  }
+  if (stats != nullptr) {
+    stats->tasks = sstats.tasks;
+    stats->privatized_tasks = sstats.privatized_tasks;
+    stats->busy_ns_per_context = std::move(sstats.busy_ns_per_context);
+  }
+  trace_ = std::move(sstats.trace);
+}
+
+void Nufft::spread(const cfloat* raw) {
+  clear_grid();
+  run_spread(raw, nullptr);
+}
+
+void Nufft::forward(const cfloat* image, cfloat* raw) {
+  Timer total;
+  Timer t;
+  image_to_grid(image);
+  fwd_stats_.scale_s = t.seconds();
+
+  t.reset();
+  fft_fwd_->transform(grid_.data(), *pool_);
+  fwd_stats_.fft_s = t.seconds();
+
+  t.reset();
+  interp(raw);
+  fwd_stats_.conv_s = t.seconds();
+  fwd_stats_.total_s = total.seconds();
+}
+
+void Nufft::adjoint(const cfloat* raw, cfloat* image) {
+  Timer total;
+  Timer t;
+  clear_grid();
+  adj_stats_.scale_s = t.seconds();
+
+  t.reset();
+  run_spread(raw, &adj_stats_);
+  adj_stats_.conv_s = t.seconds();
+
+  t.reset();
+  fft_inv_->transform(grid_.data(), *pool_);
+  adj_stats_.fft_s = t.seconds();
+
+  t.reset();
+  grid_to_image(image);
+  adj_stats_.scale_s += t.seconds();
+  adj_stats_.total_s = total.seconds();
+}
+
+}  // namespace nufft

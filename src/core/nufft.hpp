@@ -1,0 +1,117 @@
+// The NUFFT operator pair (paper §II-B):
+//
+//   forward:  F(w) = Σ_n f[n] · e^{-2πi (w - M/2)·n / M},   n centered
+//   adjoint:  the exact algebraic adjoint of forward
+//
+// evaluated approximately in O(M^d log M + K·(2W)^d) as
+//   forward = interp ∘ FFT ∘ scale      (scale = rolloff × chop)
+//   adjoint = scale ∘ IFFT ∘ spread
+//
+// Sample coordinates are in oversampled-grid units, w ∈ [0, M)^d, with the
+// spectral origin (DC) at M/2 per dimension. No normalization is applied:
+// adjoint(forward(x)) ≈ M^d·x apodization-corrected — iterative solvers are
+// insensitive to the constant and direct users can divide by M^d.
+//
+// A plan is built once per trajectory (preprocessing: partitioning, task
+// graph, sample reorder) and applied many times; apply calls are not
+// re-entrant on the same plan (the plan owns the grid buffer and pool).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "core/preprocess.hpp"
+#include "core/stats.hpp"
+#include "datasets/trajectory.hpp"
+#include "fft/fftnd.hpp"
+#include "kernels/lut.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nufft {
+
+class Nufft {
+ public:
+  /// Plan a transform between an N^dim image and `samples.count()`
+  /// non-uniform spectral values. The grid geometry must match the sample
+  /// set's oversampled extent.
+  Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg);
+
+  /// Plan from a previously serialized preprocessing result (plan_cache.hpp)
+  /// — skips the histogram/partition/bin/reorder pass entirely.
+  Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg,
+        Preprocessed restored);
+  ~Nufft();
+
+  Nufft(const Nufft&) = delete;
+  Nufft& operator=(const Nufft&) = delete;
+
+  const GridDesc& grid_desc() const { return g_; }
+  const PlanConfig& config() const { return cfg_; }
+  index_t image_elems() const { return g_.image_elems(); }
+  index_t sample_count() const { return nsamples_; }
+
+  /// image (N^dim, centered, row-major) → raw (sample values, caller order).
+  void forward(const cfloat* image, cfloat* raw);
+
+  /// raw (sample values, caller order) → image (N^dim).
+  void adjoint(const cfloat* raw, cfloat* image);
+
+  // --- component entry points for benchmarking and tests ---
+
+  /// Adjoint convolution only: spread raw samples onto the internal grid
+  /// (grid is cleared first).
+  void spread(const cfloat* raw);
+
+  /// Forward convolution only: gather raw samples from the internal grid.
+  void interp(cfloat* raw);
+
+  /// The internal oversampled grid (grid_desc().grid_elems() values).
+  cfloat* grid_data() { return grid_.data(); }
+  const cfloat* grid_data() const { return grid_.data(); }
+  void clear_grid();
+
+  /// Fill the grid from an image (scale + chop + zero-pad), no FFT.
+  void image_to_grid(const cfloat* image);
+  /// Read an image back from the grid (crop + scale + chop), no FFT.
+  void grid_to_image(cfloat* image) const;
+
+  // --- instrumentation ---
+  const OperatorStats& last_forward_stats() const { return fwd_stats_; }
+  const OperatorStats& last_adjoint_stats() const { return adj_stats_; }
+  const Preprocessed& plan() const { return pp_; }
+  const std::vector<TraceEvent>& last_trace() const { return trace_; }
+  ThreadPool& pool() { return *pool_; }
+
+  /// Vector path resolved from PlanConfig::use_simd / isa and the CPU.
+  enum class ConvMode { kScalar, kSse, kAvx2 };
+  ConvMode conv_mode() const { return conv_mode_; }
+
+ private:
+  void run_spread(const cfloat* raw, OperatorStats* stats);
+  template <int DIM>
+  void interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfloat* raw,
+                  int ntasks);
+  template <int DIM>
+  void spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, OperatorStats* stats);
+
+  GridDesc g_;
+  PlanConfig cfg_;
+  index_t nsamples_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  Preprocessed pp_;
+  std::unique_ptr<fft::FftNd<float>> fft_fwd_;
+  std::unique_ptr<fft::FftNd<float>> fft_inv_;
+  std::array<fvec, 3> scale_;          // rolloff × chop, one array per dim
+  std::array<std::vector<index_t>, 3> wrap_;  // image index → grid index per dim
+  std::unique_ptr<kernels::KernelLut> lut_;
+  ConvMode conv_mode_ = ConvMode::kSse;
+  cvecf grid_;
+  std::vector<cvecf> private_bufs_;    // one per privatized task (empty else)
+  OperatorStats fwd_stats_;
+  OperatorStats adj_stats_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace nufft

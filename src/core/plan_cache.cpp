@@ -1,0 +1,195 @@
+#include "core/plan_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace nufft {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E554657;  // "NUFW"
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  template <class T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+
+  template <class T>
+  void put_array(const T* p, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* b = reinterpret_cast<const std::uint8_t*>(p);
+    out_.insert(out_.end(), b, b + n * sizeof(T));
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  template <class T>
+  T get() {
+    T v;
+    take(&v, sizeof(T));
+    return v;
+  }
+
+  template <class T>
+  void get_array(T* p, std::size_t n) {
+    take(p, n * sizeof(T));
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  void take(void* dst, std::size_t n) {
+    NUFFT_CHECK_MSG(pos_ + n <= size_, "plan blob truncated");
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_plan(const Preprocessed& pp, const GridDesc& g) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  w.put(kMagic);
+  w.put(kVersion);
+  w.put(static_cast<std::int32_t>(g.dim));
+  for (int d = 0; d < g.dim; ++d) w.put(g.m[static_cast<std::size_t>(d)]);
+
+  // Partition layout.
+  for (int d = 0; d < g.dim; ++d) {
+    const auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
+    w.put(static_cast<std::int64_t>(b.size()));
+    w.put_array(b.data(), b.size());
+  }
+
+  // Tasks and marks.
+  w.put(static_cast<std::int64_t>(pp.tasks.size()));
+  w.put_array(pp.tasks.data(), pp.tasks.size());
+  w.put_array(pp.privatized.data(), pp.privatized.size());
+  w.put(pp.privatization_threshold);
+
+  // Reorder permutation (coords are regenerated from the sample set).
+  w.put(static_cast<std::int64_t>(pp.orig_index.size()));
+  w.put_array(pp.orig_index.data(), pp.orig_index.size());
+  return out;
+}
+
+Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const GridDesc& g,
+                              const datasets::SampleSet& samples) {
+  Timer total;
+  Reader r(data, size);
+  NUFFT_CHECK_MSG(r.get<std::uint32_t>() == kMagic, "not a NUFFT plan blob");
+  NUFFT_CHECK_MSG(r.get<std::uint32_t>() == kVersion, "unsupported plan version");
+  NUFFT_CHECK_MSG(r.get<std::int32_t>() == g.dim, "plan built for a different dimensionality");
+  for (int d = 0; d < g.dim; ++d) {
+    NUFFT_CHECK_MSG(r.get<index_t>() == g.m[static_cast<std::size_t>(d)],
+                    "plan built for a different grid size");
+  }
+
+  Preprocessed pp;
+  pp.layout.dim = g.dim;
+  for (int d = 0; d < g.dim; ++d) {
+    const auto n = r.get<std::int64_t>();
+    NUFFT_CHECK_MSG(n >= 2, "corrupt partition bounds");
+    auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
+    b.resize(static_cast<std::size_t>(n));
+    r.get_array(b.data(), b.size());
+    NUFFT_CHECK_MSG(b.front() == 0 && b.back() == g.m[static_cast<std::size_t>(d)],
+                    "partition bounds do not cover the grid");
+    for (std::size_t i = 1; i < b.size(); ++i) {
+      NUFFT_CHECK_MSG(b[i] > b[i - 1], "partition bounds not increasing");
+    }
+    pp.layout.num_parts[static_cast<std::size_t>(d)] = static_cast<int>(n) - 1;
+  }
+
+  const auto ntasks = r.get<std::int64_t>();
+  NUFFT_CHECK_MSG(ntasks == pp.layout.total_parts(), "task count mismatch");
+  pp.tasks.resize(static_cast<std::size_t>(ntasks));
+  r.get_array(pp.tasks.data(), pp.tasks.size());
+  pp.privatized.resize(static_cast<std::size_t>(ntasks));
+  r.get_array(pp.privatized.data(), pp.privatized.size());
+  pp.privatization_threshold = r.get<index_t>();
+
+  const auto count = r.get<std::int64_t>();
+  NUFFT_CHECK_MSG(count == samples.count(), "plan built for a different sample count");
+  pp.orig_index.resize(static_cast<std::size_t>(count));
+  r.get_array(pp.orig_index.data(), pp.orig_index.size());
+  NUFFT_CHECK_MSG(r.exhausted(), "trailing bytes in plan blob");
+
+  // Structural validation: task ranges tile [0, count); permutation valid.
+  index_t prev = 0;
+  for (const auto& task : pp.tasks) {
+    NUFFT_CHECK_MSG(task.begin == prev && task.end >= task.begin, "corrupt task ranges");
+    prev = task.end;
+  }
+  NUFFT_CHECK_MSG(prev == count, "task ranges do not cover the samples");
+  {
+    std::vector<char> seen(static_cast<std::size_t>(count), 0);
+    for (const index_t idx : pp.orig_index) {
+      NUFFT_CHECK_MSG(idx >= 0 && idx < count && !seen[static_cast<std::size_t>(idx)],
+                      "corrupt reorder permutation");
+      seen[static_cast<std::size_t>(idx)] = 1;
+    }
+  }
+
+  // Rebuild the cheap derived state.
+  pp.graph = std::make_unique<TaskGraph>(pp.layout);
+  pp.weights.resize(pp.tasks.size());
+  for (std::size_t k = 0; k < pp.tasks.size(); ++k) pp.weights[k] = pp.tasks[k].count();
+  for (int d = 0; d < g.dim; ++d) {
+    auto& dst = pp.coords[static_cast<std::size_t>(d)];
+    dst.resize(static_cast<std::size_t>(count));
+    const float* src = samples.coords[static_cast<std::size_t>(d)].data();
+    for (index_t i = 0; i < count; ++i) {
+      dst[static_cast<std::size_t>(i)] = src[pp.orig_index[static_cast<std::size_t>(i)]];
+    }
+  }
+  pp.stats.tasks = static_cast<int>(ntasks);
+  pp.stats.privatized_tasks =
+      static_cast<int>(std::count(pp.privatized.begin(), pp.privatized.end(), char(1)));
+  pp.stats.total_s = total.seconds();
+  return pp;
+}
+
+void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& g) {
+  const auto blob = serialize_plan(pp, g);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  NUFFT_CHECK_MSG(f.good(), "cannot open plan file for writing");
+  f.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+  NUFFT_CHECK_MSG(f.good(), "plan file write failed");
+}
+
+Preprocessed load_plan(const std::string& path, const GridDesc& g,
+                       const datasets::SampleSet& samples) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  NUFFT_CHECK_MSG(f.good(), "cannot open plan file for reading");
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<std::uint8_t> blob(size);
+  f.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(size));
+  NUFFT_CHECK_MSG(f.good(), "plan file read failed");
+  return deserialize_plan(blob.data(), blob.size(), g, samples);
+}
+
+}  // namespace nufft

@@ -1,0 +1,40 @@
+// Plan persistence — the paper's FFTW-"wisdom" analogy made concrete
+// (§V-E: "the preprocessing can be performed offline and reused, in the
+// same manner that the FFTW library reuses wisdom").
+//
+// A serialized plan captures everything the preprocessing pass derived from
+// the sample coordinates: partition layout, per-task sample ranges, the
+// reorder permutation, and privatization marks. Restoring a plan against
+// the same trajectory skips the histogram/partition/bin/sort work; only the
+// (cheap) task graph is rebuilt.
+//
+// The format is a versioned little-endian binary blob. Restoration
+// validates structural invariants (bounds coverage, permutation validity,
+// range consistency) and rejects blobs that do not match the grid geometry
+// or sample count, so a stale cache cannot corrupt a transform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/preprocess.hpp"
+#include "datasets/trajectory.hpp"
+
+namespace nufft {
+
+/// Serialize a preprocessing result to a self-contained byte blob.
+std::vector<std::uint8_t> serialize_plan(const Preprocessed& pp, const GridDesc& g);
+
+/// Restore a plan against the trajectory it was built for. Throws
+/// nufft::Error on any mismatch or corruption.
+Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const GridDesc& g,
+                              const datasets::SampleSet& samples);
+
+/// File convenience wrappers.
+void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& g);
+Preprocessed load_plan(const std::string& path, const GridDesc& g,
+                       const datasets::SampleSet& samples);
+
+}  // namespace nufft

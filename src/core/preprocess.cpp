@@ -1,0 +1,174 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace nufft {
+
+index_t privatization_threshold(index_t total_samples, int threads, int dim, double factor) {
+  const double denom = static_cast<double>(threads) * std::pow(2.0, dim + 1);
+  const auto t = static_cast<index_t>(factor * static_cast<double>(total_samples) / denom);
+  return std::max<index_t>(t, 1);
+}
+
+namespace {
+
+// Auto partition count per dimension: aim for ~16·threads tasks in total so
+// the priority queue has slack to balance, rounded to an even count.
+int auto_partitions_per_dim(int threads, int dim) {
+  const double total_tasks = 16.0 * std::max(1, threads);
+  int p = static_cast<int>(std::llround(std::pow(total_tasks, 1.0 / dim)));
+  p = std::max(2, p);
+  if (p % 2 != 0) ++p;
+  return p;
+}
+
+// Pack the tile-scan reorder key: tile coordinates (scan-line order over
+// tiles), then cell coordinates within the tile (scan-line order again) —
+// "simple scan-line order with one level of tiling" (paper §III-D).
+std::uint64_t reorder_key(const std::array<index_t, 3>& cell, int dim, index_t tile) {
+  std::uint64_t key = 0;
+  for (int d = 0; d < dim; ++d) {
+    key = (key << 10) | static_cast<std::uint64_t>(cell[static_cast<std::size_t>(d)] / tile);
+  }
+  for (int d = 0; d < dim; ++d) {
+    key = (key << 10) | static_cast<std::uint64_t>(cell[static_cast<std::size_t>(d)] % tile);
+  }
+  return key;
+}
+
+}  // namespace
+
+Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
+                        const PlanConfig& cfg) {
+  NUFFT_CHECK(samples.dim == g.dim);
+  NUFFT_CHECK(cfg.kernel_radius > 0.0);
+  NUFFT_CHECK(cfg.threads >= 1);
+  const int dim = g.dim;
+  const index_t count = samples.count();
+  const auto wceil = static_cast<index_t>(std::ceil(cfg.kernel_radius));
+  const index_t min_width = 2 * wceil + 1;
+  for (int d = 0; d < dim; ++d) {
+    NUFFT_CHECK_MSG(g.m[static_cast<std::size_t>(d)] >= min_width,
+                    "grid narrower than one kernel footprint");
+  }
+
+  Preprocessed pp;
+  Timer total;
+
+  std::array<const float*, 3> cptr{nullptr, nullptr, nullptr};
+  for (int d = 0; d < dim; ++d) cptr[static_cast<std::size_t>(d)] = samples.coords[static_cast<std::size_t>(d)].data();
+
+  // --- partition layout (cumulative histograms + Fig. 5) ---
+  Timer t;
+  const int target = cfg.partitions_per_dim > 0 ? cfg.partitions_per_dim
+                                                : auto_partitions_per_dim(cfg.threads, dim);
+  pp.layout = cfg.variable_partitions
+                  ? make_variable_layout(dim, g.m, cptr, count, target, min_width)
+                  : make_fixed_layout(dim, g.m, target, min_width);
+  pp.stats.partition_s = t.seconds();
+
+  // --- bin samples into tasks (counting sort by task id) ---
+  t.reset();
+  const int ntasks = pp.layout.total_parts();
+  std::vector<std::int32_t> task_of(static_cast<std::size_t>(count));
+  std::vector<index_t> task_count(static_cast<std::size_t>(ntasks), 0);
+  for (index_t i = 0; i < count; ++i) {
+    std::array<int, 3> pc{0, 0, 0};
+    for (int d = 0; d < dim; ++d) {
+      pc[static_cast<std::size_t>(d)] =
+          pp.layout.locate(d, cptr[static_cast<std::size_t>(d)][i]);
+    }
+    const int tk = pp.layout.flatten(pc);
+    task_of[static_cast<std::size_t>(i)] = tk;
+    ++task_count[static_cast<std::size_t>(tk)];
+  }
+  std::vector<index_t> offset(static_cast<std::size_t>(ntasks) + 1, 0);
+  for (int k = 0; k < ntasks; ++k) {
+    offset[static_cast<std::size_t>(k) + 1] =
+        offset[static_cast<std::size_t>(k)] + task_count[static_cast<std::size_t>(k)];
+  }
+  pp.orig_index.resize(static_cast<std::size_t>(count));
+  {
+    std::vector<index_t> cursor(offset.begin(), offset.end() - 1);
+    for (index_t i = 0; i < count; ++i) {
+      const auto tk = static_cast<std::size_t>(task_of[static_cast<std::size_t>(i)]);
+      pp.orig_index[static_cast<std::size_t>(cursor[tk]++)] = i;
+    }
+  }
+  pp.stats.bin_s = t.seconds();
+
+  // --- per-task tile reorder for cache reuse (§III-D) ---
+  t.reset();
+  if (cfg.reorder) {
+    const index_t tile = std::max<index_t>(1, cfg.reorder_tile);
+    // keys[orig] = tile-scan position of the sample's grid cell.
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(count));
+    for (index_t i = 0; i < count; ++i) {
+      std::array<index_t, 3> cell{0, 0, 0};
+      for (int d = 0; d < dim; ++d) {
+        cell[static_cast<std::size_t>(d)] =
+            static_cast<index_t>(cptr[static_cast<std::size_t>(d)][i]);
+      }
+      keys[static_cast<std::size_t>(i)] = reorder_key(cell, dim, tile);
+    }
+    auto* base = pp.orig_index.data();
+    for (int k = 0; k < ntasks; ++k) {
+      std::sort(base + offset[static_cast<std::size_t>(k)],
+                base + offset[static_cast<std::size_t>(k) + 1], [&](index_t a, index_t b) {
+                  const auto ka = keys[static_cast<std::size_t>(a)];
+                  const auto kb = keys[static_cast<std::size_t>(b)];
+                  return ka != kb ? ka < kb : a < b;
+                });
+    }
+  }
+  pp.stats.reorder_s = t.seconds();
+
+  // --- materialize reordered coordinate arrays ---
+  for (int d = 0; d < dim; ++d) {
+    auto& dst = pp.coords[static_cast<std::size_t>(d)];
+    dst.resize(static_cast<std::size_t>(count));
+    const float* src = cptr[static_cast<std::size_t>(d)];
+    for (index_t i = 0; i < count; ++i) {
+      dst[static_cast<std::size_t>(i)] = src[pp.orig_index[static_cast<std::size_t>(i)]];
+    }
+  }
+
+  // --- task table, weights, privatization ---
+  t.reset();
+  pp.graph = std::make_unique<TaskGraph>(pp.layout);
+  pp.tasks.resize(static_cast<std::size_t>(ntasks));
+  pp.weights.resize(static_cast<std::size_t>(ntasks));
+  pp.privatized.assign(static_cast<std::size_t>(ntasks), 0);
+  pp.privatization_threshold =
+      privatization_threshold(count, cfg.threads, dim, cfg.privatization_factor);
+  for (int k = 0; k < ntasks; ++k) {
+    ConvTask& task = pp.tasks[static_cast<std::size_t>(k)];
+    task.begin = offset[static_cast<std::size_t>(k)];
+    task.end = offset[static_cast<std::size_t>(k) + 1];
+    pp.weights[static_cast<std::size_t>(k)] = task.count();
+    const TaskNode& node = pp.graph->node(k);
+    for (int d = 0; d < dim; ++d) {
+      const auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
+      const auto pcd = static_cast<std::size_t>(node.pcoord[static_cast<std::size_t>(d)]);
+      task.box_lo[static_cast<std::size_t>(d)] = b[pcd] - wceil;
+      task.box_hi[static_cast<std::size_t>(d)] = b[pcd + 1] + wceil;
+    }
+    if (cfg.selective_privatization && task.count() > pp.privatization_threshold &&
+        cfg.threads > 1) {
+      pp.privatized[static_cast<std::size_t>(k)] = 1;
+    }
+  }
+  pp.stats.graph_s = t.seconds();
+
+  pp.stats.tasks = ntasks;
+  pp.stats.privatized_tasks =
+      static_cast<int>(std::count(pp.privatized.begin(), pp.privatized.end(), char(1)));
+  pp.stats.total_s = total.seconds();
+  return pp;
+}
+
+}  // namespace nufft

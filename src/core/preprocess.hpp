@@ -1,0 +1,90 @@
+// One-time preprocessing of a sample set for repeated NUFFT application
+// (paper §III-B1, §III-D, §V-E).
+//
+// Produces: the partition layout, the Gray-code task graph, per-task sample
+// ranges (with samples physically reordered for cache reuse), and the
+// selective-privatization marking with each privatized task's private
+// write-region box. An iterative solver amortizes this cost over its many
+// forward/adjoint calls, exactly as FFTW amortizes planning.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/stats.hpp"
+#include "datasets/trajectory.hpp"
+#include "kernels/kernel.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/task_graph.hpp"
+
+namespace nufft {
+
+/// Vector instruction set for the convolution Part 2.
+///   kAuto — AVX2 when the CPU supports it, else SSE (when use_simd is set)
+///   kSse  — the paper's 128-bit path
+///   kAvx2 — the 256-bit FMA extension (paper §I "wider SIMD")
+enum class SimdIsa { kAuto, kSse, kAvx2 };
+
+/// Tuning and ablation switches for plan construction. The defaults are the
+/// paper's "most optimized" configuration; each flag disables one
+/// optimization to reproduce the incremental studies (Figs. 9, 11, 12, 13).
+struct PlanConfig {
+  double kernel_radius = 4.0;  // W, in oversampled-grid units
+  kernels::KernelType kernel = kernels::KernelType::kKaiserBessel;
+  int lut_samples_per_unit = 1024;
+  int threads = 1;
+
+  bool use_simd = true;                  // Fig. 13 ablation (false = scalar Part 2)
+  SimdIsa isa = SimdIsa::kSse;           // which vector ISA when use_simd
+  bool reorder = true;                   // Fig. 9 "Reorder"
+  bool color_barrier_schedule = false;   // ablation: 2^d-color barrier scheduling
+  bool variable_partitions = true;       // Fig. 11 ablation
+  bool priority_queue = true;            // Fig. 12 group C
+  bool selective_privatization = true;   // Fig. 12 group B
+  int partitions_per_dim = 0;            // 0 = auto from thread count
+  double privatization_factor = 1.0;     // scales the Eq. 6 threshold
+  index_t reorder_tile = 8;              // tile edge for the cache reorder
+  bool record_trace = false;             // scheduler instrumentation
+};
+
+/// One task = one grid partition plus the samples that fall inside it.
+struct ConvTask {
+  index_t begin = 0;  // sample range in the *reordered* arrays
+  index_t end = 0;
+  std::array<index_t, 3> box_lo{0, 0, 0};  // write region, unwrapped:
+  std::array<index_t, 3> box_hi{0, 0, 0};  // [lo, hi) = partition ± ceil(W)
+  index_t count() const { return end - begin; }
+  index_t box_elems(int dim) const {
+    index_t t = 1;
+    for (int d = 0; d < dim; ++d) t *= box_hi[static_cast<std::size_t>(d)] - box_lo[static_cast<std::size_t>(d)];
+    return t;
+  }
+};
+
+struct Preprocessed {
+  PartitionLayout layout;
+  std::unique_ptr<TaskGraph> graph;
+  std::vector<ConvTask> tasks;
+  std::vector<index_t> weights;   // per-task sample counts (scheduler priority)
+  std::vector<char> privatized;   // per-task selective-privatization mark
+  index_t privatization_threshold = 0;
+
+  // Samples reordered task-by-task (and tile-ordered within a task when
+  // cfg.reorder). orig_index maps a reordered position to the caller's
+  // original sample index.
+  std::array<fvec, 3> coords;
+  std::vector<index_t> orig_index;
+
+  PreprocessStats stats;
+};
+
+/// Run the full preprocessing pass.
+Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
+                        const PlanConfig& cfg);
+
+/// The Eq. 6 privatization threshold: M_samples / (P · 2^{d+1}).
+index_t privatization_threshold(index_t total_samples, int threads, int dim, double factor);
+
+}  // namespace nufft

@@ -1,0 +1,18 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nufft {
+
+double OperatorStats::load_imbalance() const {
+  if (busy_ns_per_context.empty()) return 0.0;
+  const auto max = *std::max_element(busy_ns_per_context.begin(), busy_ns_per_context.end());
+  const auto sum = std::accumulate(busy_ns_per_context.begin(), busy_ns_per_context.end(),
+                                   std::uint64_t{0});
+  if (sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(busy_ns_per_context.size());
+  return static_cast<double>(max) / mean;
+}
+
+}  // namespace nufft

@@ -1,0 +1,39 @@
+// Per-call performance counters, the raw material of the paper's breakdown
+// figures (Fig. 3 / Fig. 8) and of the load-balance analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nufft {
+
+/// Timing breakdown for one operator application, in seconds.
+struct OperatorStats {
+  double scale_s = 0.0;     // point-wise scaling + (de)chopping + grid clear
+  double fft_s = 0.0;       // the oversampled (inverse) FFT
+  double conv_s = 0.0;      // convolution interpolation
+  double total_s = 0.0;
+
+  // Adjoint-convolution scheduling detail.
+  int tasks = 0;
+  int privatized_tasks = 0;
+  std::vector<std::uint64_t> busy_ns_per_context;
+
+  /// Ratio of the busiest context's busy time to the mean — 1.0 is perfect
+  /// load balance. Returns 0 when no parallel pass ran.
+  double load_imbalance() const;
+};
+
+/// One-time preprocessing cost breakdown (paper §V-E, Fig. 14).
+struct PreprocessStats {
+  double histogram_s = 0.0;
+  double partition_s = 0.0;
+  double bin_s = 0.0;
+  double reorder_s = 0.0;
+  double graph_s = 0.0;
+  double total_s = 0.0;
+  int tasks = 0;
+  int privatized_tasks = 0;
+};
+
+}  // namespace nufft

@@ -1,0 +1,110 @@
+#include "core/toeplitz.hpp"
+
+#include "common/error.hpp"
+#include "core/nufft.hpp"
+
+namespace nufft {
+
+ToeplitzNormal::ToeplitzNormal(const GridDesc& g, const datasets::SampleSet& samples,
+                               const PlanConfig& cfg, const float* weights)
+    : g_(g) {
+  NUFFT_CHECK(samples.dim == g.dim);
+  pool_ = std::make_unique<ThreadPool>(cfg.threads);
+
+  // Doubled geometry: image 2N on a grid 2M; sample coordinates scale by 2
+  // so that (w₂ − M₂/2)/M₂ == (w − M/2)/M.
+  GridDesc g2 = g;
+  datasets::SampleSet s2 = samples;
+  for (int d = 0; d < g.dim; ++d) {
+    g2.n[static_cast<std::size_t>(d)] = 2 * g.n[static_cast<std::size_t>(d)];
+    g2.m[static_cast<std::size_t>(d)] = 2 * g.m[static_cast<std::size_t>(d)];
+    for (auto& w : s2.coords[static_cast<std::size_t>(d)]) w *= 2.0f;
+  }
+  s2.m = 2 * samples.m;
+
+  // q = Adj₂(W·1): the point-spread kernel on the doubled image.
+  cvecf ones(static_cast<std::size_t>(samples.count()));
+  for (index_t i = 0; i < samples.count(); ++i) {
+    const float w = weights != nullptr ? weights[i] : 1.0f;
+    NUFFT_CHECK_MSG(w >= 0.0f, "normal-operator weights must be non-negative");
+    ones[static_cast<std::size_t>(i)] = cfloat(w, 0.0f);
+  }
+  cvecf q(static_cast<std::size_t>(g2.image_elems()));
+  {
+    PlanConfig qcfg = cfg;
+    Nufft plan2(g2, s2, qcfg);
+    plan2.adjoint(ones.data(), q.data());
+  }
+
+  // Circulant arrangement: t[δ mod 2N] = q[δ], i.e. an fftshift per
+  // dimension of the centered q array; then T̂ = FFT(t) / (2N)^d.
+  for (int d = 0; d < g.dim; ++d) pad_[static_cast<std::size_t>(d)] = 2 * g.n[static_cast<std::size_t>(d)];
+  const index_t p0 = pad_[0];
+  const index_t p1 = g.dim >= 2 ? pad_[1] : 1;
+  const index_t p2 = g.dim >= 3 ? pad_[2] : 1;
+  kernel_hat_.resize(static_cast<std::size_t>(g2.image_elems()));
+  for (index_t i0 = 0; i0 < p0; ++i0) {
+    const index_t s0 = (i0 + p0 / 2) % p0;
+    for (index_t i1 = 0; i1 < p1; ++i1) {
+      const index_t s1 = g.dim >= 2 ? (i1 + p1 / 2) % p1 : 0;
+      for (index_t i2 = 0; i2 < p2; ++i2) {
+        const index_t s2i = g.dim >= 3 ? (i2 + p2 / 2) % p2 : 0;
+        kernel_hat_[static_cast<std::size_t>((i0 * p1 + i1) * p2 + i2)] =
+            q[static_cast<std::size_t>((s0 * p1 + s1) * p2 + s2i)];
+      }
+    }
+  }
+
+  std::vector<std::size_t> dims;
+  for (int d = 0; d < g.dim; ++d) dims.push_back(static_cast<std::size_t>(pad_[static_cast<std::size_t>(d)]));
+  fft_fwd_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kForward);
+  fft_inv_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kInverse);
+
+  fft_fwd_->transform(kernel_hat_.data(), *pool_);
+  const float inv_total = 1.0f / static_cast<float>(g2.image_elems());
+  for (auto& v : kernel_hat_) v *= inv_total;
+
+  work_.resize(static_cast<std::size_t>(g2.image_elems()));
+}
+
+ToeplitzNormal::~ToeplitzNormal() = default;
+
+void ToeplitzNormal::apply(const cfloat* in, cfloat* out) {
+  const int dim = g_.dim;
+  const index_t n0 = g_.n[0];
+  const index_t n1 = dim >= 2 ? g_.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g_.n[2] : 1;
+  const index_t p1 = dim >= 2 ? pad_[1] : 1;
+  const index_t p2 = dim >= 3 ? pad_[2] : 1;
+
+  zero_complex(work_.data(), work_.size());
+  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+    for (index_t i0 = b; i0 < e; ++i0) {
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        const cfloat* src = in + (i0 * n1 + i1) * n2;
+        cfloat* dst = work_.data() + (i0 * p1 + i1) * p2;
+        for (index_t i2 = 0; i2 < n2; ++i2) dst[i2] = src[i2];
+      }
+    }
+  });
+
+  fft_fwd_->transform(work_.data(), *pool_);
+  cfloat* w = work_.data();
+  const cfloat* t = kernel_hat_.data();
+  pool_->parallel_for(static_cast<index_t>(work_.size()), [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) w[i] *= t[i];
+  });
+  fft_inv_->transform(work_.data(), *pool_);
+
+  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+    for (index_t i0 = b; i0 < e; ++i0) {
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        const cfloat* src = work_.data() + (i0 * p1 + i1) * p2;
+        cfloat* dst = out + (i0 * n1 + i1) * n2;
+        for (index_t i2 = 0; i2 < n2; ++i2) dst[i2] = src[i2];
+      }
+    }
+  });
+}
+
+}  // namespace nufft

@@ -1,0 +1,59 @@
+// Toeplitz-embedded normal operator: AᴴWA applied with two FFTs and no
+// convolution interpolation (Fessler/Wajer construction).
+//
+// For the exact transforms, AᴴWA is convolution with the point-spread
+// kernel q[δ] = Σ_w W_w·e^{2πi(w−M/2)·δ/M}, δ ∈ (−N, N)^d. Embedding q in
+// a 2N-periodic circulant makes the application exact for every offset the
+// crop region needs:
+//
+//   AᴴWA·x = crop_N( IFFT_2N( T̂ ⊙ FFT_2N( pad_2N(x) ) ) ),  T̂ = FFT_2N(q)
+//
+// q itself is computed once, at plan time, with one adjoint NUFFT on a
+// doubled image (coordinates scale as w → 2w on the doubled grid). After
+// that, every normal-operator application costs two (2N)^d FFTs — no
+// gather/scatter at all — which is the standard way to accelerate the
+// iterative solvers whose per-iteration cost the paper optimizes. The two
+// approaches are complementary: Toeplitz wins once the iteration count is
+// high and K is large; the explicit forward+adjoint pair is needed anyway
+// for the right-hand side and the final residuals.
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "core/preprocess.hpp"
+#include "datasets/trajectory.hpp"
+#include "fft/fftnd.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace nufft {
+
+class ToeplitzNormal {
+ public:
+  /// Build the embedded kernel for AᴴWA. `weights` has one non-negative
+  /// value per sample (nullptr = unweighted, W = I). Uses one temporary
+  /// double-size NUFFT plan during construction.
+  ToeplitzNormal(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg,
+                 const float* weights = nullptr);
+  ~ToeplitzNormal();
+
+  ToeplitzNormal(const ToeplitzNormal&) = delete;
+  ToeplitzNormal& operator=(const ToeplitzNormal&) = delete;
+
+  /// out = AᴴWA·in (image_elems values each; in == out is allowed).
+  void apply(const cfloat* in, cfloat* out);
+
+  const GridDesc& grid_desc() const { return g_; }
+
+ private:
+  GridDesc g_;
+  std::array<index_t, 3> pad_;  // 2N per dimension
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<fft::FftNd<float>> fft_fwd_;
+  std::unique_ptr<fft::FftNd<float>> fft_inv_;
+  cvecf kernel_hat_;  // T̂ / (2N)^d
+  cvecf work_;
+};
+
+}  // namespace nufft

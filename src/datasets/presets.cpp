@@ -1,0 +1,46 @@
+#include "datasets/presets.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft::datasets {
+
+const std::vector<Table1Row>& table1() {
+  static const std::vector<Table1Row> rows = {
+      {1, 128, 256, 4096, 0.50},
+      {2, 256, 512, 24576, 0.75},
+      {3, 256, 512, 32768, 1.00},
+      {4, 256, 512, 40960, 1.25},
+      {5, 320, 640, 12800, 0.25},
+  };
+  return rows;
+}
+
+Table1Row default_row() { return table1()[1]; }
+
+Table1Row scaled(const Table1Row& row, index_t shrink) {
+  NUFFT_CHECK(shrink >= 1);
+  if (shrink == 1) return row;
+  Table1Row out = row;
+  out.n = std::max<index_t>(8, row.n / shrink);
+  out.k = std::max<index_t>(8, row.k / shrink);
+  // Preserve K·S = N³·SR with the shrunk N and K.
+  const double total = static_cast<double>(out.n) * static_cast<double>(out.n) *
+                       static_cast<double>(out.n) * row.sr;
+  out.s = std::max<index_t>(1, static_cast<index_t>(std::llround(total / static_cast<double>(out.k))));
+  return out;
+}
+
+TrajectoryParams params_for(const Table1Row& row, double alpha, std::uint64_t seed) {
+  TrajectoryParams p;
+  p.n = row.n;
+  p.k = row.k;
+  p.s = row.s;
+  p.alpha = alpha;
+  p.sampling_rate = row.sr;
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace nufft::datasets

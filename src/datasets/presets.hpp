@@ -1,0 +1,34 @@
+// Table I of the paper: the five dataset parameter rows, plus container-
+// scale variants for machines far smaller than the paper's 40-core testbed.
+#pragma once
+
+#include <vector>
+
+#include "datasets/trajectory.hpp"
+
+namespace nufft::datasets {
+
+struct Table1Row {
+  int id;           // 1-based row number as printed in the paper
+  index_t n;        // image dimension N
+  index_t k;        // samples per interleave K
+  index_t s;        // interleaves S
+  double sr;        // sampling rate, K·S = N³·SR
+};
+
+/// The five rows of Table I.
+const std::vector<Table1Row>& table1();
+
+/// The paper's default dataset row (N=256, SR=0.75 — row 2).
+Table1Row default_row();
+
+/// Scale a Table I row down by `shrink` per dimension, preserving the
+/// sampling rate (K·S = N³·SR) and the K/N ratio, so trajectory geometry
+/// and relative density are unchanged. shrink=1 returns the row unchanged.
+Table1Row scaled(const Table1Row& row, index_t shrink);
+
+/// Trajectory parameters for a (possibly scaled) Table I row.
+TrajectoryParams params_for(const Table1Row& row, double alpha = 2.0,
+                            std::uint64_t seed = 1234);
+
+}  // namespace nufft::datasets

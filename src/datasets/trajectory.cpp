@@ -1,0 +1,163 @@
+#include "datasets/trajectory.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace nufft::datasets {
+
+namespace {
+
+// Keep coordinates strictly inside [0, M) — generators already target the
+// open interval, this only guards against float rounding at the edges.
+inline float clamp_coord(double w, double m) {
+  if (w < 0.0) w += m;
+  if (w >= m) w -= m;
+  if (w < 0.0) w = 0.0;
+  const auto f = static_cast<float>(w);
+  return f >= static_cast<float>(m) ? std::nextafter(static_cast<float>(m), 0.0f) : f;
+}
+
+// Radial spokes cover |w - center| <= rho·M/2 along equidistributed
+// directions; rho keeps the outermost sample off the periodic seam.
+constexpr double kRadiusFraction = 0.995;
+
+void gen_radial(SampleSet& set) {
+  const double m = static_cast<double>(set.m);
+  const double center = 0.5 * m;
+  const double rmax = kRadiusFraction * 0.5 * m;
+  const double golden = kPi * (3.0 - std::sqrt(5.0));
+  for (index_t spoke = 0; spoke < set.s; ++spoke) {
+    // Direction of this projection.
+    double ux = 1.0, uy = 0.0, uz = 0.0;
+    if (set.dim == 2) {
+      // Equiangular over the half-circle (spokes are symmetric through DC).
+      const double th = kPi * static_cast<double>(spoke) / static_cast<double>(set.s);
+      ux = std::cos(th);
+      uy = std::sin(th);
+    } else if (set.dim == 3) {
+      // Fibonacci-spiral equidistribution over the upper hemisphere (VIPR-
+      // style kooshball; antipodal half comes from the signed radius).
+      const double z = 1.0 - (static_cast<double>(spoke) + 0.5) / static_cast<double>(set.s);
+      const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+      const double phi = golden * static_cast<double>(spoke);
+      ux = r * std::cos(phi);
+      uy = r * std::sin(phi);
+      uz = z;
+    }
+    for (index_t i = 0; i < set.k; ++i) {
+      // t spans (-1, 1): K samples across the full diameter.
+      const double t =
+          (2.0 * (static_cast<double>(i) + 0.5) - static_cast<double>(set.k)) /
+          static_cast<double>(set.k);
+      const double rad = t * rmax;
+      const index_t idx = spoke * set.k + i;
+      set.coords[0][static_cast<std::size_t>(idx)] = clamp_coord(center + rad * ux, m);
+      if (set.dim >= 2) set.coords[1][static_cast<std::size_t>(idx)] = clamp_coord(center + rad * uy, m);
+      if (set.dim >= 3) set.coords[2][static_cast<std::size_t>(idx)] = clamp_coord(center + rad * uz, m);
+    }
+  }
+}
+
+void gen_random(SampleSet& set, const TrajectoryParams& p) {
+  const double m = static_cast<double>(set.m);
+  const double center = 0.5 * m;
+  // Variable-density Gaussian concentrated at the spectral origin; σ = M/6
+  // keeps ~99.7% of draws inside the grid, the tail is redrawn.
+  const double sigma = m / 6.0;
+  Rng rng(p.seed);
+  const index_t total = set.count();
+  for (index_t i = 0; i < total; ++i) {
+    for (int d = 0; d < set.dim; ++d) {
+      double w;
+      do {
+        w = rng.normal(center, sigma);
+      } while (w < 0.0 || w >= m);
+      set.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)] = clamp_coord(w, m);
+    }
+  }
+}
+
+void gen_spiral(SampleSet& set, const TrajectoryParams& p) {
+  const double m = static_cast<double>(set.m);
+  const double center = 0.5 * m;
+  const double rmax = kRadiusFraction * 0.5 * m;
+  if (set.dim == 1) {
+    // A "spiral" degenerates to uniformly spaced off-grid samples in 1D.
+    const index_t total = set.count();
+    for (index_t i = 0; i < total; ++i) {
+      const double w = (static_cast<double>(i) + 0.37) * m / static_cast<double>(total);
+      set.coords[0][static_cast<std::size_t>(i)] = clamp_coord(w, m);
+    }
+    return;
+  }
+  // One long Archimedean spiral per transverse plane (paper §II-C); planes
+  // are uniform along z but deliberately off the Cartesian grid. In 2D the
+  // whole set is a single plane.
+  const index_t planes = set.dim == 3 ? std::max<index_t>(1, p.n) : 1;
+  const index_t total = set.count();
+  const index_t per_plane = (total + planes - 1) / planes;
+  // Enough turns to reach every Nyquist ring of the N-image.
+  const double turns = static_cast<double>(p.n) / 2.0;
+  const double theta_max = kTwoPi * turns;
+  for (index_t i = 0; i < total; ++i) {
+    const index_t plane = i / per_plane;
+    const index_t j = i % per_plane;
+    const double frac = static_cast<double>(j) / static_cast<double>(per_plane);
+    const double theta = frac * theta_max;
+    const double rad = frac * rmax;
+    set.coords[0][static_cast<std::size_t>(i)] = clamp_coord(center + rad * std::cos(theta), m);
+    set.coords[1][static_cast<std::size_t>(i)] = clamp_coord(center + rad * std::sin(theta), m);
+    if (set.dim == 3) {
+      const double z = (static_cast<double>(plane) + 0.5) * m / static_cast<double>(planes);
+      set.coords[2][static_cast<std::size_t>(i)] = clamp_coord(z, m);
+    }
+  }
+}
+
+}  // namespace
+
+const char* trajectory_name(TrajectoryType t) {
+  switch (t) {
+    case TrajectoryType::kRadial:
+      return "radial";
+    case TrajectoryType::kRandom:
+      return "random";
+    case TrajectoryType::kSpiral:
+      return "spiral";
+  }
+  return "?";
+}
+
+SampleSet make_trajectory(TrajectoryType type, int dim, const TrajectoryParams& params) {
+  NUFFT_CHECK(dim >= 1 && dim <= 3);
+  NUFFT_CHECK(params.n >= 2);
+  NUFFT_CHECK(params.k >= 1 && params.s >= 1);
+  NUFFT_CHECK(params.alpha >= 1.0);
+
+  SampleSet set;
+  set.dim = dim;
+  set.m = static_cast<index_t>(std::llround(params.alpha * static_cast<double>(params.n)));
+  set.k = params.k;
+  set.s = params.s;
+  set.type = type;
+  for (int d = 0; d < dim; ++d) {
+    set.coords[static_cast<std::size_t>(d)].resize(static_cast<std::size_t>(set.count()));
+  }
+
+  switch (type) {
+    case TrajectoryType::kRadial:
+      gen_radial(set);
+      break;
+    case TrajectoryType::kRandom:
+      gen_random(set, params);
+      break;
+    case TrajectoryType::kSpiral:
+      gen_spiral(set, params);
+      break;
+  }
+  return set;
+}
+
+}  // namespace nufft::datasets

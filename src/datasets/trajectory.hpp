@@ -1,0 +1,50 @@
+// Spectral sampling trajectory generators (paper §II-C, Fig. 1, Table I).
+//
+// A SampleSet holds K·S non-uniform spectral coordinates in oversampled-grid
+// units, w ∈ [0, M) per dimension, organized as S interleaves of K samples
+// (an MRI readout, a tomographic projection, one spiral arm, ...). The
+// physical spectral origin (DC) sits at M/2 in every dimension, so the dense
+// regions of radial/spiral/random trajectories land mid-grid, matching the
+// partitioning figures of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nufft::datasets {
+
+enum class TrajectoryType {
+  kRadial,  // equiangular straight-line projections through the origin
+  kRandom,  // variable-density Gaussian around the origin (compressive sensing)
+  kSpiral,  // stack-of-spirals: uniform in z, Archimedean spiral in-plane
+};
+
+const char* trajectory_name(TrajectoryType t);
+
+struct SampleSet {
+  int dim = 3;
+  index_t m = 0;       // oversampled grid size per dimension (isotropic)
+  index_t k = 0;       // samples per interleave
+  index_t s = 0;       // interleaves
+  TrajectoryType type = TrajectoryType::kRadial;
+  std::array<fvec, 3> coords;  // coords[d][i] ∈ [0, m)
+
+  index_t count() const { return k * s; }
+};
+
+struct TrajectoryParams {
+  index_t n = 0;       // image size per dimension (N)
+  index_t k = 0;       // samples per interleave (K)
+  index_t s = 0;       // interleaves (S)
+  double alpha = 2.0;  // oversampling ratio, M = alpha·N
+  double sampling_rate = 0.0;  // SR, informational: K·S ≈ N^dim·SR
+  std::uint64_t seed = 1234;   // randomized trajectories only
+};
+
+/// Generate a trajectory of the requested type and dimensionality (1–3).
+SampleSet make_trajectory(TrajectoryType type, int dim, const TrajectoryParams& params);
+
+}  // namespace nufft::datasets

@@ -1,0 +1,74 @@
+#include "fft/bluestein.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "fft/fft1d.hpp"
+
+namespace nufft::fft {
+
+template <class T>
+BluesteinPlan<T>::BluesteinPlan(std::size_t n, int sign)
+    : n_(n), m_(next_pow2(2 * n - 1)) {
+  NUFFT_CHECK(n >= 2);
+  NUFFT_CHECK(sign == 1 || sign == -1);
+
+  // chirp_[j] = e^{sign·iπ j²/n}. Reduce j² mod 2n in integers first: the
+  // chirp is 2n-periodic in j², and this keeps the angle argument small so
+  // single-precision plans stay accurate for large n.
+  chirp_.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t j2 = (j * j) % (2 * n_);
+    const double a = static_cast<double>(sign) * kPi * static_cast<double>(j2) /
+                     static_cast<double>(n_);
+    chirp_[j] = std::complex<T>(static_cast<T>(std::cos(a)), static_cast<T>(std::sin(a)));
+  }
+
+  fwd_ = std::make_unique<Fft1d<T>>(m_, Direction::kForward);
+  inv_ = std::make_unique<Fft1d<T>>(m_, Direction::kInverse);
+
+  // b[j] = conj(chirp[|j|]) laid out circularly over length m, then
+  // transformed once at plan time.
+  aligned_vector<std::complex<T>> b(m_, std::complex<T>(0, 0));
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::complex<T> cb = std::conj(chirp_[j]);
+    b[j] = cb;
+    if (j != 0) b[m_ - j] = cb;
+  }
+  chirp_fft_.resize(m_);
+  aligned_vector<std::complex<T>> fs(fwd_->scratch_size());
+  fwd_->transform(b.data(), chirp_fft_.data(), fs.data());
+}
+
+template <class T>
+BluesteinPlan<T>::~BluesteinPlan() = default;
+
+template <class T>
+std::size_t BluesteinPlan<T>::scratch_size() const {
+  // a-buffer + spectrum buffer + scratch for the inner power-of-two plans.
+  return 2 * m_ + fwd_->scratch_size();
+}
+
+template <class T>
+void BluesteinPlan<T>::transform(const std::complex<T>* in, std::complex<T>* out,
+                                 std::complex<T>* scratch) const {
+  std::complex<T>* a = scratch;
+  std::complex<T>* spec = scratch + m_;
+  std::complex<T>* fs = scratch + 2 * m_;
+
+  for (std::size_t j = 0; j < n_; ++j) a[j] = in[j] * chirp_[j];
+  for (std::size_t j = n_; j < m_; ++j) a[j] = std::complex<T>(0, 0);
+
+  fwd_->transform(a, spec, fs);
+  for (std::size_t j = 0; j < m_; ++j) spec[j] *= chirp_fft_[j];
+  inv_->transform(spec, a, fs);
+
+  const T inv_m = T(1) / static_cast<T>(m_);
+  for (std::size_t k = 0; k < n_; ++k) out[k] = a[k] * chirp_[k] * inv_m;
+}
+
+template class BluesteinPlan<float>;
+template class BluesteinPlan<double>;
+
+}  // namespace nufft::fft

@@ -1,0 +1,44 @@
+// Bluestein's chirp-z algorithm: FFT of arbitrary length n evaluated via a
+// circular convolution of length m = next_pow2(2n-1).
+//
+// X[k] = conj(c[k]) · Σ_n (x[n]·conj(c[n])) · c[k-n],  c[j] = e^{iπ j²/n·sign}
+//
+// The chirp's FFT is precomputed at plan time, so a transform costs two
+// power-of-two FFTs of length m plus O(n) pre/post multiplies.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+
+#include "common/aligned.hpp"
+
+namespace nufft::fft {
+
+enum class Direction : int;
+template <class T>
+class Fft1d;
+
+template <class T>
+class BluesteinPlan {
+ public:
+  BluesteinPlan(std::size_t n, int sign);
+  ~BluesteinPlan();
+
+  std::size_t scratch_size() const;
+
+  void transform(const std::complex<T>* in, std::complex<T>* out,
+                 std::complex<T>* scratch) const;
+
+ private:
+  std::size_t n_;
+  std::size_t m_;  // convolution length, power of two
+  // chirp_[j] = e^{sign·iπ j²/n}, j in [0, n)
+  aligned_vector<std::complex<T>> chirp_;
+  // Forward FFT of the zero-padded, circularly wrapped chirp, length m.
+  aligned_vector<std::complex<T>> chirp_fft_;
+  std::unique_ptr<Fft1d<T>> fwd_;  // length-m forward plan
+  std::unique_ptr<Fft1d<T>> inv_;  // length-m inverse plan
+};
+
+}  // namespace nufft::fft

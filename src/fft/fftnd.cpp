@@ -1,0 +1,74 @@
+#include "fft/fftnd.hpp"
+
+#include "common/error.hpp"
+
+namespace nufft::fft {
+
+template <class T>
+FftNd<T>::FftNd(std::vector<std::size_t> dims, Direction dir)
+    : dims_(std::move(dims)), dir_(dir), total_(1) {
+  NUFFT_CHECK(!dims_.empty());
+  plans_.reserve(dims_.size());
+  for (const std::size_t d : dims_) {
+    NUFFT_CHECK(d >= 1);
+    total_ *= d;
+    plans_.emplace_back(d, dir_);
+  }
+}
+
+template <class T>
+void FftNd<T>::transform_axis(std::complex<T>* data, std::size_t axis, ThreadPool& pool) const {
+  const std::size_t len = dims_[axis];
+  if (len == 1) return;
+  std::size_t inner = 1;
+  for (std::size_t a = axis + 1; a < dims_.size(); ++a) inner *= dims_[a];
+  const std::size_t outer = total_ / (len * inner);
+  const Fft1d<T>& plan = plans_[axis];
+  const std::size_t ssz = plan.scratch_size();
+
+  // Per-context scratch: a contiguous row buffer plus the plan's scratch.
+  std::vector<aligned_vector<std::complex<T>>> scratch(static_cast<std::size_t>(pool.size()));
+
+  const index_t rows = static_cast<index_t>(outer * inner);
+  // Chunk the row loop so each steal covers at least one `inner` block,
+  // which keeps gathers of neighbouring rows on the same cache lines.
+  const index_t chunk = std::max<index_t>(static_cast<index_t>(inner) > 64 ? 64 : static_cast<index_t>(inner),
+                                          rows / (static_cast<index_t>(pool.size()) * 8 + 1) + 1);
+
+  pool.parallel_for_tid(rows, chunk, [&](int tid, index_t begin, index_t end) {
+    auto& buf = scratch[static_cast<std::size_t>(tid)];
+    if (buf.size() < len + ssz) buf.resize(len + ssz);
+    std::complex<T>* row = buf.data();
+    std::complex<T>* fs = buf.data() + len;
+    for (index_t r = begin; r < end; ++r) {
+      const std::size_t o = static_cast<std::size_t>(r) / inner;
+      const std::size_t i = static_cast<std::size_t>(r) % inner;
+      std::complex<T>* base = data + o * len * inner + i;
+      if (inner == 1) {
+        plan.transform(base, base, fs);
+      } else {
+        for (std::size_t k = 0; k < len; ++k) row[k] = base[k * inner];
+        plan.transform(row, row, fs);
+        for (std::size_t k = 0; k < len; ++k) base[k * inner] = row[k];
+      }
+    }
+  });
+}
+
+template <class T>
+void FftNd<T>::transform(std::complex<T>* data, ThreadPool& pool) const {
+  // Last (contiguous) axis first: it touches the data with unit stride and
+  // warms pages before the strided passes.
+  for (std::size_t a = dims_.size(); a-- > 0;) transform_axis(data, a, pool);
+}
+
+template <class T>
+void FftNd<T>::transform(std::complex<T>* data) const {
+  ThreadPool serial(1);
+  transform(data, serial);
+}
+
+template class FftNd<float>;
+template class FftNd<double>;
+
+}  // namespace nufft::fft

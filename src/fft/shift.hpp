@@ -1,0 +1,47 @@
+// "Chopping" — the paper's fftshift replacement (Section II-B).
+//
+// Shifting the origin of an image or spectrum by half the grid in the
+// conjugate domain is equivalent to modulating the transformed signal by
+// (−1)^(x+y+z). This header provides that modulation for rank-1..3 arrays,
+// in place, with no data movement.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace nufft::fft {
+
+/// Multiply data[i0, i1, ..., id-1] by (−1)^(i0 + i1 + ... + id-1).
+/// Row-major layout, last axis contiguous.
+template <class T>
+void chop(std::complex<T>* data, const std::vector<std::size_t>& dims, ThreadPool& pool) {
+  std::size_t total = 1;
+  for (const std::size_t d : dims) total *= d;
+  const std::size_t inner = dims.back();
+  const index_t rows = static_cast<index_t>(total / inner);
+  pool.parallel_for(rows, [&](index_t begin, index_t end) {
+    for (index_t r = begin; r < end; ++r) {
+      // Parity of the outer indices of this row.
+      std::size_t rem = static_cast<std::size_t>(r);
+      int parity = 0;
+      for (std::size_t a = dims.size() - 1; a-- > 0;) {
+        // Walk outer dims from the innermost outward.
+        parity ^= static_cast<int>(rem % dims[a] & 1);
+        rem /= dims[a];
+      }
+      std::complex<T>* row = data + static_cast<std::size_t>(r) * inner;
+      for (std::size_t i = (parity != 0) ? 0 : 1; i < inner; i += 2) row[i] = -row[i];
+    }
+  });
+}
+
+template <class T>
+void chop(std::complex<T>* data, const std::vector<std::size_t>& dims) {
+  ThreadPool serial(1);
+  chop(data, dims, serial);
+}
+
+}  // namespace nufft::fft

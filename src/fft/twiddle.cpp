@@ -1,0 +1,30 @@
+#include "fft/twiddle.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace nufft::fft {
+
+template <class T>
+void fill_twiddles(std::complex<T>* out, std::size_t count, std::size_t n, int sign) {
+  const double step = static_cast<double>(sign) * kTwoPi / static_cast<double>(n);
+  for (std::size_t k = 0; k < count; ++k) {
+    const double a = step * static_cast<double>(k);
+    out[k] = std::complex<T>(static_cast<T>(std::cos(a)), static_cast<T>(std::sin(a)));
+  }
+}
+
+template <class T>
+aligned_vector<std::complex<T>> make_twiddles(std::size_t count, std::size_t n, int sign) {
+  aligned_vector<std::complex<T>> tw(count);
+  fill_twiddles(tw.data(), count, n, sign);
+  return tw;
+}
+
+template void fill_twiddles<float>(std::complex<float>*, std::size_t, std::size_t, int);
+template void fill_twiddles<double>(std::complex<double>*, std::size_t, std::size_t, int);
+template aligned_vector<std::complex<float>> make_twiddles<float>(std::size_t, std::size_t, int);
+template aligned_vector<std::complex<double>> make_twiddles<double>(std::size_t, std::size_t, int);
+
+}  // namespace nufft::fft

@@ -1,0 +1,21 @@
+// Twiddle-factor table generation for the FFT plans.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#include "common/aligned.hpp"
+
+namespace nufft::fft {
+
+/// Fill `out[k] = exp(sign * i * 2π * k / n)` for k in [0, count).
+/// Angles are computed in double precision regardless of T to keep
+/// single-precision plans accurate for large n.
+template <class T>
+void fill_twiddles(std::complex<T>* out, std::size_t count, std::size_t n, int sign);
+
+/// Convenience: a freshly allocated table of `count` twiddles on base n.
+template <class T>
+aligned_vector<std::complex<T>> make_twiddles(std::size_t count, std::size_t n, int sign);
+
+}  // namespace nufft::fft

@@ -1,0 +1,21 @@
+#include "kernels/bessel.hpp"
+
+#include <cmath>
+
+namespace nufft::kernels {
+
+double bessel_i0(double x) {
+  // I0(x) = Σ_k ((x/2)^2k) / (k!)². All terms are positive, so the series
+  // has no cancellation; it converges once the term ratio (x/2)²/k² < 1.
+  const double q = 0.25 * x * x;
+  double term = 1.0;
+  double sum = 1.0;
+  for (int k = 1; k < 1000; ++k) {
+    term *= q / (static_cast<double>(k) * static_cast<double>(k));
+    sum += term;
+    if (term < sum * 1e-17) break;
+  }
+  return sum;
+}
+
+}  // namespace nufft::kernels

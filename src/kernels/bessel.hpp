@@ -1,0 +1,11 @@
+// Modified Bessel function of the first kind, order zero — the only special
+// function the Kaiser-Bessel kernel needs.
+#pragma once
+
+namespace nufft::kernels {
+
+/// I0(x), x >= 0. Power-series evaluation in double precision; accurate to
+/// ~1e-15 relative over the β range used by gridding kernels (x ≲ 50).
+double bessel_i0(double x);
+
+}  // namespace nufft::kernels

@@ -1,0 +1,48 @@
+#include "kernels/gaussian.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "kernels/kaiser_bessel.hpp"
+
+namespace nufft::kernels {
+
+GaussianKernel::GaussianKernel(double W, double tau) : W_(W), tau_(tau) {
+  NUFFT_CHECK(W > 0.0);
+  NUFFT_CHECK(tau > 0.0);
+}
+
+GaussianKernel GaussianKernel::with_gl_tau(double W, double alpha) {
+  // Greengard & Lee pick τ = (π/N²)·M_sp/(R(R−1/2)) on the [0,2π) torus
+  // with R = α and M_sp = W fine-grid points of spreading per side. In
+  // oversampled-grid units (u = M·x/2π, M = αN) that becomes
+  //   τ_g = τ·M²/(4π²) = W·α / (4π·(α−1/2)).
+  NUFFT_CHECK(alpha > 0.5);
+  const double tau_g = W * alpha / (4.0 * kPi * (alpha - 0.5));
+  return GaussianKernel(W, tau_g);
+}
+
+double GaussianKernel::value(double d) const {
+  if (std::abs(d) > W_) return 0.0;
+  return std::exp(-d * d / (4.0 * tau_));
+}
+
+std::string GaussianKernel::name() const {
+  std::ostringstream os;
+  os << "Gaussian(W=" << W_ << ", tau=" << tau_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Kernel1d> make_kernel(KernelType type, double W, double alpha) {
+  switch (type) {
+    case KernelType::kKaiserBessel:
+      return std::make_unique<KaiserBessel>(KaiserBessel::with_beatty_beta(W, alpha));
+    case KernelType::kGaussian:
+      return std::make_unique<GaussianKernel>(GaussianKernel::with_gl_tau(W, alpha));
+  }
+  throw Error("unknown kernel type");
+}
+
+}  // namespace nufft::kernels

@@ -1,0 +1,31 @@
+// Truncated Gaussian interpolation kernel (Greengard & Lee, SIAM Rev. 2004)
+// — the classic alternative the paper cites; carried for kernel-choice
+// ablations and accuracy comparisons against Kaiser-Bessel.
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace nufft::kernels {
+
+class GaussianKernel final : public Kernel1d {
+ public:
+  /// Construct with explicit variance: g(d) = exp(-d²/(4τ)), |d| <= W.
+  GaussianKernel(double W, double tau);
+
+  /// Greengard-Lee τ choice for oversampling ratio alpha = M/N:
+  /// τ = (W / M²)·(π / (α·(α − 0.5)))·M ... reduced to grid units this is
+  /// τ = π·W / (M_over_N_ratio_term); see .cpp for the exact expression.
+  static GaussianKernel with_gl_tau(double W, double alpha);
+
+  double radius() const override { return W_; }
+  double value(double d) const override;
+  std::string name() const override;
+
+  double tau() const { return tau_; }
+
+ private:
+  double W_;
+  double tau_;
+};
+
+}  // namespace nufft::kernels

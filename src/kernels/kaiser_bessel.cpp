@@ -1,0 +1,58 @@
+#include "kernels/kaiser_bessel.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "kernels/bessel.hpp"
+
+namespace nufft::kernels {
+
+KaiserBessel::KaiserBessel(double W, double beta) : W_(W), beta_(beta) {
+  NUFFT_CHECK(W > 0.0);
+  NUFFT_CHECK(beta > 0.0);
+  inv_i0_beta_ = 1.0 / bessel_i0(beta);
+}
+
+double KaiserBessel::beatty_beta(double W, double alpha) {
+  NUFFT_CHECK_MSG(alpha > 1.0, "oversampling ratio must exceed 1");
+  const double L = 2.0 * W;
+  const double t = (L / alpha) * (L / alpha) * (alpha - 0.5) * (alpha - 0.5) - 0.8;
+  NUFFT_CHECK_MSG(t > 0.0, "kernel too narrow for this oversampling ratio");
+  return kPi * std::sqrt(t);
+}
+
+KaiserBessel KaiserBessel::with_beatty_beta(double W, double alpha) {
+  return KaiserBessel(W, beatty_beta(W, alpha));
+}
+
+double KaiserBessel::value(double d) const {
+  const double r = d / W_;
+  const double arg = 1.0 - r * r;
+  if (arg < 0.0) return 0.0;
+  return bessel_i0(beta_ * std::sqrt(arg)) * inv_i0_beta_;
+}
+
+double KaiserBessel::fourier_at(double n, double M) const {
+  const double t = kTwoPi * W_ * n / M;
+  const double s2 = beta_ * beta_ - t * t;
+  const double scale = 2.0 * W_ * inv_i0_beta_;
+  if (s2 > 0.0) {
+    const double s = std::sqrt(s2);
+    return scale * std::sinh(s) / s;
+  }
+  if (s2 < 0.0) {
+    const double s = std::sqrt(-s2);
+    return scale * std::sin(s) / s;
+  }
+  return scale;  // limit sinh(s)/s -> 1
+}
+
+std::string KaiserBessel::name() const {
+  std::ostringstream os;
+  os << "KaiserBessel(W=" << W_ << ", beta=" << beta_ << ")";
+  return os.str();
+}
+
+}  // namespace nufft::kernels

@@ -1,0 +1,44 @@
+// Kaiser-Bessel interpolation kernel with the Beatty et al. shape parameter.
+//
+// KB(d) = I0(β·sqrt(1 − (d/W)²)) / I0(β) for |d| <= W, else 0.
+//
+// β follows Beatty, Nishimura & Pauly (IEEE TMI 2005), the parameterization
+// the paper cites for high accuracy at modest oversampling:
+//   β = π·sqrt((L/α)²·(α − 1/2)² − 0.8),  L = 2W (full kernel width).
+#pragma once
+
+#include "kernels/kernel.hpp"
+
+namespace nufft::kernels {
+
+class KaiserBessel final : public Kernel1d {
+ public:
+  /// Construct with an explicit shape parameter.
+  KaiserBessel(double W, double beta);
+
+  /// Construct with the Beatty-optimal β for oversampling ratio `alpha`.
+  static KaiserBessel with_beatty_beta(double W, double alpha);
+
+  /// The Beatty-optimal β itself (exposed for tests and documentation).
+  static double beatty_beta(double W, double alpha);
+
+  double radius() const override { return W_; }
+  double value(double d) const override;
+  std::string name() const override;
+
+  double beta() const { return beta_; }
+
+  /// Continuous Fourier transform of the kernel evaluated at image-domain
+  /// pixel offset n of an M-point grid:
+  ///   ĝ(n) = (2W/I0(β)) · sinh(sqrt(β² − t²))/sqrt(β² − t²),  t = 2πWn/M
+  /// (the sinh smoothly becomes sin when t > β). Used as the analytic
+  /// cross-check of the numeric rolloff map.
+  double fourier_at(double n, double M) const;
+
+ private:
+  double W_;
+  double beta_;
+  double inv_i0_beta_;
+};
+
+}  // namespace nufft::kernels

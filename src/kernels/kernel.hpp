@@ -1,0 +1,38 @@
+// Interpolation-kernel interface.
+//
+// A gridding kernel is a compactly supported, even, real function of one
+// grid-unit distance d, nonzero only for |d| <= radius(). Multi-dimensional
+// kernels are the Kronecker/tensor product of 1D evaluations (paper §II).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace nufft::kernels {
+
+class Kernel1d {
+ public:
+  virtual ~Kernel1d() = default;
+
+  /// Kernel support radius W in oversampled-grid units.
+  virtual double radius() const = 0;
+
+  /// Kernel value at distance d (d may be negative; kernels are even).
+  /// Returns 0 outside [-radius, radius].
+  virtual double value(double d) const = 0;
+
+  /// Human-readable identification for logs and bench output.
+  virtual std::string name() const = 0;
+};
+
+enum class KernelType {
+  kKaiserBessel,  // the paper's choice
+  kGaussian,      // Greengard–Lee style alternative
+};
+
+/// Factory for the kernels this library ships.
+///   W     — support radius in grid units
+///   alpha — oversampling ratio M/N (shapes the optimal kernel parameter)
+std::unique_ptr<Kernel1d> make_kernel(KernelType type, double W, double alpha);
+
+}  // namespace nufft::kernels

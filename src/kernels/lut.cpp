@@ -1,0 +1,25 @@
+#include "kernels/lut.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft::kernels {
+
+KernelLut::KernelLut(const Kernel1d& kernel, int samples_per_unit)
+    : radius_(static_cast<float>(kernel.radius())),
+      scale_(static_cast<float>(samples_per_unit)),
+      spu_(samples_per_unit) {
+  NUFFT_CHECK(samples_per_unit >= 2);
+  const double W = kernel.radius();
+  // Two guard entries: one so interpolation at d == W reads a defined
+  // upper neighbour, one for float rounding of d·scale just past the end.
+  const auto n = static_cast<std::size_t>(std::ceil(W * samples_per_unit)) + 2;
+  table_.resize(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double d = static_cast<double>(i) / samples_per_unit;
+    table_[i] = static_cast<float>(d <= W ? kernel.value(d) : 0.0);
+  }
+}
+
+}  // namespace nufft::kernels

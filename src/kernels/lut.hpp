@@ -1,0 +1,45 @@
+// Kernel lookup table (paper §III-A, Fig. 2 Part 1).
+//
+// Part 1 of the convolution evaluates the 1D kernel at up to 2W+1 distances
+// per sample per dimension; evaluating Bessel functions there would dwarf
+// the interpolation itself. The LUT samples the kernel densely on [0, W]
+// and reconstructs values with linear interpolation (error O(h²·max|g''|),
+// bounded by tests).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "kernels/kernel.hpp"
+
+namespace nufft::kernels {
+
+class KernelLut {
+ public:
+  /// Sample `kernel` at `samples_per_unit` points per grid unit.
+  KernelLut(const Kernel1d& kernel, int samples_per_unit = 1024);
+
+  /// Kernel support radius W.
+  float radius() const { return radius_; }
+
+  /// Kernel value at distance d, |d| <= W required (not range-checked in
+  /// release builds; the window computation guarantees it).
+  float operator()(float d) const {
+    const float a = d < 0 ? -d : d;
+    const float x = a * scale_;
+    const auto i = static_cast<std::size_t>(x);
+    const float frac = x - static_cast<float>(i);
+    return table_[i] + (table_[i + 1] - table_[i]) * frac;
+  }
+
+  int samples_per_unit() const { return spu_; }
+  std::size_t table_size() const { return table_.size(); }
+
+ private:
+  fvec table_;
+  float radius_;
+  float scale_;  // samples per unit distance
+  int spu_;
+};
+
+}  // namespace nufft::kernels

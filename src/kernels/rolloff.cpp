@@ -1,0 +1,48 @@
+#include "kernels/rolloff.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft::kernels {
+
+dvec apodization_1d(const Kernel1d& kernel, index_t N, index_t M) {
+  NUFFT_CHECK(N >= 1 && M >= N);
+  const auto U = static_cast<index_t>(std::ceil(kernel.radius()));
+  dvec c(static_cast<std::size_t>(N));
+  for (index_t i = 0; i < N; ++i) {
+    const index_t n = i - N / 2;
+    double acc = kernel.value(0.0);
+    for (index_t u = 1; u <= U; ++u) {
+      acc += 2.0 * kernel.value(static_cast<double>(u)) *
+             std::cos(kTwoPi * static_cast<double>(u) * static_cast<double>(n) /
+                      static_cast<double>(M));
+    }
+    c[static_cast<std::size_t>(i)] = acc;
+  }
+  return c;
+}
+
+fvec rolloff_1d(const Kernel1d& kernel, index_t N, index_t M) {
+  const dvec c = apodization_1d(kernel, N, M);
+  fvec s(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    NUFFT_CHECK_MSG(std::abs(c[i]) > 1e-8,
+                    "apodization vanishes inside the field of view; widen the "
+                    "kernel or raise the oversampling ratio");
+    s[i] = static_cast<float>(1.0 / c[i]);
+  }
+  return s;
+}
+
+dvec apodization_1d_analytic(const KaiserBessel& kernel, index_t N, index_t M) {
+  dvec c(static_cast<std::size_t>(N));
+  for (index_t i = 0; i < N; ++i) {
+    const index_t n = i - N / 2;
+    c[static_cast<std::size_t>(i)] =
+        kernel.fourier_at(static_cast<double>(n), static_cast<double>(M));
+  }
+  return c;
+}
+
+}  // namespace nufft::kernels

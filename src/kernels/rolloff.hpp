@@ -1,0 +1,34 @@
+// Rolloff ("scaling function") computation — paper §II-B.
+//
+// Spectral convolution with a compact kernel apodizes the image domain; the
+// scaling map s is the point-wise inverse of that apodization, applied before
+// the FFT (forward) / after the inverse FFT (adjoint). It is separable, so
+// the library stores one 1D array per dimension.
+//
+// The numeric construction follows the paper: grid a delta at the spectral
+// origin through the kernel (giving the kernel's integer samples), inverse-
+// DFT it, and invert point-wise over the centered N-region. For the integer-
+// sampled kernel the inverse DFT collapses to the cosine sum
+//   c[n] = g(0) + 2·Σ_{u=1..ceil(W)} g(u)·cos(2π·u·n/M)
+// which is what the implementation evaluates (identical result, no FFT).
+#pragma once
+
+#include "common/types.hpp"
+#include "kernels/kaiser_bessel.hpp"
+#include "kernels/kernel.hpp"
+
+namespace nufft::kernels {
+
+/// Apodization c[n] of an N-image on an M-grid; out[i] = c[i - N/2].
+dvec apodization_1d(const Kernel1d& kernel, index_t N, index_t M);
+
+/// Scaling map s = 1/c as float, the form consumed by the NUFFT operators.
+/// Throws if the apodization is too close to zero anywhere in the field of
+/// view (kernel/oversampling mismatch).
+fvec rolloff_1d(const Kernel1d& kernel, index_t N, index_t M);
+
+/// Analytic Kaiser-Bessel apodization (continuous Fourier transform),
+/// exposed to cross-check the numeric map in tests.
+dvec apodization_1d_analytic(const KaiserBessel& kernel, index_t N, index_t M);
+
+}  // namespace nufft::kernels

@@ -1,0 +1,52 @@
+#include "mri/coils.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft::mri {
+
+std::vector<cvecf> make_coil_maps(const GridDesc& g, int ncoils) {
+  NUFFT_CHECK(ncoils >= 1);
+  const int dim = g.dim;
+  const index_t n0 = g.n[0];
+  const index_t n1 = dim >= 2 ? g.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g.n[2] : 1;
+  std::vector<cvecf> maps(static_cast<std::size_t>(ncoils));
+  for (int c = 0; c < ncoils; ++c) {
+    auto& map = maps[static_cast<std::size_t>(c)];
+    map.resize(static_cast<std::size_t>(g.image_elems()));
+    // Coil center on a circle (2D/3D) or alternating ends (1D).
+    const double ang = kTwoPi * static_cast<double>(c) / static_cast<double>(ncoils);
+    const double ccx = dim >= 2 ? 0.9 * std::cos(ang) : (c % 2 == 0 ? -0.9 : 0.9);
+    const double ccy = dim >= 2 ? 0.9 * std::sin(ang) : 0.0;
+    const double ccz = dim >= 3 ? 0.5 * std::sin(2.0 * ang) : 0.0;
+    const double width = 1.1;  // Gaussian width in FOV units
+    for (index_t i0 = 0; i0 < n0; ++i0) {
+      const double x = 2.0 * static_cast<double>(i0 - n0 / 2) / static_cast<double>(n0);
+      for (index_t i1 = 0; i1 < n1; ++i1) {
+        const double y = dim >= 2 ? 2.0 * static_cast<double>(i1 - n1 / 2) / static_cast<double>(n1) : 0.0;
+        for (index_t i2 = 0; i2 < n2; ++i2) {
+          const double z = dim >= 3 ? 2.0 * static_cast<double>(i2 - n2 / 2) / static_cast<double>(n2) : 0.0;
+          const double r2 = (x - ccx) * (x - ccx) + (y - ccy) * (y - ccy) + (z - ccz) * (z - ccz);
+          const double mag = std::exp(-r2 / (2.0 * width * width));
+          // Gentle linear phase distinguishes coils in the complex domain.
+          const double ph = 0.5 * (x * std::cos(ang) + y * std::sin(ang)) + 0.1 * ang;
+          map[static_cast<std::size_t>((i0 * n1 + i1) * n2 + i2)] =
+              cfloat(static_cast<float>(mag * std::cos(ph)), static_cast<float>(mag * std::sin(ph)));
+        }
+      }
+    }
+  }
+  return maps;
+}
+
+void apply_coil(const cfloat* map, const cfloat* image, cfloat* out, index_t n) {
+  for (index_t i = 0; i < n; ++i) out[i] = map[i] * image[i];
+}
+
+void accumulate_coil_adjoint(const cfloat* map, const cfloat* data, cfloat* acc, index_t n) {
+  for (index_t i = 0; i < n; ++i) acc[i] += std::conj(map[i]) * data[i];
+}
+
+}  // namespace nufft::mri

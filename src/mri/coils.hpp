@@ -1,0 +1,26 @@
+// Synthetic receive-coil sensitivity maps for multichannel reconstruction.
+//
+// Real coil sensitivities are smooth, spatially localized complex fields;
+// we model each coil as a Gaussian magnitude profile centered on the
+// surface of the field of view with a slowly varying linear phase — enough
+// structure to make the multichannel inverse problem non-trivial while
+// staying fully deterministic.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+
+namespace nufft::mri {
+
+/// `ncoils` sensitivity maps, each with image_elems() values.
+std::vector<cvecf> make_coil_maps(const GridDesc& g, int ncoils);
+
+/// Point-wise coil modulation: out = map ⊙ image.
+void apply_coil(const cfloat* map, const cfloat* image, cfloat* out, index_t n);
+
+/// Conjugate coil accumulation: acc += conj(map) ⊙ data.
+void accumulate_coil_adjoint(const cfloat* map, const cfloat* data, cfloat* acc, index_t n);
+
+}  // namespace nufft::mri

@@ -1,0 +1,60 @@
+#include "mri/dcf.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft::mri {
+
+fvec pipe_menon_dcf(Nufft& plan, const DcfOptions& opt) {
+  NUFFT_CHECK(opt.iterations >= 1);
+  const index_t n = plan.sample_count();
+  cvecf w(static_cast<std::size_t>(n), cfloat(1.0f, 0.0f));
+  cvecf cchw(static_cast<std::size_t>(n));
+
+  for (int it = 0; it < opt.iterations; ++it) {
+    // C Cᴴ w: spread the weights onto the grid, interpolate them back.
+    plan.spread(w.data());
+    plan.interp(cchw.data());
+    for (index_t i = 0; i < n; ++i) {
+      const float denom = std::max(opt.floor, cchw[static_cast<std::size_t>(i)].real());
+      auto& wi = w[static_cast<std::size_t>(i)];
+      wi = cfloat(wi.real() / denom, 0.0f);
+    }
+  }
+
+  // Normalize to unit mean so downstream scaling is trajectory-independent.
+  double sum = 0.0;
+  for (const auto& v : w) sum += v.real();
+  const auto scale = static_cast<float>(static_cast<double>(n) / sum);
+  fvec out(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = w[static_cast<std::size_t>(i)].real() * scale;
+  return out;
+}
+
+fvec radial_ramp_dcf(const GridDesc& g, const datasets::SampleSet& samples) {
+  NUFFT_CHECK_MSG(samples.type == datasets::TrajectoryType::kRadial,
+                  "ramp weights are only valid for radial trajectories");
+  const index_t n = samples.count();
+  fvec out(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    double r2 = 0.0;
+    for (int d = 0; d < g.dim; ++d) {
+      const double c = 0.5 * static_cast<double>(g.m[static_cast<std::size_t>(d)]);
+      const double dx = samples.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)] - c;
+      r2 += dx * dx;
+    }
+    // Density along a spoke set ∝ 1/r^{d-1}; compensate with r^{d-1},
+    // with a half-sample floor at DC.
+    const double r = std::max(std::sqrt(r2), 0.5);
+    const double wgt = std::pow(r, g.dim - 1);
+    out[static_cast<std::size_t>(i)] = static_cast<float>(wgt);
+    sum += wgt;
+  }
+  const auto scale = static_cast<float>(static_cast<double>(n) / sum);
+  for (auto& v : out) v *= scale;
+  return out;
+}
+
+}  // namespace nufft::mri

@@ -1,0 +1,33 @@
+// Sampling-density compensation factors (DCF).
+//
+// The adjoint NUFFT of unweighted data over-counts densely sampled spectral
+// regions (radial/spiral centers). Non-iterative "gridding" reconstruction
+// therefore weights each sample by the inverse of the local sampling
+// density. Two estimators are provided:
+//
+//   * pipe_menon_dcf — the standard iterative fixed point of Pipe & Menon
+//     (MRM 1999): w ← w / (C Cᴴ w), where C Cᴴ is "spread then interpolate"
+//     through the gridding kernel. Works for arbitrary trajectories and
+//     uses only the plan's convolution entry points — i.e. it exercises the
+//     paper's optimized kernels once per iteration.
+//   * radial_ramp_dcf — the analytic |r|^{d-1} ramp for radial spokes.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/nufft.hpp"
+
+namespace nufft::mri {
+
+struct DcfOptions {
+  int iterations = 12;
+  float floor = 1e-6f;  // guards the division where density underflows
+};
+
+/// Iterative Pipe–Menon density estimate; returns one weight per sample
+/// (caller order), normalized so the weights average to 1.
+fvec pipe_menon_dcf(Nufft& plan, const DcfOptions& opt = {});
+
+/// Analytic ramp weights for a radial trajectory (any dimension).
+fvec radial_ramp_dcf(const GridDesc& g, const datasets::SampleSet& samples);
+
+}  // namespace nufft::mri

@@ -1,0 +1,66 @@
+#include "mri/phantom.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace nufft::mri {
+
+namespace {
+
+// A compact Shepp-Logan-inspired ellipsoid set (normalized coordinates).
+const std::vector<Ellipsoid>& ellipsoids() {
+  static const std::vector<Ellipsoid> e = {
+      {0.00, 0.00, 0.00, 0.69, 0.92, 0.81, 1.00},    // outer skull
+      {0.00, -0.0184, 0.00, 0.6624, 0.874, 0.78, -0.80},  // brain
+      {0.22, 0.00, 0.00, 0.11, 0.31, 0.22, -0.20},   // right ventricle
+      {-0.22, 0.00, 0.00, 0.16, 0.41, 0.28, -0.20},  // left ventricle
+      {0.00, 0.35, -0.15, 0.21, 0.25, 0.41, 0.10},   // upper lesion
+      {0.00, 0.10, 0.25, 0.046, 0.046, 0.05, 0.10},  // small lesion
+      {-0.08, -0.605, 0.00, 0.046, 0.023, 0.05, 0.10},
+      {0.06, -0.605, -0.10, 0.023, 0.046, 0.05, 0.10},
+  };
+  return e;
+}
+
+}  // namespace
+
+cvecf make_phantom(const GridDesc& g) {
+  const int dim = g.dim;
+  const index_t n0 = g.n[0];
+  const index_t n1 = dim >= 2 ? g.n[1] : 1;
+  const index_t n2 = dim >= 3 ? g.n[2] : 1;
+  cvecf img(static_cast<std::size_t>(g.image_elems()), cfloat(0.0f, 0.0f));
+  for (index_t i0 = 0; i0 < n0; ++i0) {
+    const double x = 2.0 * static_cast<double>(i0 - n0 / 2) / static_cast<double>(n0);
+    for (index_t i1 = 0; i1 < n1; ++i1) {
+      const double y = dim >= 2 ? 2.0 * static_cast<double>(i1 - n1 / 2) / static_cast<double>(n1) : 0.0;
+      for (index_t i2 = 0; i2 < n2; ++i2) {
+        const double z = dim >= 3 ? 2.0 * static_cast<double>(i2 - n2 / 2) / static_cast<double>(n2) : 0.0;
+        double v = 0.0;
+        for (const auto& el : ellipsoids()) {
+          const double dx = (x - el.cx) / el.ax;
+          const double dy = (y - el.cy) / el.ay;
+          const double dz = (z - el.cz) / el.az;
+          if (dx * dx + dy * dy + dz * dz <= 1.0) v += el.intensity;
+        }
+        img[static_cast<std::size_t>((i0 * n1 + i1) * n2 + i2)] =
+            cfloat(static_cast<float>(v), 0.0f);
+      }
+    }
+  }
+  return img;
+}
+
+double nrmse(const cfloat* a, const cfloat* b, index_t n) {
+  double num = 0.0;
+  double den = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const cfloat d = a[i] - b[i];
+    num += static_cast<double>(d.real()) * d.real() + static_cast<double>(d.imag()) * d.imag();
+    den += static_cast<double>(b[i].real()) * b[i].real() +
+           static_cast<double>(b[i].imag()) * b[i].imag();
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+}  // namespace nufft::mri

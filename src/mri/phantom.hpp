@@ -1,0 +1,26 @@
+// Synthetic test objects: a 3D (or 2D/1D) Shepp-Logan-style ellipsoid
+// phantom, standing in for the scanner data of the paper's motivating
+// application (iterative multichannel non-Cartesian MRI reconstruction).
+#pragma once
+
+#include "common/types.hpp"
+#include "core/grid.hpp"
+
+namespace nufft::mri {
+
+/// Additive ellipsoid: axes and center in units of the half field of view
+/// (coordinates in [-1, 1]).
+struct Ellipsoid {
+  double cx, cy, cz;  // center
+  double ax, ay, az;  // semi-axes
+  double intensity;
+};
+
+/// N^dim Shepp-Logan-like phantom (values real, stored complex).
+/// Deterministic; the classic ellipse set adapted to dim dimensions.
+cvecf make_phantom(const GridDesc& g);
+
+/// Normalized root-mean-square error ‖a − b‖ / ‖b‖.
+double nrmse(const cfloat* a, const cfloat* b, index_t n);
+
+}  // namespace nufft::mri

@@ -1,0 +1,66 @@
+#include "mri/recon.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "mri/coils.hpp"
+
+namespace nufft::mri {
+
+MultichannelRecon::MultichannelRecon(Nufft& plan, std::vector<cvecf> coil_maps)
+    : plan_(plan), maps_(std::move(coil_maps)) {
+  NUFFT_CHECK(!maps_.empty());
+  const auto n = static_cast<std::size_t>(plan_.image_elems());
+  for (const auto& m : maps_) NUFFT_CHECK(m.size() == n);
+  tmp_image_.resize(n);
+  tmp_adj_.resize(n);
+  tmp_raw_.resize(static_cast<std::size_t>(plan_.sample_count()));
+}
+
+std::vector<cvecf> MultichannelRecon::simulate(const cfloat* truth) {
+  const index_t n = plan_.image_elems();
+  std::vector<cvecf> data(maps_.size());
+  for (std::size_t c = 0; c < maps_.size(); ++c) {
+    apply_coil(maps_[c].data(), truth, tmp_image_.data(), n);
+    data[c].resize(static_cast<std::size_t>(plan_.sample_count()));
+    plan_.forward(tmp_image_.data(), data[c].data());
+  }
+  return data;
+}
+
+void MultichannelRecon::normal_op(const cfloat* in, cfloat* out) {
+  const index_t n = plan_.image_elems();
+  zero_complex(out, static_cast<std::size_t>(n));
+  for (std::size_t c = 0; c < maps_.size(); ++c) {
+    apply_coil(maps_[c].data(), in, tmp_image_.data(), n);
+    plan_.forward(tmp_image_.data(), tmp_raw_.data());
+    plan_.adjoint(tmp_raw_.data(), tmp_adj_.data());
+    accumulate_coil_adjoint(maps_[c].data(), tmp_adj_.data(), out, n);
+    pair_calls_ += 1.0;
+  }
+}
+
+ReconResult MultichannelRecon::reconstruct(const std::vector<cvecf>& data, const CgOptions& opt) {
+  NUFFT_CHECK(data.size() == maps_.size());
+  const index_t n = plan_.image_elems();
+  ReconResult result;
+  result.image.resize(static_cast<std::size_t>(n));
+
+  Timer t;
+  // rhs = Aᴴ b = Σ_c conj(S_c) ⊙ adjoint(data_c)
+  cvecf rhs(static_cast<std::size_t>(n), cfloat(0.0f, 0.0f));
+  for (std::size_t c = 0; c < maps_.size(); ++c) {
+    plan_.adjoint(data[c].data(), tmp_adj_.data());
+    accumulate_coil_adjoint(maps_[c].data(), tmp_adj_.data(), rhs.data(), n);
+  }
+
+  pair_calls_ = 0.0;
+  result.cg = conjugate_gradient([this](const cfloat* in, cfloat* out) { normal_op(in, out); },
+                                 rhs.data(), result.image.data(), n, opt);
+  result.seconds = t.seconds();
+  result.nufft_calls = pair_calls_;
+  return result;
+}
+
+}  // namespace nufft::mri

@@ -1,0 +1,55 @@
+// Iterative multichannel non-Cartesian MRI reconstruction — the paper's
+// headline application (§I: "iterative multichannel reconstruction of a
+// 240×240×240 image could execute in just over 3 minutes").
+//
+// Model: per coil c, data_c = NUFFT_forward(S_c ⊙ x). The reconstruction
+// solves the regularized least-squares problem with CG on the normal
+// equations; each CG iteration costs one forward + one adjoint NUFFT per
+// coil, all through one shared plan.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/nufft.hpp"
+#include "mri/cg.hpp"
+
+namespace nufft::mri {
+
+struct ReconOptions {
+  int coils = 4;
+  CgOptions cg;
+};
+
+struct ReconResult {
+  cvecf image;
+  CgResult cg;
+  double seconds = 0.0;           // wall-clock of the solve (excl. planning)
+  double nufft_calls = 0.0;       // forward+adjoint pairs executed
+};
+
+class MultichannelRecon {
+ public:
+  /// Shares one NUFFT plan across all coils.
+  MultichannelRecon(Nufft& plan, std::vector<cvecf> coil_maps);
+
+  /// Simulate coil data from a ground-truth image (forward model).
+  std::vector<cvecf> simulate(const cfloat* truth);
+
+  /// Reconstruct from per-coil sample data.
+  ReconResult reconstruct(const std::vector<cvecf>& data, const CgOptions& opt);
+
+  int coils() const { return static_cast<int>(maps_.size()); }
+
+ private:
+  void normal_op(const cfloat* in, cfloat* out);
+
+  Nufft& plan_;
+  std::vector<cvecf> maps_;
+  cvecf tmp_image_;
+  cvecf tmp_raw_;
+  cvecf tmp_adj_;
+  double pair_calls_ = 0.0;
+};
+
+}  // namespace nufft::mri

@@ -1,0 +1,27 @@
+// Binary-reflected Gray code helpers for the task-turn ordering
+// (paper §III-B2, using Savage's survey [31] codes).
+#pragma once
+
+namespace nufft {
+
+/// k-th binary-reflected Gray code: 0,1,3,2,6,7,5,4 for 3 bits.
+constexpr unsigned gray_code(unsigned k) { return k ^ (k >> 1); }
+
+/// Position of Gray code g in the sequence (inverse of gray_code).
+constexpr unsigned gray_rank(unsigned g) {
+  unsigned k = 0;
+  for (unsigned shift = 1; shift < 32; shift <<= 1) g ^= g >> shift;
+  k = g;
+  return k;
+}
+
+/// The single bit index that flips between gray_code(k-1) and gray_code(k).
+constexpr int gray_flip_bit(unsigned k) {
+  const unsigned diff = gray_code(k) ^ gray_code(k - 1);
+  int b = 0;
+  unsigned v = diff;
+  while ((v >>= 1) != 0) ++b;
+  return b;
+}
+
+}  // namespace nufft

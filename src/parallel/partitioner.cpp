@@ -1,0 +1,102 @@
+#include "parallel/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft {
+
+int PartitionLayout::locate(int d, float x) const {
+  const auto& b = bounds[static_cast<std::size_t>(d)];
+  // Partitions cover [0, M); clamp pathological coordinates into range.
+  auto it = std::upper_bound(b.begin(), b.end(), static_cast<index_t>(x));
+  int p = static_cast<int>(it - b.begin()) - 1;
+  return std::clamp(p, 0, num_parts[static_cast<std::size_t>(d)] - 1);
+}
+
+int PartitionLayout::flatten(const std::array<int, 3>& pc) const {
+  int idx = 0;
+  for (int d = 0; d < dim; ++d) idx = idx * num_parts[static_cast<std::size_t>(d)] + pc[static_cast<std::size_t>(d)];
+  return idx;
+}
+
+std::vector<index_t> cumulative_histogram(const float* coords, index_t count, index_t extent) {
+  std::vector<index_t> hist(static_cast<std::size_t>(extent) + 1, 0);
+  for (index_t i = 0; i < count; ++i) {
+    auto cell = static_cast<index_t>(coords[i]);
+    cell = std::clamp<index_t>(cell, 0, extent - 1);
+    ++hist[static_cast<std::size_t>(cell) + 1];
+  }
+  for (std::size_t i = 1; i < hist.size(); ++i) hist[i] += hist[i - 1];
+  return hist;
+}
+
+namespace {
+
+// If a dimension ended up with an odd partition count > 1, merge the last
+// two partitions. See the header comment on periodic wrap adjacency.
+void force_even_count(std::vector<index_t>& bounds) {
+  const std::size_t parts = bounds.size() - 1;
+  if (parts > 1 && parts % 2 == 1) bounds.erase(bounds.end() - 2);
+}
+
+}  // namespace
+
+PartitionLayout make_variable_layout(int dim, const std::array<index_t, 3>& extent,
+                                     const std::array<const float*, 3>& coords, index_t count,
+                                     int target_parts, index_t min_width) {
+  NUFFT_CHECK(dim >= 1 && dim <= 3);
+  NUFFT_CHECK(target_parts >= 1);
+  NUFFT_CHECK(min_width >= 1);
+  PartitionLayout layout;
+  layout.dim = dim;
+
+  // Fig. 5: grow each partition from the minimum width until it holds at
+  // least the per-partition average number of samples.
+  const index_t avg = std::max<index_t>(1, count / target_parts);
+  for (int d = 0; d < dim; ++d) {
+    const index_t M = extent[static_cast<std::size_t>(d)];
+    const auto hist = cumulative_histogram(coords[static_cast<std::size_t>(d)], count, M);
+    auto& b = layout.bounds[static_cast<std::size_t>(d)];
+    b.push_back(0);
+    index_t start = 0;
+    while (start < M) {
+      index_t end = std::min<index_t>(start + min_width, M);
+      while (end < M &&
+             hist[static_cast<std::size_t>(end)] - hist[static_cast<std::size_t>(start)] < avg) {
+        ++end;
+      }
+      // Never leave a tail stub narrower than the minimum width.
+      if (M - end < min_width) end = M;
+      b.push_back(end);
+      start = end;
+    }
+    force_even_count(b);
+    layout.num_parts[static_cast<std::size_t>(d)] = static_cast<int>(b.size()) - 1;
+  }
+  return layout;
+}
+
+PartitionLayout make_fixed_layout(int dim, const std::array<index_t, 3>& extent,
+                                  int target_parts, index_t min_width) {
+  NUFFT_CHECK(dim >= 1 && dim <= 3);
+  NUFFT_CHECK(target_parts >= 1);
+  PartitionLayout layout;
+  layout.dim = dim;
+  for (int d = 0; d < dim; ++d) {
+    const index_t M = extent[static_cast<std::size_t>(d)];
+    const index_t width =
+        std::max(min_width, (M + static_cast<index_t>(target_parts) - 1) / target_parts);
+    auto& b = layout.bounds[static_cast<std::size_t>(d)];
+    for (index_t x = 0; x < M; x += width) b.push_back(x);
+    b.push_back(M);
+    // Drop a tail stub narrower than min_width by merging it backwards.
+    if (b.size() > 2 && b[b.size() - 1] - b[b.size() - 2] < min_width) b.erase(b.end() - 2);
+    force_even_count(b);
+    layout.num_parts[static_cast<std::size_t>(d)] = static_cast<int>(b.size()) - 1;
+  }
+  return layout;
+}
+
+}  // namespace nufft

@@ -1,0 +1,99 @@
+#include "parallel/task_graph.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "parallel/gray.hpp"
+
+namespace nufft {
+
+namespace {
+
+// Append `id` to a 2-slot edge list, ignoring duplicates.
+void add_edge(std::array<std::int32_t, 2>& slots, int& n, std::int32_t id) {
+  if (id < 0) return;
+  for (int i = 0; i < n; ++i) {
+    if (slots[static_cast<std::size_t>(i)] == id) return;
+  }
+  NUFFT_CHECK(n < 2);
+  slots[static_cast<std::size_t>(n++)] = id;
+}
+
+}  // namespace
+
+TaskGraph::TaskGraph(const PartitionLayout& layout) : layout_(layout) {
+  const int dim = layout.dim;
+  const int total = layout.total_parts();
+  nodes_.resize(static_cast<std::size_t>(total));
+
+  // Turn bits are taken only over "active" dimensions (partition count > 1):
+  // a single-partition dimension has no parallelism and must not occupy a
+  // bit, or the Gray chain would wait on turns that can never exist.
+  std::array<int, 3> active{};
+  int n_active = 0;
+  for (int d = 0; d < dim; ++d) {
+    if (layout.num_parts[static_cast<std::size_t>(d)] > 1) active[static_cast<std::size_t>(n_active++)] = d;
+  }
+
+  // Enumerate partition coordinates in row-major order (dim 0 slowest) —
+  // identical to PartitionLayout::flatten.
+  std::array<int, 3> pc{0, 0, 0};
+  for (int id = 0; id < total; ++id) {
+    TaskNode& node = nodes_[static_cast<std::size_t>(id)];
+    node.pcoord = pc;
+    int turn = 0;
+    for (int b = 0; b < n_active; ++b) {
+      turn |= (pc[static_cast<std::size_t>(active[static_cast<std::size_t>(b)])] & 1) << b;
+    }
+    node.turn = turn;
+    node.gray_rank = static_cast<int>(gray_rank(static_cast<unsigned>(turn)));
+
+    // Advance the coordinate counter (last dimension fastest).
+    for (int d = dim - 1; d >= 0; --d) {
+      auto& c = pc[static_cast<std::size_t>(d)];
+      if (++c < layout.num_parts[static_cast<std::size_t>(d)]) break;
+      c = 0;
+    }
+  }
+
+  // A task with Gray rank r depends on its two neighbours along the
+  // dimension whose turn bit flips between ranks r-1 and r. Neighbours wrap
+  // modulo the partition count (periodic spectrum).
+  for (int id = 0; id < total; ++id) {
+    TaskNode& node = nodes_[static_cast<std::size_t>(id)];
+    if (node.gray_rank == 0) {
+      roots_.push_back(id);
+      continue;
+    }
+    const int flip_bit = gray_flip_bit(static_cast<unsigned>(node.gray_rank));
+    const int flip_dim = active[static_cast<std::size_t>(flip_bit)];
+    const int parts = layout.num_parts[static_cast<std::size_t>(flip_dim)];
+    for (const int step : {-1, +1}) {
+      std::array<int, 3> npc = node.pcoord;
+      auto& c = npc[static_cast<std::size_t>(flip_dim)];
+      c = (c + step + parts) % parts;
+      const int nid = layout.flatten(npc);
+      add_edge(node.preds, node.num_preds, nid);
+      TaskNode& pred = nodes_[static_cast<std::size_t>(nid)];
+      NUFFT_CHECK(pred.gray_rank == node.gray_rank - 1);
+      add_edge(pred.succs, pred.num_succs, id);
+    }
+  }
+}
+
+bool TaskGraph::adjacent(int a, int b) const {
+  if (a == b) return true;
+  const TaskNode& na = nodes_[static_cast<std::size_t>(a)];
+  const TaskNode& nb = nodes_[static_cast<std::size_t>(b)];
+  for (int d = 0; d < layout_.dim; ++d) {
+    const int parts = layout_.num_parts[static_cast<std::size_t>(d)];
+    const int diff = std::abs(na.pcoord[static_cast<std::size_t>(d)] -
+                              nb.pcoord[static_cast<std::size_t>(d)]);
+    const int wrapped = std::min(diff, parts - diff);
+    if (wrapped > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace nufft

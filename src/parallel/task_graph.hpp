@@ -1,0 +1,64 @@
+// Task dependency graph over grid partitions (paper §III-B2, Fig. 6).
+//
+// Each partition of the grid is one task. A task's *turn* joins the least
+// significant bit of its partition index in each dimension; there are 2^d
+// turns, ordered by the binary-reflected Gray code. A task with Gray rank
+// r > 0 depends on its two neighbours along the dimension whose parity bit
+// flips between Gray ranks r-1 and r — those neighbours are exactly the
+// adjacent tasks with the previous turn. This yields:
+//
+//   * at most 2 predecessor and 2 successor edges per task (tiny TDG);
+//   * a DAG (edges strictly increase Gray rank), so no deadlock;
+//   * transitive serialization of every pair of spatially adjacent tasks,
+//     which is the adjoint-convolution mutual-exclusion requirement;
+//   * no global barrier: a task becomes ready the moment its own
+//     predecessors finish.
+//
+// Neighbour indices wrap modulo the per-dimension partition count because
+// the spectrum is periodic; the partitioner guarantees even counts so
+// same-turn tasks are always >= 2 partitions apart even across the seam.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/partitioner.hpp"
+
+namespace nufft {
+
+struct TaskNode {
+  std::array<int, 3> pcoord{0, 0, 0};  // partition index per dimension
+  int turn = 0;                        // parity bits, bit d = pcoord[d] & 1
+  int gray_rank = 0;                   // position of `turn` in the Gray sequence
+  // Distinct predecessor / successor task ids (-1 = unused slot).
+  std::array<std::int32_t, 2> preds{-1, -1};
+  std::array<std::int32_t, 2> succs{-1, -1};
+  int num_preds = 0;
+  int num_succs = 0;
+};
+
+class TaskGraph {
+ public:
+  /// Build the TDG for a partition layout.
+  explicit TaskGraph(const PartitionLayout& layout);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const TaskNode& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const std::vector<TaskNode>& nodes() const { return nodes_; }
+
+  /// Tasks with Gray rank 0 — ready before anything has run.
+  const std::vector<std::int32_t>& roots() const { return roots_; }
+
+  /// True when tasks a and b may write to overlapping grid regions, i.e.
+  /// their partition coordinates differ by at most 1 (mod the per-dimension
+  /// partition count) in every dimension. Used by tests and assertions.
+  bool adjacent(int a, int b) const;
+
+ private:
+  PartitionLayout layout_;
+  std::vector<TaskNode> nodes_;
+  std::vector<std::int32_t> roots_;
+};
+
+}  // namespace nufft

@@ -1,0 +1,113 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace nufft {
+
+ThreadPool::ThreadPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+  workers_.reserve(static_cast<std::size_t>(nthreads_ - 1));
+  for (int tid = 1; tid < nthreads_; ++tid) {
+    workers_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
+  if (nthreads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NUFFT_CHECK_MSG(!in_job_, "ThreadPool::run_on_all must not be nested");
+    in_job_ = true;
+    job_ = &fn;
+    remaining_ = nthreads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0);  // The caller participates as context 0.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  in_job_ = false;
+}
+
+void ThreadPool::worker_loop(int tid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(index_t n, index_t chunk,
+                              const std::function<void(index_t, index_t)>& fn) {
+  if (n <= 0) return;
+  NUFFT_CHECK(chunk > 0);
+  if (nthreads_ == 1 || n <= chunk) {
+    fn(0, n);
+    return;
+  }
+  std::atomic<index_t> next{0};
+  run_on_all([&](int) {
+    for (;;) {
+      const index_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      fn(begin, std::min(begin + chunk, n));
+    }
+  });
+}
+
+void ThreadPool::parallel_for_tid(index_t n, index_t chunk,
+                                  const std::function<void(int, index_t, index_t)>& fn) {
+  if (n <= 0) return;
+  NUFFT_CHECK(chunk > 0);
+  if (nthreads_ == 1 || n <= chunk) {
+    fn(0, 0, n);
+    return;
+  }
+  std::atomic<index_t> next{0};
+  run_on_all([&](int tid) {
+    for (;;) {
+      const index_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      fn(tid, begin, std::min(begin + chunk, n));
+    }
+  });
+}
+
+void ThreadPool::parallel_for(index_t n, const std::function<void(index_t, index_t)>& fn) {
+  // ~8 chunks per context keeps dynamic scheduling cheap yet balanced.
+  const index_t chunk = std::max<index_t>(1, n / (static_cast<index_t>(nthreads_) * 8));
+  parallel_for(n, chunk, fn);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(bench_threads());
+  return pool;
+}
+
+}  // namespace nufft

@@ -1,0 +1,73 @@
+// Persistent worker-thread pool.
+//
+// The pool provides two primitives:
+//   * run_on_all(fn)  — every execution context (caller thread + workers)
+//     runs fn(tid) exactly once; used by the TDG scheduler, whose contexts
+//     pull tasks from a shared queue until the graph drains.
+//   * parallel_for    — dynamically chunked loop parallelism; used for the
+//     forward (gather) convolution, batched FFT rows, and point-wise scaling.
+//
+// The caller's thread is execution context 0, so a pool of size T uses
+// exactly T OS threads (T-1 workers), matching how the paper counts cores.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace nufft {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `nthreads` execution contexts (>= 1).
+  explicit ThreadPool(int nthreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution contexts (including the caller's thread).
+  int size() const { return nthreads_; }
+
+  /// Run fn(tid) once on every context, tid in [0, size()). Blocks until all
+  /// contexts finish. Must not be called re-entrantly from inside a job.
+  void run_on_all(const std::function<void(int)>& fn);
+
+  /// Dynamically scheduled parallel loop: fn(begin, end) over chunks of
+  /// [0, n). `chunk` bounds the work grabbed per steal.
+  void parallel_for(index_t n, index_t chunk, const std::function<void(index_t, index_t)>& fn);
+
+  /// Convenience: parallel loop with a heuristic chunk size.
+  void parallel_for(index_t n, const std::function<void(index_t, index_t)>& fn);
+
+  /// As parallel_for, but hands the execution-context id to the body so
+  /// callers can keep per-thread scratch (e.g. FFT row buffers).
+  void parallel_for_tid(index_t n, index_t chunk,
+                        const std::function<void(int, index_t, index_t)>& fn);
+
+  /// Process-wide pool sized from NUFFT_THREADS / hardware_concurrency.
+  /// Intended for library entry points that were not handed a pool.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(int tid);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  bool in_job_ = false;
+};
+
+}  // namespace nufft

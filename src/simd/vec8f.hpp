@@ -1,0 +1,66 @@
+// 8-wide single-precision SIMD wrapper over AVX2 — the "wider SIMD on
+// future many-core architectures" extension the paper anticipates (§I).
+//
+// This header must only be included from translation units compiled with
+// -mavx2 -mfma (see src/core/convolution_avx2.cpp). Unlike the SSE path,
+// the AVX2 kernels use fused multiply-add: Haswell-class cores pair FMA
+// pipes with the wider registers, so the faithful "what would this code do
+// on newer hardware" port uses them. Consequently AVX2 results match the
+// scalar path to rounding, not bitwise (tests account for this).
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace nufft::simd {
+
+/// Value-semantic wrapper around __m256 (8 packed floats = 4 complex).
+struct Vec8f {
+  __m256 v;
+
+  Vec8f() : v(_mm256_setzero_ps()) {}
+  explicit Vec8f(__m256 raw) : v(raw) {}
+  explicit Vec8f(float splat) : v(_mm256_set1_ps(splat)) {}
+
+  static Vec8f zero() { return Vec8f(_mm256_setzero_ps()); }
+  static Vec8f loadu(const float* p) { return Vec8f(_mm256_loadu_ps(p)); }
+  static Vec8f load(const float* p) { return Vec8f(_mm256_load_ps(p)); }
+
+  void storeu(float* p) const { _mm256_storeu_ps(p, v); }
+
+  friend Vec8f operator+(Vec8f a, Vec8f b) { return Vec8f(_mm256_add_ps(a.v, b.v)); }
+  friend Vec8f operator-(Vec8f a, Vec8f b) { return Vec8f(_mm256_sub_ps(a.v, b.v)); }
+  friend Vec8f operator*(Vec8f a, Vec8f b) { return Vec8f(_mm256_mul_ps(a.v, b.v)); }
+
+  float operator[](int lane) const {
+    alignas(32) float tmp[8];
+    _mm256_store_ps(tmp, v);
+    return tmp[lane];
+  }
+
+  /// Broadcast one complex value (re, im) across all four complex lanes.
+  static Vec8f broadcast_complex(float re, float im) {
+    const __m256 r = _mm256_set1_ps(re);
+    const __m256 i = _mm256_set1_ps(im);
+    return Vec8f(_mm256_blend_ps(r, i, 0b10101010));
+  }
+
+  /// Fold the four complex lanes into one (re, im) pair:
+  /// returns {Σ even lanes, Σ odd lanes}.
+  void hsum_complex(float& re, float& im) const {
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);           // 2 complex
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));  // 1 complex in lanes 0,1
+    re = _mm_cvtss_f32(s);
+    im = _mm_cvtss_f32(_mm_shuffle_ps(s, s, 0x55));
+  }
+};
+
+/// Fused a*b + c.
+inline Vec8f fmadd(Vec8f a, Vec8f b, Vec8f c) { return Vec8f(_mm256_fmadd_ps(a.v, b.v, c.v)); }
+
+inline constexpr std::size_t kLanes8 = 8;
+
+}  // namespace nufft::simd

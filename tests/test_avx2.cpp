@@ -1,0 +1,160 @@
+// Tests for the AVX2 (8-wide FMA) convolution extension. All tests skip on
+// CPUs without AVX2+FMA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/convolution.hpp"
+#include "core/convolution_avx2.hpp"
+#include "core/nufft.hpp"
+#include "kernels/kaiser_bessel.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using kernels::KaiserBessel;
+using kernels::KernelLut;
+
+#define SKIP_WITHOUT_AVX2()                              \
+  if (!avx2_available()) {                               \
+    GTEST_SKIP() << "CPU does not support AVX2 + FMA";   \
+  }
+
+class Avx2Kernels : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Avx2Kernels, ScatterMatchesSse) {
+  SKIP_WITHOUT_AVX2();
+  const auto [dim, W] = GetParam();
+  const GridDesc g = make_grid(dim, 24, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 1024);
+  const auto st = g.grid_strides();
+  Rng rng(2024);
+
+  cvecf a(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  cvecf b(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  for (int trial = 0; trial < 40; ++trial) {
+    float coord[3];
+    for (int d = 0; d < dim; ++d) coord[d] = static_cast<float>(rng.uniform(0.0, 48.0));
+    const cfloat val(static_cast<float>(rng.uniform(-1, 1)),
+                     static_cast<float>(rng.uniform(-1, 1)));
+    WindowBuf wb;
+    compute_window(g, lut, coord, dim, true, wb);
+    switch (dim) {
+      case 1:
+        adj_scatter_simd<1>(a.data(), st, wb, val);
+        adj_scatter_avx2<1>(b.data(), st, wb, val);
+        break;
+      case 2:
+        adj_scatter_simd<2>(a.data(), st, wb, val);
+        adj_scatter_avx2<2>(b.data(), st, wb, val);
+        break;
+      default:
+        adj_scatter_simd<3>(a.data(), st, wb, val);
+        adj_scatter_avx2<3>(b.data(), st, wb, val);
+        break;
+    }
+  }
+  // FMA contraction changes rounding; agreement is to tolerance.
+  EXPECT_LT(testing::max_abs_diff(a.data(), b.data(), g.grid_elems()), 1e-5);
+}
+
+TEST_P(Avx2Kernels, GatherMatchesSse) {
+  SKIP_WITHOUT_AVX2();
+  const auto [dim, W] = GetParam();
+  const GridDesc g = make_grid(dim, 24, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 1024);
+  const auto st = g.grid_strides();
+  const cvecf grid = testing::random_image(g.grid_elems(), 55);
+  Rng rng(2025);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    float coord[3];
+    for (int d = 0; d < dim; ++d) coord[d] = static_cast<float>(rng.uniform(0.0, 48.0));
+    WindowBuf wb;
+    compute_window(g, lut, coord, dim, true, wb);
+    cfloat s, v;
+    switch (dim) {
+      case 1:
+        s = fwd_gather_simd<1>(grid.data(), st, wb);
+        v = fwd_gather_avx2<1>(grid.data(), st, wb);
+        break;
+      case 2:
+        s = fwd_gather_simd<2>(grid.data(), st, wb);
+        v = fwd_gather_avx2<2>(grid.data(), st, wb);
+        break;
+      default:
+        s = fwd_gather_simd<3>(grid.data(), st, wb);
+        v = fwd_gather_avx2<3>(grid.data(), st, wb);
+        break;
+    }
+    ASSERT_NEAR(std::abs(s - v), 0.0, 1e-4 * (1.0 + std::abs(s)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Avx2Kernels,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2.0, 4.0, 8.0)),
+                         [](const auto& info) {
+                           return "d" + std::to_string(std::get<0>(info.param)) + "_W" +
+                                  std::to_string(static_cast<int>(std::get<1>(info.param)));
+                         });
+
+TEST(Avx2Plan, EndToEndMatchesSsePlan) {
+  SKIP_WITHOUT_AVX2();
+  const GridDesc g = make_grid(3, 12, 2.0);
+  const auto set =
+      testing::small_trajectory(datasets::TrajectoryType::kRadial, 3, 12, 600);
+  const cvecf img = testing::random_image(g.image_elems(), 77);
+  const cvecf raw = testing::random_raw(set.count(), 78);
+
+  PlanConfig sse_cfg;
+  sse_cfg.threads = 3;
+  sse_cfg.isa = SimdIsa::kSse;
+  PlanConfig avx_cfg = sse_cfg;
+  avx_cfg.isa = SimdIsa::kAvx2;
+
+  Nufft sse(g, set, sse_cfg);
+  Nufft avx(g, set, avx_cfg);
+  EXPECT_EQ(avx.conv_mode(), Nufft::ConvMode::kAvx2);
+
+  cvecf raw_a(raw.size()), raw_b(raw.size());
+  sse.forward(img.data(), raw_a.data());
+  avx.forward(img.data(), raw_b.data());
+  EXPECT_LT(testing::rel_err(raw_a.data(), raw_b.data(), set.count()), 1e-5);
+
+  cvecf img_a(img.size()), img_b(img.size());
+  sse.adjoint(raw.data(), img_a.data());
+  avx.adjoint(raw.data(), img_b.data());
+  EXPECT_LT(testing::rel_err(img_a.data(), img_b.data(), g.image_elems()), 1e-5);
+}
+
+TEST(Avx2Plan, AutoSelectsWidestAvailable) {
+  const GridDesc g = make_grid(2, 16, 2.0);
+  const auto set = testing::small_trajectory(datasets::TrajectoryType::kRandom, 2, 16, 100);
+  PlanConfig cfg;
+  cfg.isa = SimdIsa::kAuto;
+  Nufft plan(g, set, cfg);
+  if (avx2_available()) {
+    EXPECT_EQ(plan.conv_mode(), Nufft::ConvMode::kAvx2);
+  } else {
+    EXPECT_EQ(plan.conv_mode(), Nufft::ConvMode::kSse);
+  }
+}
+
+TEST(Avx2Plan, ScalarConfigIgnoresIsa) {
+  const GridDesc g = make_grid(2, 16, 2.0);
+  const auto set = testing::small_trajectory(datasets::TrajectoryType::kRandom, 2, 16, 100);
+  PlanConfig cfg;
+  cfg.use_simd = false;
+  cfg.isa = SimdIsa::kAuto;
+  Nufft plan(g, set, cfg);
+  EXPECT_EQ(plan.conv_mode(), Nufft::ConvMode::kScalar);
+}
+
+}  // namespace
+}  // namespace nufft

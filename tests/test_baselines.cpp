@@ -1,0 +1,178 @@
+// Tests for the baseline implementations: the direct NUDFT oracle's own
+// self-consistency, atomic and privatized spreads vs the scheduler spread,
+// and the Shu-style ReferenceNufft vs the optimized operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/adjoint_atomic.hpp"
+#include "baselines/adjoint_privatized.hpp"
+#include "baselines/nudft.hpp"
+#include "baselines/reference_nufft.hpp"
+#include "core/nufft.hpp"
+#include "kernels/kaiser_bessel.hpp"
+#include "test_util.hpp"
+
+namespace nufft::baselines {
+namespace {
+
+using datasets::TrajectoryType;
+
+TEST(Nudft, ForwardAdjointDotTestExact) {
+  // The direct transforms are exact adjoints of each other by construction;
+  // verify in double precision.
+  const GridDesc g = make_grid(2, 8, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 8, 60);
+  const cvecf x = testing::random_image(g.image_elems(), 1);
+  const cvecf y = testing::random_raw(set.count(), 2);
+  ThreadPool pool(2);
+
+  std::vector<cdouble> ax(static_cast<std::size_t>(set.count()));
+  std::vector<cdouble> aty(static_cast<std::size_t>(g.image_elems()));
+  nudft_forward(g, set, x.data(), ax.data(), pool);
+  nudft_adjoint(g, set, y.data(), aty.data(), pool);
+
+  cdouble lhs(0, 0), rhs(0, 0);
+  for (index_t i = 0; i < set.count(); ++i) {
+    lhs += ax[static_cast<std::size_t>(i)] *
+           std::conj(cdouble(y[static_cast<std::size_t>(i)].real(), y[static_cast<std::size_t>(i)].imag()));
+  }
+  for (index_t i = 0; i < g.image_elems(); ++i) {
+    rhs += cdouble(x[static_cast<std::size_t>(i)].real(), x[static_cast<std::size_t>(i)].imag()) *
+           std::conj(aty[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 1e-12);
+}
+
+TEST(Nudft, OnGridSampleMatchesChoppedDft) {
+  // A sample exactly at w = M/2 (DC) must return the plain image sum.
+  const GridDesc g = make_grid(1, 8, 2.0);
+  datasets::SampleSet set;
+  set.dim = 1;
+  set.m = 16;
+  set.k = 1;
+  set.s = 1;
+  set.coords[0] = {8.0f};
+  const cvecf x = testing::random_image(8, 3);
+  ThreadPool pool(1);
+  std::vector<cdouble> out(1);
+  nudft_forward(g, set, x.data(), out.data(), pool);
+  cdouble sum(0, 0);
+  for (const auto& v : x) sum += cdouble(v.real(), v.imag());
+  EXPECT_LT(std::abs(out[0] - sum), 1e-12);
+}
+
+struct SpreadCase {
+  int dim;
+  TrajectoryType type;
+  int threads;
+};
+
+class SpreadEquivalence : public ::testing::TestWithParam<SpreadCase> {};
+
+TEST_P(SpreadEquivalence, AtomicMatchesScheduler) {
+  const auto [dim, type, threads] = GetParam();
+  const index_t N = dim == 3 ? 12 : 32;
+  const GridDesc g = make_grid(dim, N, 2.0);
+  const auto set = testing::small_trajectory(type, dim, N, 2000);
+  const cvecf raw = testing::random_raw(set.count(), 7);
+
+  PlanConfig cfg;
+  cfg.threads = threads;
+  Nufft plan(g, set, cfg);
+  plan.spread(raw.data());
+
+  const auto kb = kernels::KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const kernels::KernelLut lut(kb, 1024);
+  cvecf grid(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  ThreadPool pool(threads);
+  spread_atomic(g, lut, set, raw.data(), grid.data(), pool);
+
+  // Different addition order → rounding-level agreement.
+  EXPECT_LT(testing::max_abs_diff(grid.data(), plan.grid_data(), g.grid_elems()), 2e-4);
+}
+
+TEST_P(SpreadEquivalence, PrivatizedMatchesScheduler) {
+  const auto [dim, type, threads] = GetParam();
+  const index_t N = dim == 3 ? 12 : 32;
+  const GridDesc g = make_grid(dim, N, 2.0);
+  const auto set = testing::small_trajectory(type, dim, N, 2000);
+  const cvecf raw = testing::random_raw(set.count(), 8);
+
+  PlanConfig cfg;
+  cfg.threads = threads;
+  Nufft plan(g, set, cfg);
+  plan.spread(raw.data());
+
+  const auto kb = kernels::KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const kernels::KernelLut lut(kb, 1024);
+  cvecf grid(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  ThreadPool pool(threads);
+  spread_privatized(g, lut, set, raw.data(), grid.data(), pool);
+
+  EXPECT_LT(testing::max_abs_diff(grid.data(), plan.grid_data(), g.grid_elems()), 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpreadEquivalence,
+    ::testing::Values(SpreadCase{1, TrajectoryType::kRandom, 4},
+                      SpreadCase{2, TrajectoryType::kRadial, 1},
+                      SpreadCase{2, TrajectoryType::kRandom, 4},
+                      SpreadCase{2, TrajectoryType::kSpiral, 8},
+                      SpreadCase{3, TrajectoryType::kRadial, 4},
+                      SpreadCase{3, TrajectoryType::kRandom, 2}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.dim) + "_" +
+             datasets::trajectory_name(info.param.type) + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(ReferenceNufft, MatchesOptimizedForward) {
+  const GridDesc g = make_grid(3, 12, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 3, 12, 800);
+  const cvecf img = testing::random_image(g.image_elems(), 9);
+
+  PlanConfig cfg;
+  cfg.threads = 4;
+  Nufft fast(g, set, cfg);
+  ReferenceNufft ref(g, set, 4.0, 4);
+
+  cvecf raw_fast(static_cast<std::size_t>(set.count()));
+  cvecf raw_ref(static_cast<std::size_t>(set.count()));
+  fast.forward(img.data(), raw_fast.data());
+  ref.forward(img.data(), raw_ref.data());
+  EXPECT_LT(testing::rel_err(raw_fast.data(), raw_ref.data(), set.count()), 1e-4);
+}
+
+TEST(ReferenceNufft, MatchesOptimizedAdjoint) {
+  const GridDesc g = make_grid(3, 12, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kSpiral, 3, 12, 800);
+  const cvecf raw = testing::random_raw(set.count(), 10);
+
+  PlanConfig cfg;
+  cfg.threads = 4;
+  Nufft fast(g, set, cfg);
+  ReferenceNufft ref(g, set, 4.0, 4);
+
+  cvecf img_fast(static_cast<std::size_t>(g.image_elems()));
+  cvecf img_ref(static_cast<std::size_t>(g.image_elems()));
+  fast.adjoint(raw.data(), img_fast.data());
+  ref.adjoint(raw.data(), img_ref.data());
+  EXPECT_LT(testing::rel_err(img_fast.data(), img_ref.data(), g.image_elems()), 1e-4);
+}
+
+TEST(ReferenceNufft, SingleThreadDegeneratesToSequential) {
+  const GridDesc g = make_grid(2, 24, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 24, 500);
+  const cvecf raw = testing::random_raw(set.count(), 11);
+  ReferenceNufft a(g, set, 4.0, 1);
+  ReferenceNufft b(g, set, 4.0, 3);
+  cvecf ia(static_cast<std::size_t>(g.image_elems()));
+  cvecf ib(static_cast<std::size_t>(g.image_elems()));
+  a.adjoint(raw.data(), ia.data());
+  b.adjoint(raw.data(), ib.data());
+  EXPECT_LT(testing::rel_err(ia.data(), ib.data(), g.image_elems()), 1e-4);
+}
+
+}  // namespace
+}  // namespace nufft::baselines

@@ -1,0 +1,79 @@
+// Tests for chopping (fftshift-by-modulation, paper §II-B).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fft/fft1d.hpp"
+#include "fft/shift.hpp"
+
+namespace nufft::fft {
+namespace {
+
+cvecd random_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvecd v(n);
+  for (auto& x : v) x = cdouble(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return v;
+}
+
+TEST(Chop, TwiceIsIdentity) {
+  auto data = random_data(6 * 8, 1);
+  auto orig = data;
+  chop(data.data(), {6, 8});
+  chop(data.data(), {6, 8});
+  for (std::size_t i = 0; i < data.size(); ++i) ASSERT_EQ(data[i], orig[i]);
+}
+
+TEST(Chop, SignPattern1d) {
+  cvecd data(8, cdouble(1, 0));
+  chop(data.data(), {8});
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(data[i].real(), (i % 2 == 0) ? 1.0 : -1.0);
+  }
+}
+
+TEST(Chop, SignPattern3d) {
+  const std::size_t n = 4;
+  cvecd data(n * n * n, cdouble(1, 0));
+  chop(data.data(), {n, n, n});
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      for (std::size_t z = 0; z < n; ++z) {
+        const double want = ((x + y + z) % 2 == 0) ? 1.0 : -1.0;
+        ASSERT_EQ(data[(x * n + y) * n + z].real(), want);
+      }
+    }
+  }
+}
+
+TEST(Chop, EquivalentToHalfPeriodShiftOfSpectrum) {
+  // FFT(chop(x))[k] == FFT(x)[(k + n/2) mod n]: chopping shifts the
+  // conjugate domain by half the grid.
+  const std::size_t n = 16;
+  auto x = random_data(n, 2);
+
+  Fft1d<double> plan(n, Direction::kForward);
+  aligned_vector<cdouble> fx(n), scratch(plan.scratch_size());
+  plan.transform(x.data(), fx.data(), scratch.data());
+
+  auto chopped = x;
+  chop(chopped.data(), {n});
+  aligned_vector<cdouble> fc(n);
+  plan.transform(chopped.data(), fc.data(), scratch.data());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    ASSERT_NEAR(std::abs(fc[k] - fx[(k + n / 2) % n]), 0.0, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Chop, ParallelMatchesSerial) {
+  auto data = random_data(32 * 32, 3);
+  auto serial = data;
+  chop(serial.data(), {32, 32});
+  ThreadPool pool(4);
+  chop(data.data(), {32, 32}, pool);
+  for (std::size_t i = 0; i < data.size(); ++i) ASSERT_EQ(data[i], serial[i]);
+}
+
+}  // namespace
+}  // namespace nufft::fft

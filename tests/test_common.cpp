@@ -1,0 +1,190 @@
+// Unit tests: aligned allocation, PRNG, env helpers, timers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "common/aligned.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace nufft {
+namespace {
+
+TEST(Aligned, MallocReturnsAlignedPointer) {
+  for (std::size_t bytes : {1u, 7u, 64u, 1000u, 4096u}) {
+    void* p = aligned_malloc(bytes);
+    EXPECT_TRUE(is_aligned(p, kCacheLineBytes));
+    aligned_free(p);
+  }
+}
+
+TEST(Aligned, ZeroByteRequestStillValid) {
+  void* p = aligned_malloc(0);
+  EXPECT_NE(p, nullptr);
+  aligned_free(p);
+}
+
+TEST(Aligned, VectorDataIsAligned) {
+  aligned_vector<float> v(1000);
+  EXPECT_TRUE(is_aligned(v.data()));
+  aligned_vector<cfloat> c(1000);
+  EXPECT_TRUE(is_aligned(c.data()));
+}
+
+TEST(Aligned, VectorGrowsCorrectly) {
+  aligned_vector<int> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Aligned, AllocatorEquality) {
+  AlignedAllocator<float> a;
+  AlignedAllocator<double> b;
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, BelowIsBoundedAndCoversValues) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng r(1);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Env, IntFallbackWhenUnset) {
+  unsetenv("NUFFT_TEST_UNSET_VAR");
+  EXPECT_EQ(env_int("NUFFT_TEST_UNSET_VAR", 33), 33);
+}
+
+TEST(Env, IntParsesValue) {
+  setenv("NUFFT_TEST_VAR", "123", 1);
+  EXPECT_EQ(env_int("NUFFT_TEST_VAR", 0), 123);
+  unsetenv("NUFFT_TEST_VAR");
+}
+
+TEST(Env, IntFallbackOnGarbage) {
+  setenv("NUFFT_TEST_VAR", "abc", 1);
+  EXPECT_EQ(env_int("NUFFT_TEST_VAR", 5), 5);
+  unsetenv("NUFFT_TEST_VAR");
+}
+
+TEST(Env, FlagSemantics) {
+  unsetenv("NUFFT_TEST_FLAG");
+  EXPECT_FALSE(env_flag("NUFFT_TEST_FLAG"));
+  setenv("NUFFT_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("NUFFT_TEST_FLAG"));
+  setenv("NUFFT_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("NUFFT_TEST_FLAG"));
+  unsetenv("NUFFT_TEST_FLAG");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.01);
+}
+
+TEST(Timer, NowNsMonotonic) {
+  const auto a = now_ns();
+  const auto b = now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    NUFFT_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) { EXPECT_NO_THROW(NUFFT_CHECK(1 + 1 == 2)); }
+
+TEST(Types, ZeroComplexClearsBuffer) {
+  cvecf v(100, cfloat(1.0f, -2.0f));
+  zero_complex(v.data(), v.size());
+  for (const auto& x : v) {
+    EXPECT_EQ(x.real(), 0.0f);
+    EXPECT_EQ(x.imag(), 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace nufft

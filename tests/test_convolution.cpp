@@ -1,0 +1,337 @@
+// Tests for the convolution window (Part 1) and gather/scatter kernels
+// (Part 2): correctness against a brute-force reference, wrap handling,
+// scalar-vs-SIMD agreement (bitwise for the adjoint).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/convolution.hpp"
+#include "kernels/kaiser_bessel.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using kernels::KaiserBessel;
+using kernels::KernelLut;
+
+// Brute-force reference: scatter val onto every grid cell within radius W of
+// the sample (separable product of kernel values), wrapping mod M.
+template <int DIM>
+void reference_scatter(const GridDesc& g, const KaiserBessel& kb, const float* coord,
+                       cfloat val, cfloat* grid) {
+  const auto W = kb.radius();
+  const auto st = g.grid_strides();
+  const auto lo = [&](int d) { return static_cast<index_t>(std::ceil(coord[d] - W)); };
+  const auto hi = [&](int d) { return static_cast<index_t>(std::floor(coord[d] + W)); };
+  const index_t x0 = lo(0), x1 = hi(0);
+  const index_t y0 = DIM >= 2 ? lo(1) : 0, y1 = DIM >= 2 ? hi(1) : 0;
+  const index_t z0 = DIM >= 3 ? lo(2) : 0, z1 = DIM >= 3 ? hi(2) : 0;
+  for (index_t x = x0; x <= x1; ++x) {
+    for (index_t y = y0; y <= y1; ++y) {
+      for (index_t z = z0; z <= z1; ++z) {
+        double w = kb.value(static_cast<double>(x) - coord[0]);
+        if (DIM >= 2) w *= kb.value(static_cast<double>(y) - coord[1]);
+        if (DIM >= 3) w *= kb.value(static_cast<double>(z) - coord[2]);
+        index_t idx = ((x % g.m[0]) + g.m[0]) % g.m[0] * st[0];
+        if (DIM >= 2) idx += ((y % g.m[1]) + g.m[1]) % g.m[1] * st[1];
+        if (DIM >= 3) idx += ((z % g.m[2]) + g.m[2]) % g.m[2] * st[2];
+        grid[idx] += val * static_cast<float>(w);
+      }
+    }
+  }
+}
+
+TEST(Window, LengthAndIndicesForIntegerCoordinate) {
+  const GridDesc g = make_grid(1, 32, 2.0);  // M = 64
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 512);
+  WindowBuf wb;
+  const float coord[1] = {30.0f};
+  compute_window(g, lut, coord, 1, false, wb);
+  EXPECT_EQ(wb.len[0], 9);  // 2W+1 for integral coordinates
+  EXPECT_EQ(wb.start[0], 26);
+  for (int i = 0; i < wb.len[0]; ++i) {
+    EXPECT_EQ(wb.idx[0][i], 26 + i);
+    EXPECT_NEAR(wb.win[0][i], static_cast<float>(kb.value(std::abs(26.0 + i - 30.0))), 2e-5);
+  }
+  EXPECT_TRUE(wb.inner_contiguous);
+}
+
+TEST(Window, FractionalCoordinateHas2WNeighbours) {
+  const GridDesc g = make_grid(1, 32, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 512);
+  WindowBuf wb;
+  const float coord[1] = {30.5f};
+  compute_window(g, lut, coord, 1, false, wb);
+  EXPECT_EQ(wb.len[0], 8);  // ceil(26.5)=27 .. floor(34.5)=34
+  EXPECT_EQ(wb.start[0], 27);
+}
+
+TEST(Window, WrapsAroundLowerEdge) {
+  const GridDesc g = make_grid(1, 32, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 512);
+  WindowBuf wb;
+  const float coord[1] = {1.25f};
+  compute_window(g, lut, coord, 1, false, wb);
+  EXPECT_FALSE(wb.inner_contiguous);
+  for (int i = 0; i < wb.len[0]; ++i) {
+    ASSERT_GE(wb.idx[0][i], 0);
+    ASSERT_LT(wb.idx[0][i], 64);
+  }
+  // First neighbours wrap to the top of the grid.
+  EXPECT_EQ(wb.idx[0][0], 64 + wb.start[0]);
+}
+
+TEST(Window, WrapsAroundUpperEdge) {
+  const GridDesc g = make_grid(1, 32, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(2.0, 2.0);
+  const KernelLut lut(kb, 512);
+  WindowBuf wb;
+  const float coord[1] = {63.2f};
+  compute_window(g, lut, coord, 1, false, wb);
+  EXPECT_FALSE(wb.inner_contiguous);
+  bool has_wrapped = false;
+  for (int i = 0; i < wb.len[0]; ++i) has_wrapped |= wb.idx[0][i] < 4;
+  EXPECT_TRUE(has_wrapped);
+}
+
+TEST(Window, DupArrayDuplicatesLastDimWeights) {
+  const GridDesc g = make_grid(3, 16, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 512);
+  WindowBuf wb;
+  const float coord[3] = {10.3f, 12.7f, 15.1f};
+  compute_window(g, lut, coord, 3, true, wb);
+  for (int i = 0; i < wb.len[2]; ++i) {
+    EXPECT_EQ(wb.win_dup[2 * i], wb.win[2][i]);
+    EXPECT_EQ(wb.win_dup[2 * i + 1], wb.win[2][i]);
+  }
+}
+
+// ---- scatter/gather correctness sweep ----
+
+class ConvCorrectness : public ::testing::TestWithParam<std::tuple<int, double, bool>> {};
+
+TEST_P(ConvCorrectness, ScatterMatchesBruteForce) {
+  const auto [dim, W, simd] = GetParam();
+  const GridDesc g = make_grid(dim, 16, 2.0);  // M = 32
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 2048);
+  const auto st = g.grid_strides();
+  Rng rng(static_cast<std::uint64_t>(dim * 100 + static_cast<int>(W)));
+
+  for (int trial = 0; trial < 30; ++trial) {
+    float coord[3];
+    for (int d = 0; d < dim; ++d) {
+      coord[d] = static_cast<float>(rng.uniform(0.0, 32.0));  // includes edges → wraps
+    }
+    const cfloat val(static_cast<float>(rng.uniform(-1, 1)),
+                     static_cast<float>(rng.uniform(-1, 1)));
+
+    cvecf got(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+    cvecf want(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+
+    WindowBuf wb;
+    compute_window(g, lut, coord, dim, simd, wb);
+    switch (dim) {
+      case 1:
+        simd ? adj_scatter_simd<1>(got.data(), st, wb, val)
+             : adj_scatter_scalar<1>(got.data(), st, wb, val);
+        reference_scatter<1>(g, kb, coord, val, want.data());
+        break;
+      case 2:
+        simd ? adj_scatter_simd<2>(got.data(), st, wb, val)
+             : adj_scatter_scalar<2>(got.data(), st, wb, val);
+        reference_scatter<2>(g, kb, coord, val, want.data());
+        break;
+      default:
+        simd ? adj_scatter_simd<3>(got.data(), st, wb, val)
+             : adj_scatter_scalar<3>(got.data(), st, wb, val);
+        reference_scatter<3>(g, kb, coord, val, want.data());
+        break;
+    }
+    // LUT interpolation bounds the error; the geometric placement must agree.
+    EXPECT_LT(testing::max_abs_diff(got.data(), want.data(), g.grid_elems()), 2e-5)
+        << "trial " << trial;
+  }
+}
+
+TEST_P(ConvCorrectness, GatherIsAdjointOfScatter) {
+  // ⟨scatter(val), grid⟩ = val·conj(gather(grid)) — per-sample adjointness.
+  const auto [dim, W, simd] = GetParam();
+  const GridDesc g = make_grid(dim, 16, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 2048);
+  const auto st = g.grid_strides();
+  Rng rng(static_cast<std::uint64_t>(dim * 200 + static_cast<int>(W)));
+
+  cvecf grid = testing::random_image(g.grid_elems(), 4242);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    float coord[3];
+    for (int d = 0; d < dim; ++d) coord[d] = static_cast<float>(rng.uniform(0.0, 32.0));
+    WindowBuf wb;
+    compute_window(g, lut, coord, dim, simd, wb);
+
+    cfloat gathered;
+    cvecf scattered(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+    const cfloat one(1.0f, 0.0f);
+    switch (dim) {
+      case 1:
+        gathered = simd ? fwd_gather_simd<1>(grid.data(), st, wb)
+                        : fwd_gather_scalar<1>(grid.data(), st, wb);
+        simd ? adj_scatter_simd<1>(scattered.data(), st, wb, one)
+             : adj_scatter_scalar<1>(scattered.data(), st, wb, one);
+        break;
+      case 2:
+        gathered = simd ? fwd_gather_simd<2>(grid.data(), st, wb)
+                        : fwd_gather_scalar<2>(grid.data(), st, wb);
+        simd ? adj_scatter_simd<2>(scattered.data(), st, wb, one)
+             : adj_scatter_scalar<2>(scattered.data(), st, wb, one);
+        break;
+      default:
+        gathered = simd ? fwd_gather_simd<3>(grid.data(), st, wb)
+                        : fwd_gather_scalar<3>(grid.data(), st, wb);
+        simd ? adj_scatter_simd<3>(scattered.data(), st, wb, one)
+             : adj_scatter_scalar<3>(scattered.data(), st, wb, one);
+        break;
+    }
+    cdouble dot(0, 0);
+    for (index_t i = 0; i < g.grid_elems(); ++i) {
+      dot += cdouble(grid[static_cast<std::size_t>(i)].real(),
+                     grid[static_cast<std::size_t>(i)].imag()) *
+             cdouble(scattered[static_cast<std::size_t>(i)].real(),
+                     scattered[static_cast<std::size_t>(i)].imag());
+    }
+    EXPECT_NEAR(std::abs(dot - cdouble(gathered.real(), gathered.imag())), 0.0, 1e-4);
+  }
+}
+
+std::string conv_name(const ::testing::TestParamInfo<std::tuple<int, double, bool>>& info) {
+  return "d" + std::to_string(std::get<0>(info.param)) + "_W" +
+         std::to_string(static_cast<int>(std::get<1>(info.param) * 10)) +
+         (std::get<2>(info.param) ? "_simd" : "_scalar");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvCorrectness,
+    ::testing::Combine(::testing::Values(1, 2, 3), ::testing::Values(2.0, 2.5, 4.0, 6.0),
+                       ::testing::Bool()),
+    conv_name);
+
+// ---- scalar vs SIMD agreement ----
+
+class ScalarVsSimd : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ScalarVsSimd, AdjointBitwiseIdentical) {
+  const auto [dim, W] = GetParam();
+  const GridDesc g = make_grid(dim, 24, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 1024);
+  const auto st = g.grid_strides();
+  Rng rng(999);
+
+  cvecf a(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  cvecf b(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  for (int trial = 0; trial < 50; ++trial) {
+    float coord[3];
+    for (int d = 0; d < dim; ++d) coord[d] = static_cast<float>(rng.uniform(0.0, 48.0));
+    const cfloat val(static_cast<float>(rng.uniform(-1, 1)),
+                     static_cast<float>(rng.uniform(-1, 1)));
+    WindowBuf wb;
+    compute_window(g, lut, coord, dim, true, wb);
+    switch (dim) {
+      case 1:
+        adj_scatter_scalar<1>(a.data(), st, wb, val);
+        adj_scatter_simd<1>(b.data(), st, wb, val);
+        break;
+      case 2:
+        adj_scatter_scalar<2>(a.data(), st, wb, val);
+        adj_scatter_simd<2>(b.data(), st, wb, val);
+        break;
+      default:
+        adj_scatter_scalar<3>(a.data(), st, wb, val);
+        adj_scatter_simd<3>(b.data(), st, wb, val);
+        break;
+    }
+  }
+  for (index_t i = 0; i < g.grid_elems(); ++i) {
+    ASSERT_EQ(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]) << "i=" << i;
+  }
+}
+
+TEST_P(ScalarVsSimd, ForwardAgreesToRounding) {
+  const auto [dim, W] = GetParam();
+  const GridDesc g = make_grid(dim, 24, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 1024);
+  const auto st = g.grid_strides();
+  Rng rng(1001);
+  cvecf grid = testing::random_image(g.grid_elems(), 31);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    float coord[3];
+    for (int d = 0; d < dim; ++d) coord[d] = static_cast<float>(rng.uniform(0.0, 48.0));
+    WindowBuf wb;
+    compute_window(g, lut, coord, dim, true, wb);
+    cfloat s, v;
+    switch (dim) {
+      case 1:
+        s = fwd_gather_scalar<1>(grid.data(), st, wb);
+        v = fwd_gather_simd<1>(grid.data(), st, wb);
+        break;
+      case 2:
+        s = fwd_gather_scalar<2>(grid.data(), st, wb);
+        v = fwd_gather_simd<2>(grid.data(), st, wb);
+        break;
+      default:
+        s = fwd_gather_scalar<3>(grid.data(), st, wb);
+        v = fwd_gather_simd<3>(grid.data(), st, wb);
+        break;
+    }
+    ASSERT_NEAR(std::abs(s - v), 0.0, 1e-4 * (1.0 + std::abs(s)));
+  }
+}
+
+std::string svs_name(const ::testing::TestParamInfo<std::tuple<int, double>>& info) {
+  return "d" + std::to_string(std::get<0>(info.param)) + "_W" +
+         std::to_string(static_cast<int>(std::get<1>(info.param)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScalarVsSimd,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(2.0, 4.0, 8.0)),
+                         svs_name);
+
+TEST(Convolution, EnergyConservedByScatterGatherPair) {
+  // gather(scatter(val)) = val·Σ weights² > 0 — sanity of weight handling.
+  const GridDesc g = make_grid(3, 16, 2.0);
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 1024);
+  const auto st = g.grid_strides();
+  WindowBuf wb;
+  const float coord[3] = {16.4f, 17.6f, 15.2f};
+  compute_window(g, lut, coord, 3, true, wb);
+  cvecf grid(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+  adj_scatter_simd<3>(grid.data(), st, wb, cfloat(2.0f, -1.0f));
+  const cfloat back = fwd_gather_simd<3>(grid.data(), st, wb);
+  double wsum = 0.0;
+  for (int x = 0; x < wb.len[0]; ++x) {
+    for (int y = 0; y < wb.len[1]; ++y) {
+      for (int z = 0; z < wb.len[2]; ++z) {
+        const double w = static_cast<double>(wb.win[0][x]) * wb.win[1][y] * wb.win[2][z];
+        wsum += w * w;
+      }
+    }
+  }
+  EXPECT_NEAR(back.real(), 2.0 * wsum, 1e-3);
+  EXPECT_NEAR(back.imag(), -1.0 * wsum, 1e-3);
+}
+
+}  // namespace
+}  // namespace nufft

@@ -1,0 +1,244 @@
+// Tests for the trajectory generators and Table I presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "datasets/presets.hpp"
+#include "datasets/trajectory.hpp"
+
+namespace nufft::datasets {
+namespace {
+
+class TrajectorySweep
+    : public ::testing::TestWithParam<std::tuple<TrajectoryType, int>> {};
+
+TEST_P(TrajectorySweep, CoordinatesInRangeAndCountsMatch) {
+  const auto [type, dim] = GetParam();
+  TrajectoryParams p;
+  p.n = 32;
+  p.k = 16;
+  p.s = 50;
+  const auto set = make_trajectory(type, dim, p);
+  EXPECT_EQ(set.dim, dim);
+  EXPECT_EQ(set.m, 64);
+  EXPECT_EQ(set.count(), 16 * 50);
+  for (int d = 0; d < dim; ++d) {
+    ASSERT_EQ(static_cast<index_t>(set.coords[static_cast<std::size_t>(d)].size()), set.count());
+    for (const float c : set.coords[static_cast<std::size_t>(d)]) {
+      ASSERT_GE(c, 0.0f);
+      ASSERT_LT(c, 64.0f);
+    }
+  }
+}
+
+TEST_P(TrajectorySweep, DeterministicForSameSeed) {
+  const auto [type, dim] = GetParam();
+  TrajectoryParams p;
+  p.n = 16;
+  p.k = 8;
+  p.s = 20;
+  p.seed = 42;
+  const auto a = make_trajectory(type, dim, p);
+  const auto b = make_trajectory(type, dim, p);
+  for (int d = 0; d < dim; ++d) {
+    for (index_t i = 0; i < a.count(); ++i) {
+      ASSERT_EQ(a.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)],
+                b.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Types, TrajectorySweep,
+    ::testing::Combine(::testing::Values(TrajectoryType::kRadial, TrajectoryType::kRandom,
+                                         TrajectoryType::kSpiral),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(trajectory_name(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Radial, SpokesAreCollinearThroughCenter) {
+  TrajectoryParams p;
+  p.n = 32;
+  p.k = 16;
+  p.s = 10;
+  const auto set = make_trajectory(TrajectoryType::kRadial, 2, p);
+  const double c = 32.0;  // M/2
+  for (index_t s = 0; s < p.s; ++s) {
+    // All samples of a spoke must be collinear with the center.
+    const index_t base = s * p.k;
+    const double x0 = set.coords[0][static_cast<std::size_t>(base)] - c;
+    const double y0 = set.coords[1][static_cast<std::size_t>(base)] - c;
+    for (index_t i = 1; i < p.k; ++i) {
+      const double x = set.coords[0][static_cast<std::size_t>(base + i)] - c;
+      const double y = set.coords[1][static_cast<std::size_t>(base + i)] - c;
+      ASSERT_NEAR(x0 * y - y0 * x, 0.0, 1e-3) << "spoke " << s << " sample " << i;
+    }
+  }
+}
+
+TEST(Radial, DenseAtCenterSparseAtEdges) {
+  TrajectoryParams p;
+  p.n = 64;
+  p.k = 64;
+  p.s = 200;
+  const auto set = make_trajectory(TrajectoryType::kRadial, 2, p);
+  const double c = 64.0;
+  index_t inner = 0, outer = 0;
+  for (index_t i = 0; i < set.count(); ++i) {
+    const double dx = set.coords[0][static_cast<std::size_t>(i)] - c;
+    const double dy = set.coords[1][static_cast<std::size_t>(i)] - c;
+    const double r = std::sqrt(dx * dx + dy * dy);
+    if (r < 16.0) ++inner;
+    if (r >= 48.0) ++outer;
+  }
+  // Equal-radius annuli: radial sampling density ~1/r, so the inner quarter
+  // of the radius holds as many samples as any other quarter but in a much
+  // smaller area. Inner disc count must far exceed the outer ring count
+  // scaled by area.
+  EXPECT_GT(inner, outer / 4);
+  EXPECT_GT(inner, set.count() / 8);
+}
+
+TEST(Radial3d, DirectionsCoverTheSphere) {
+  TrajectoryParams p;
+  p.n = 32;
+  p.k = 8;
+  p.s = 100;
+  const auto set = make_trajectory(TrajectoryType::kRadial, 3, p);
+  // Octant coverage: directions live on the upper hemisphere and the signed
+  // radius supplies the antipodal half, so the two endpoints of the spokes
+  // together must reach every octant.
+  bool octant[8] = {};
+  const double c = 32.0;
+  for (index_t s = 0; s < p.s; ++s) {
+    for (const index_t i : {s * p.k, s * p.k + p.k - 1}) {  // both spoke ends
+      const int ox = set.coords[0][static_cast<std::size_t>(i)] > c;
+      const int oy = set.coords[1][static_cast<std::size_t>(i)] > c;
+      const int oz = set.coords[2][static_cast<std::size_t>(i)] > c;
+      octant[ox * 4 + oy * 2 + oz] = true;
+    }
+  }
+  int covered = 0;
+  for (const bool o : octant) covered += o;
+  EXPECT_EQ(covered, 8);
+}
+
+TEST(Random, GaussianConcentration) {
+  TrajectoryParams p;
+  p.n = 64;
+  p.k = 64;
+  p.s = 100;
+  p.seed = 5;
+  const auto set = make_trajectory(TrajectoryType::kRandom, 3, p);
+  const double c = 64.0;
+  double mean = 0.0, var = 0.0;
+  for (const float x : set.coords[0]) mean += x;
+  mean /= static_cast<double>(set.count());
+  for (const float x : set.coords[0]) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(set.count());
+  EXPECT_NEAR(mean, c, 1.0);
+  // σ = M/6 ≈ 21.3 → variance ≈ 455 (slightly reduced by truncation).
+  EXPECT_NEAR(std::sqrt(var), 128.0 / 6.0, 2.0);
+}
+
+TEST(Random, DifferentSeedsProduceDifferentSets) {
+  TrajectoryParams p;
+  p.n = 16;
+  p.k = 8;
+  p.s = 10;
+  p.seed = 1;
+  const auto a = make_trajectory(TrajectoryType::kRandom, 2, p);
+  p.seed = 2;
+  const auto b = make_trajectory(TrajectoryType::kRandom, 2, p);
+  int same = 0;
+  for (index_t i = 0; i < a.count(); ++i) same += a.coords[0][static_cast<std::size_t>(i)] == b.coords[0][static_cast<std::size_t>(i)];
+  EXPECT_LT(same, 5);
+}
+
+TEST(Spiral, PlanesAreUniformInZ) {
+  TrajectoryParams p;
+  p.n = 16;
+  p.k = 32;
+  p.s = 64;
+  const auto set = make_trajectory(TrajectoryType::kSpiral, 3, p);
+  // z takes exactly `planes` distinct values, evenly spaced.
+  std::vector<float> zs(set.coords[2].begin(), set.coords[2].end());
+  std::sort(zs.begin(), zs.end());
+  zs.erase(std::unique(zs.begin(), zs.end()), zs.end());
+  ASSERT_EQ(static_cast<index_t>(zs.size()), p.n);
+  for (std::size_t i = 1; i < zs.size(); ++i) {
+    ASSERT_NEAR(zs[i] - zs[i - 1], 32.0 / 16.0, 1e-3);
+  }
+}
+
+TEST(Spiral, RadiusGrowsMonotonicallyAlongArm) {
+  TrajectoryParams p;
+  p.n = 32;
+  p.k = 64;
+  p.s = 8;
+  const auto set = make_trajectory(TrajectoryType::kSpiral, 2, p);
+  const double c = 32.0;
+  double prev = -1.0;
+  for (index_t i = 0; i < set.count(); ++i) {
+    const double dx = set.coords[0][static_cast<std::size_t>(i)] - c;
+    const double dy = set.coords[1][static_cast<std::size_t>(i)] - c;
+    const double r = std::sqrt(dx * dx + dy * dy);
+    ASSERT_GE(r, prev - 1e-3);
+    prev = r;
+  }
+}
+
+TEST(Presets, TableOneRowsMatchPaper) {
+  const auto& rows = table1();
+  ASSERT_EQ(rows.size(), 5u);
+  // K·S = N³·SR for every row (paper §II-C relationship).
+  for (const auto& row : rows) {
+    const double total = static_cast<double>(row.k) * static_cast<double>(row.s);
+    const double expect = std::pow(static_cast<double>(row.n), 3) * row.sr;
+    EXPECT_NEAR(total / expect, 1.0, 1e-9) << "row " << row.id;
+  }
+  EXPECT_EQ(rows[1].n, 256);
+  EXPECT_EQ(rows[1].s, 24576);
+  EXPECT_EQ(rows[4].n, 320);
+}
+
+TEST(Presets, ScaledRowPreservesSamplingRate) {
+  for (const auto& row : table1()) {
+    const auto s = scaled(row, 4);
+    const double total = static_cast<double>(s.k) * static_cast<double>(s.s);
+    const double expect = std::pow(static_cast<double>(s.n), 3) * row.sr;
+    EXPECT_NEAR(total / expect, 1.0, 0.05) << "row " << row.id;
+    EXPECT_EQ(s.n, row.n / 4);
+  }
+}
+
+TEST(Presets, ShrinkOneIsIdentity) {
+  const auto row = default_row();
+  const auto s = scaled(row, 1);
+  EXPECT_EQ(s.n, row.n);
+  EXPECT_EQ(s.k, row.k);
+  EXPECT_EQ(s.s, row.s);
+}
+
+TEST(Trajectory, RejectsBadParameters) {
+  TrajectoryParams p;
+  p.n = 1;  // too small
+  p.k = 4;
+  p.s = 4;
+  EXPECT_THROW(make_trajectory(TrajectoryType::kRadial, 2, p), Error);
+  p.n = 16;
+  EXPECT_THROW(make_trajectory(TrajectoryType::kRadial, 4, p), Error);
+}
+
+TEST(Trajectory, NamesAreStable) {
+  EXPECT_STREQ(trajectory_name(TrajectoryType::kRadial), "radial");
+  EXPECT_STREQ(trajectory_name(TrajectoryType::kRandom), "random");
+  EXPECT_STREQ(trajectory_name(TrajectoryType::kSpiral), "spiral");
+}
+
+}  // namespace
+}  // namespace nufft::datasets

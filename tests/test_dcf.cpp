@@ -1,0 +1,155 @@
+// Tests for density compensation (Pipe–Menon iteration and radial ramp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/nufft.hpp"
+#include "mri/dcf.hpp"
+#include "mri/phantom.hpp"
+#include "test_util.hpp"
+
+namespace nufft::mri {
+namespace {
+
+using datasets::TrajectoryType;
+
+TEST(PipeMenon, WeightsArePositiveAndUnitMean) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 3000);
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  const fvec w = pipe_menon_dcf(plan);
+  ASSERT_EQ(static_cast<index_t>(w.size()), set.count());
+  double mean = 0.0;
+  for (const float v : w) {
+    ASSERT_GT(v, 0.0f);
+    mean += v;
+  }
+  mean /= static_cast<double>(set.count());
+  EXPECT_NEAR(mean, 1.0, 1e-4);
+}
+
+TEST(PipeMenon, FixedPointEquidistributesDensity) {
+  // At the fixed point, C Cᴴ w ≈ const: spreading the weights and
+  // interpolating back must be nearly flat across samples.
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 4000);
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  DcfOptions opt;
+  opt.iterations = 25;
+  const fvec w = pipe_menon_dcf(plan, opt);
+
+  cvecf cw(static_cast<std::size_t>(set.count()));
+  for (index_t i = 0; i < set.count(); ++i) cw[static_cast<std::size_t>(i)] = cfloat(w[static_cast<std::size_t>(i)], 0.0f);
+  plan.spread(cw.data());
+  cvecf back(static_cast<std::size_t>(set.count()));
+  plan.interp(back.data());
+  // Coefficient of variation of the re-interpolated density.
+  double mean = 0.0;
+  for (index_t i = 0; i < set.count(); ++i) mean += back[static_cast<std::size_t>(i)].real();
+  mean /= static_cast<double>(set.count());
+  double var = 0.0;
+  for (index_t i = 0; i < set.count(); ++i) {
+    const double d = back[static_cast<std::size_t>(i)].real() - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(set.count());
+  EXPECT_LT(std::sqrt(var) / mean, 0.25);
+}
+
+TEST(PipeMenon, RadialWeightsGrowWithRadius) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 4000);
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  const fvec w = pipe_menon_dcf(plan);
+  // Average weight in the inner radius quartile must be far below the outer.
+  const double c = 0.5 * static_cast<double>(g.m[0]);
+  double inner = 0.0, outer = 0.0;
+  index_t n_in = 0, n_out = 0;
+  for (index_t i = 0; i < set.count(); ++i) {
+    const double dx = set.coords[0][static_cast<std::size_t>(i)] - c;
+    const double dy = set.coords[1][static_cast<std::size_t>(i)] - c;
+    const double r = std::sqrt(dx * dx + dy * dy);
+    if (r < 0.2 * c) {
+      inner += w[static_cast<std::size_t>(i)];
+      ++n_in;
+    } else if (r > 0.7 * c) {
+      outer += w[static_cast<std::size_t>(i)];
+      ++n_out;
+    }
+  }
+  ASSERT_GT(n_in, 0);
+  ASSERT_GT(n_out, 0);
+  EXPECT_LT(inner / n_in, 0.5 * outer / n_out);
+}
+
+TEST(PipeMenon, ImprovesGriddingReconstruction) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  datasets::TrajectoryParams tp;
+  tp.n = 32;
+  tp.k = 64;
+  tp.s = 52;
+  const auto set = datasets::make_trajectory(TrajectoryType::kRadial, 2, tp);
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  const cvecf truth = make_phantom(g);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(truth.data(), raw.data());
+
+  auto gridding_nrmse = [&](const fvec* w) {
+    cvecf weighted = raw;
+    if (w != nullptr) {
+      for (index_t i = 0; i < set.count(); ++i) {
+        weighted[static_cast<std::size_t>(i)] *= (*w)[static_cast<std::size_t>(i)];
+      }
+    }
+    cvecf recon(static_cast<std::size_t>(g.image_elems()));
+    plan.adjoint(weighted.data(), recon.data());
+    // Least-squares intensity match before computing the error.
+    double num = 0.0, den = 0.0;
+    for (index_t i = 0; i < g.image_elems(); ++i) {
+      num += recon[static_cast<std::size_t>(i)].real() * truth[static_cast<std::size_t>(i)].real();
+      den += std::norm(recon[static_cast<std::size_t>(i)]);
+    }
+    const auto s = static_cast<float>(num / den);
+    for (auto& v : recon) v *= s;
+    return nrmse(recon.data(), truth.data(), g.image_elems());
+  };
+
+  const double uncomp = gridding_nrmse(nullptr);
+  const fvec w = pipe_menon_dcf(plan);
+  const double comp = gridding_nrmse(&w);
+  EXPECT_LT(comp, 0.5 * uncomp) << "uncompensated=" << uncomp << " compensated=" << comp;
+}
+
+TEST(RampDcf, MatchesPipeMenonOnRadial) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 4000);
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  const fvec ramp = radial_ramp_dcf(g, set);
+  DcfOptions opt;
+  opt.iterations = 30;
+  const fvec pm = pipe_menon_dcf(plan, opt);
+  // Correlate the two weight profiles (both unit mean): they must agree in
+  // shape away from DC and the spoke ends.
+  double dot = 0.0, nr = 0.0, np = 0.0;
+  for (index_t i = 0; i < set.count(); ++i) {
+    dot += ramp[static_cast<std::size_t>(i)] * pm[static_cast<std::size_t>(i)];
+    nr += ramp[static_cast<std::size_t>(i)] * ramp[static_cast<std::size_t>(i)];
+    np += pm[static_cast<std::size_t>(i)] * pm[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(dot / std::sqrt(nr * np), 0.9);
+}
+
+TEST(RampDcf, RejectsNonRadialTrajectories) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 500);
+  EXPECT_THROW(radial_ramp_dcf(g, set), Error);
+}
+
+}  // namespace
+}  // namespace nufft::mri

@@ -1,0 +1,216 @@
+// Tests for the interpolation kernels, Bessel I0, LUT, and rolloff maps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "kernels/bessel.hpp"
+#include "kernels/gaussian.hpp"
+#include "kernels/kaiser_bessel.hpp"
+#include "kernels/lut.hpp"
+#include "kernels/rolloff.hpp"
+
+namespace nufft::kernels {
+namespace {
+
+TEST(Bessel, KnownValues) {
+  // Reference values from Abramowitz & Stegun / SciPy.
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658777520082, 1e-12);
+  EXPECT_NEAR(bessel_i0(2.5), 3.2898391440501231, 1e-12);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-10);
+  EXPECT_NEAR(bessel_i0(10.0) / 2815.7166284662558, 1.0, 1e-12);
+  EXPECT_NEAR(bessel_i0(20.0) / 4.355828255955355e7, 1.0, 1e-12);
+}
+
+TEST(Bessel, MonotoneIncreasing) {
+  double prev = bessel_i0(0.0);
+  for (double x = 0.5; x < 40.0; x += 0.5) {
+    const double v = bessel_i0(x);
+    ASSERT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(KaiserBessel, BeattyBetaFormula) {
+  // β = π·sqrt((L/α)²(α−0.5)² − 0.8), L = 2W.
+  const double W = 4.0, alpha = 2.0;
+  const double expect = kPi * std::sqrt(std::pow(8.0 / 2.0, 2) * 2.25 - 0.8);
+  EXPECT_NEAR(KaiserBessel::beatty_beta(W, alpha), expect, 1e-12);
+}
+
+TEST(KaiserBessel, BetaGrowsWithW) {
+  double prev = 0.0;
+  for (double W : {1.5, 2.0, 4.0, 6.0, 8.0}) {
+    const double b = KaiserBessel::beatty_beta(W, 2.0);
+    ASSERT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(KaiserBessel, PeakAtZeroAndNormalized) {
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  EXPECT_NEAR(kb.value(0.0), 1.0, 1e-12);
+  for (double d = 0.25; d <= 4.0; d += 0.25) {
+    ASSERT_LT(kb.value(d), kb.value(d - 0.25));
+  }
+}
+
+TEST(KaiserBessel, EvenFunction) {
+  const auto kb = KaiserBessel::with_beatty_beta(3.0, 2.0);
+  for (double d = 0.0; d <= 3.0; d += 0.1) {
+    ASSERT_EQ(kb.value(d), kb.value(-d));
+  }
+}
+
+TEST(KaiserBessel, CompactSupport) {
+  const auto kb = KaiserBessel::with_beatty_beta(2.0, 2.0);
+  EXPECT_EQ(kb.value(2.0001), 0.0);
+  EXPECT_EQ(kb.value(-5.0), 0.0);
+  EXPECT_GT(kb.value(1.9999), 0.0);
+}
+
+TEST(KaiserBessel, FourierTransformContinuity) {
+  // fourier_at must be smooth across the sinh→sin transition t = β.
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const double M = 128.0;
+  // Find n where the argument crosses β.
+  const double n_cross = kb.beta() * M / (kTwoPi * 4.0);
+  const double below = kb.fourier_at(n_cross - 0.01, M);
+  const double above = kb.fourier_at(n_cross + 0.01, M);
+  // The crossing sits at a near-zero of the transform; bound the jump
+  // relative to the DC peak, not to the tiny local value.
+  EXPECT_NEAR(below, above, 1e-6 * kb.fourier_at(0.0, M));
+}
+
+TEST(KaiserBessel, FourierPeakAtDc) {
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const double dc = kb.fourier_at(0.0, 256.0);
+  for (double n : {10.0, 40.0, 64.0, 100.0}) {
+    ASSERT_LT(std::abs(kb.fourier_at(n, 256.0)), dc);
+  }
+}
+
+TEST(Gaussian, PeakAndSupport) {
+  const auto gk = GaussianKernel::with_gl_tau(4.0, 2.0);
+  EXPECT_NEAR(gk.value(0.0), 1.0, 1e-12);
+  EXPECT_EQ(gk.value(4.5), 0.0);
+  EXPECT_GT(gk.value(1.0), gk.value(2.0));
+}
+
+TEST(Gaussian, EvenFunction) {
+  const auto gk = GaussianKernel::with_gl_tau(3.0, 2.0);
+  for (double d = 0.0; d <= 3.0; d += 0.3) ASSERT_EQ(gk.value(d), gk.value(-d));
+}
+
+TEST(KernelFactory, ProducesRequestedTypes) {
+  const auto kb = make_kernel(KernelType::kKaiserBessel, 4.0, 2.0);
+  const auto gs = make_kernel(KernelType::kGaussian, 4.0, 2.0);
+  EXPECT_NE(kb->name().find("KaiserBessel"), std::string::npos);
+  EXPECT_NE(gs->name().find("Gaussian"), std::string::npos);
+  EXPECT_EQ(kb->radius(), 4.0);
+  EXPECT_EQ(gs->radius(), 4.0);
+}
+
+// ---- LUT ----
+
+class LutAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(LutAccuracy, LinearInterpolationErrorBounded) {
+  const double W = GetParam();
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 1024);
+  double max_err = 0.0;
+  for (double d = 0.0; d <= W; d += W / 4096.0) {
+    max_err = std::max(max_err,
+                       std::abs(static_cast<double>(lut(static_cast<float>(d))) - kb.value(d)));
+  }
+  // Linear-interp error scales with the kernel curvature; 1024 samples/unit
+  // keeps it far below single-precision NUFFT accuracy.
+  EXPECT_LT(max_err, 5e-6) << "W=" << W;
+}
+
+TEST_P(LutAccuracy, NegativeDistanceMirrors) {
+  const double W = GetParam();
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, 512);
+  for (float d = 0.0f; d <= static_cast<float>(W); d += 0.37f) {
+    ASSERT_EQ(lut(d), lut(-d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LutAccuracy, ::testing::Values(2.0, 2.5, 4.0, 6.0, 8.0),
+                         [](const auto& info) {
+                           return "W" + std::to_string(static_cast<int>(info.param * 10));
+                         });
+
+TEST(Lut, EdgeValueAtRadiusDefined) {
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 256);
+  // d == W must read a defined table slot (guard entries).
+  EXPECT_NEAR(lut(4.0f), kb.value(4.0), 1e-5);
+}
+
+TEST(Lut, StoresRadiusAndResolution) {
+  const auto kb = KaiserBessel::with_beatty_beta(3.0, 2.0);
+  const KernelLut lut(kb, 777);
+  EXPECT_EQ(lut.radius(), 3.0f);
+  EXPECT_EQ(lut.samples_per_unit(), 777);
+}
+
+// ---- rolloff ----
+
+TEST(Rolloff, NumericMatchesAnalyticKaiserBessel) {
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const index_t N = 64, M = 128;
+  const dvec numeric = apodization_1d(kb, N, M);
+  const dvec analytic = apodization_1d_analytic(kb, N, M);
+  // The discrete (integer-sampled) apodization approaches the continuous FT
+  // of the kernel; they agree to a fraction of a percent in the FOV.
+  for (index_t i = 0; i < N; ++i) {
+    const double rel = std::abs(numeric[static_cast<std::size_t>(i)] -
+                                analytic[static_cast<std::size_t>(i)]) /
+                       std::abs(analytic[static_cast<std::size_t>(i)]);
+    ASSERT_LT(rel, 5e-3) << "i=" << i;
+  }
+}
+
+TEST(Rolloff, SymmetricAboutCenterForEvenN) {
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const dvec c = apodization_1d(kb, 64, 128);
+  // c[n] is even in the centered index; array index N/2 is center.
+  for (index_t off = 1; off < 32; ++off) {
+    ASSERT_NEAR(c[static_cast<std::size_t>(32 + off)], c[static_cast<std::size_t>(32 - off)],
+                1e-12);
+  }
+}
+
+TEST(Rolloff, PeakAtImageCenter) {
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const dvec c = apodization_1d(kb, 64, 128);
+  const double center = c[32];
+  for (index_t i = 0; i < 64; ++i) ASSERT_LE(c[static_cast<std::size_t>(i)], center + 1e-12);
+}
+
+TEST(Rolloff, ScalingIsInverse) {
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const dvec c = apodization_1d(kb, 32, 64);
+  const fvec s = rolloff_1d(kb, 32, 64);
+  for (index_t i = 0; i < 32; ++i) {
+    ASSERT_NEAR(static_cast<double>(s[static_cast<std::size_t>(i)]) *
+                    c[static_cast<std::size_t>(i)],
+                1.0, 1e-5);
+  }
+}
+
+TEST(Rolloff, ThrowsWhenKernelTooNarrowForFov) {
+  // A wide Gaussian kernel apodizes the image domain by ≈e^{-(2πn/M)²τ},
+  // which underflows the invertibility threshold at the edge of a wide
+  // field of view — the rolloff map must refuse to invert through it.
+  const GaussianKernel wide(16.0, 2.72);
+  EXPECT_THROW(rolloff_1d(wide, 120, 128), Error);
+}
+
+}  // namespace
+}  // namespace nufft::kernels

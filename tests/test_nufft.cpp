@@ -1,0 +1,400 @@
+// End-to-end NUFFT operator tests: accuracy against the exact NUDFT,
+// adjointness, determinism across thread counts and scheduling modes,
+// component entry points, and configuration ablations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/nudft.hpp"
+#include "common/error.hpp"
+#include "core/nufft.hpp"
+#include "datasets/trajectory.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+
+// Accuracy sweep: every (dim, trajectory, W, threads, simd) combination must
+// approximate the exact transform to a W-dependent tolerance.
+class NufftAccuracy
+    : public ::testing::TestWithParam<std::tuple<int, TrajectoryType, double, int, bool>> {};
+
+double tolerance_for(double W) {
+  // Wider kernels are more accurate; these bounds are loose enough to be
+  // robust yet catch any systematic defect (wrong scaling, shift, wrap).
+  if (W <= 2.0) return 5e-3;
+  if (W <= 4.0) return 5e-5;
+  return 5e-6;
+}
+
+TEST_P(NufftAccuracy, ForwardMatchesNudft) {
+  const auto [dim, type, W, threads, simd] = GetParam();
+  const index_t N = dim == 3 ? 12 : (dim == 2 ? 20 : 48);
+  const GridDesc g = make_grid(dim, N, 2.0);
+  const auto set = testing::small_trajectory(type, dim, N, dim == 1 ? 100 : 400);
+
+  PlanConfig cfg;
+  cfg.threads = threads;
+  cfg.kernel_radius = W;
+  cfg.use_simd = simd;
+  Nufft plan(g, set, cfg);
+
+  const cvecf img = testing::random_image(g.image_elems(), 17);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(img.data(), raw.data());
+
+  ThreadPool pool(1);
+  std::vector<cdouble> ref(static_cast<std::size_t>(set.count()));
+  baselines::nudft_forward(g, set, img.data(), ref.data(), pool);
+
+  EXPECT_LT(testing::rel_err(raw.data(), ref.data(), set.count()), tolerance_for(W));
+}
+
+TEST_P(NufftAccuracy, AdjointMatchesNudft) {
+  const auto [dim, type, W, threads, simd] = GetParam();
+  const index_t N = dim == 3 ? 10 : (dim == 2 ? 16 : 48);
+  const GridDesc g = make_grid(dim, N, 2.0);
+  const auto set = testing::small_trajectory(type, dim, N, dim == 1 ? 80 : 300);
+
+  PlanConfig cfg;
+  cfg.threads = threads;
+  cfg.kernel_radius = W;
+  cfg.use_simd = simd;
+  Nufft plan(g, set, cfg);
+
+  const cvecf raw = testing::random_raw(set.count(), 23);
+  cvecf img(static_cast<std::size_t>(g.image_elems()));
+  plan.adjoint(raw.data(), img.data());
+
+  ThreadPool pool(1);
+  std::vector<cdouble> ref(static_cast<std::size_t>(g.image_elems()));
+  baselines::nudft_adjoint(g, set, raw.data(), ref.data(), pool);
+
+  EXPECT_LT(testing::rel_err(img.data(), ref.data(), g.image_elems()), tolerance_for(W));
+}
+
+std::string accuracy_name(
+    const ::testing::TestParamInfo<std::tuple<int, TrajectoryType, double, int, bool>>& info) {
+  return "d" + std::to_string(std::get<0>(info.param)) + "_" +
+         datasets::trajectory_name(std::get<1>(info.param)) + "_W" +
+         std::to_string(static_cast<int>(std::get<2>(info.param))) + "_t" +
+         std::to_string(std::get<3>(info.param)) +
+         (std::get<4>(info.param) ? "_simd" : "_scalar");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NufftAccuracy,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(TrajectoryType::kRadial, TrajectoryType::kRandom,
+                                         TrajectoryType::kSpiral),
+                       ::testing::Values(2.0, 4.0), ::testing::Values(1, 4),
+                       ::testing::Values(true, false)),
+    accuracy_name);
+
+// Adjointness: ⟨A x, y⟩ = ⟨x, Aᴴ y⟩ to single-precision rounding.
+class NufftAdjointness : public ::testing::TestWithParam<std::tuple<int, TrajectoryType>> {};
+
+TEST_P(NufftAdjointness, DotTestPasses) {
+  const auto [dim, type] = GetParam();
+  const index_t N = dim == 3 ? 12 : 24;
+  const GridDesc g = make_grid(dim, N, 2.0);
+  const auto set = testing::small_trajectory(type, dim, N, 500);
+
+  PlanConfig cfg;
+  cfg.threads = 3;
+  Nufft plan(g, set, cfg);
+
+  const cvecf x = testing::random_image(g.image_elems(), 5);
+  const cvecf y = testing::random_raw(set.count(), 6);
+  cvecf ax(static_cast<std::size_t>(set.count()));
+  cvecf aty(static_cast<std::size_t>(g.image_elems()));
+  plan.forward(x.data(), ax.data());
+  plan.adjoint(y.data(), aty.data());
+
+  cdouble lhs(0, 0), rhs(0, 0);
+  for (index_t i = 0; i < set.count(); ++i) {
+    lhs += cdouble(ax[static_cast<std::size_t>(i)].real(), ax[static_cast<std::size_t>(i)].imag()) *
+           std::conj(cdouble(y[static_cast<std::size_t>(i)].real(), y[static_cast<std::size_t>(i)].imag()));
+  }
+  for (index_t i = 0; i < g.image_elems(); ++i) {
+    rhs += cdouble(x[static_cast<std::size_t>(i)].real(), x[static_cast<std::size_t>(i)].imag()) *
+           std::conj(cdouble(aty[static_cast<std::size_t>(i)].real(), aty[static_cast<std::size_t>(i)].imag()));
+  }
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NufftAdjointness,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(TrajectoryType::kRadial,
+                                                              TrajectoryType::kRandom,
+                                                              TrajectoryType::kSpiral)),
+                         [](const auto& info) {
+                           return "d" + std::to_string(std::get<0>(info.param)) + "_" +
+                                  datasets::trajectory_name(std::get<1>(info.param));
+                         });
+
+// Determinism and configuration equivalence.
+
+TEST(NufftDeterminism, AdjointIdenticalAcrossThreadCounts) {
+  // With a fixed partition layout and privatization off, the TDG imposes a
+  // total order (by Gray rank) on every pair of tasks that share grid
+  // cells, and each task processes its samples sequentially — so the
+  // adjoint grid is bitwise reproducible for ANY thread count. (The default
+  // config derives the partition count and privatization marks from the
+  // thread count, which legitimately changes summation order; pin both.)
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 3000);
+  const cvecf raw = testing::random_raw(set.count(), 9);
+
+  cvecf reference;
+  for (int threads : {1, 2, 5, 8}) {
+    PlanConfig cfg;
+    cfg.threads = threads;
+    cfg.partitions_per_dim = 4;
+    cfg.selective_privatization = false;
+    Nufft plan(g, set, cfg);
+    plan.spread(raw.data());
+    cvecf grid(plan.grid_data(), plan.grid_data() + g.grid_elems());
+    if (reference.empty()) {
+      reference = grid;
+    } else {
+      for (index_t i = 0; i < g.grid_elems(); ++i) {
+        ASSERT_EQ(grid[static_cast<std::size_t>(i)], reference[static_cast<std::size_t>(i)])
+            << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(NufftDeterminism, PriorityAndFifoQueuesGiveSameGrid) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 2000);
+  const cvecf raw = testing::random_raw(set.count(), 10);
+
+  cvecf grids[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    PlanConfig cfg;
+    cfg.threads = 4;
+    cfg.priority_queue = mode == 0;
+    Nufft plan(g, set, cfg);
+    plan.spread(raw.data());
+    grids[mode].assign(plan.grid_data(), plan.grid_data() + g.grid_elems());
+  }
+  for (index_t i = 0; i < g.grid_elems(); ++i) {
+    ASSERT_EQ(grids[0][static_cast<std::size_t>(i)], grids[1][static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(NufftDeterminism, ColorBarrierScheduleMatchesTdg) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 2500);
+  const cvecf raw = testing::random_raw(set.count(), 11);
+
+  cvecf grids[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    PlanConfig cfg;
+    cfg.threads = 4;
+    cfg.color_barrier_schedule = mode == 1;
+    cfg.selective_privatization = false;  // colored mode has no privatization
+    Nufft plan(g, set, cfg);
+    plan.spread(raw.data());
+    grids[mode].assign(plan.grid_data(), plan.grid_data() + g.grid_elems());
+  }
+  for (index_t i = 0; i < g.grid_elems(); ++i) {
+    ASSERT_EQ(grids[0][static_cast<std::size_t>(i)], grids[1][static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(NufftDeterminism, PrivatizationDoesNotChangeResultBeyondRounding) {
+  const GridDesc g = make_grid(2, 48, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 48, 8000);
+  const cvecf raw = testing::random_raw(set.count(), 12);
+
+  cvecf grids[2];
+  double gnorm = 0.0;
+  for (int mode = 0; mode < 2; ++mode) {
+    PlanConfig cfg;
+    cfg.threads = 8;
+    cfg.selective_privatization = mode == 1;
+    cfg.privatization_factor = 0.25;  // force several privatized tasks
+    Nufft plan(g, set, cfg);
+    if (mode == 1) {
+      EXPECT_GT(plan.plan().stats.privatized_tasks, 0)
+          << "test needs at least one privatized task to be meaningful";
+    }
+    plan.spread(raw.data());
+    grids[mode].assign(plan.grid_data(), plan.grid_data() + g.grid_elems());
+    for (const auto& v : grids[mode]) gnorm += std::norm(v);
+  }
+  // Privatized tasks accumulate in a private buffer first, so addition
+  // order differs: require agreement to rounding, not bitwise.
+  const double scale = std::sqrt(gnorm / static_cast<double>(g.grid_elems()));
+  EXPECT_LT(testing::max_abs_diff(grids[0].data(), grids[1].data(), g.grid_elems()),
+            1e-4 * (1.0 + scale));
+}
+
+TEST(NufftComponents, SpreadTotalMassMatchesSampleMass) {
+  // Σ_grid spread(raw) = Σ_p raw[p]·(Σ kernel weights) — conservation of the
+  // scattered mass (grid sum equals sample sum times the kernel's mass).
+  const GridDesc g = make_grid(2, 24, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 24, 500);
+  PlanConfig cfg;
+  cfg.threads = 2;
+  Nufft plan(g, set, cfg);
+  const cvecf raw = testing::random_raw(set.count(), 13);
+  plan.spread(raw.data());
+
+  cdouble grid_sum(0, 0);
+  for (index_t i = 0; i < g.grid_elems(); ++i) {
+    grid_sum += cdouble(plan.grid_data()[i].real(), plan.grid_data()[i].imag());
+  }
+  // Kernel mass per sample varies only with the fractional offset; bound
+  // the total against per-sample direct evaluation.
+  const auto kernel = kernels::make_kernel(cfg.kernel, cfg.kernel_radius, g.alpha);
+  cdouble expect(0, 0);
+  for (index_t p = 0; p < set.count(); ++p) {
+    double mass = 1.0;
+    for (int d = 0; d < 2; ++d) {
+      const double c = set.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(p)];
+      double m1 = 0.0;
+      for (index_t u = static_cast<index_t>(std::ceil(c - 4.0));
+           u <= static_cast<index_t>(std::floor(c + 4.0)); ++u) {
+        m1 += kernel->value(static_cast<double>(u) - c);
+      }
+      mass *= m1;
+    }
+    expect += cdouble(raw[static_cast<std::size_t>(p)].real(),
+                      raw[static_cast<std::size_t>(p)].imag()) *
+              mass;
+  }
+  EXPECT_LT(std::abs(grid_sum - expect) / std::abs(expect), 1e-4);
+}
+
+TEST(NufftComponents, InterpReadsGridWrittenExternally) {
+  const GridDesc g = make_grid(1, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kSpiral, 1, 32, 64);
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  // Constant grid → every interpolated sample equals the kernel mass at its
+  // fractional offset.
+  plan.clear_grid();
+  for (index_t i = 0; i < g.grid_elems(); ++i) plan.grid_data()[i] = cfloat(1.0f, 0.0f);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.interp(raw.data());
+  const auto kernel = kernels::make_kernel(cfg.kernel, cfg.kernel_radius, g.alpha);
+  for (index_t p = 0; p < set.count(); ++p) {
+    const double c = set.coords[0][static_cast<std::size_t>(p)];
+    double mass = 0.0;
+    for (index_t u = static_cast<index_t>(std::ceil(c - 4.0));
+         u <= static_cast<index_t>(std::floor(c + 4.0)); ++u) {
+      mass += kernel->value(static_cast<double>(u) - c);
+    }
+    ASSERT_NEAR(raw[static_cast<std::size_t>(p)].real(), mass, 1e-3);
+    ASSERT_NEAR(raw[static_cast<std::size_t>(p)].imag(), 0.0, 1e-5);
+  }
+}
+
+TEST(NufftConfig, GaussianKernelAlsoAccurate) {
+  const GridDesc g = make_grid(2, 20, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 20, 300);
+  PlanConfig cfg;
+  cfg.kernel = kernels::KernelType::kGaussian;
+  cfg.kernel_radius = 4.0;
+  Nufft plan(g, set, cfg);
+  const cvecf img = testing::random_image(g.image_elems(), 19);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(img.data(), raw.data());
+  ThreadPool pool(1);
+  std::vector<cdouble> ref(static_cast<std::size_t>(set.count()));
+  baselines::nudft_forward(g, set, img.data(), ref.data(), pool);
+  // Gaussian is less accurate than Kaiser-Bessel at equal W — that is the
+  // point of the paper's kernel choice; assert a looser bound.
+  EXPECT_LT(testing::rel_err(raw.data(), ref.data(), set.count()), 2e-3);
+}
+
+TEST(NufftConfig, SmallerOversamplingStillWorks) {
+  const GridDesc g = make_grid(2, 32, 1.25);
+  datasets::TrajectoryParams tp;
+  tp.n = 32;
+  tp.k = 16;
+  tp.s = 25;
+  tp.alpha = 1.25;
+  const auto set = datasets::make_trajectory(TrajectoryType::kRandom, 2, tp);
+  PlanConfig cfg;
+  cfg.kernel_radius = 4.0;
+  Nufft plan(g, set, cfg);
+  const cvecf img = testing::random_image(g.image_elems(), 21);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(img.data(), raw.data());
+  ThreadPool pool(1);
+  std::vector<cdouble> ref(static_cast<std::size_t>(set.count()));
+  baselines::nudft_forward(g, set, img.data(), ref.data(), pool);
+  // α = 1.25 with the Beatty β still delivers usable accuracy (paper §II-B).
+  EXPECT_LT(testing::rel_err(raw.data(), ref.data(), set.count()), 5e-3);
+}
+
+TEST(NufftConfig, StatsBreakdownSumsToTotal) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 1000);
+  PlanConfig cfg;
+  cfg.threads = 2;
+  Nufft plan(g, set, cfg);
+  const cvecf img = testing::random_image(g.image_elems(), 3);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(img.data(), raw.data());
+  const auto& s = plan.last_forward_stats();
+  EXPECT_GT(s.total_s, 0.0);
+  EXPECT_LE(s.scale_s + s.fft_s + s.conv_s, s.total_s * 1.05 + 1e-3);
+
+  cvecf img2(static_cast<std::size_t>(g.image_elems()));
+  plan.adjoint(raw.data(), img2.data());
+  const auto& a = plan.last_adjoint_stats();
+  EXPECT_GT(a.total_s, 0.0);
+  EXPECT_GT(a.tasks, 0);
+}
+
+TEST(NufftConfig, RejectsMismatchedSampleSet) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 100);  // M=32≠64
+  PlanConfig cfg;
+  EXPECT_THROW(Nufft(g, set, cfg), Error);
+}
+
+TEST(NufftConfig, RejectsDimensionMismatch) {
+  const GridDesc g = make_grid(3, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 100);
+  PlanConfig cfg;
+  EXPECT_THROW(Nufft(g, set, cfg), Error);
+}
+
+TEST(NufftRoundTrip, AdjointOfForwardPreservesImageShape) {
+  // AᴴA is approximately a (dataset-dependent) positive operator; the image
+  // energy must survive a round trip and correlate strongly with the input
+  // for dense sampling.
+  const GridDesc g = make_grid(2, 24, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 24, 4000);
+  PlanConfig cfg;
+  cfg.threads = 2;
+  Nufft plan(g, set, cfg);
+  const cvecf img = testing::random_image(g.image_elems(), 33);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  cvecf back(static_cast<std::size_t>(g.image_elems()));
+  plan.forward(img.data(), raw.data());
+  plan.adjoint(raw.data(), back.data());
+  cdouble corr(0, 0);
+  double n1 = 0, n2 = 0;
+  for (index_t i = 0; i < g.image_elems(); ++i) {
+    const cdouble a(img[static_cast<std::size_t>(i)].real(), img[static_cast<std::size_t>(i)].imag());
+    const cdouble b(back[static_cast<std::size_t>(i)].real(), back[static_cast<std::size_t>(i)].imag());
+    corr += a * std::conj(b);
+    n1 += std::norm(a);
+    n2 += std::norm(b);
+  }
+  EXPECT_GT(std::abs(corr) / std::sqrt(n1 * n2), 0.5);
+}
+
+}  // namespace
+}  // namespace nufft

@@ -1,0 +1,203 @@
+// Tests for the geometric partitioner (Fig. 4/5): histogram correctness,
+// coverage, minimum widths, even counts, balance of variable-width cuts.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "parallel/partitioner.hpp"
+
+namespace nufft {
+namespace {
+
+fvec gaussian_coords(index_t count, index_t extent, std::uint64_t seed) {
+  Rng rng(seed);
+  fvec v(static_cast<std::size_t>(count));
+  const double c = 0.5 * static_cast<double>(extent);
+  for (auto& x : v) {
+    double w;
+    do {
+      w = rng.normal(c, static_cast<double>(extent) / 7.0);
+    } while (w < 0.0 || w >= static_cast<double>(extent));
+    x = static_cast<float>(w);
+  }
+  return v;
+}
+
+fvec uniform_coords(index_t count, index_t extent, std::uint64_t seed) {
+  Rng rng(seed);
+  fvec v(static_cast<std::size_t>(count));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.0, static_cast<double>(extent)));
+  return v;
+}
+
+TEST(CumulativeHistogram, CountsBelowEachBoundary) {
+  fvec coords = {0.5f, 0.9f, 1.2f, 3.7f, 3.9f, 7.999f};
+  const auto h = cumulative_histogram(coords.data(), static_cast<index_t>(coords.size()), 8);
+  ASSERT_EQ(h.size(), 9u);
+  EXPECT_EQ(h[0], 0);
+  EXPECT_EQ(h[1], 2);  // coords < 1
+  EXPECT_EQ(h[2], 3);  // coords < 2
+  EXPECT_EQ(h[4], 5);
+  EXPECT_EQ(h[8], 6);
+}
+
+TEST(CumulativeHistogram, ClampsOutOfRangeCoordinates) {
+  fvec coords = {-1.0f, 100.0f};
+  const auto h = cumulative_histogram(coords.data(), 2, 8);
+  EXPECT_EQ(h[8], 2);  // both samples binned (into the edge cells)
+}
+
+struct LayoutCase {
+  index_t extent;
+  int target;
+  index_t min_width;
+};
+
+class VariableLayout : public ::testing::TestWithParam<std::tuple<index_t, int, index_t, int>> {
+};
+
+TEST_P(VariableLayout, InvariantsHold) {
+  const auto [extent, target, min_width, seed] = GetParam();
+  const index_t count = 5000;
+  fvec cx = gaussian_coords(count, extent, static_cast<std::uint64_t>(seed));
+  fvec cy = uniform_coords(count, extent, static_cast<std::uint64_t>(seed) + 1);
+
+  const std::array<index_t, 3> ext{extent, extent, 1};
+  const std::array<const float*, 3> coords{cx.data(), cy.data(), nullptr};
+  const auto layout = make_variable_layout(2, ext, coords, count, target, min_width);
+
+  for (int d = 0; d < 2; ++d) {
+    const auto& b = layout.bounds[static_cast<std::size_t>(d)];
+    const int parts = layout.num_parts[static_cast<std::size_t>(d)];
+    ASSERT_EQ(static_cast<int>(b.size()), parts + 1);
+    // Coverage of [0, extent).
+    EXPECT_EQ(b.front(), 0);
+    EXPECT_EQ(b.back(), extent);
+    // Strictly increasing, min width respected, even count (or 1).
+    for (int p = 0; p < parts; ++p) {
+      ASSERT_GE(b[static_cast<std::size_t>(p) + 1] - b[static_cast<std::size_t>(p)], min_width)
+          << "dim " << d << " part " << p;
+    }
+    EXPECT_TRUE(parts == 1 || parts % 2 == 0) << "dim " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VariableLayout,
+    ::testing::Combine(::testing::Values<index_t>(64, 128, 257), ::testing::Values(2, 4, 8),
+                       ::testing::Values<index_t>(5, 9, 17), ::testing::Values(1, 2)),
+    [](const auto& info) {
+      return "e" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param)) + "_w" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST(VariableLayoutBalance, DensityAdaptsPartitionWidths) {
+  // Gaussian density: central partitions must be narrower than edge ones.
+  const index_t extent = 256;
+  const index_t count = 100000;
+  fvec cx = gaussian_coords(count, extent, 5);
+  const std::array<index_t, 3> ext{extent, 1, 1};
+  const std::array<const float*, 3> coords{cx.data(), nullptr, nullptr};
+  const auto layout = make_variable_layout(1, ext, coords, count, 8, 9);
+  const auto& b = layout.bounds[0];
+  const int parts = layout.num_parts[0];
+  ASSERT_GE(parts, 4);
+  index_t min_w = extent, max_w = 0;
+  index_t central_w = 0;
+  for (int p = 0; p < parts; ++p) {
+    const index_t w = b[static_cast<std::size_t>(p) + 1] - b[static_cast<std::size_t>(p)];
+    min_w = std::min(min_w, w);
+    max_w = std::max(max_w, w);
+    if (b[static_cast<std::size_t>(p)] <= extent / 2 &&
+        extent / 2 < b[static_cast<std::size_t>(p) + 1]) {
+      central_w = w;
+    }
+  }
+  EXPECT_LT(central_w, max_w);  // center is denser → narrower
+  EXPECT_GT(max_w, 2 * min_w);  // genuinely variable widths
+}
+
+TEST(VariableLayoutBalance, SampleCountsRoughlyEven) {
+  const index_t extent = 128;
+  const index_t count = 50000;
+  fvec cx = gaussian_coords(count, extent, 9);
+  const std::array<index_t, 3> ext{extent, 1, 1};
+  const std::array<const float*, 3> coords{cx.data(), nullptr, nullptr};
+  const int target = 8;
+  const auto layout = make_variable_layout(1, ext, coords, count, target, 9);
+  const auto hist = cumulative_histogram(cx.data(), count, extent);
+  const auto& b = layout.bounds[0];
+  const index_t avg = count / target;
+  for (int p = 0; p + 1 < layout.num_parts[0]; ++p) {  // last part may be a remainder
+    const index_t in_part = hist[static_cast<std::size_t>(b[static_cast<std::size_t>(p) + 1])] -
+                            hist[static_cast<std::size_t>(b[static_cast<std::size_t>(p)])];
+    // Fig. 5 grows from min width until >= avg: parts hold at least avg
+    // unless clipped by the end of the grid.
+    ASSERT_GE(in_part, avg) << "part " << p;
+  }
+}
+
+TEST(FixedLayout, EqualWidthsAndCoverage) {
+  const std::array<index_t, 3> ext{128, 128, 128};
+  const auto layout = make_fixed_layout(3, ext, 4, 9);
+  for (int d = 0; d < 3; ++d) {
+    const auto& b = layout.bounds[static_cast<std::size_t>(d)];
+    EXPECT_EQ(b.front(), 0);
+    EXPECT_EQ(b.back(), 128);
+    const int parts = layout.num_parts[static_cast<std::size_t>(d)];
+    EXPECT_TRUE(parts == 1 || parts % 2 == 0);
+    for (int p = 0; p < parts; ++p) {
+      ASSERT_GE(b[static_cast<std::size_t>(p) + 1] - b[static_cast<std::size_t>(p)], 9);
+    }
+  }
+}
+
+TEST(FixedLayout, MinWidthDominatesWhenTargetTooLarge) {
+  const std::array<index_t, 3> ext{32, 1, 1};
+  const auto layout = make_fixed_layout(1, ext, 16, 9);
+  // 32/16 = 2 < min_width 9 → width 9 → 3 full parts + remainder merge →
+  // even count with all widths >= 9.
+  for (int p = 0; p < layout.num_parts[0]; ++p) {
+    ASSERT_GE(layout.bounds[0][static_cast<std::size_t>(p) + 1] -
+                  layout.bounds[0][static_cast<std::size_t>(p)],
+              9);
+  }
+  EXPECT_TRUE(layout.num_parts[0] == 1 || layout.num_parts[0] % 2 == 0);
+}
+
+TEST(Layout, LocateFindsContainingPartition) {
+  const std::array<index_t, 3> ext{100, 1, 1};
+  const auto layout = make_fixed_layout(1, ext, 4, 5);
+  const auto& b = layout.bounds[0];
+  for (float x = 0.0f; x < 100.0f; x += 0.37f) {
+    const int p = layout.locate(0, x);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, layout.num_parts[0]);
+    ASSERT_GE(x, static_cast<float>(b[static_cast<std::size_t>(p)]));
+    ASSERT_LT(x, static_cast<float>(b[static_cast<std::size_t>(p) + 1]));
+  }
+}
+
+TEST(Layout, FlattenRowMajor) {
+  PartitionLayout layout;
+  layout.dim = 3;
+  layout.num_parts = {2, 3, 4};
+  EXPECT_EQ(layout.flatten({0, 0, 0}), 0);
+  EXPECT_EQ(layout.flatten({0, 0, 1}), 1);
+  EXPECT_EQ(layout.flatten({0, 1, 0}), 4);
+  EXPECT_EQ(layout.flatten({1, 0, 0}), 12);
+  EXPECT_EQ(layout.flatten({1, 2, 3}), 23);
+}
+
+TEST(Layout, TotalParts) {
+  PartitionLayout layout;
+  layout.dim = 2;
+  layout.num_parts = {4, 6, 1};
+  EXPECT_EQ(layout.total_parts(), 24);
+}
+
+}  // namespace
+}  // namespace nufft

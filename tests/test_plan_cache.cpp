@@ -1,0 +1,159 @@
+// Tests for plan serialization / restoration ("wisdom", paper §V-E).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/nufft.hpp"
+#include "core/plan_cache.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+
+struct Fixture {
+  GridDesc g;
+  datasets::SampleSet set;
+  PlanConfig cfg;
+
+  explicit Fixture(int dim = 2, index_t n = 32, index_t count = 3000)
+      : g(make_grid(dim, n, 2.0)),
+        set(testing::small_trajectory(TrajectoryType::kRadial, dim, n, count)) {
+    cfg.threads = 4;
+  }
+};
+
+TEST(PlanCache, RoundTripPreservesEveryField) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g);
+  const auto back = deserialize_plan(blob.data(), blob.size(), f.g, f.set);
+
+  ASSERT_EQ(back.layout.dim, pp.layout.dim);
+  for (int d = 0; d < f.g.dim; ++d) {
+    EXPECT_EQ(back.layout.bounds[static_cast<std::size_t>(d)],
+              pp.layout.bounds[static_cast<std::size_t>(d)]);
+  }
+  ASSERT_EQ(back.tasks.size(), pp.tasks.size());
+  for (std::size_t k = 0; k < pp.tasks.size(); ++k) {
+    EXPECT_EQ(back.tasks[k].begin, pp.tasks[k].begin);
+    EXPECT_EQ(back.tasks[k].end, pp.tasks[k].end);
+    EXPECT_EQ(back.tasks[k].box_lo, pp.tasks[k].box_lo);
+    EXPECT_EQ(back.tasks[k].box_hi, pp.tasks[k].box_hi);
+  }
+  EXPECT_EQ(back.privatized, pp.privatized);
+  EXPECT_EQ(back.privatization_threshold, pp.privatization_threshold);
+  EXPECT_EQ(back.orig_index, pp.orig_index);
+  EXPECT_EQ(back.weights, pp.weights);
+  for (int d = 0; d < f.g.dim; ++d) {
+    EXPECT_EQ(back.coords[static_cast<std::size_t>(d)], pp.coords[static_cast<std::size_t>(d)]);
+  }
+}
+
+TEST(PlanCache, RestoredPlanProducesIdenticalTransforms) {
+  Fixture f;
+  auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g);
+
+  Nufft fresh(f.g, f.set, f.cfg);
+  Nufft restored(f.g, f.set, f.cfg,
+                 deserialize_plan(blob.data(), blob.size(), f.g, f.set));
+
+  const cvecf img = testing::random_image(f.g.image_elems(), 1);
+  const cvecf raw = testing::random_raw(f.set.count(), 2);
+  cvecf raw_a(raw.size()), raw_b(raw.size());
+  fresh.forward(img.data(), raw_a.data());
+  restored.forward(img.data(), raw_b.data());
+  for (index_t i = 0; i < f.set.count(); ++i) {
+    ASSERT_EQ(raw_a[static_cast<std::size_t>(i)], raw_b[static_cast<std::size_t>(i)]);
+  }
+  cvecf img_a(img.size()), img_b(img.size());
+  fresh.adjoint(raw.data(), img_a.data());
+  restored.adjoint(raw.data(), img_b.data());
+  for (index_t i = 0; i < f.g.image_elems(); ++i) {
+    ASSERT_EQ(img_a[static_cast<std::size_t>(i)], img_b[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(PlanCache, FileRoundTrip) {
+  Fixture f(3, 12, 500);
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto path = std::filesystem::temp_directory_path() / "nufft_plan_test.bin";
+  save_plan(path.string(), pp, f.g);
+  const auto back = load_plan(path.string(), f.g, f.set);
+  EXPECT_EQ(back.orig_index, pp.orig_index);
+  std::filesystem::remove(path);
+}
+
+TEST(PlanCache, RejectsWrongGrid) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g);
+  const GridDesc other = make_grid(2, 64, 2.0);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), other, f.set), Error);
+}
+
+TEST(PlanCache, RejectsWrongDimension) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g);
+  const GridDesc g3 = make_grid(3, 32, 2.0);
+  const auto set3 = testing::small_trajectory(TrajectoryType::kRadial, 3, 32, 3000);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), g3, set3), Error);
+}
+
+TEST(PlanCache, RejectsWrongSampleCount) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g);
+  const auto other = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 500);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, other), Error);
+}
+
+TEST(PlanCache, RejectsTruncatedBlob) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  auto blob = serialize_plan(pp, f.g);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set), Error);
+}
+
+TEST(PlanCache, RejectsCorruptPermutation) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  auto blob = serialize_plan(pp, f.g);
+  // The permutation occupies the blob tail; duplicate one entry.
+  auto* tail = reinterpret_cast<index_t*>(blob.data() + blob.size() - 2 * sizeof(index_t));
+  tail[0] = tail[1];
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set), Error);
+}
+
+TEST(PlanCache, RejectsGarbageMagic) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  auto blob = serialize_plan(pp, f.g);
+  blob[0] ^= 0xFF;
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set), Error);
+}
+
+TEST(PlanCache, RestorationIsFasterThanPreprocessing) {
+  Fixture f(3, 24, 40000);
+  Timer t;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const double fresh_s = t.seconds();
+  const auto blob = serialize_plan(pp, f.g);
+  t.reset();
+  const auto back = deserialize_plan(blob.data(), blob.size(), f.g, f.set);
+  const double restore_s = t.seconds();
+  // Restoring skips histogramming, partitioning, binning, and sorting; it
+  // should comfortably beat a fresh preprocess on a nontrivial set.
+  EXPECT_LT(restore_s, fresh_s) << "fresh=" << fresh_s << " restore=" << restore_s;
+  EXPECT_EQ(back.orig_index.size(), pp.orig_index.size());
+}
+
+}  // namespace
+}  // namespace nufft

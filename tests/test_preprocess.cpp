@@ -1,0 +1,220 @@
+// Tests for plan preprocessing: binning, reordering, task boxes,
+// privatization threshold (Eq. 6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "core/preprocess.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+
+PlanConfig test_config(int threads) {
+  PlanConfig cfg;
+  cfg.threads = threads;
+  cfg.kernel_radius = 2.0;
+  return cfg;
+}
+
+TEST(PrivatizationThreshold, MatchesEquationSix) {
+  // Threshold = M / (P · 2^{d+1}).
+  EXPECT_EQ(privatization_threshold(16000, 10, 3, 1.0), 16000 / (10 * 16));
+  EXPECT_EQ(privatization_threshold(16000, 10, 2, 1.0), 16000 / (10 * 8));
+  EXPECT_EQ(privatization_threshold(16000, 10, 1, 1.0), 16000 / (10 * 4));
+}
+
+TEST(PrivatizationThreshold, FactorScalesAndFloorIsOne) {
+  EXPECT_EQ(privatization_threshold(16000, 10, 3, 2.0), 2 * (16000 / 160));
+  EXPECT_EQ(privatization_threshold(1, 64, 3, 1.0), 1);
+}
+
+TEST(Preprocess, OrderIsAPermutation) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 2000);
+  const auto pp = preprocess(g, set, test_config(4));
+  ASSERT_EQ(static_cast<index_t>(pp.orig_index.size()), set.count());
+  std::vector<index_t> sorted = pp.orig_index;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < set.count(); ++i) ASSERT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Preprocess, ReorderedCoordsMatchMapping) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 2000);
+  const auto pp = preprocess(g, set, test_config(4));
+  for (index_t i = 0; i < set.count(); ++i) {
+    const index_t orig = pp.orig_index[static_cast<std::size_t>(i)];
+    for (int d = 0; d < 2; ++d) {
+      ASSERT_EQ(pp.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)],
+                set.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(orig)]);
+    }
+  }
+}
+
+TEST(Preprocess, EverySampleInsideItsTaskPartition) {
+  const GridDesc g = make_grid(3, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 3, 16, 3000);
+  const auto pp = preprocess(g, set, test_config(4));
+  for (std::size_t k = 0; k < pp.tasks.size(); ++k) {
+    const ConvTask& task = pp.tasks[k];
+    const TaskNode& node = pp.graph->node(static_cast<int>(k));
+    for (index_t i = task.begin; i < task.end; ++i) {
+      for (int d = 0; d < 3; ++d) {
+        const float c = pp.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+        const auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
+        const auto pc = static_cast<std::size_t>(node.pcoord[static_cast<std::size_t>(d)]);
+        ASSERT_GE(c, static_cast<float>(b[pc]));
+        ASSERT_LT(c, static_cast<float>(b[pc + 1]));
+      }
+    }
+  }
+}
+
+TEST(Preprocess, TaskRangesPartitionAllSamples) {
+  const GridDesc g = make_grid(3, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kSpiral, 3, 16, 3000);
+  const auto pp = preprocess(g, set, test_config(2));
+  index_t total = 0;
+  index_t prev_end = 0;
+  for (const auto& task : pp.tasks) {
+    ASSERT_EQ(task.begin, prev_end);
+    prev_end = task.end;
+    total += task.count();
+  }
+  EXPECT_EQ(total, set.count());
+}
+
+TEST(Preprocess, WeightsEqualTaskSampleCounts) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 1000);
+  const auto pp = preprocess(g, set, test_config(4));
+  for (std::size_t k = 0; k < pp.tasks.size(); ++k) {
+    EXPECT_EQ(pp.weights[k], pp.tasks[k].count());
+  }
+}
+
+TEST(Preprocess, TaskBoxesCoverPartitionPlusKernelRadius) {
+  PlanConfig cfg = test_config(4);
+  cfg.kernel_radius = 2.5;
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 1000);
+  const auto pp = preprocess(g, set, cfg);
+  for (std::size_t k = 0; k < pp.tasks.size(); ++k) {
+    const TaskNode& node = pp.graph->node(static_cast<int>(k));
+    for (int d = 0; d < 2; ++d) {
+      const auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
+      const auto pc = static_cast<std::size_t>(node.pcoord[static_cast<std::size_t>(d)]);
+      EXPECT_EQ(pp.tasks[k].box_lo[static_cast<std::size_t>(d)], b[pc] - 3);  // ceil(2.5)
+      EXPECT_EQ(pp.tasks[k].box_hi[static_cast<std::size_t>(d)], b[pc + 1] + 3);
+    }
+  }
+}
+
+TEST(Preprocess, PrivatizationMarksOnlyOverThresholdTasks) {
+  // Radial data concentrates samples at the center: with enough threads the
+  // central tasks must be privatized, sparse edge tasks must not.
+  const GridDesc g = make_grid(2, 64, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 64, 20000);
+  PlanConfig cfg = test_config(8);
+  const auto pp = preprocess(g, set, cfg);
+  int priv = 0;
+  for (std::size_t k = 0; k < pp.tasks.size(); ++k) {
+    if (pp.privatized[k]) {
+      ++priv;
+      EXPECT_GT(pp.tasks[k].count(), pp.privatization_threshold);
+    } else {
+      EXPECT_LE(pp.tasks[k].count(), pp.privatization_threshold);
+    }
+  }
+  EXPECT_EQ(pp.stats.privatized_tasks, priv);
+}
+
+TEST(Preprocess, NoPrivatizationWhenDisabledOrSingleThread) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 5000);
+  PlanConfig cfg = test_config(1);
+  auto pp = preprocess(g, set, cfg);
+  EXPECT_EQ(pp.stats.privatized_tasks, 0);
+
+  cfg = test_config(8);
+  cfg.selective_privatization = false;
+  pp = preprocess(g, set, cfg);
+  EXPECT_EQ(pp.stats.privatized_tasks, 0);
+}
+
+TEST(Preprocess, ReorderImprovesTileLocality) {
+  // Within one task, consecutive samples must visit grid cells in tile-scan
+  // order: the sequence of tile keys is non-decreasing.
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 4000);
+  PlanConfig cfg = test_config(2);
+  cfg.reorder_tile = 8;
+  const auto pp = preprocess(g, set, cfg);
+  for (const auto& task : pp.tasks) {
+    std::uint64_t prev = 0;
+    for (index_t i = task.begin; i < task.end; ++i) {
+      const auto cx = static_cast<std::uint64_t>(pp.coords[0][static_cast<std::size_t>(i)]) / 8;
+      const auto cy = static_cast<std::uint64_t>(pp.coords[1][static_cast<std::size_t>(i)]) / 8;
+      const std::uint64_t key = (cx << 32) | cy;
+      ASSERT_GE(key, prev) << "tile order violated inside a task";
+      prev = key;
+    }
+  }
+}
+
+TEST(Preprocess, DisablingReorderKeepsBinOrder) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 2000);
+  PlanConfig cfg = test_config(2);
+  cfg.reorder = false;
+  const auto pp = preprocess(g, set, cfg);
+  // Without reorder, samples within a task keep their original relative
+  // order (stable counting sort).
+  for (const auto& task : pp.tasks) {
+    for (index_t i = task.begin + 1; i < task.end; ++i) {
+      ASSERT_LT(pp.orig_index[static_cast<std::size_t>(i - 1)],
+                pp.orig_index[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Preprocess, FixedLayoutRequestedViaConfig) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 2000);
+  PlanConfig cfg = test_config(4);
+  cfg.variable_partitions = false;
+  const auto pp = preprocess(g, set, cfg);
+  // Fixed layout: all interior widths equal.
+  for (int d = 0; d < 2; ++d) {
+    const auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
+    std::set<index_t> widths;
+    for (std::size_t p = 0; p + 2 < b.size(); ++p) widths.insert(b[p + 1] - b[p]);
+    EXPECT_LE(widths.size(), 2u);  // interior width + possibly merged tail
+  }
+}
+
+TEST(Preprocess, StatsArePopulated) {
+  const GridDesc g = make_grid(3, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kSpiral, 3, 16, 3000);
+  const auto pp = preprocess(g, set, test_config(4));
+  EXPECT_GT(pp.stats.total_s, 0.0);
+  EXPECT_EQ(pp.stats.tasks, static_cast<int>(pp.tasks.size()));
+  EXPECT_GT(pp.stats.tasks, 0);
+}
+
+TEST(Preprocess, RejectsKernelWiderThanGrid) {
+  const GridDesc g = make_grid(1, 4, 2.0);  // M = 8
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 1, 4, 50);
+  PlanConfig cfg = test_config(1);
+  cfg.kernel_radius = 8.0;  // footprint 17 > M
+  EXPECT_THROW(preprocess(g, set, cfg), Error);
+}
+
+}  // namespace
+}  // namespace nufft

@@ -1,0 +1,130 @@
+// Randomized end-to-end property tests: for fuzzed combinations of
+// dimension, size, kernel width, trajectory, thread count, and optimization
+// flags, the library must preserve its core invariants — adjointness,
+// agreement with the sequential reference, and scheduler soundness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/nufft.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+
+struct FuzzCase {
+  int dim;
+  index_t n;
+  double w;
+  TrajectoryType type;
+  int threads;
+  PlanConfig cfg;
+  datasets::SampleSet set;
+  GridDesc g;
+};
+
+FuzzCase draw_case(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase c{};
+  c.dim = static_cast<int>(rng.below(3)) + 1;
+  const index_t n_choices[] = {10, 16, 24, 32};
+  c.n = n_choices[rng.below(4)];
+  if (c.dim == 3) c.n = std::min<index_t>(c.n, 16);
+  const double w_choices[] = {2.0, 2.5, 3.0, 4.0};
+  c.w = w_choices[rng.below(4)];
+  const TrajectoryType types[] = {TrajectoryType::kRadial, TrajectoryType::kRandom,
+                                  TrajectoryType::kSpiral};
+  c.type = types[rng.below(3)];
+  c.threads = static_cast<int>(rng.below(8)) + 1;
+
+  c.cfg.threads = c.threads;
+  c.cfg.kernel_radius = c.w;
+  c.cfg.use_simd = rng.below(2) == 0;
+  c.cfg.reorder = rng.below(2) == 0;
+  c.cfg.variable_partitions = rng.below(2) == 0;
+  c.cfg.priority_queue = rng.below(2) == 0;
+  c.cfg.selective_privatization = rng.below(2) == 0;
+  c.cfg.privatization_factor = 0.25 + rng.uniform() * 1.5;
+  c.cfg.reorder_tile = static_cast<index_t>(rng.below(15)) + 1;
+  if (rng.below(4) == 0) c.cfg.partitions_per_dim = static_cast<int>(rng.below(4)) * 2 + 2;
+
+  c.g = make_grid(c.dim, c.n, 2.0);
+  c.set = testing::small_trajectory(c.type, c.dim, c.n,
+                                    static_cast<index_t>(rng.below(2000)) + 200, seed);
+  return c;
+}
+
+class Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fuzz, AdjointDotTestHoldsForRandomConfigs) {
+  const auto c = draw_case(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  Nufft plan(c.g, c.set, c.cfg);
+
+  const cvecf x = testing::random_image(c.g.image_elems(), 100 + GetParam());
+  const cvecf y = testing::random_raw(c.set.count(), 200 + GetParam());
+  cvecf ax(static_cast<std::size_t>(c.set.count()));
+  cvecf aty(static_cast<std::size_t>(c.g.image_elems()));
+  plan.forward(x.data(), ax.data());
+  plan.adjoint(y.data(), aty.data());
+
+  cdouble lhs(0, 0), rhs(0, 0);
+  for (index_t i = 0; i < c.set.count(); ++i) {
+    lhs += cdouble(ax[static_cast<std::size_t>(i)].real(), ax[static_cast<std::size_t>(i)].imag()) *
+           std::conj(cdouble(y[static_cast<std::size_t>(i)].real(), y[static_cast<std::size_t>(i)].imag()));
+  }
+  for (index_t i = 0; i < c.g.image_elems(); ++i) {
+    rhs += cdouble(x[static_cast<std::size_t>(i)].real(), x[static_cast<std::size_t>(i)].imag()) *
+           std::conj(cdouble(aty[static_cast<std::size_t>(i)].real(), aty[static_cast<std::size_t>(i)].imag()));
+  }
+  ASSERT_GT(std::abs(lhs), 0.0);
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 2e-5)
+      << "dim=" << c.dim << " n=" << c.n << " W=" << c.w << " type="
+      << datasets::trajectory_name(c.type) << " threads=" << c.threads;
+}
+
+TEST_P(Fuzz, ParallelSpreadMatchesSequentialReference) {
+  auto c = draw_case(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const cvecf raw = testing::random_raw(c.set.count(), 300 + GetParam());
+
+  // Sequential reference with the same geometric configuration.
+  PlanConfig ref_cfg = c.cfg;
+  ref_cfg.threads = 1;
+  ref_cfg.selective_privatization = false;
+  Nufft ref(c.g, c.set, ref_cfg);
+  ref.spread(raw.data());
+  const cvecf want(ref.grid_data(), ref.grid_data() + c.g.grid_elems());
+
+  Nufft plan(c.g, c.set, c.cfg);
+  plan.spread(raw.data());
+
+  // Summation order may differ (privatization, partition count depends on
+  // threads): rounding-level agreement required.
+  double scale = 0.0;
+  for (const auto& v : want) scale = std::max(scale, static_cast<double>(std::abs(v)));
+  EXPECT_LT(testing::max_abs_diff(plan.grid_data(), want.data(), c.g.grid_elems()),
+            1e-4 * (1.0 + scale))
+      << "dim=" << c.dim << " n=" << c.n << " W=" << c.w << " threads=" << c.threads;
+}
+
+TEST_P(Fuzz, ForwardThenAdjointKeepsEnergyFinite) {
+  auto c = draw_case(static_cast<std::uint64_t>(GetParam()) * 31337 + 3);
+  Nufft plan(c.g, c.set, c.cfg);
+  const cvecf x = testing::random_image(c.g.image_elems(), 400 + GetParam());
+  cvecf raw(static_cast<std::size_t>(c.set.count()));
+  cvecf back(static_cast<std::size_t>(c.g.image_elems()));
+  plan.forward(x.data(), raw.data());
+  plan.adjoint(raw.data(), back.data());
+  for (index_t i = 0; i < c.g.image_elems(); ++i) {
+    ASSERT_TRUE(std::isfinite(back[static_cast<std::size_t>(i)].real()));
+    ASSERT_TRUE(std::isfinite(back[static_cast<std::size_t>(i)].imag()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range(0, 24),
+                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace nufft

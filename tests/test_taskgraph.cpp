@@ -1,0 +1,199 @@
+// Tests for Gray-code helpers and the task dependency graph (Fig. 6):
+// structure, acyclicity, and the transitive-serialization property that
+// guarantees mutual exclusion for adjacent tasks.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "parallel/gray.hpp"
+#include "parallel/task_graph.hpp"
+
+namespace nufft {
+namespace {
+
+TEST(Gray, SequenceForTwoBits) {
+  EXPECT_EQ(gray_code(0), 0u);
+  EXPECT_EQ(gray_code(1), 1u);
+  EXPECT_EQ(gray_code(2), 3u);
+  EXPECT_EQ(gray_code(3), 2u);
+}
+
+TEST(Gray, SequenceForThreeBitsMatchesPaper) {
+  // Paper: 000, 001, 011, 010, 110, 111, 101, 100.
+  const unsigned expect[8] = {0, 1, 3, 2, 6, 7, 5, 4};
+  for (unsigned k = 0; k < 8; ++k) EXPECT_EQ(gray_code(k), expect[k]);
+}
+
+TEST(Gray, RankInvertsCode) {
+  for (unsigned k = 0; k < 64; ++k) EXPECT_EQ(gray_rank(gray_code(k)), k);
+}
+
+TEST(Gray, ConsecutiveCodesDifferInOneBit) {
+  for (unsigned k = 1; k < 64; ++k) {
+    const unsigned diff = gray_code(k) ^ gray_code(k - 1);
+    EXPECT_EQ(diff & (diff - 1), 0u);  // power of two
+    EXPECT_EQ(1u << gray_flip_bit(k), diff);
+  }
+}
+
+PartitionLayout uniform_layout(int dim, const std::array<int, 3>& parts, index_t width) {
+  PartitionLayout layout;
+  layout.dim = dim;
+  layout.num_parts = parts;
+  for (int d = 0; d < dim; ++d) {
+    auto& b = layout.bounds[static_cast<std::size_t>(d)];
+    for (int p = 0; p <= parts[static_cast<std::size_t>(d)]; ++p) {
+      b.push_back(static_cast<index_t>(p) * width);
+    }
+  }
+  return layout;
+}
+
+class GraphShape : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GraphShape, StructuralInvariants) {
+  const auto [dim, p0, p1, p2] = GetParam();
+  std::array<int, 3> parts{p0, dim >= 2 ? p1 : 1, dim >= 3 ? p2 : 1};
+  const auto layout = uniform_layout(dim, parts, 16);
+  const TaskGraph graph(layout);
+
+  ASSERT_EQ(graph.size(), layout.total_parts());
+
+  int roots = 0;
+  for (int t = 0; t < graph.size(); ++t) {
+    const TaskNode& node = graph.node(t);
+    // Edge counts bounded by 2 (the paper's small-TDG property).
+    EXPECT_LE(node.num_preds, 2);
+    EXPECT_LE(node.num_succs, 2);
+    // Rank 0 ⇔ no predecessors.
+    if (node.gray_rank == 0) {
+      EXPECT_EQ(node.num_preds, 0);
+      ++roots;
+    } else {
+      EXPECT_GT(node.num_preds, 0) << "non-root task " << t << " must have preds";
+    }
+    // Every edge decreases rank by exactly one and connects adjacent tasks.
+    for (int i = 0; i < node.num_preds; ++i) {
+      const auto p = node.preds[static_cast<std::size_t>(i)];
+      EXPECT_EQ(graph.node(p).gray_rank, node.gray_rank - 1);
+      EXPECT_TRUE(graph.adjacent(t, p));
+    }
+    for (int i = 0; i < node.num_succs; ++i) {
+      const auto s = node.succs[static_cast<std::size_t>(i)];
+      EXPECT_EQ(graph.node(s).gray_rank, node.gray_rank + 1);
+    }
+  }
+  EXPECT_EQ(roots, static_cast<int>(graph.roots().size()));
+  EXPECT_GT(roots, 0);
+}
+
+TEST_P(GraphShape, SuccessorAndPredecessorEdgesAreConsistent) {
+  const auto [dim, p0, p1, p2] = GetParam();
+  std::array<int, 3> parts{p0, dim >= 2 ? p1 : 1, dim >= 3 ? p2 : 1};
+  const TaskGraph graph(uniform_layout(dim, parts, 16));
+  for (int t = 0; t < graph.size(); ++t) {
+    const TaskNode& node = graph.node(t);
+    for (int i = 0; i < node.num_preds; ++i) {
+      const TaskNode& pred = graph.node(node.preds[static_cast<std::size_t>(i)]);
+      bool found = false;
+      for (int j = 0; j < pred.num_succs; ++j) {
+        found |= pred.succs[static_cast<std::size_t>(j)] == t;
+      }
+      EXPECT_TRUE(found) << "pred of " << t << " lacks the back edge";
+    }
+  }
+}
+
+TEST_P(GraphShape, AdjacentTasksAreTransitivelyOrdered) {
+  // The mutual-exclusion core: for every pair of spatially adjacent tasks,
+  // one must be reachable from the other through TDG edges.
+  const auto [dim, p0, p1, p2] = GetParam();
+  std::array<int, 3> parts{p0, dim >= 2 ? p1 : 1, dim >= 3 ? p2 : 1};
+  const TaskGraph graph(uniform_layout(dim, parts, 16));
+  const int n = graph.size();
+  if (n > 256) GTEST_SKIP() << "reachability check quadratic; covered by smaller shapes";
+
+  // reach[a] = set of nodes reachable from a (forward edges).
+  std::vector<std::vector<bool>> reach(static_cast<std::size_t>(n),
+                                       std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int a = 0; a < n; ++a) {
+    std::queue<int> q;
+    q.push(a);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      const TaskNode& node = graph.node(u);
+      for (int i = 0; i < node.num_succs; ++i) {
+        const int v = node.succs[static_cast<std::size_t>(i)];
+        if (!reach[static_cast<std::size_t>(a)][static_cast<std::size_t>(v)]) {
+          reach[static_cast<std::size_t>(a)][static_cast<std::size_t>(v)] = true;
+          q.push(v);
+        }
+      }
+    }
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (!graph.adjacent(a, b)) continue;
+      EXPECT_TRUE(reach[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] ||
+                  reach[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)])
+          << "adjacent tasks " << a << "," << b << " not serialized";
+    }
+  }
+}
+
+TEST_P(GraphShape, SameTurnTasksAreNeverAdjacent) {
+  const auto [dim, p0, p1, p2] = GetParam();
+  std::array<int, 3> parts{p0, dim >= 2 ? p1 : 1, dim >= 3 ? p2 : 1};
+  const TaskGraph graph(uniform_layout(dim, parts, 16));
+  const int n = graph.size();
+  if (n > 512) GTEST_SKIP();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (graph.node(a).turn == graph.node(b).turn) {
+        EXPECT_FALSE(graph.adjacent(a, b))
+            << "same-turn tasks " << a << "," << b << " are adjacent (would race)";
+      }
+    }
+  }
+}
+
+std::string shape_name(const ::testing::TestParamInfo<std::tuple<int, int, int, int>>& info) {
+  return "d" + std::to_string(std::get<0>(info.param)) + "_" +
+         std::to_string(std::get<1>(info.param)) + "x" + std::to_string(std::get<2>(info.param)) +
+         "x" + std::to_string(std::get<3>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GraphShape,
+    ::testing::Values(std::make_tuple(1, 2, 1, 1), std::make_tuple(1, 8, 1, 1),
+                      std::make_tuple(2, 2, 2, 1), std::make_tuple(2, 4, 6, 1),
+                      std::make_tuple(2, 1, 8, 1), std::make_tuple(2, 2, 12, 1),
+                      std::make_tuple(3, 2, 2, 2), std::make_tuple(3, 4, 4, 4),
+                      std::make_tuple(3, 2, 4, 6), std::make_tuple(3, 1, 4, 4),
+                      std::make_tuple(3, 1, 1, 6), std::make_tuple(3, 6, 6, 6)),
+    shape_name);
+
+TEST(TaskGraph, SinglePartitionIsLoneRoot) {
+  const TaskGraph graph(uniform_layout(3, {1, 1, 1}, 32));
+  EXPECT_EQ(graph.size(), 1);
+  EXPECT_EQ(graph.node(0).num_preds, 0);
+  EXPECT_EQ(graph.node(0).num_succs, 0);
+  EXPECT_EQ(graph.roots().size(), 1u);
+}
+
+TEST(TaskGraph, TwoPartitionsChainAcrossWrap) {
+  // Two partitions along one dim: the odd one depends on the even one, with
+  // the ±1 neighbours coinciding through the periodic wrap.
+  const TaskGraph graph(uniform_layout(1, {2, 1, 1}, 16));
+  ASSERT_EQ(graph.size(), 2);
+  EXPECT_EQ(graph.node(0).gray_rank, 0);
+  EXPECT_EQ(graph.node(1).gray_rank, 1);
+  EXPECT_EQ(graph.node(1).num_preds, 1);  // deduplicated wrap neighbour
+  EXPECT_EQ(graph.node(1).preds[0], 0);
+}
+
+}  // namespace
+}  // namespace nufft

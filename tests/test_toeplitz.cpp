@@ -1,0 +1,128 @@
+// Tests for the Toeplitz-embedded normal operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nufft.hpp"
+#include "core/toeplitz.hpp"
+#include "mri/dcf.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+
+class ToeplitzSweep : public ::testing::TestWithParam<std::tuple<int, TrajectoryType>> {};
+
+TEST_P(ToeplitzSweep, MatchesForwardAdjointPair) {
+  const auto [dim, type] = GetParam();
+  const index_t N = dim == 3 ? 10 : 24;
+  const GridDesc g = make_grid(dim, N, 2.0);
+  const auto set = testing::small_trajectory(type, dim, N, dim == 3 ? 800 : 1200);
+
+  PlanConfig cfg;
+  cfg.threads = 2;
+  Nufft plan(g, set, cfg);
+  ToeplitzNormal normal(g, set, cfg);
+
+  const cvecf x = testing::random_image(g.image_elems(), 3);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  cvecf via_pair(static_cast<std::size_t>(g.image_elems()));
+  plan.forward(x.data(), raw.data());
+  plan.adjoint(raw.data(), via_pair.data());
+
+  cvecf via_toeplitz(static_cast<std::size_t>(g.image_elems()));
+  normal.apply(x.data(), via_toeplitz.data());
+
+  // Both approximate the exact AᴴA; their mutual error is bounded by the
+  // gridding accuracy (~1e-4 relative at W=4 in single precision).
+  EXPECT_LT(testing::rel_err(via_toeplitz.data(), via_pair.data(), g.image_elems()), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ToeplitzSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(TrajectoryType::kRadial,
+                                                              TrajectoryType::kRandom)),
+                         [](const auto& info) {
+                           return "d" + std::to_string(std::get<0>(info.param)) + "_" +
+                                  datasets::trajectory_name(std::get<1>(info.param));
+                         });
+
+TEST(Toeplitz, OperatorIsHermitian) {
+  const GridDesc g = make_grid(2, 20, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 20, 800);
+  PlanConfig cfg;
+  ToeplitzNormal normal(g, set, cfg);
+  const cvecf x = testing::random_image(g.image_elems(), 4);
+  const cvecf y = testing::random_image(g.image_elems(), 5);
+  cvecf qx(x.size()), qy(y.size());
+  normal.apply(x.data(), qx.data());
+  normal.apply(y.data(), qy.data());
+  cdouble lhs(0, 0), rhs(0, 0);
+  for (index_t i = 0; i < g.image_elems(); ++i) {
+    lhs += cdouble(qx[static_cast<std::size_t>(i)].real(), qx[static_cast<std::size_t>(i)].imag()) *
+           std::conj(cdouble(y[static_cast<std::size_t>(i)].real(), y[static_cast<std::size_t>(i)].imag()));
+    rhs += cdouble(x[static_cast<std::size_t>(i)].real(), x[static_cast<std::size_t>(i)].imag()) *
+           std::conj(cdouble(qy[static_cast<std::size_t>(i)].real(), qy[static_cast<std::size_t>(i)].imag()));
+  }
+  EXPECT_LT(std::abs(lhs - rhs) / std::abs(lhs), 1e-4);
+}
+
+TEST(Toeplitz, OperatorIsPositive) {
+  const GridDesc g = make_grid(2, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 600);
+  PlanConfig cfg;
+  ToeplitzNormal normal(g, set, cfg);
+  for (std::uint64_t seed : {10u, 11u, 12u}) {
+    const cvecf x = testing::random_image(g.image_elems(), seed);
+    cvecf qx(x.size());
+    normal.apply(x.data(), qx.data());
+    cdouble dot(0, 0);
+    for (index_t i = 0; i < g.image_elems(); ++i) {
+      dot += cdouble(qx[static_cast<std::size_t>(i)].real(), qx[static_cast<std::size_t>(i)].imag()) *
+             std::conj(cdouble(x[static_cast<std::size_t>(i)].real(), x[static_cast<std::size_t>(i)].imag()));
+    }
+    EXPECT_GT(dot.real(), 0.0);
+    EXPECT_LT(std::abs(dot.imag()), 1e-3 * dot.real());
+  }
+}
+
+TEST(Toeplitz, InPlaceApplyAllowed) {
+  const GridDesc g = make_grid(2, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kSpiral, 2, 16, 400);
+  PlanConfig cfg;
+  ToeplitzNormal normal(g, set, cfg);
+  cvecf x = testing::random_image(g.image_elems(), 6);
+  cvecf out(x.size());
+  normal.apply(x.data(), out.data());
+  normal.apply(x.data(), x.data());  // in place
+  for (index_t i = 0; i < g.image_elems(); ++i) {
+    ASSERT_EQ(x[static_cast<std::size_t>(i)], out[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Toeplitz, WeightedOperatorMatchesWeightedPair) {
+  const GridDesc g = make_grid(2, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 900);
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  const fvec w = mri::radial_ramp_dcf(g, set);
+  ToeplitzNormal normal(g, set, cfg, w.data());
+
+  const cvecf x = testing::random_image(g.image_elems(), 7);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(x.data(), raw.data());
+  for (index_t i = 0; i < set.count(); ++i) {
+    raw[static_cast<std::size_t>(i)] *= w[static_cast<std::size_t>(i)];
+  }
+  cvecf via_pair(x.size());
+  plan.adjoint(raw.data(), via_pair.data());
+
+  cvecf via_toeplitz(x.size());
+  normal.apply(x.data(), via_toeplitz.data());
+  EXPECT_LT(testing::rel_err(via_toeplitz.data(), via_pair.data(), g.image_elems()), 2e-3);
+}
+
+}  // namespace
+}  // namespace nufft

@@ -1,0 +1,56 @@
+#include "test_util.hpp"
+
+#include <cmath>
+
+namespace nufft::testing {
+
+cvecf random_image(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvecf v(static_cast<std::size_t>(n));
+  for (auto& x : v) {
+    x = cfloat(static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1)));
+  }
+  return v;
+}
+
+cvecf random_raw(index_t n, std::uint64_t seed) { return random_image(n, seed ^ 0xABCDEF); }
+
+double rel_err(const cfloat* a, const cdouble* b, index_t n) {
+  double num = 0.0, den = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const cdouble d = cdouble(a[i].real(), a[i].imag()) - b[i];
+    num += std::norm(d);
+    den += std::norm(b[i]);
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+double rel_err(const cfloat* a, const cfloat* b, index_t n) {
+  double num = 0.0, den = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    const cdouble d = cdouble(a[i].real() - b[i].real(), a[i].imag() - b[i].imag());
+    num += std::norm(d);
+    den += std::norm(cdouble(b[i].real(), b[i].imag()));
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+double max_abs_diff(const cfloat* a, const cfloat* b, index_t n) {
+  double m = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  return m;
+}
+
+datasets::SampleSet small_trajectory(datasets::TrajectoryType type, int dim, index_t n,
+                                     index_t approx_count, std::uint64_t seed) {
+  datasets::TrajectoryParams p;
+  p.n = n;
+  p.k = std::max<index_t>(4, n / 2);
+  p.s = std::max<index_t>(1, approx_count / p.k);
+  p.seed = seed;
+  return datasets::make_trajectory(type, dim, p);
+}
+
+}  // namespace nufft::testing

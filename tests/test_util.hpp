@@ -1,0 +1,31 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "datasets/trajectory.hpp"
+
+namespace nufft::testing {
+
+/// Uniform random complex image in [-1,1]².
+cvecf random_image(index_t n, std::uint64_t seed);
+
+/// Uniform random complex sample values.
+cvecf random_raw(index_t n, std::uint64_t seed);
+
+/// Relative L2 error ‖a − b‖/‖b‖ for float-vs-double comparisons.
+double rel_err(const cfloat* a, const cdouble* b, index_t n);
+double rel_err(const cfloat* a, const cfloat* b, index_t n);
+
+/// Maximum absolute element difference.
+double max_abs_diff(const cfloat* a, const cfloat* b, index_t n);
+
+/// Small trajectory for correctness tests: ~count samples of the given type.
+datasets::SampleSet small_trajectory(datasets::TrajectoryType type, int dim, index_t n,
+                                     index_t approx_count, std::uint64_t seed = 99);
+
+}  // namespace nufft::testing
