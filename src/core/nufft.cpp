@@ -83,16 +83,6 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
     scale_[static_cast<std::size_t>(d)] = std::move(s);
   }
 
-  grid_.resize(static_cast<std::size_t>(g_.grid_elems()));
-
-  // Pre-allocate private buffers for privatized tasks (reused every call).
-  private_bufs_.resize(pp_.tasks.size());
-  for (std::size_t k = 0; k < pp_.tasks.size(); ++k) {
-    if (pp_.privatized[k]) {
-      private_bufs_[k].resize(static_cast<std::size_t>(pp_.tasks[k].box_elems(g_.dim)));
-    }
-  }
-
   // The LUT lives in the plan for the whole lifetime.
   lut_ = std::make_unique<kernels::KernelLut>(*kernel, cfg.lut_samples_per_unit);
 
@@ -107,19 +97,44 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
   } else {
     conv_mode_ = ConvMode::kSse;
   }
+
+  // The plan-owned workspace backing the convenience (non-const) API.
+  ws_ = make_workspace();
 }
 
 Nufft::~Nufft() = default;
 
-void Nufft::clear_grid() {
-  cfloat* p = grid_.data();
-  pool_->parallel_for(static_cast<index_t>(grid_.size()), [&](index_t b, index_t e) {
+Workspace Nufft::make_workspace() const {
+  Workspace ws;
+  ws.grid.resize(static_cast<std::size_t>(g_.grid_elems()));
+  ws.private_bufs.resize(pp_.tasks.size());
+  for (std::size_t k = 0; k < pp_.tasks.size(); ++k) {
+    if (pp_.privatized[k]) {
+      ws.private_bufs[k].resize(static_cast<std::size_t>(pp_.tasks[k].box_elems(g_.dim)));
+    }
+  }
+  return ws;
+}
+
+std::size_t Nufft::workspace_bytes() const {
+  std::size_t elems = static_cast<std::size_t>(g_.grid_elems());
+  for (std::size_t k = 0; k < pp_.tasks.size(); ++k) {
+    if (pp_.privatized[k]) elems += static_cast<std::size_t>(pp_.tasks[k].box_elems(g_.dim));
+  }
+  return elems * sizeof(cfloat);
+}
+
+void Nufft::clear_grid(Workspace& ws, ThreadPool& pool) const {
+  cfloat* p = ws.grid.data();
+  pool.parallel_for(static_cast<index_t>(ws.grid.size()), [&](index_t b, index_t e) {
     zero_complex(p + b, static_cast<std::size_t>(e - b));
   });
 }
 
-void Nufft::image_to_grid(const cfloat* image) {
-  clear_grid();
+void Nufft::clear_grid() { clear_grid(ws_, *pool_); }
+
+void Nufft::image_to_grid(const cfloat* image, Workspace& ws, ThreadPool& pool) const {
+  clear_grid(ws, pool);
   const int dim = g_.dim;
   const auto st = g_.grid_strides();
   const index_t n0 = g_.n[0];
@@ -128,7 +143,7 @@ void Nufft::image_to_grid(const cfloat* image) {
   const fvec& s0 = scale_[0];
   const fvec* s1 = dim >= 2 ? &scale_[1] : nullptr;
   const fvec* s2 = dim >= 3 ? &scale_[2] : nullptr;
-  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+  pool.parallel_for(n0, [&](index_t b, index_t e) {
     for (index_t i0 = b; i0 < e; ++i0) {
       const float f0 = s0[static_cast<std::size_t>(i0)];
       const index_t g0 = wrap_[0][static_cast<std::size_t>(i0)];
@@ -136,7 +151,7 @@ void Nufft::image_to_grid(const cfloat* image) {
         const float f01 = dim >= 2 ? f0 * (*s1)[static_cast<std::size_t>(i1)] : f0;
         const index_t g1 = dim >= 2 ? wrap_[1][static_cast<std::size_t>(i1)] : 0;
         const cfloat* src = image + (i0 * n1 + i1) * n2;
-        cfloat* dst = grid_.data() + g0 * st[0] + (dim >= 2 ? g1 * st[1] : 0);
+        cfloat* dst = ws.grid.data() + g0 * st[0] + (dim >= 2 ? g1 * st[1] : 0);
         if (dim >= 3) {
           for (index_t i2 = 0; i2 < n2; ++i2) {
             dst[wrap_[2][static_cast<std::size_t>(i2)]] =
@@ -150,7 +165,9 @@ void Nufft::image_to_grid(const cfloat* image) {
   });
 }
 
-void Nufft::grid_to_image(cfloat* image) const {
+void Nufft::image_to_grid(const cfloat* image) { image_to_grid(image, ws_, *pool_); }
+
+void Nufft::grid_to_image(cfloat* image, const Workspace& ws, ThreadPool& pool) const {
   const int dim = g_.dim;
   const auto st = g_.grid_strides();
   const index_t n0 = g_.n[0];
@@ -159,7 +176,7 @@ void Nufft::grid_to_image(cfloat* image) const {
   const fvec& s0 = scale_[0];
   const fvec* s1 = dim >= 2 ? &scale_[1] : nullptr;
   const fvec* s2 = dim >= 3 ? &scale_[2] : nullptr;
-  pool_->parallel_for(n0, [&](index_t b, index_t e) {
+  pool.parallel_for(n0, [&](index_t b, index_t e) {
     for (index_t i0 = b; i0 < e; ++i0) {
       const float f0 = s0[static_cast<std::size_t>(i0)];
       const index_t g0 = wrap_[0][static_cast<std::size_t>(i0)];
@@ -167,7 +184,7 @@ void Nufft::grid_to_image(cfloat* image) const {
         const float f01 = dim >= 2 ? f0 * (*s1)[static_cast<std::size_t>(i1)] : f0;
         const index_t g1 = dim >= 2 ? wrap_[1][static_cast<std::size_t>(i1)] : 0;
         cfloat* dst = image + (i0 * n1 + i1) * n2;
-        const cfloat* src = grid_.data() + g0 * st[0] + (dim >= 2 ? g1 * st[1] : 0);
+        const cfloat* src = ws.grid.data() + g0 * st[0] + (dim >= 2 ? g1 * st[1] : 0);
         if (dim >= 3) {
           for (index_t i2 = 0; i2 < n2; ++i2) {
             dst[i2] = src[wrap_[2][static_cast<std::size_t>(i2)]] *
@@ -181,24 +198,30 @@ void Nufft::grid_to_image(cfloat* image) const {
   });
 }
 
-void Nufft::interp(cfloat* raw) {
+void Nufft::grid_to_image(cfloat* image) const {
+  grid_to_image(image, ws_, *pool_);
+}
+
+void Nufft::interp(cfloat* raw, const Workspace& ws, ThreadPool& pool) const {
   const auto st = g_.grid_strides();
-  const cfloat* grid = grid_.data();
+  const cfloat* grid = ws.grid.data();
   const int ntasks = static_cast<int>(pp_.tasks.size());
 
   dim_dispatch(
       g_.dim,
-      [&] { interp_dim<1>(grid, st, raw, ntasks); },
-      [&] { interp_dim<2>(grid, st, raw, ntasks); },
-      [&] { interp_dim<3>(grid, st, raw, ntasks); });
+      [&] { interp_dim<1>(grid, st, raw, ntasks, pool); },
+      [&] { interp_dim<2>(grid, st, raw, ntasks, pool); },
+      [&] { interp_dim<3>(grid, st, raw, ntasks, pool); });
 }
+
+void Nufft::interp(cfloat* raw) { interp(raw, ws_, *pool_); }
 
 template <int DIM>
 void Nufft::interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfloat* raw,
-                       int ntasks) {
+                       int ntasks, ThreadPool& pool) const {
   const ConvMode mode = conv_mode_;
   const bool fill_dup = mode != ConvMode::kScalar;
-  pool_->parallel_for_tid(ntasks, 1, [&](int, index_t kb, index_t ke) {
+  pool.parallel_for_tid(ntasks, 1, [&](int, index_t kb, index_t ke) {
     WindowBuf wb;
     for (index_t k = kb; k < ke; ++k) {
       const ConvTask& task = pp_.tasks[static_cast<std::size_t>(k)];
@@ -226,17 +249,19 @@ void Nufft::interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfl
   });
 }
 
-void Nufft::run_spread(const cfloat* raw, OperatorStats* stats) {
+void Nufft::run_spread(const cfloat* raw, Workspace& ws, ThreadPool& pool,
+                       OperatorStats* stats) const {
   const auto st = g_.grid_strides();
   dim_dispatch(
-      g_.dim, [&] { spread_dim<1>(raw, st, stats); }, [&] { spread_dim<2>(raw, st, stats); },
-      [&] { spread_dim<3>(raw, st, stats); });
+      g_.dim, [&] { spread_dim<1>(raw, st, ws, pool, stats); },
+      [&] { spread_dim<2>(raw, st, ws, pool, stats); },
+      [&] { spread_dim<3>(raw, st, ws, pool, stats); });
 }
 
 template <int DIM>
-void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st,
-                       OperatorStats* stats) {
-  cfloat* grid = grid_.data();
+void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, Workspace& ws,
+                       ThreadPool& pool, OperatorStats* stats) const {
+  cfloat* grid = ws.grid.data();
   const ConvMode mode = conv_mode_;
   const bool fill_dup = mode != ConvMode::kScalar;
 
@@ -283,7 +308,7 @@ void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st,
         convolve_range(task, grid, st, false);
         break;
       case JobPhase::kPrivateConvolve: {
-        auto& buf = private_bufs_[static_cast<std::size_t>(task_id)];
+        auto& buf = ws.private_bufs[static_cast<std::size_t>(task_id)];
         zero_complex(buf.data(), buf.size());
         std::array<index_t, 3> bst{1, 1, 1};
         for (int d = DIM - 2; d >= 0; --d) {
@@ -297,7 +322,7 @@ void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st,
       }
       case JobPhase::kReduce: {
         // Merge the private box into the global grid, wrapping mod M.
-        const auto& buf = private_bufs_[static_cast<std::size_t>(task_id)];
+        const auto& buf = ws.private_bufs[static_cast<std::size_t>(task_id)];
         std::array<index_t, 3> blen{1, 1, 1};
         for (int d = 0; d < DIM; ++d) {
           blen[static_cast<std::size_t>(d)] = task.box_hi[static_cast<std::size_t>(d)] -
@@ -331,60 +356,64 @@ void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st,
 
   SchedulerStats sstats;
   if (cfg_.color_barrier_schedule) {
-    sstats = run_task_graph_colored(*pp_.graph, pp_.weights, *pool_, body);
+    sstats = run_task_graph_colored(*pp_.graph, pp_.weights, pool, body);
   } else {
     SchedulerConfig scfg;
     scfg.priority_queue = cfg_.priority_queue;
     scfg.record_trace = cfg_.record_trace;
-    sstats = run_task_graph(*pp_.graph, pp_.weights, pp_.privatized, *pool_, body, scfg);
+    sstats = run_task_graph(*pp_.graph, pp_.weights, pp_.privatized, pool, body, scfg);
   }
   if (stats != nullptr) {
     stats->tasks = sstats.tasks;
     stats->privatized_tasks = sstats.privatized_tasks;
     stats->busy_ns_per_context = std::move(sstats.busy_ns_per_context);
   }
-  trace_ = std::move(sstats.trace);
+  ws.trace = std::move(sstats.trace);
 }
 
 void Nufft::spread(const cfloat* raw) {
-  clear_grid();
-  run_spread(raw, nullptr);
+  clear_grid(ws_, *pool_);
+  run_spread(raw, ws_, *pool_, nullptr);
 }
 
-void Nufft::forward(const cfloat* image, cfloat* raw) {
+void Nufft::forward(const cfloat* image, cfloat* raw, Workspace& ws, ThreadPool& pool) const {
   Timer total;
   Timer t;
-  image_to_grid(image);
-  fwd_stats_.scale_s = t.seconds();
+  image_to_grid(image, ws, pool);
+  ws.fwd_stats.scale_s = t.seconds();
 
   t.reset();
-  fft_fwd_->transform(grid_.data(), *pool_);
-  fwd_stats_.fft_s = t.seconds();
+  fft_fwd_->transform(ws.grid.data(), pool);
+  ws.fwd_stats.fft_s = t.seconds();
 
   t.reset();
-  interp(raw);
-  fwd_stats_.conv_s = t.seconds();
-  fwd_stats_.total_s = total.seconds();
+  interp(raw, ws, pool);
+  ws.fwd_stats.conv_s = t.seconds();
+  ws.fwd_stats.total_s = total.seconds();
 }
 
-void Nufft::adjoint(const cfloat* raw, cfloat* image) {
+void Nufft::forward(const cfloat* image, cfloat* raw) { forward(image, raw, ws_, *pool_); }
+
+void Nufft::adjoint(const cfloat* raw, cfloat* image, Workspace& ws, ThreadPool& pool) const {
   Timer total;
   Timer t;
-  clear_grid();
-  adj_stats_.scale_s = t.seconds();
+  clear_grid(ws, pool);
+  ws.adj_stats.scale_s = t.seconds();
 
   t.reset();
-  run_spread(raw, &adj_stats_);
-  adj_stats_.conv_s = t.seconds();
+  run_spread(raw, ws, pool, &ws.adj_stats);
+  ws.adj_stats.conv_s = t.seconds();
 
   t.reset();
-  fft_inv_->transform(grid_.data(), *pool_);
-  adj_stats_.fft_s = t.seconds();
+  fft_inv_->transform(ws.grid.data(), pool);
+  ws.adj_stats.fft_s = t.seconds();
 
   t.reset();
-  grid_to_image(image);
-  adj_stats_.scale_s += t.seconds();
-  adj_stats_.total_s = total.seconds();
+  grid_to_image(image, ws, pool);
+  ws.adj_stats.scale_s += t.seconds();
+  ws.adj_stats.total_s = total.seconds();
 }
+
+void Nufft::adjoint(const cfloat* raw, cfloat* image) { adjoint(raw, image, ws_, *pool_); }
 
 }  // namespace nufft

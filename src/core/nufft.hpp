@@ -12,9 +12,22 @@
 // adjoint(forward(x)) ≈ M^d·x apodization-corrected — iterative solvers are
 // insensitive to the constant and direct users can divide by M^d.
 //
-// A plan is built once per trajectory (preprocessing: partitioning, task
-// graph, sample reorder) and applied many times; apply calls are not
-// re-entrant on the same plan (the plan owns the grid buffer and pool).
+// Concurrency contract (the workspace-lease model): a plan is built once per
+// trajectory (preprocessing: partitioning, task graph, sample reorder) and is
+// immutable afterwards — tables, task graph and FFT plans are only read by
+// applies. All mutable per-apply state (the oversampled grid, private
+// reduction buffers, stats, trace) lives in a `Workspace`. The const
+// `forward`/`adjoint` overloads take an explicit workspace and thread pool
+// and may run concurrently on the same plan as long as each call holds its
+// own workspace and pool — `exec::NufftEngine` leases workspaces per job on
+// exactly this contract. The legacy non-const overloads use a workspace and
+// pool owned by the plan and therefore remain single-caller-at-a-time; they
+// exist for convenience and for the component benchmarks.
+//
+// Batched applies (B right-hand sides per scheduler walk) are layered on the
+// same contract by `exec::BatchNufft`, which stores B oversampled grids as
+// consecutive slabs (batch-major: slab b at offset b·grid_elems()) so each
+// slice keeps the single-transform memory layout; see DESIGN.md §7.
 #pragma once
 
 #include <memory>
@@ -30,6 +43,21 @@
 #include "parallel/thread_pool.hpp"
 
 namespace nufft {
+
+namespace exec {
+class BatchNufft;
+}
+
+/// Mutable per-apply state, rentable so concurrent applies on one plan never
+/// share buffers. Obtain via Nufft::make_workspace(); the struct is movable
+/// and plan-specific (buffer shapes follow the plan's grid and task list).
+struct Workspace {
+  cvecf grid;                        // oversampled grid, grid_elems() values
+  std::vector<cvecf> private_bufs;   // one per privatized task (empty else)
+  OperatorStats fwd_stats;
+  OperatorStats adj_stats;
+  std::vector<TraceEvent> trace;
+};
 
 class Nufft {
  public:
@@ -52,6 +80,23 @@ class Nufft {
   index_t image_elems() const { return g_.image_elems(); }
   index_t sample_count() const { return nsamples_; }
 
+  // --- re-entrant apply API (the workspace-lease model) ---
+
+  /// A fresh workspace sized for this plan.
+  Workspace make_workspace() const;
+
+  /// Bytes a workspace for this plan occupies (grid + private buffers).
+  std::size_t workspace_bytes() const;
+
+  /// image (N^dim, centered, row-major) → raw. Thread-safe on a const plan:
+  /// concurrent calls must pass distinct workspaces and distinct pools.
+  void forward(const cfloat* image, cfloat* raw, Workspace& ws, ThreadPool& pool) const;
+
+  /// raw (sample values, caller order) → image (N^dim). Same contract.
+  void adjoint(const cfloat* raw, cfloat* image, Workspace& ws, ThreadPool& pool) const;
+
+  // --- convenience apply API (uses the plan-owned workspace and pool) ---
+
   /// image (N^dim, centered, row-major) → raw (sample values, caller order).
   void forward(const cfloat* image, cfloat* raw);
 
@@ -59,6 +104,7 @@ class Nufft {
   void adjoint(const cfloat* raw, cfloat* image);
 
   // --- component entry points for benchmarking and tests ---
+  // These operate on the plan-owned workspace (not re-entrant).
 
   /// Adjoint convolution only: spread raw samples onto the internal grid
   /// (grid is cleared first).
@@ -68,8 +114,8 @@ class Nufft {
   void interp(cfloat* raw);
 
   /// The internal oversampled grid (grid_desc().grid_elems() values).
-  cfloat* grid_data() { return grid_.data(); }
-  const cfloat* grid_data() const { return grid_.data(); }
+  cfloat* grid_data() { return ws_.grid.data(); }
+  const cfloat* grid_data() const { return ws_.grid.data(); }
   void clear_grid();
 
   /// Fill the grid from an image (scale + chop + zero-pad), no FFT.
@@ -78,10 +124,10 @@ class Nufft {
   void grid_to_image(cfloat* image) const;
 
   // --- instrumentation ---
-  const OperatorStats& last_forward_stats() const { return fwd_stats_; }
-  const OperatorStats& last_adjoint_stats() const { return adj_stats_; }
+  const OperatorStats& last_forward_stats() const { return ws_.fwd_stats; }
+  const OperatorStats& last_adjoint_stats() const { return ws_.adj_stats; }
   const Preprocessed& plan() const { return pp_; }
-  const std::vector<TraceEvent>& last_trace() const { return trace_; }
+  const std::vector<TraceEvent>& last_trace() const { return ws_.trace; }
   ThreadPool& pool() { return *pool_; }
 
   /// Vector path resolved from PlanConfig::use_simd / isa and the CPU.
@@ -89,12 +135,20 @@ class Nufft {
   ConvMode conv_mode() const { return conv_mode_; }
 
  private:
-  void run_spread(const cfloat* raw, OperatorStats* stats);
+  friend class exec::BatchNufft;
+
+  void clear_grid(Workspace& ws, ThreadPool& pool) const;
+  void image_to_grid(const cfloat* image, Workspace& ws, ThreadPool& pool) const;
+  void grid_to_image(cfloat* image, const Workspace& ws, ThreadPool& pool) const;
+  void interp(cfloat* raw, const Workspace& ws, ThreadPool& pool) const;
+  void run_spread(const cfloat* raw, Workspace& ws, ThreadPool& pool,
+                  OperatorStats* stats) const;
   template <int DIM>
   void interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfloat* raw,
-                  int ntasks);
+                  int ntasks, ThreadPool& pool) const;
   template <int DIM>
-  void spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, OperatorStats* stats);
+  void spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, Workspace& ws,
+                  ThreadPool& pool, OperatorStats* stats) const;
 
   GridDesc g_;
   PlanConfig cfg_;
@@ -107,11 +161,7 @@ class Nufft {
   std::array<std::vector<index_t>, 3> wrap_;  // image index → grid index per dim
   std::unique_ptr<kernels::KernelLut> lut_;
   ConvMode conv_mode_ = ConvMode::kSse;
-  cvecf grid_;
-  std::vector<cvecf> private_bufs_;    // one per privatized task (empty else)
-  OperatorStats fwd_stats_;
-  OperatorStats adj_stats_;
-  std::vector<TraceEvent> trace_;
+  Workspace ws_;  // the plan-owned workspace behind the convenience API
 };
 
 }  // namespace nufft

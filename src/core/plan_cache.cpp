@@ -192,4 +192,16 @@ Preprocessed load_plan(const std::string& path, const GridDesc& g,
   return deserialize_plan(blob.data(), blob.size(), g, samples);
 }
 
+std::size_t plan_resident_bytes(const Preprocessed& pp, const GridDesc& g) {
+  std::size_t bytes = sizeof(Preprocessed);
+  for (int d = 0; d < g.dim; ++d) {
+    bytes += pp.coords[static_cast<std::size_t>(d)].size() * sizeof(float);
+  }
+  bytes += pp.orig_index.size() * sizeof(index_t);
+  bytes += pp.tasks.size() * sizeof(ConvTask);
+  bytes += pp.weights.size() * sizeof(index_t);
+  bytes += pp.privatized.size() * sizeof(char);
+  return bytes;
+}
+
 }  // namespace nufft

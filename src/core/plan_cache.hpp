@@ -37,4 +37,10 @@ void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& 
 Preprocessed load_plan(const std::string& path, const GridDesc& g,
                        const datasets::SampleSet& samples);
 
+/// Approximate heap bytes a restored plan keeps resident (reordered
+/// coordinates, permutation, task list, weights, marks). Used by
+/// exec::PlanRegistry to enforce its byte budget; the task-graph adjacency
+/// is excluded (it is O(tasks), dwarfed by the per-sample arrays).
+std::size_t plan_resident_bytes(const Preprocessed& pp, const GridDesc& g);
+
 }  // namespace nufft

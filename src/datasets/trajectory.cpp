@@ -1,6 +1,7 @@
 #include "datasets/trajectory.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -158,6 +159,44 @@ SampleSet make_trajectory(TrajectoryType type, int dim, const TrajectoryParams& 
       break;
   }
   return set;
+}
+
+namespace {
+
+// FNV-1a over a byte range. Chosen over faster mixers because the hash must
+// be byte-stable across platforms and compiler versions — it keys on-disk
+// plan spills, not just in-memory lookups.
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <class T>
+inline std::uint64_t fnv1a_value(std::uint64_t h, T v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::uint64_t content_hash(const SampleSet& set) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  h = fnv1a_value(h, static_cast<std::int64_t>(set.dim));
+  h = fnv1a_value(h, static_cast<std::int64_t>(set.m));
+  h = fnv1a_value(h, static_cast<std::int64_t>(set.k));
+  h = fnv1a_value(h, static_cast<std::int64_t>(set.s));
+  h = fnv1a_value(h, static_cast<std::int64_t>(set.type));
+  for (int d = 0; d < set.dim; ++d) {
+    const fvec& c = set.coords[static_cast<std::size_t>(d)];
+    // Frame each array with its length so truncation shifts every later
+    // byte's position in the stream instead of silently colliding.
+    h = fnv1a_value(h, static_cast<std::uint64_t>(c.size()));
+    h = fnv1a(h, c.data(), c.size() * sizeof(float));
+  }
+  return h;
 }
 
 }  // namespace nufft::datasets

@@ -47,4 +47,11 @@ struct TrajectoryParams {
 /// Generate a trajectory of the requested type and dimensionality (1–3).
 SampleSet make_trajectory(TrajectoryType type, int dim, const TrajectoryParams& params);
 
+/// Stable 64-bit content hash of a sample set: geometry (dim, m, k, s, type)
+/// plus every coordinate byte, in order. Two sets hash equal iff their
+/// transforms are interchangeable as PlanRegistry keys. Order-sensitive
+/// (a reordered trajectory preprocesses differently) and length-framed
+/// (a truncated coordinate array cannot collide with its prefix).
+std::uint64_t content_hash(const SampleSet& set);
+
 }  // namespace nufft::datasets

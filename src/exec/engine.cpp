@@ -1,0 +1,184 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "exec/batch_conv.hpp"
+
+namespace nufft::exec {
+
+NufftEngine::NufftEngine(EngineConfig cfg) : cfg_(cfg) {
+  NUFFT_CHECK(cfg_.workers >= 1);
+  NUFFT_CHECK(cfg_.threads_per_worker >= 1);
+  threads_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+NufftEngine::~NufftEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::future<JobResult> NufftEngine::submit(Op op, std::shared_ptr<const Nufft> plan,
+                                           const cfloat* in, cfloat* out, index_t batch) {
+  NUFFT_CHECK(plan != nullptr);
+  NUFFT_CHECK(batch >= 1);
+  Job job;
+  job.op = op;
+  job.resolve_plan = [p = std::move(plan)] { return p; };
+  job.in = in;
+  job.out = out;
+  job.batch = batch;
+  return enqueue(std::move(job));
+}
+
+std::future<JobResult> NufftEngine::submit(Op op, PlanRegistry& registry, const GridDesc& g,
+                                           std::shared_ptr<const datasets::SampleSet> samples,
+                                           const PlanConfig& cfg, const cfloat* in, cfloat* out,
+                                           index_t batch) {
+  NUFFT_CHECK(samples != nullptr);
+  NUFFT_CHECK(batch >= 1);
+  Job job;
+  job.op = op;
+  job.resolve_plan = [&registry, g, s = std::move(samples), cfg] {
+    return registry.acquire(g, *s, cfg);
+  };
+  job.in = in;
+  job.out = out;
+  job.batch = batch;
+  return enqueue(std::move(job));
+}
+
+std::future<JobResult> NufftEngine::enqueue(Job job) {
+  auto fut = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NUFFT_CHECK(!stop_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void NufftEngine::worker_main() {
+  // Each worker owns its pool: applies use run_on_all, which must not nest,
+  // so concurrent jobs need disjoint execution contexts.
+  ThreadPool pool(cfg_.threads_per_worker);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      job.promise.set_value(run_job(job, pool));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+JobResult NufftEngine::run_job(Job& job, ThreadPool& pool) {
+  std::shared_ptr<const Nufft> plan = job.resolve_plan();
+  JobResult result;
+  if (job.batch == 1) {
+    auto ws = lease_workspace(plan);
+    if (job.op == Op::kForward) {
+      plan->forward(job.in, job.out, *ws, pool);
+      result.stats = ws->fwd_stats;
+    } else {
+      plan->adjoint(job.in, job.out, *ws, pool);
+      result.stats = ws->adj_stats;
+    }
+    result.trace = std::move(ws->trace);
+    return_workspace(plan.get(), std::move(ws));
+  } else {
+    auto bn = lease_batch(plan, job.batch);
+    std::vector<const cfloat*> in(static_cast<std::size_t>(job.batch));
+    std::vector<cfloat*> out(static_cast<std::size_t>(job.batch));
+    const index_t in_stride =
+        job.op == Op::kForward ? plan->image_elems() : plan->sample_count();
+    const index_t out_stride =
+        job.op == Op::kForward ? plan->sample_count() : plan->image_elems();
+    for (index_t b = 0; b < job.batch; ++b) {
+      in[static_cast<std::size_t>(b)] = job.in + b * in_stride;
+      out[static_cast<std::size_t>(b)] = job.out + b * out_stride;
+    }
+    if (job.op == Op::kForward) {
+      bn->forward(in.data(), out.data(), job.batch, pool);
+      result.stats = bn->last_forward_stats();
+    } else {
+      bn->adjoint(in.data(), out.data(), job.batch, pool);
+      result.stats = bn->last_adjoint_stats();
+    }
+    result.trace = bn->last_trace();
+    return_batch(plan.get(), std::move(bn));
+  }
+  return result;
+}
+
+std::unique_ptr<Workspace> NufftEngine::lease_workspace(
+    const std::shared_ptr<const Nufft>& plan) {
+  {
+    std::lock_guard<std::mutex> lock(lease_mu_);
+    LeasePool& lp = leases_[plan.get()];
+    if (!lp.pin) lp.pin = plan;
+    if (!lp.workspaces.empty()) {
+      auto ws = std::move(lp.workspaces.back());
+      lp.workspaces.pop_back();
+      return ws;
+    }
+  }
+  return std::make_unique<Workspace>(plan->make_workspace());
+}
+
+void NufftEngine::return_workspace(const Nufft* plan, std::unique_ptr<Workspace> ws) {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  leases_[plan].workspaces.push_back(std::move(ws));
+}
+
+std::unique_ptr<BatchNufft> NufftEngine::lease_batch(const std::shared_ptr<const Nufft>& plan,
+                                                     index_t batch) {
+  const index_t want = std::min(batch, kMaxBatch);
+  {
+    std::lock_guard<std::mutex> lock(lease_mu_);
+    LeasePool& lp = leases_[plan.get()];
+    if (!lp.pin) lp.pin = plan;
+    for (auto it = lp.batches.begin(); it != lp.batches.end(); ++it) {
+      if ((*it)->max_batch() >= want) {
+        auto bn = std::move(*it);
+        lp.batches.erase(it);
+        return bn;
+      }
+    }
+  }
+  return std::make_unique<BatchNufft>(*plan, want);
+}
+
+void NufftEngine::return_batch(const Nufft* plan, std::unique_ptr<BatchNufft> bn) {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  leases_[plan].batches.push_back(std::move(bn));
+}
+
+void NufftEngine::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+}  // namespace nufft::exec

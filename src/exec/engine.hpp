@@ -1,0 +1,125 @@
+// Async transform execution: submit forward/adjoint jobs against shared
+// plans and collect results through futures.
+//
+// The engine is the consumer of the workspace-lease model (core/nufft.hpp):
+// worker threads lease a per-job Workspace (batch == 1) or a BatchNufft
+// (batch > 1) from per-plan free lists, so any number of in-flight jobs may
+// target the *same* plan concurrently — the plan itself is only read. Each
+// worker owns a private ThreadPool (run_on_all does not nest), sized by
+// EngineConfig::threads_per_worker; total concurrency is
+// workers × threads_per_worker execution contexts.
+//
+// Determinism: a job's result depends only on (op, plan, inputs) — leases
+// recycle buffers but every apply fully overwrites or zero-initializes
+// them — so concurrent submissions produce results identical to running the
+// same jobs sequentially (bitwise, when each worker pool has one thread;
+// see tests/test_exec.cpp).
+//
+// Plans submitted by shared_ptr are pinned by the engine's lease pools
+// until the engine is destroyed, keeping leased buffers shape-compatible
+// with a live plan. The registry overload resolves (and possibly builds)
+// the plan inside the worker, making plan construction itself asynchronous.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/nufft.hpp"
+#include "core/stats.hpp"
+#include "exec/batch_nufft.hpp"
+#include "exec/plan_registry.hpp"
+
+namespace nufft::exec {
+
+enum class Op { kForward, kAdjoint };
+
+/// Per-job instrumentation, delivered through the future.
+struct JobResult {
+  OperatorStats stats;
+  std::vector<TraceEvent> trace;
+};
+
+struct EngineConfig {
+  int workers = 2;             // dispatcher threads, each owning a pool
+  int threads_per_worker = 1;  // ThreadPool size inside each worker
+};
+
+class NufftEngine {
+ public:
+  explicit NufftEngine(EngineConfig cfg = {});
+  ~NufftEngine();  // drains the queue, then joins the workers
+
+  NufftEngine(const NufftEngine&) = delete;
+  NufftEngine& operator=(const NufftEngine&) = delete;
+
+  /// Enqueue one transform. For batch == 1, `in`/`out` are single arrays;
+  /// for batch > 1 they are contiguous batches (slice b at
+  /// in + b·image_elems() / sample_count() as appropriate for `op`). The
+  /// buffers must stay valid until the future resolves.
+  std::future<JobResult> submit(Op op, std::shared_ptr<const Nufft> plan, const cfloat* in,
+                                cfloat* out, index_t batch = 1);
+
+  /// As above, but the plan is acquired from `registry` inside the worker —
+  /// submission never blocks on plan construction. The registry, sample set
+  /// and buffers must outlive the future.
+  std::future<JobResult> submit(Op op, PlanRegistry& registry, const GridDesc& g,
+                                std::shared_ptr<const datasets::SampleSet> samples,
+                                const PlanConfig& cfg, const cfloat* in, cfloat* out,
+                                index_t batch = 1);
+
+  /// Block until every submitted job has completed.
+  void wait_idle();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct Job {
+    Op op;
+    std::function<std::shared_ptr<const Nufft>()> resolve_plan;
+    const cfloat* in = nullptr;
+    cfloat* out = nullptr;
+    index_t batch = 1;
+    std::promise<JobResult> promise;
+  };
+
+  // Per-plan free lists of leased apply state. `pin` keeps the plan alive
+  // while leased buffers exist, so a recycled pointer can never alias a
+  // different plan.
+  struct LeasePool {
+    std::shared_ptr<const Nufft> pin;
+    std::vector<std::unique_ptr<Workspace>> workspaces;
+    std::vector<std::unique_ptr<BatchNufft>> batches;
+  };
+
+  std::future<JobResult> enqueue(Job job);
+  void worker_main();
+  JobResult run_job(Job& job, ThreadPool& pool);
+
+  std::unique_ptr<Workspace> lease_workspace(const std::shared_ptr<const Nufft>& plan);
+  void return_workspace(const Nufft* plan, std::unique_ptr<Workspace> ws);
+  std::unique_ptr<BatchNufft> lease_batch(const std::shared_ptr<const Nufft>& plan,
+                                          index_t batch);
+  void return_batch(const Nufft* plan, std::unique_ptr<BatchNufft> bn);
+
+  EngineConfig cfg_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Job> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+
+  std::mutex lease_mu_;
+  std::map<const Nufft*, LeasePool> leases_;
+};
+
+}  // namespace nufft::exec

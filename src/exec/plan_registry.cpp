@@ -1,0 +1,168 @@
+#include "exec/plan_registry.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "core/plan_cache.hpp"
+
+namespace nufft::exec {
+
+namespace {
+
+template <class T>
+void append_pod(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* p = reinterpret_cast<const char*>(&v);
+  out.append(p, sizeof(T));
+}
+
+std::uint64_t fnv64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PlanRegistry::PlanRegistry(RegistryConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::string PlanRegistry::make_key(const GridDesc& g, const datasets::SampleSet& samples,
+                                   const PlanConfig& cfg) {
+  std::string key;
+  key.reserve(128);
+  append_pod(key, static_cast<std::int64_t>(g.dim));
+  for (int d = 0; d < 3; ++d) {
+    append_pod(key, static_cast<std::int64_t>(g.n[static_cast<std::size_t>(d)]));
+    append_pod(key, static_cast<std::int64_t>(g.m[static_cast<std::size_t>(d)]));
+  }
+  append_pod(key, g.alpha);
+  append_pod(key, datasets::content_hash(samples));
+  append_pod(key, cfg.kernel_radius);
+  append_pod(key, static_cast<std::int32_t>(cfg.kernel));
+  append_pod(key, static_cast<std::int32_t>(cfg.lut_samples_per_unit));
+  append_pod(key, static_cast<std::int32_t>(cfg.threads));
+  append_pod(key, static_cast<std::int32_t>(cfg.use_simd));
+  append_pod(key, static_cast<std::int32_t>(cfg.isa));
+  append_pod(key, static_cast<std::int32_t>(cfg.reorder));
+  append_pod(key, static_cast<std::int32_t>(cfg.color_barrier_schedule));
+  append_pod(key, static_cast<std::int32_t>(cfg.variable_partitions));
+  append_pod(key, static_cast<std::int32_t>(cfg.priority_queue));
+  append_pod(key, static_cast<std::int32_t>(cfg.selective_privatization));
+  append_pod(key, static_cast<std::int32_t>(cfg.partitions_per_dim));
+  append_pod(key, cfg.privatization_factor);
+  append_pod(key, static_cast<std::int64_t>(cfg.reorder_tile));
+  append_pod(key, static_cast<std::int32_t>(cfg.record_trace));
+  return key;
+}
+
+std::string PlanRegistry::spill_path(const std::string& key) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fnv64(key)));
+  return (std::filesystem::path(cfg_.spill_dir) / (std::string(hex) + ".nufftplan")).string();
+}
+
+std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
+                                                   const datasets::SampleSet& samples,
+                                                   const PlanConfig& cfg) {
+  const std::string key = make_key(g, samples, cfg);
+
+  std::promise<std::shared_ptr<const Nufft>> prom;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      if (!it->second.ready) ++stats_.single_flight_waits;
+      it->second.tick = ++tick_;
+      auto fut = it->second.plan;  // copy under lock; get() outside
+      lock.unlock();
+      return fut.get();
+    }
+    ++stats_.misses;
+    Entry e;
+    e.plan = prom.get_future().share();
+    e.tick = ++tick_;
+    entries_.emplace(key, std::move(e));
+  }
+
+  // Build outside the lock so concurrent acquires of *other* keys proceed
+  // and same-key acquires block on the shared future, not the mutex.
+  std::shared_ptr<Nufft> plan;
+  try {
+    bool restored = false;
+    if (!cfg_.spill_dir.empty()) {
+      const std::string path = spill_path(key);
+      if (std::filesystem::exists(path)) {
+        try {
+          Preprocessed pp = load_plan(path, g, samples);
+          plan = std::make_shared<Nufft>(g, samples, cfg, std::move(pp));
+          restored = true;
+        } catch (...) {
+          // A stale or corrupt spill file is not an error — rebuild.
+        }
+      }
+    }
+    if (!plan) plan = std::make_shared<Nufft>(g, samples, cfg);
+    std::size_t bytes = plan_resident_bytes(plan->plan(), g) + plan->workspace_bytes();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (restored) ++stats_.spill_restores;
+    auto it = entries_.find(key);
+    it->second.ready = true;
+    it->second.bytes = bytes;
+    bytes_ += bytes;
+    evict_locked(key);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(key);
+    }
+    prom.set_exception(std::current_exception());
+    throw;
+  }
+  prom.set_value(plan);
+  return plan;
+}
+
+void PlanRegistry::evict_locked(const std::string& keep_key) {
+  while (bytes_ > cfg_.max_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready || it->first == keep_key) continue;
+      if (victim == entries_.end() || it->second.tick < victim->second.tick) victim = it;
+    }
+    if (victim == entries_.end()) break;  // nothing evictable (pending / just inserted)
+    if (!cfg_.spill_dir.empty()) {
+      const auto plan = victim->second.plan.get();
+      std::filesystem::create_directories(cfg_.spill_dir);
+      save_plan(spill_path(victim->first), plan->plan(), plan->grid_desc());
+      ++stats_.spills;
+    }
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+RegistryStats PlanRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t PlanRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t PlanRegistry::resident_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace nufft::exec

@@ -1,0 +1,95 @@
+// Concurrent plan registry: amortize preprocessing across transforms that
+// share a trajectory (the paper's §V-E offline-reuse argument, made safe for
+// multi-threaded services).
+//
+// Plans are keyed by the *content* of what determines them: grid geometry,
+// a 64-bit hash of the trajectory coordinates (datasets::content_hash), and
+// every PlanConfig field. Two requests with equal keys get the same plan.
+//
+// Concurrency — single-flight builds: the first requester of a key installs
+// a pending entry and builds the plan outside the registry lock; concurrent
+// requesters of the same key find the pending entry and block on its shared
+// future instead of duplicating the (expensive) preprocessing pass. A failed
+// build propagates its exception to every waiter and leaves no entry behind.
+//
+// Memory — LRU with optional disk spill: each resident plan is charged
+// plan_resident_bytes() + workspace_bytes(). When the total exceeds
+// RegistryConfig::max_bytes, least-recently-acquired ready entries are
+// evicted (never the one just inserted, and never pending builds). With a
+// spill_dir configured, eviction serializes the preprocessing result via
+// save_plan; a later acquire of the same key restores it with load_plan and
+// skips the partition/bin/reorder pass. Without a spill_dir evicted plans
+// are simply dropped and rebuilt on demand. Evicted shared_ptrs held by
+// callers stay valid — eviction only releases the registry's reference.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/grid.hpp"
+#include "core/nufft.hpp"
+#include "core/preprocess.hpp"
+#include "datasets/trajectory.hpp"
+
+namespace nufft::exec {
+
+struct RegistryConfig {
+  std::size_t max_bytes = 256u << 20;  // resident-plan budget
+  std::string spill_dir;               // empty: evicted plans are dropped
+};
+
+struct RegistryStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t spills = 0;
+  std::uint64_t spill_restores = 0;
+  std::uint64_t single_flight_waits = 0;  // hits that blocked on a pending build
+};
+
+class PlanRegistry {
+ public:
+  explicit PlanRegistry(RegistryConfig cfg = {});
+
+  PlanRegistry(const PlanRegistry&) = delete;
+  PlanRegistry& operator=(const PlanRegistry&) = delete;
+
+  /// The plan for (g, samples, cfg) — built, restored from spill, or shared
+  /// with earlier acquirers. Blocks if another thread is mid-build on the
+  /// same key. Thread-safe.
+  std::shared_ptr<const Nufft> acquire(const GridDesc& g, const datasets::SampleSet& samples,
+                                       const PlanConfig& cfg);
+
+  RegistryStats stats() const;
+  std::size_t resident_bytes() const;
+  std::size_t resident_count() const;
+
+  /// The registry key: packed bytes of the grid geometry, the trajectory
+  /// content hash, and every PlanConfig field.
+  static std::string make_key(const GridDesc& g, const datasets::SampleSet& samples,
+                              const PlanConfig& cfg);
+
+ private:
+  struct Entry {
+    std::shared_future<std::shared_ptr<const Nufft>> plan;
+    std::uint64_t tick = 0;   // last-acquire stamp for LRU
+    std::size_t bytes = 0;    // charged once ready
+    bool ready = false;
+  };
+
+  void evict_locked(const std::string& keep_key);
+  std::string spill_path(const std::string& key) const;
+
+  RegistryConfig cfg_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t bytes_ = 0;
+  RegistryStats stats_;
+};
+
+}  // namespace nufft::exec

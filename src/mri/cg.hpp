@@ -1,8 +1,9 @@
 // Conjugate-gradient solver for the normal equations AᴴA x = Aᴴ b
 // (Hermitian positive semi-definite operator), the standard engine of
 // iterative non-Cartesian MRI reconstruction. Each iteration applies AᴴA
-// once — i.e. one forward and one adjoint NUFFT per coil — which is exactly
-// the workload whose per-call cost the paper optimizes.
+// once — one coil-batched forward and adjoint NUFFT (exec::BatchNufft)
+// covering all coils — which is exactly the workload whose per-call cost
+// the paper optimizes.
 #pragma once
 
 #include <functional>

@@ -4,14 +4,17 @@
 //
 // Model: per coil c, data_c = NUFFT_forward(S_c ⊙ x). The reconstruction
 // solves the regularized least-squares problem with CG on the normal
-// equations; each CG iteration costs one forward + one adjoint NUFFT per
-// coil, all through one shared plan.
+// equations. All coils share one NUFFT plan, and every per-coil transform
+// loop runs as a single batched apply (exec::BatchNufft) with the coil
+// count as the batch — one scheduler walk, one window computation per
+// sample, and one pruned batched FFT pass cover all coils per CG iteration.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "core/nufft.hpp"
+#include "exec/batch_nufft.hpp"
 #include "mri/cg.hpp"
 
 namespace nufft::mri {
@@ -30,7 +33,8 @@ struct ReconResult {
 
 class MultichannelRecon {
  public:
-  /// Shares one NUFFT plan across all coils.
+  /// Shares one NUFFT plan across all coils; transforms are batched over
+  /// the coil dimension.
   MultichannelRecon(Nufft& plan, std::vector<cvecf> coil_maps);
 
   /// Simulate coil data from a ground-truth image (forward model).
@@ -46,9 +50,10 @@ class MultichannelRecon {
 
   Nufft& plan_;
   std::vector<cvecf> maps_;
-  cvecf tmp_image_;
-  cvecf tmp_raw_;
-  cvecf tmp_adj_;
+  exec::BatchNufft batch_;
+  cvecf tmp_images_;  // coils · image_elems(), coil-major
+  cvecf tmp_raws_;    // coils · sample_count()
+  cvecf tmp_adjs_;    // coils · image_elems()
   double pair_calls_ = 0.0;
 };
 

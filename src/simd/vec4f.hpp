@@ -60,6 +60,10 @@ struct Vec4f {
     return _mm_cvtss_f32(sums);
   }
 
+  /// Swap the two floats within each (re, im) pair: (a1, a0, a3, a2).
+  /// Building block of the SIMD complex multiply in the batched FFT stages.
+  Vec4f swap_pairs() const { return Vec4f(_mm_shuffle_ps(v, v, _MM_SHUFFLE(2, 3, 0, 1))); }
+
   /// Pairwise horizontal sum treating the register as two (re, im) pairs:
   /// returns (a0+a2, a1+a3) in the low two lanes — the complex accumulator
   /// reduction used by the forward convolution.

@@ -46,6 +46,11 @@ struct Vec8f {
     return Vec8f(_mm256_blend_ps(r, i, 0b10101010));
   }
 
+  /// Swap the (re, im) halves of every complex lane: (a,b,c,d,...) →
+  /// (b,a,d,c,...). In-lane permute — complex pairs never straddle the
+  /// 128-bit boundary.
+  Vec8f swap_pairs() const { return Vec8f(_mm256_permute_ps(v, _MM_SHUFFLE(2, 3, 0, 1))); }
+
   /// Fold the four complex lanes into one (re, im) pair:
   /// returns {Σ even lanes, Σ odd lanes}.
   void hsum_complex(float& re, float& im) const {

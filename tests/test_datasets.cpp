@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <tuple>
+#include <utility>
 
 #include "common/error.hpp"
 #include "datasets/presets.hpp"
@@ -238,6 +239,54 @@ TEST(Trajectory, NamesAreStable) {
   EXPECT_STREQ(trajectory_name(TrajectoryType::kRadial), "radial");
   EXPECT_STREQ(trajectory_name(TrajectoryType::kRandom), "random");
   EXPECT_STREQ(trajectory_name(TrajectoryType::kSpiral), "spiral");
+}
+
+SampleSet hash_fixture() {
+  TrajectoryParams p;
+  p.n = 16;
+  p.k = 32;
+  p.s = 8;
+  return make_trajectory(TrajectoryType::kRadial, 3, p);
+}
+
+TEST(ContentHash, EqualSetsHashEqual) {
+  const SampleSet a = hash_fixture();
+  const SampleSet b = hash_fixture();
+  EXPECT_EQ(content_hash(a), content_hash(b));
+}
+
+TEST(ContentHash, SensitiveToReordering) {
+  // Swapping two coordinates preserves the multiset of samples but changes
+  // the preprocessing (bin assignment order), so the hash must change.
+  const SampleSet a = hash_fixture();
+  SampleSet b = hash_fixture();
+  std::swap(b.coords[0][0], b.coords[0][1]);
+  EXPECT_NE(content_hash(a), content_hash(b));
+}
+
+TEST(ContentHash, SensitiveToTruncation) {
+  // Length framing: dropping the trailing sample of one dimension must not
+  // collide with the full set even though every remaining byte matches.
+  const SampleSet a = hash_fixture();
+  SampleSet b = hash_fixture();
+  b.coords[2].pop_back();
+  EXPECT_NE(content_hash(a), content_hash(b));
+}
+
+TEST(ContentHash, SensitiveToValueGeometryAndType) {
+  const SampleSet a = hash_fixture();
+
+  SampleSet b = hash_fixture();
+  b.coords[1][5] = std::nextafter(b.coords[1][5], 1e9f);
+  EXPECT_NE(content_hash(a), content_hash(b));
+
+  SampleSet c = hash_fixture();
+  c.m += 1;
+  EXPECT_NE(content_hash(a), content_hash(c));
+
+  SampleSet d = hash_fixture();
+  d.type = TrajectoryType::kSpiral;
+  EXPECT_NE(content_hash(a), content_hash(d));
 }
 
 }  // namespace

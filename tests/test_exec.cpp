@@ -1,0 +1,397 @@
+// Tests for the batched execution subsystem (src/exec/): BatchNufft
+// equivalence against repeated single applies, PlanRegistry single-flight /
+// LRU / spill behaviour, and concurrent NufftEngine submission. This
+// executable carries the `concurrency` ctest label and is the target of the
+// -DNUFFT_SANITIZE=thread build.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/convolution_avx2.hpp"
+#include "core/nufft.hpp"
+#include "datasets/trajectory.hpp"
+#include "exec/batch_nufft.hpp"
+#include "exec/engine.hpp"
+#include "exec/plan_registry.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+using exec::BatchNufft;
+using exec::NufftEngine;
+using exec::PlanRegistry;
+
+constexpr index_t kBatch = 5;
+
+struct Fixture {
+  GridDesc g;
+  datasets::SampleSet set;
+  std::vector<cvecf> images;  // kBatch random images
+  std::vector<cvecf> raws;    // kBatch random sample vectors
+};
+
+Fixture make_fixture(int dim) {
+  Fixture f;
+  const index_t n = dim == 3 ? 12 : (dim == 2 ? 20 : 48);
+  f.g = make_grid(dim, n, 2.0);
+  f.set = testing::small_trajectory(TrajectoryType::kRadial, dim, n, dim == 1 ? 100 : 400);
+  for (index_t b = 0; b < kBatch; ++b) {
+    f.images.push_back(testing::random_image(f.g.image_elems(), 100 + b));
+    f.raws.push_back(testing::random_raw(f.set.count(), 200 + b));
+  }
+  return f;
+}
+
+bool bitwise_equal(const cfloat* a, const cfloat* b, index_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(cfloat)) == 0;
+}
+
+// --- BatchNufft vs. repeated single applies -------------------------------
+
+class BatchEquivalence : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(BatchEquivalence, ForwardScalarSingleThreadIsBitExact) {
+  const auto [dim, chunked] = GetParam();
+  Fixture f = make_fixture(dim);
+  PlanConfig cfg;
+  cfg.use_simd = false;
+  cfg.threads = 1;
+  Nufft plan(f.g, f.set, cfg);
+
+  std::vector<cvecf> ref(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  for (index_t b = 0; b < kBatch; ++b) plan.forward(f.images[b].data(), ref[b].data());
+
+  BatchNufft batch(plan, chunked ? 2 : kBatch);
+  std::vector<const cfloat*> in;
+  std::vector<cfloat*> out;
+  std::vector<cvecf> got(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  for (index_t b = 0; b < kBatch; ++b) {
+    in.push_back(f.images[b].data());
+    out.push_back(got[b].data());
+  }
+  batch.forward(in.data(), out.data(), kBatch);
+
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_TRUE(bitwise_equal(got[b].data(), ref[b].data(), f.set.count())) << "slice " << b;
+  }
+}
+
+TEST_P(BatchEquivalence, AdjointScalarSingleThreadIsBitExact) {
+  const auto [dim, chunked] = GetParam();
+  Fixture f = make_fixture(dim);
+  PlanConfig cfg;
+  cfg.use_simd = false;
+  cfg.threads = 1;
+  Nufft plan(f.g, f.set, cfg);
+
+  std::vector<cvecf> ref(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  for (index_t b = 0; b < kBatch; ++b) plan.adjoint(f.raws[b].data(), ref[b].data());
+
+  BatchNufft batch(plan, chunked ? 2 : kBatch);
+  std::vector<const cfloat*> in;
+  std::vector<cfloat*> out;
+  std::vector<cvecf> got(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  for (index_t b = 0; b < kBatch; ++b) {
+    in.push_back(f.raws[b].data());
+    out.push_back(got[b].data());
+  }
+  batch.adjoint(in.data(), out.data(), kBatch);
+
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_TRUE(bitwise_equal(got[b].data(), ref[b].data(), f.g.image_elems()))
+        << "slice " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BatchEquivalence,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Bool()),
+                         [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+                           return std::to_string(std::get<0>(info.param)) + "d" +
+                                  (std::get<1>(info.param) ? "_chunked" : "");
+                         });
+
+class BatchSimdEquivalence : public ::testing::TestWithParam<std::tuple<int, SimdIsa>> {};
+
+TEST_P(BatchSimdEquivalence, MatchesSinglesToRounding) {
+  const auto [dim, isa] = GetParam();
+  if (isa == SimdIsa::kAvx2 && !avx2_available()) GTEST_SKIP() << "no AVX2";
+  Fixture f = make_fixture(dim);
+  PlanConfig cfg;
+  cfg.use_simd = true;
+  cfg.isa = isa;
+  cfg.threads = 2;
+  Nufft plan(f.g, f.set, cfg);
+
+  std::vector<cvecf> fref(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  std::vector<cvecf> aref(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  for (index_t b = 0; b < kBatch; ++b) {
+    plan.forward(f.images[b].data(), fref[b].data());
+    plan.adjoint(f.raws[b].data(), aref[b].data());
+  }
+
+  // Contiguous-layout convenience API doubles as the layout test.
+  cvecf imgs(static_cast<std::size_t>(kBatch * f.g.image_elems()));
+  cvecf raws(static_cast<std::size_t>(kBatch * f.set.count()));
+  for (index_t b = 0; b < kBatch; ++b) {
+    std::memcpy(imgs.data() + b * f.g.image_elems(), f.images[b].data(),
+                static_cast<std::size_t>(f.g.image_elems()) * sizeof(cfloat));
+    std::memcpy(raws.data() + b * f.set.count(), f.raws[b].data(),
+                static_cast<std::size_t>(f.set.count()) * sizeof(cfloat));
+  }
+  cvecf fgot(static_cast<std::size_t>(kBatch * f.set.count()));
+  cvecf agot(static_cast<std::size_t>(kBatch * f.g.image_elems()));
+  BatchNufft batch(plan, kBatch);
+  batch.forward(imgs.data(), fgot.data(), kBatch);
+  batch.adjoint(raws.data(), agot.data(), kBatch);
+
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_LT(testing::rel_err(fgot.data() + b * f.set.count(), fref[b].data(), f.set.count()),
+              1e-5)
+        << "fwd slice " << b;
+    EXPECT_LT(testing::rel_err(agot.data() + b * f.g.image_elems(), aref[b].data(),
+                               f.g.image_elems()),
+              1e-5)
+        << "adj slice " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsIsa, BatchSimdEquivalence,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(SimdIsa::kSse, SimdIsa::kAvx2)),
+                         [](const ::testing::TestParamInfo<std::tuple<int, SimdIsa>>& info) {
+                           return std::to_string(std::get<0>(info.param)) + "d_" +
+                                  (std::get<1>(info.param) == SimdIsa::kSse ? "sse" : "avx2");
+                         });
+
+// --- PlanRegistry ----------------------------------------------------------
+
+TEST(PlanRegistry, SingleFlightDeduplicatesConcurrentBuilds) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+
+  constexpr int kRequesters = 8;
+  std::vector<std::shared_ptr<const Nufft>> plans(kRequesters);
+  {
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    for (int t = 0; t < kRequesters; ++t) {
+      threads.emplace_back([&, t] {
+        ++ready;
+        while (ready.load() < kRequesters) std::this_thread::yield();
+        plans[static_cast<std::size_t>(t)] = registry.acquire(f.g, f.set, cfg);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  for (int t = 1; t < kRequesters; ++t) {
+    EXPECT_EQ(plans[static_cast<std::size_t>(t)].get(), plans[0].get());
+  }
+  const auto st = registry.stats();
+  EXPECT_EQ(st.misses, 1u);  // exactly one build
+  EXPECT_EQ(st.hits, static_cast<std::uint64_t>(kRequesters - 1));
+  EXPECT_EQ(registry.resident_count(), 1u);
+  EXPECT_GT(registry.resident_bytes(), 0u);
+}
+
+TEST(PlanRegistry, DistinctConfigsGetDistinctPlans) {
+  Fixture f = make_fixture(2);
+  PlanRegistry registry;
+  PlanConfig a;
+  a.threads = 1;
+  PlanConfig b = a;
+  b.kernel_radius = 3.0;
+  const auto pa = registry.acquire(f.g, f.set, a);
+  const auto pb = registry.acquire(f.g, f.set, b);
+  EXPECT_NE(pa.get(), pb.get());
+  EXPECT_EQ(registry.resident_count(), 2u);
+  EXPECT_EQ(registry.acquire(f.g, f.set, a).get(), pa.get());
+}
+
+TEST(PlanRegistry, LruEvictionSpillsAndRestores) {
+  Fixture f = make_fixture(2);
+  const auto set2 =
+      testing::small_trajectory(TrajectoryType::kSpiral, 2, f.g.n[0], 400);
+  PlanConfig cfg;
+  cfg.threads = 1;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "nufft_registry_spill_test";
+  std::filesystem::remove_all(dir);
+  exec::RegistryConfig rc;
+  rc.max_bytes = 1;  // every second resident plan forces an eviction
+  rc.spill_dir = dir.string();
+  PlanRegistry registry(rc);
+
+  cvecf ref(static_cast<std::size_t>(f.set.count()));
+  {
+    const auto plan_a = registry.acquire(f.g, f.set, cfg);
+    Workspace ws = plan_a->make_workspace();
+    ThreadPool pool(1);
+    plan_a->forward(f.images[0].data(), ref.data(), ws, pool);
+  }
+  // Second key exceeds the 1-byte budget: the LRU entry (plan A) is evicted
+  // and, because a spill_dir is set, serialized to disk.
+  registry.acquire(f.g, set2, cfg);
+  auto st = registry.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.spills, 1u);
+  EXPECT_EQ(registry.resident_count(), 1u);
+
+  // Re-acquiring plan A restores the preprocessing from the spill file and
+  // produces the same transform.
+  const auto plan_a2 = registry.acquire(f.g, f.set, cfg);
+  st = registry.stats();
+  EXPECT_EQ(st.spill_restores, 1u);
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+  Workspace ws = plan_a2->make_workspace();
+  ThreadPool pool(1);
+  plan_a2->forward(f.images[0].data(), got.data(), ws, pool);
+  EXPECT_TRUE(bitwise_equal(got.data(), ref.data(), f.set.count()));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PlanRegistry, KeyIsOrderAndContentSensitive) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  datasets::SampleSet reordered = f.set;
+  std::swap(reordered.coords[0][0], reordered.coords[0][1]);
+  std::swap(reordered.coords[1][0], reordered.coords[1][1]);
+  EXPECT_NE(PlanRegistry::make_key(f.g, f.set, cfg),
+            PlanRegistry::make_key(f.g, reordered, cfg));
+  PlanConfig cfg2 = cfg;
+  cfg2.priority_queue = false;
+  EXPECT_NE(PlanRegistry::make_key(f.g, f.set, cfg),
+            PlanRegistry::make_key(f.g, f.set, cfg2));
+  EXPECT_EQ(PlanRegistry::make_key(f.g, f.set, cfg), PlanRegistry::make_key(f.g, f.set, cfg));
+}
+
+// --- NufftEngine -----------------------------------------------------------
+
+TEST(NufftEngine, ConcurrentSubmitMatchesSequentialBitwise) {
+  Fixture f = make_fixture(3);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+
+  // Sequential reference through the same leased-workspace path.
+  std::vector<cvecf> fref(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  std::vector<cvecf> aref(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  {
+    Workspace ws = plan->make_workspace();
+    ThreadPool pool(1);
+    for (index_t b = 0; b < kBatch; ++b) {
+      plan->forward(f.images[b].data(), fref[b].data(), ws, pool);
+      plan->adjoint(f.raws[b].data(), aref[b].data(), ws, pool);
+    }
+  }
+
+  exec::EngineConfig ec;
+  ec.workers = 2;
+  ec.threads_per_worker = 1;
+  NufftEngine engine(ec);
+
+  // Two application threads race submissions against one shared plan.
+  std::vector<cvecf> fgot(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  std::vector<cvecf> agot(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  std::vector<std::future<exec::JobResult>> futs(2 * kBatch);
+  {
+    std::vector<std::thread> submitters;
+    submitters.emplace_back([&] {
+      for (index_t b = 0; b < kBatch; ++b) {
+        futs[static_cast<std::size_t>(b)] = engine.submit(
+            exec::Op::kForward, plan, f.images[b].data(), fgot[b].data());
+      }
+    });
+    submitters.emplace_back([&] {
+      for (index_t b = 0; b < kBatch; ++b) {
+        futs[static_cast<std::size_t>(kBatch + b)] = engine.submit(
+            exec::Op::kAdjoint, plan, f.raws[b].data(), agot[b].data());
+      }
+    });
+    for (auto& t : submitters) t.join();
+  }
+  for (auto& fut : futs) {
+    const auto r = fut.get();
+    EXPECT_GT(r.stats.total_s, 0.0);
+  }
+  engine.wait_idle();
+
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_TRUE(bitwise_equal(fgot[b].data(), fref[b].data(), f.set.count()))
+        << "fwd job " << b;
+    EXPECT_TRUE(bitwise_equal(agot[b].data(), aref[b].data(), f.g.image_elems()))
+        << "adj job " << b;
+  }
+}
+
+TEST(NufftEngine, BatchedJobsMatchSingles) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+
+  std::vector<cvecf> ref(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  {
+    Workspace ws = plan->make_workspace();
+    ThreadPool pool(1);
+    for (index_t b = 0; b < kBatch; ++b) {
+      plan->forward(f.images[b].data(), ref[b].data(), ws, pool);
+    }
+  }
+
+  cvecf imgs(static_cast<std::size_t>(kBatch * f.g.image_elems()));
+  for (index_t b = 0; b < kBatch; ++b) {
+    std::memcpy(imgs.data() + b * f.g.image_elems(), f.images[b].data(),
+                static_cast<std::size_t>(f.g.image_elems()) * sizeof(cfloat));
+  }
+  cvecf got(static_cast<std::size_t>(kBatch * f.set.count()));
+
+  NufftEngine engine;
+  auto fut = engine.submit(exec::Op::kForward, plan, imgs.data(), got.data(), kBatch);
+  const auto r = fut.get();
+  EXPECT_GT(r.stats.total_s, 0.0);
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_LT(testing::rel_err(got.data() + b * f.set.count(), ref[b].data(), f.set.count()),
+              1e-5)
+        << "slice " << b;
+  }
+}
+
+TEST(NufftEngine, RegistrySubmitResolvesPlanInWorker) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+  auto samples = std::make_shared<const datasets::SampleSet>(f.set);
+
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+  NufftEngine engine;
+  auto fut = engine.submit(exec::Op::kForward, registry, f.g, samples, cfg,
+                           f.images[0].data(), got.data());
+  fut.get();
+  EXPECT_EQ(registry.stats().misses, 1u);
+
+  const auto plan = registry.acquire(f.g, f.set, cfg);
+  cvecf ref(static_cast<std::size_t>(f.set.count()));
+  Workspace ws = plan->make_workspace();
+  ThreadPool pool(1);
+  plan->forward(f.images[0].data(), ref.data(), ws, pool);
+  EXPECT_TRUE(bitwise_equal(got.data(), ref.data(), f.set.count()));
+}
+
+}  // namespace
+}  // namespace nufft
