@@ -1,4 +1,12 @@
-// Error handling: precondition checks that throw, and debug-only assertions.
+// Error handling: the library-wide error taxonomy, precondition checks that
+// throw, and debug-only assertions.
+//
+// Every failure the library reports carries an ErrorCode so callers (and the
+// exec layer's retry/quarantine machinery) can distinguish caller mistakes
+// from transient faults without parsing message strings. is_retryable()
+// encodes the failure model: resource exhaustion and I/O corruption may
+// succeed on a retry (fresh allocation, rebuilt spill file); invalid input,
+// failed builds, cancellation and expired deadlines will not.
 #pragma once
 
 #include <sstream>
@@ -7,25 +15,64 @@
 
 namespace nufft {
 
-/// Exception type thrown by all NUFFT precondition failures.
+/// Failure taxonomy carried by every nufft::Error.
+enum class ErrorCode : int {
+  kInternal = 0,          // invariant violation — a library bug
+  kInvalidInput,          // caller-facing precondition failure
+  kBuildFailure,          // plan construction / preprocessing failed
+  kIoCorruption,          // persisted state truncated or corrupt
+  kCancelled,             // job cancelled before execution
+  kTimeout,               // job deadline expired
+  kResourceExhausted,     // allocation or capacity failure
+};
+
+constexpr const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kInvalidInput: return "invalid-input";
+    case ErrorCode::kBuildFailure: return "build-failure";
+    case ErrorCode::kIoCorruption: return "io-corruption";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
+  }
+  return "?";
+}
+
+/// True for failures that a bounded retry may clear. Invalid input and build
+/// failures are deterministic (the registry quarantines them instead);
+/// cancellation and timeouts are final by definition.
+constexpr bool is_retryable(ErrorCode code) {
+  return code == ErrorCode::kResourceExhausted || code == ErrorCode::kIoCorruption;
+}
+
+/// Exception type thrown by all NUFFT failures.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorCode code = ErrorCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
-                                             const std::string& msg) {
+                                             const std::string& msg,
+                                             ErrorCode code = ErrorCode::kInvalidInput) {
   std::ostringstream os;
   os << "NUFFT_CHECK failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(os.str(), code);
 }
 }  // namespace detail
 
 }  // namespace nufft
 
-/// Verify a caller-facing precondition; throws nufft::Error when violated.
+/// Verify a caller-facing precondition; throws nufft::Error
+/// (ErrorCode::kInvalidInput) when violated.
 #define NUFFT_CHECK(expr)                                                      \
   do {                                                                         \
     if (!(expr)) ::nufft::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
@@ -37,5 +84,15 @@ namespace detail {
       std::ostringstream os_;                                                  \
       os_ << msg;                                                              \
       ::nufft::detail::throw_check_failure(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                          \
+  } while (0)
+
+/// As NUFFT_CHECK_MSG, but with an explicit ErrorCode.
+#define NUFFT_CHECK_CODE(expr, code, msg)                                      \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      std::ostringstream os_;                                                  \
+      os_ << msg;                                                              \
+      ::nufft::detail::throw_check_failure(#expr, __FILE__, __LINE__, os_.str(), (code)); \
     }                                                                          \
   } while (0)

@@ -1,0 +1,112 @@
+#include "common/fault.hpp"
+
+#if defined(NUFFT_FAULT_INJECT)
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <string>
+
+namespace nufft::fault {
+
+namespace {
+
+struct Site {
+  int remaining = 0;        // triggers left to fire
+  int skip = 0;             // hits to ignore before firing
+  std::uint64_t fired = 0;  // triggers consumed so far
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+  bool env_parsed = false;
+
+  // NUFFT_FAULT="site:count[:skip][,site2:count2...]" — parsed once per
+  // reset() epoch so tests that call reset() re-read the environment.
+  void parse_env_locked() {
+    env_parsed = true;
+    const char* v = std::getenv("NUFFT_FAULT");
+    if (v == nullptr || *v == '\0') return;
+    std::string spec(v);
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t end = spec.find_first_of(",;", pos);
+      if (end == std::string::npos) end = spec.size();
+      const std::string item = spec.substr(pos, end - pos);
+      pos = end + 1;
+      const std::size_t c1 = item.find(':');
+      if (c1 == std::string::npos || c1 == 0) continue;
+      const std::string name = item.substr(0, c1);
+      const std::size_t c2 = item.find(':', c1 + 1);
+      Site s;
+      s.remaining = std::atoi(item.c_str() + c1 + 1);
+      if (c2 != std::string::npos) s.skip = std::atoi(item.c_str() + c2 + 1);
+      if (s.remaining > 0) sites[name] = s;
+    }
+  }
+
+  // True when the named site is armed and a trigger fires on this hit.
+  bool hit(const char* site) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!env_parsed) parse_env_locked();
+    auto it = sites.find(site);
+    if (it == sites.end() || it->second.remaining <= 0) return false;
+    if (it->second.skip > 0) {
+      --it->second.skip;
+      return false;
+    }
+    --it->second.remaining;
+    ++it->second.fired;
+    return true;
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+bool should_fail(const char* site) { return registry().hit(site); }
+
+void inject(const char* site, ErrorCode code) {
+  if (registry().hit(site)) {
+    throw Error(std::string("injected fault at ") + site, code);
+  }
+}
+
+void inject_alloc(const char* site) {
+  if (registry().hit(site)) throw std::bad_alloc();
+}
+
+void arm(const char* site, int count, int skip) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_parsed = true;  // explicit arming overrides the environment
+  Site s;
+  s.remaining = count;
+  s.skip = skip;
+  s.fired = r.sites.count(site) ? r.sites[site].fired : 0;
+  r.sites[site] = s;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  r.env_parsed = false;
+}
+
+std::uint64_t fired(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+}  // namespace nufft::fault
+
+#endif  // NUFFT_FAULT_INJECT

@@ -1,0 +1,63 @@
+// Fault injection for the robustness test suite.
+//
+// Production code marks the places where a failure has a defined recovery
+// path with a *named site*:
+//
+//   fault::inject("registry.build", ErrorCode::kBuildFailure);  // may throw
+//   fault::inject_alloc("batch.private_alloc");                 // may throw bad_alloc
+//   if (fault::should_fail("registry.spill.corrupt")) { ... }   // caller acts
+//
+// Sites are armed either programmatically (fault::arm, used by the test
+// suite) or through the NUFFT_FAULT environment variable, a comma/semicolon
+// separated list of `site:count[:skip]` triggers — each armed site fires
+// `count` times after ignoring its first `skip` hits.
+//
+// The whole facility compiles away unless the NUFFT_FAULT_INJECT CMake
+// option defines the macro of the same name: in release builds every call
+// below is a constant-false / empty inline and the named sites cost nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace nufft::fault {
+
+#if defined(NUFFT_FAULT_INJECT)
+
+/// True in builds that compile the injection hooks.
+constexpr bool enabled() { return true; }
+
+/// Consume one trigger at `site`; true when the site is armed and fires.
+bool should_fail(const char* site);
+
+/// Throw Error(code) when `site` fires.
+void inject(const char* site, ErrorCode code);
+
+/// Throw std::bad_alloc when `site` fires — stands in for a real allocation
+/// failure on the path that owns the site.
+void inject_alloc(const char* site);
+
+/// Arm `site` to fire `count` times after skipping its next `skip` hits.
+void arm(const char* site, int count, int skip = 0);
+
+/// Disarm every site and zero the hit counters (NUFFT_FAULT is re-read on
+/// the next hit).
+void reset();
+
+/// How many times `site` has fired since the last reset().
+std::uint64_t fired(const char* site);
+
+#else
+
+constexpr bool enabled() { return false; }
+constexpr bool should_fail(const char*) { return false; }
+inline void inject(const char*, ErrorCode) {}
+inline void inject_alloc(const char*) {}
+inline void arm(const char*, int, int = 0) {}
+inline void reset() {}
+inline std::uint64_t fired(const char*) { return 0; }
+
+#endif
+
+}  // namespace nufft::fault

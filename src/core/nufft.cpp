@@ -47,6 +47,9 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
 Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg,
              Preprocessed restored)
     : g_(g), cfg_(cfg), nsamples_(samples.count()) {
+  // Reject degenerate input before preprocessing touches it: NaN/Inf or
+  // out-of-range coordinates would silently corrupt the histogram pass.
+  datasets::validate_samples(samples);
   NUFFT_CHECK(samples.dim == g.dim);
   for (int d = 0; d < g.dim; ++d) {
     NUFFT_CHECK_MSG(samples.m == g.m[static_cast<std::size_t>(d)],

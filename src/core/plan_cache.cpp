@@ -14,6 +14,28 @@ namespace {
 constexpr std::uint32_t kMagic = 0x4E554657;  // "NUFW"
 constexpr std::uint32_t kVersion = 1;
 
+// On-disk container framing (save_plan/load_plan): a checksummed header in
+// front of the serialized blob, so a truncated or bit-flipped spill file is
+// detected before deserialization ever looks at the payload.
+constexpr std::uint32_t kFileMagic = 0x4E554653;  // "NUFS"
+constexpr std::uint32_t kFileVersion = 1;
+
+struct FileHeader {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t payload_bytes;
+  std::uint64_t checksum;  // FNV-1a over the payload
+};
+
+std::uint64_t fnv1a_bytes(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 class Writer {
  public:
   explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
@@ -56,7 +78,7 @@ class Reader {
 
  private:
   void take(void* dst, std::size_t n) {
-    NUFFT_CHECK_MSG(pos_ + n <= size_, "plan blob truncated");
+    NUFFT_CHECK_CODE(pos_ + n <= size_, ErrorCode::kIoCorruption, "plan blob truncated");
     std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
   }
@@ -99,8 +121,10 @@ Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const 
                               const datasets::SampleSet& samples) {
   Timer total;
   Reader r(data, size);
-  NUFFT_CHECK_MSG(r.get<std::uint32_t>() == kMagic, "not a NUFFT plan blob");
-  NUFFT_CHECK_MSG(r.get<std::uint32_t>() == kVersion, "unsupported plan version");
+  NUFFT_CHECK_CODE(r.get<std::uint32_t>() == kMagic, ErrorCode::kIoCorruption,
+                   "not a NUFFT plan blob");
+  NUFFT_CHECK_CODE(r.get<std::uint32_t>() == kVersion, ErrorCode::kIoCorruption,
+                   "unsupported plan version");
   NUFFT_CHECK_MSG(r.get<std::int32_t>() == g.dim, "plan built for a different dimensionality");
   for (int d = 0; d < g.dim; ++d) {
     NUFFT_CHECK_MSG(r.get<index_t>() == g.m[static_cast<std::size_t>(d)],
@@ -111,20 +135,22 @@ Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const 
   pp.layout.dim = g.dim;
   for (int d = 0; d < g.dim; ++d) {
     const auto n = r.get<std::int64_t>();
-    NUFFT_CHECK_MSG(n >= 2, "corrupt partition bounds");
+    NUFFT_CHECK_CODE(n >= 2, ErrorCode::kIoCorruption, "corrupt partition bounds");
     auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
     b.resize(static_cast<std::size_t>(n));
     r.get_array(b.data(), b.size());
-    NUFFT_CHECK_MSG(b.front() == 0 && b.back() == g.m[static_cast<std::size_t>(d)],
-                    "partition bounds do not cover the grid");
+    NUFFT_CHECK_CODE(b.front() == 0 && b.back() == g.m[static_cast<std::size_t>(d)],
+                     ErrorCode::kIoCorruption, "partition bounds do not cover the grid");
     for (std::size_t i = 1; i < b.size(); ++i) {
-      NUFFT_CHECK_MSG(b[i] > b[i - 1], "partition bounds not increasing");
+      NUFFT_CHECK_CODE(b[i] > b[i - 1], ErrorCode::kIoCorruption,
+                       "partition bounds not increasing");
     }
     pp.layout.num_parts[static_cast<std::size_t>(d)] = static_cast<int>(n) - 1;
   }
 
   const auto ntasks = r.get<std::int64_t>();
-  NUFFT_CHECK_MSG(ntasks == pp.layout.total_parts(), "task count mismatch");
+  NUFFT_CHECK_CODE(ntasks == pp.layout.total_parts(), ErrorCode::kIoCorruption,
+                   "task count mismatch");
   pp.tasks.resize(static_cast<std::size_t>(ntasks));
   r.get_array(pp.tasks.data(), pp.tasks.size());
   pp.privatized.resize(static_cast<std::size_t>(ntasks));
@@ -135,20 +161,22 @@ Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const 
   NUFFT_CHECK_MSG(count == samples.count(), "plan built for a different sample count");
   pp.orig_index.resize(static_cast<std::size_t>(count));
   r.get_array(pp.orig_index.data(), pp.orig_index.size());
-  NUFFT_CHECK_MSG(r.exhausted(), "trailing bytes in plan blob");
+  NUFFT_CHECK_CODE(r.exhausted(), ErrorCode::kIoCorruption, "trailing bytes in plan blob");
 
   // Structural validation: task ranges tile [0, count); permutation valid.
   index_t prev = 0;
   for (const auto& task : pp.tasks) {
-    NUFFT_CHECK_MSG(task.begin == prev && task.end >= task.begin, "corrupt task ranges");
+    NUFFT_CHECK_CODE(task.begin == prev && task.end >= task.begin, ErrorCode::kIoCorruption,
+                     "corrupt task ranges");
     prev = task.end;
   }
-  NUFFT_CHECK_MSG(prev == count, "task ranges do not cover the samples");
+  NUFFT_CHECK_CODE(prev == count, ErrorCode::kIoCorruption,
+                   "task ranges do not cover the samples");
   {
     std::vector<char> seen(static_cast<std::size_t>(count), 0);
     for (const index_t idx : pp.orig_index) {
-      NUFFT_CHECK_MSG(idx >= 0 && idx < count && !seen[static_cast<std::size_t>(idx)],
-                      "corrupt reorder permutation");
+      NUFFT_CHECK_CODE(idx >= 0 && idx < count && !seen[static_cast<std::size_t>(idx)],
+                       ErrorCode::kIoCorruption, "corrupt reorder permutation");
       seen[static_cast<std::size_t>(idx)] = 1;
     }
   }
@@ -174,8 +202,14 @@ Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const 
 
 void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& g) {
   const auto blob = serialize_plan(pp, g);
+  FileHeader h;
+  h.magic = kFileMagic;
+  h.version = kFileVersion;
+  h.payload_bytes = blob.size();
+  h.checksum = fnv1a_bytes(blob.data(), blob.size());
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   NUFFT_CHECK_MSG(f.good(), "cannot open plan file for writing");
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
   f.write(reinterpret_cast<const char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
   NUFFT_CHECK_MSG(f.good(), "plan file write failed");
 }
@@ -186,9 +220,20 @@ Preprocessed load_plan(const std::string& path, const GridDesc& g,
   NUFFT_CHECK_MSG(f.good(), "cannot open plan file for reading");
   const auto size = static_cast<std::size_t>(f.tellg());
   f.seekg(0);
-  std::vector<std::uint8_t> blob(size);
-  f.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(size));
+  NUFFT_CHECK_CODE(size >= sizeof(FileHeader), ErrorCode::kIoCorruption,
+                   "plan file truncated before the header");
+  FileHeader h;
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
   NUFFT_CHECK_MSG(f.good(), "plan file read failed");
+  NUFFT_CHECK_CODE(h.magic == kFileMagic && h.version == kFileVersion,
+                   ErrorCode::kIoCorruption, "not a NUFFT plan file (or a stale format)");
+  NUFFT_CHECK_CODE(h.payload_bytes == size - sizeof(FileHeader), ErrorCode::kIoCorruption,
+                   "plan file truncated");
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(h.payload_bytes));
+  f.read(reinterpret_cast<char*>(blob.data()), static_cast<std::streamsize>(blob.size()));
+  NUFFT_CHECK_MSG(f.good(), "plan file read failed");
+  NUFFT_CHECK_CODE(fnv1a_bytes(blob.data(), blob.size()) == h.checksum,
+                   ErrorCode::kIoCorruption, "plan file checksum mismatch");
   return deserialize_plan(blob.data(), blob.size(), g, samples);
 }
 

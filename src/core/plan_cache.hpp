@@ -11,7 +11,14 @@
 // The format is a versioned little-endian binary blob. Restoration
 // validates structural invariants (bounds coverage, permutation validity,
 // range consistency) and rejects blobs that do not match the grid geometry
-// or sample count, so a stale cache cannot corrupt a transform.
+// or sample count, so a stale cache cannot corrupt a transform. Integrity
+// failures carry ErrorCode::kIoCorruption; geometry mismatches (a stale but
+// intact file) carry kInvalidInput.
+//
+// The file wrappers add a checksummed container header (magic, version,
+// payload size, FNV-1a checksum) so truncation or bit-flips in a spilled
+// plan are detected before the payload is parsed — load_plan throws
+// kIoCorruption and exec::PlanRegistry falls back to a rebuild.
 #pragma once
 
 #include <cstdint>

@@ -19,6 +19,12 @@ struct OperatorStats {
   int privatized_tasks = 0;
   std::vector<std::uint64_t> busy_ns_per_context;
 
+  // Graceful-degradation record (exec::BatchNufft): set when this apply ran
+  // on the scalar convolution path after a SIMD-path allocation failure, or
+  // without selective privatization after its buffers failed to allocate.
+  bool simd_downgraded = false;
+  bool privatization_downgraded = false;
+
   /// Ratio of the busiest context's busy time to the mean — 1.0 is perfect
   /// load balance. Returns 0 when no parallel pass ran.
   double load_imbalance() const;

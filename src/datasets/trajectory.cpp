@@ -161,6 +161,32 @@ SampleSet make_trajectory(TrajectoryType type, int dim, const TrajectoryParams& 
   return set;
 }
 
+void validate_samples(const SampleSet& set) {
+  NUFFT_CHECK_CODE(set.dim >= 1 && set.dim <= 3, ErrorCode::kInvalidInput,
+                   "sample set dimensionality must be 1–3, got " << set.dim);
+  NUFFT_CHECK_CODE(set.m >= 1, ErrorCode::kInvalidInput,
+                   "sample set has no grid extent (m = " << set.m << ")");
+  NUFFT_CHECK_CODE(set.count() >= 1, ErrorCode::kInvalidInput,
+                   "empty sample set (k = " << set.k << ", s = " << set.s << ")");
+  const auto count = static_cast<std::size_t>(set.count());
+  const auto limit = static_cast<float>(set.m);
+  for (int d = 0; d < set.dim; ++d) {
+    const fvec& c = set.coords[static_cast<std::size_t>(d)];
+    NUFFT_CHECK_CODE(c.size() == count, ErrorCode::kInvalidInput,
+                     "coordinate array for dim " << d << " holds " << c.size()
+                                                 << " values, expected " << count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const float w = c[i];
+      // A single comparison rejects NaN (compares false), ±Inf and any
+      // value outside the half-open grid interval. w == 0 and
+      // w == nextafter(m, 0) are both valid boundary coordinates.
+      NUFFT_CHECK_CODE(w >= 0.0f && w < limit, ErrorCode::kInvalidInput,
+                       "coordinate " << w << " at sample " << i << ", dim " << d
+                                     << " is not finite inside [0, " << set.m << ")");
+    }
+  }
+}
+
 namespace {
 
 // FNV-1a over a byte range. Chosen over faster mixers because the hash must

@@ -47,6 +47,14 @@ struct TrajectoryParams {
 /// Generate a trajectory of the requested type and dimensionality (1–3).
 SampleSet make_trajectory(TrajectoryType type, int dim, const TrajectoryParams& params);
 
+/// Validate a sample set as NUFFT input: dimensionality 1–3, a positive
+/// grid size, at least one sample, coordinate arrays sized to count(), and
+/// every coordinate finite and inside [0, m). Throws nufft::Error with
+/// ErrorCode::kInvalidInput naming the first offending sample. Plan
+/// construction (core/nufft.hpp) calls this on every build, so NaN/Inf or
+/// out-of-range coordinates can never reach the convolution kernels.
+void validate_samples(const SampleSet& set);
+
 /// Stable 64-bit content hash of a sample set: geometry (dim, m, k, s, type)
 /// plus every coordinate byte, in order. Two sets hash equal iff their
 /// transforms are interchangeable as PlanRegistry keys. Order-sensitive

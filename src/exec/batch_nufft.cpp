@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/timer.hpp"
 #include "core/convolution.hpp"
 #include "core/convolution_avx2.hpp"
@@ -67,16 +68,30 @@ BatchNufft::BatchNufft(const Nufft& plan, index_t max_batch)
     : plan_(&plan),
       capacity_(std::min<index_t>(std::max<index_t>(max_batch, 1), kMaxBatch)),
       slab_elems_(static_cast<std::size_t>(plan.grid_desc().grid_elems())),
+      conv_mode_(plan.conv_mode()),
       bfft_(plan.grid_desc(), corner_rows(plan.grid_desc(), plan.wrap_), *plan.fft_fwd_,
             *plan.fft_inv_) {
+  // The slabs are the irreducible working set — without them there is no
+  // batched apply at all, so this allocation failure propagates.
   slabs_.resize(static_cast<std::size_t>(capacity_) * slab_elems_);
   const auto& pp = plan_->pp_;
-  private_slabs_.resize(pp.tasks.size());
-  for (std::size_t k = 0; k < pp.tasks.size(); ++k) {
-    if (pp.privatized[k]) {
-      private_slabs_[k].resize(static_cast<std::size_t>(capacity_) *
-                               static_cast<std::size_t>(pp.tasks[k].box_elems(plan_->g_.dim)));
+  // The private reduction buffers are an optimization: when they cannot be
+  // allocated (B × box_elems per over-dense task can dwarf the slabs on
+  // dense trajectories), degrade to the TDG-serialized direct-scatter path
+  // instead of failing the construction.
+  try {
+    fault::inject_alloc("batch.private_alloc");
+    private_slabs_.resize(pp.tasks.size());
+    for (std::size_t k = 0; k < pp.tasks.size(); ++k) {
+      if (pp.privatized[k]) {
+        private_slabs_[k].resize(static_cast<std::size_t>(capacity_) *
+                                 static_cast<std::size_t>(pp.tasks[k].box_elems(plan_->g_.dim)));
+      }
     }
+  } catch (const std::bad_alloc&) {
+    private_slabs_.clear();
+    privatization_downgraded_ = true;
+    privatized_off_.assign(pp.tasks.size(), 0);
   }
 }
 
@@ -169,7 +184,7 @@ void BatchNufft::batch_interp(cfloat* const* raws, index_t nb, ThreadPool& pool)
   const cfloat* slab0 = slabs_.data();
   const auto& pp = plan_->pp_;
   const int ntasks = static_cast<int>(pp.tasks.size());
-  const Nufft::ConvMode mode = plan_->conv_mode_;
+  const Nufft::ConvMode mode = conv_mode_;
   const bool fill_dup = mode != Nufft::ConvMode::kScalar;
   pool.parallel_for_tid(ntasks, 1, [&](int, index_t kb, index_t ke) {
     // Sample-block × slab-group order: consecutive sorted samples' windows
@@ -230,7 +245,7 @@ void BatchNufft::batch_spread(const cfloat* const* raws, index_t nb, ThreadPool&
   cfloat* slab0 = slabs_.data();
   const auto& pp = plan_->pp_;
   const PlanConfig& cfg = plan_->cfg_;
-  const Nufft::ConvMode mode = plan_->conv_mode_;
+  const Nufft::ConvMode mode = conv_mode_;
   const bool fill_dup = mode != Nufft::ConvMode::kScalar;
 
   auto convolve_range = [&](const ConvTask& task, cfloat* dst0, std::size_t sstride,
@@ -353,7 +368,10 @@ void BatchNufft::batch_spread(const cfloat* const* raws, index_t nb, ThreadPool&
     SchedulerConfig scfg;
     scfg.priority_queue = cfg.priority_queue;
     scfg.record_trace = cfg.record_trace;
-    sstats = run_task_graph(*pp.graph, pp.weights, pp.privatized, pool, body, scfg);
+    // When the private buffers failed to allocate, an all-zero privatized
+    // mask routes every task through the TDG-serialized direct-scatter path.
+    const auto& priv = privatization_downgraded_ ? privatized_off_ : pp.privatized;
+    sstats = run_task_graph(*pp.graph, pp.weights, priv, pool, body, scfg);
   }
   if (stats != nullptr) {
     stats->tasks += sstats.tasks;
@@ -370,7 +388,7 @@ void BatchNufft::forward_chunk(const cfloat* const* images, cfloat* const* raws,
   fwd_stats_.scale_s += t.seconds();
 
   t.reset();
-  const bool batched_stages = plan_->conv_mode_ != Nufft::ConvMode::kScalar;
+  const bool batched_stages = conv_mode_ != Nufft::ConvMode::kScalar;
   bfft_.transform(slabs_.data(), nb, fft::Direction::kForward, pool, batched_stages);
   fwd_stats_.fft_s += t.seconds();
 
@@ -395,7 +413,7 @@ void BatchNufft::adjoint_chunk(const cfloat* const* raws, cfloat* const* images,
   adj_stats_.conv_s += t.seconds();
 
   t.reset();
-  const bool batched_stages = plan_->conv_mode_ != Nufft::ConvMode::kScalar;
+  const bool batched_stages = conv_mode_ != Nufft::ConvMode::kScalar;
   bfft_.transform(slabs_.data(), nb, fft::Direction::kInverse, pool, batched_stages);
   adj_stats_.fft_s += t.seconds();
 
@@ -411,9 +429,25 @@ void BatchNufft::forward(const cfloat* const* images, cfloat* const* raws, index
   Timer total;
   for (index_t off = 0; off < nb; off += capacity_) {
     const index_t nc = std::min(capacity_, nb - off);
-    forward_chunk(images + off, raws + off, nc, pool);
+    try {
+      fault::inject_alloc("batch.simd_alloc");
+      forward_chunk(images + off, raws + off, nc, pool);
+    } catch (const std::bad_alloc&) {
+      // A chunk writes every output it touches, so it can be re-run whole on
+      // the scalar path (which needs no batch-group scratch). If the scalar
+      // path itself cannot allocate there is nothing left to shed.
+      if (conv_mode_ == Nufft::ConvMode::kScalar) {
+        throw Error("batched forward: allocation failed on the scalar fallback path",
+                    ErrorCode::kResourceExhausted);
+      }
+      conv_mode_ = Nufft::ConvMode::kScalar;
+      simd_downgraded_ = true;
+      forward_chunk(images + off, raws + off, nc, pool);
+    }
   }
   fwd_stats_.total_s = total.seconds();
+  fwd_stats_.simd_downgraded = simd_downgraded_;
+  fwd_stats_.privatization_downgraded = privatization_downgraded_;
 }
 
 void BatchNufft::adjoint(const cfloat* const* raws, cfloat* const* images, index_t nb,
@@ -423,9 +457,22 @@ void BatchNufft::adjoint(const cfloat* const* raws, cfloat* const* images, index
   Timer total;
   for (index_t off = 0; off < nb; off += capacity_) {
     const index_t nc = std::min(capacity_, nb - off);
-    adjoint_chunk(raws + off, images + off, nc, pool);
+    try {
+      fault::inject_alloc("batch.simd_alloc");
+      adjoint_chunk(raws + off, images + off, nc, pool);
+    } catch (const std::bad_alloc&) {
+      if (conv_mode_ == Nufft::ConvMode::kScalar) {
+        throw Error("batched adjoint: allocation failed on the scalar fallback path",
+                    ErrorCode::kResourceExhausted);
+      }
+      conv_mode_ = Nufft::ConvMode::kScalar;
+      simd_downgraded_ = true;
+      adjoint_chunk(raws + off, images + off, nc, pool);
+    }
   }
   adj_stats_.total_s = total.seconds();
+  adj_stats_.simd_downgraded = simd_downgraded_;
+  adj_stats_.privatization_downgraded = privatization_downgraded_;
 }
 
 void BatchNufft::forward(const cfloat* const* images, cfloat* const* raws, index_t nb) {

@@ -79,6 +79,12 @@ class BatchNufft {
   const OperatorStats& last_adjoint_stats() const { return adj_stats_; }
   const std::vector<TraceEvent>& last_trace() const { return trace_; }
 
+  /// Graceful-degradation state (also mirrored into the per-apply stats):
+  /// true once a SIMD-path / privatization-buffer allocation failure has
+  /// downgraded this instance to the scalar / direct-scatter path.
+  bool simd_downgraded() const { return simd_downgraded_; }
+  bool privatization_downgraded() const { return privatization_downgraded_; }
+
  private:
   void forward_chunk(const cfloat* const* images, cfloat* const* raws, index_t nb,
                      ThreadPool& pool);
@@ -96,6 +102,16 @@ class BatchNufft {
   const Nufft* plan_;
   index_t capacity_ = 0;
   std::size_t slab_elems_ = 0;
+  // Effective convolution mode: starts as the plan's resolved mode and is
+  // downgraded (sticky) to kScalar when a SIMD-path allocation fails
+  // mid-apply — the chunk is re-run on the scalar path and the downgrade is
+  // recorded in the apply's OperatorStats.
+  Nufft::ConvMode conv_mode_;
+  bool simd_downgraded_ = false;
+  // Set when the private reduction buffers could not be allocated: spreads
+  // run every task through the TDG-serialized direct-scatter path instead.
+  bool privatization_downgraded_ = false;
+  std::vector<char> privatized_off_;   // all-zero mask used when downgraded
   cvecf slabs_;                        // capacity · grid_elems(), batch-major
   std::vector<cvecf> private_slabs_;   // per privatized task: capacity · box_elems
   BatchFft bfft_;

@@ -1,9 +1,12 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <new>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "exec/batch_conv.hpp"
 
 namespace nufft::exec {
@@ -17,17 +20,22 @@ NufftEngine::NufftEngine(EngineConfig cfg) : cfg_(cfg) {
   }
 }
 
-NufftEngine::~NufftEngine() {
+NufftEngine::~NufftEngine() { shutdown(); }
+
+void NufftEngine::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& t : threads_) t.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
 std::future<JobResult> NufftEngine::submit(Op op, std::shared_ptr<const Nufft> plan,
-                                           const cfloat* in, cfloat* out, index_t batch) {
+                                           const cfloat* in, cfloat* out, index_t batch,
+                                           const JobOptions& opts) {
   NUFFT_CHECK(plan != nullptr);
   NUFFT_CHECK(batch >= 1);
   Job job;
@@ -36,13 +44,14 @@ std::future<JobResult> NufftEngine::submit(Op op, std::shared_ptr<const Nufft> p
   job.in = in;
   job.out = out;
   job.batch = batch;
+  job.options = opts;
   return enqueue(std::move(job));
 }
 
 std::future<JobResult> NufftEngine::submit(Op op, PlanRegistry& registry, const GridDesc& g,
                                            std::shared_ptr<const datasets::SampleSet> samples,
                                            const PlanConfig& cfg, const cfloat* in, cfloat* out,
-                                           index_t batch) {
+                                           index_t batch, const JobOptions& opts) {
   NUFFT_CHECK(samples != nullptr);
   NUFFT_CHECK(batch >= 1);
   Job job;
@@ -53,14 +62,28 @@ std::future<JobResult> NufftEngine::submit(Op op, PlanRegistry& registry, const 
   job.in = in;
   job.out = out;
   job.batch = batch;
+  job.options = opts;
   return enqueue(std::move(job));
 }
 
 std::future<JobResult> NufftEngine::enqueue(Job job) {
   auto fut = job.promise.get_future();
+  if (job.options.timeout.count() >= 0) {
+    // Stamped at submission, so queue residence counts against the budget.
+    // timeout == 0 is already expired here — the job deterministically
+    // resolves with kTimeout at dispatch.
+    job.deadline = std::chrono::steady_clock::now() + job.options.timeout;
+    job.has_deadline = true;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    NUFFT_CHECK(!stop_);
+    if (stop_) {
+      // Racing submit against shutdown is benign: the caller gets a future
+      // that reports the job as cancelled instead of a crashed submitter.
+      job.promise.set_exception(std::make_exception_ptr(
+          Error("job submitted after engine shutdown", ErrorCode::kCancelled)));
+      return fut;
+    }
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -82,7 +105,7 @@ void NufftEngine::worker_main() {
       ++active_;
     }
     try {
-      job.promise.set_value(run_job(job, pool));
+      job.promise.set_value(dispatch_job(job, pool));
     } catch (...) {
       job.promise.set_exception(std::current_exception());
     }
@@ -94,40 +117,99 @@ void NufftEngine::worker_main() {
   }
 }
 
+JobResult NufftEngine::dispatch_job(Job& job, ThreadPool& pool) {
+  constexpr std::chrono::milliseconds kBackoffCap{250};
+  constexpr std::chrono::milliseconds kSleepSlice{10};
+  int attempt = 0;
+  auto backoff = std::max(job.options.retry_backoff, std::chrono::milliseconds{1});
+  for (;;) {
+    if (job.options.cancel && job.options.cancel->cancelled()) {
+      throw Error("job cancelled before dispatch", ErrorCode::kCancelled);
+    }
+    if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+      throw Error("job deadline expired", ErrorCode::kTimeout);
+    }
+    try {
+      return run_job(job, pool);
+    } catch (const std::bad_alloc&) {
+      if (attempt >= job.options.max_retries) {
+        throw Error("job allocation failed and retry budget is exhausted",
+                    ErrorCode::kResourceExhausted);
+      }
+    } catch (const Error& e) {
+      // Deterministic failures (bad input, plan build bugs, cancellation)
+      // would fail identically on every attempt — rethrow immediately.
+      if (!is_retryable(e.code()) || attempt >= job.options.max_retries) throw;
+    }
+    ++attempt;
+    // Exponential backoff, sliced so cancellation and the deadline are
+    // honoured mid-sleep (the loop head converts them to kCancelled /
+    // kTimeout on wakeup).
+    auto remaining = backoff;
+    while (remaining.count() > 0) {
+      if (job.options.cancel && job.options.cancel->cancelled()) break;
+      if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) break;
+      const auto slice = std::min(remaining, kSleepSlice);
+      std::this_thread::sleep_for(slice);
+      remaining -= slice;
+    }
+    backoff = std::min(backoff * 2, kBackoffCap);
+  }
+}
+
 JobResult NufftEngine::run_job(Job& job, ThreadPool& pool) {
   std::shared_ptr<const Nufft> plan = job.resolve_plan();
   JobResult result;
   if (job.batch == 1) {
     auto ws = lease_workspace(plan);
-    if (job.op == Op::kForward) {
-      plan->forward(job.in, job.out, *ws, pool);
-      result.stats = ws->fwd_stats;
-    } else {
-      plan->adjoint(job.in, job.out, *ws, pool);
-      result.stats = ws->adj_stats;
+    // A throwing apply must still return the lease: every apply fully
+    // overwrites or re-zeroes the workspace buffers, so a lease that saw a
+    // failure is indistinguishable from a fresh one and pooling it back
+    // cannot poison later jobs. Leaking it instead would shrink the pool by
+    // one slot per failure until every job allocates from scratch.
+    try {
+      fault::inject("engine.apply", ErrorCode::kInternal);
+      fault::inject("engine.apply.transient", ErrorCode::kResourceExhausted);
+      if (job.op == Op::kForward) {
+        plan->forward(job.in, job.out, *ws, pool);
+        result.stats = ws->fwd_stats;
+      } else {
+        plan->adjoint(job.in, job.out, *ws, pool);
+        result.stats = ws->adj_stats;
+      }
+      result.trace = std::move(ws->trace);
+    } catch (...) {
+      return_workspace(plan.get(), std::move(ws));
+      throw;
     }
-    result.trace = std::move(ws->trace);
     return_workspace(plan.get(), std::move(ws));
   } else {
     auto bn = lease_batch(plan, job.batch);
-    std::vector<const cfloat*> in(static_cast<std::size_t>(job.batch));
-    std::vector<cfloat*> out(static_cast<std::size_t>(job.batch));
-    const index_t in_stride =
-        job.op == Op::kForward ? plan->image_elems() : plan->sample_count();
-    const index_t out_stride =
-        job.op == Op::kForward ? plan->sample_count() : plan->image_elems();
-    for (index_t b = 0; b < job.batch; ++b) {
-      in[static_cast<std::size_t>(b)] = job.in + b * in_stride;
-      out[static_cast<std::size_t>(b)] = job.out + b * out_stride;
+    try {
+      fault::inject("engine.apply", ErrorCode::kInternal);
+      fault::inject("engine.apply.transient", ErrorCode::kResourceExhausted);
+      std::vector<const cfloat*> in(static_cast<std::size_t>(job.batch));
+      std::vector<cfloat*> out(static_cast<std::size_t>(job.batch));
+      const index_t in_stride =
+          job.op == Op::kForward ? plan->image_elems() : plan->sample_count();
+      const index_t out_stride =
+          job.op == Op::kForward ? plan->sample_count() : plan->image_elems();
+      for (index_t b = 0; b < job.batch; ++b) {
+        in[static_cast<std::size_t>(b)] = job.in + b * in_stride;
+        out[static_cast<std::size_t>(b)] = job.out + b * out_stride;
+      }
+      if (job.op == Op::kForward) {
+        bn->forward(in.data(), out.data(), job.batch, pool);
+        result.stats = bn->last_forward_stats();
+      } else {
+        bn->adjoint(in.data(), out.data(), job.batch, pool);
+        result.stats = bn->last_adjoint_stats();
+      }
+      result.trace = bn->last_trace();
+    } catch (...) {
+      return_batch(plan.get(), std::move(bn));
+      throw;
     }
-    if (job.op == Op::kForward) {
-      bn->forward(in.data(), out.data(), job.batch, pool);
-      result.stats = bn->last_forward_stats();
-    } else {
-      bn->adjoint(in.data(), out.data(), job.batch, pool);
-      result.stats = bn->last_adjoint_stats();
-    }
-    result.trace = bn->last_trace();
     return_batch(plan.get(), std::move(bn));
   }
   return result;

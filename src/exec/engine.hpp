@@ -21,6 +21,8 @@
 // the plan inside the worker, making plan construction itself asynchronous.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -47,6 +49,39 @@ struct JobResult {
   std::vector<TraceEvent> trace;
 };
 
+/// Cooperative cancellation handle shared between a submitter and any number
+/// of in-flight jobs. Cancellation is checked before dispatch and between
+/// retry attempts — a job already inside an apply runs to completion (applies
+/// are short relative to queue residence and have no safe interior abort
+/// point), but its result is discarded in favour of ErrorCode::kCancelled
+/// only if the cancel happened before dispatch.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Failure-handling policy for one submitted job.
+struct JobOptions {
+  /// Optional cancellation handle; null means not cancellable.
+  std::shared_ptr<CancelToken> cancel;
+  /// Wall-clock budget measured from submission. Negative (default) means no
+  /// deadline; zero means the deadline is already expired when the job is
+  /// dispatched, which resolves the future with ErrorCode::kTimeout
+  /// deterministically (useful for testing the timeout path).
+  std::chrono::milliseconds timeout{-1};
+  /// Bounded retry for retryable failures (is_retryable(): resource
+  /// exhaustion, I/O corruption; std::bad_alloc counts as resource
+  /// exhaustion). Deterministic failures are never retried.
+  int max_retries = 0;
+  /// First retry delay; doubles per attempt (capped internally). The sleep
+  /// is cancellation- and deadline-aware.
+  std::chrono::milliseconds retry_backoff{1};
+};
+
 struct EngineConfig {
   int workers = 2;             // dispatcher threads, each owning a pool
   int threads_per_worker = 1;  // ThreadPool size inside each worker
@@ -63,9 +98,11 @@ class NufftEngine {
   /// Enqueue one transform. For batch == 1, `in`/`out` are single arrays;
   /// for batch > 1 they are contiguous batches (slice b at
   /// in + b·image_elems() / sample_count() as appropriate for `op`). The
-  /// buffers must stay valid until the future resolves.
+  /// buffers must stay valid until the future resolves. Submitting after
+  /// shutdown() is not an error: the returned future is already resolved
+  /// with an Error carrying ErrorCode::kCancelled.
   std::future<JobResult> submit(Op op, std::shared_ptr<const Nufft> plan, const cfloat* in,
-                                cfloat* out, index_t batch = 1);
+                                cfloat* out, index_t batch = 1, const JobOptions& opts = {});
 
   /// As above, but the plan is acquired from `registry` inside the worker —
   /// submission never blocks on plan construction. The registry, sample set
@@ -73,10 +110,16 @@ class NufftEngine {
   std::future<JobResult> submit(Op op, PlanRegistry& registry, const GridDesc& g,
                                 std::shared_ptr<const datasets::SampleSet> samples,
                                 const PlanConfig& cfg, const cfloat* in, cfloat* out,
-                                index_t batch = 1);
+                                index_t batch = 1, const JobOptions& opts = {});
 
   /// Block until every submitted job has completed.
   void wait_idle();
+
+  /// Stop accepting work, drain jobs already queued, and join the workers.
+  /// Idempotent; the destructor calls it. Safe to race with concurrent
+  /// submit() calls — each such submit either runs before the drain or gets
+  /// a future resolved with ErrorCode::kCancelled.
+  void shutdown();
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
@@ -87,6 +130,10 @@ class NufftEngine {
     const cfloat* in = nullptr;
     cfloat* out = nullptr;
     index_t batch = 1;
+    JobOptions options;
+    // Deadline stamped at submission time from options.timeout.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
     std::promise<JobResult> promise;
   };
 
@@ -101,6 +148,8 @@ class NufftEngine {
 
   std::future<JobResult> enqueue(Job job);
   void worker_main();
+  // Cancellation / deadline / bounded-retry wrapper around run_job.
+  JobResult dispatch_job(Job& job, ThreadPool& pool);
   JobResult run_job(Job& job, ThreadPool& pool);
 
   std::unique_ptr<Workspace> lease_workspace(const std::shared_ptr<const Nufft>& plan);

@@ -1,10 +1,12 @@
 #include "exec/plan_registry.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "core/plan_cache.hpp"
 
 namespace nufft::exec {
@@ -25,6 +27,20 @@ std::uint64_t fnv64(const std::string& s) {
     h *= 0x100000001b3ull;
   }
   return h;
+}
+
+// Fault-injection helper ("registry.spill.corrupt"): flip the last byte of a
+// freshly written spill file so the next restore exercises the checksum path.
+[[maybe_unused]] void corrupt_spill_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return;
+  if (std::fseek(f, -1, SEEK_END) == 0) {
+    const int c = std::fgetc(f);
+    if (c != EOF && std::fseek(f, -1, SEEK_END) == 0) {
+      std::fputc(c ^ 0x5a, f);
+    }
+  }
+  std::fclose(f);
 }
 
 }  // namespace
@@ -84,6 +100,19 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
       lock.unlock();
       return fut.get();
     }
+    auto qit = quarantine_.find(key);
+    if (qit != quarantine_.end() &&
+        qit->second.consecutive_failures >= cfg_.quarantine_threshold &&
+        std::chrono::steady_clock::now() < qit->second.retry_after) {
+      // Fail fast with the stored error instead of re-running a build that
+      // has failed deterministically several times in a row — waiters would
+      // otherwise stampede behind every doomed single-flight attempt.
+      ++stats_.quarantine_rejects;
+      throw Error("plan build quarantined after " +
+                      std::to_string(qit->second.consecutive_failures) +
+                      " consecutive failures: " + qit->second.last_error,
+                  qit->second.last_code);
+    }
     ++stats_.misses;
     Entry e;
     e.plan = prom.get_future().share();
@@ -103,12 +132,25 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
           Preprocessed pp = load_plan(path, g, samples);
           plan = std::make_shared<Nufft>(g, samples, cfg, std::move(pp));
           restored = true;
+        } catch (const Error& e) {
+          // A stale or corrupt spill file is not an error — drop the file
+          // so the rebuilt plan can re-spill cleanly, and rebuild.
+          std::error_code ec;
+          std::filesystem::remove(path, ec);
+          if (e.code() == ErrorCode::kIoCorruption) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.corrupt_spills;
+          }
         } catch (...) {
-          // A stale or corrupt spill file is not an error — rebuild.
+          std::error_code ec;
+          std::filesystem::remove(path, ec);
         }
       }
     }
-    if (!plan) plan = std::make_shared<Nufft>(g, samples, cfg);
+    if (!plan) {
+      fault::inject("registry.build", ErrorCode::kBuildFailure);
+      plan = std::make_shared<Nufft>(g, samples, cfg);
+    }
     std::size_t bytes = plan_resident_bytes(plan->plan(), g) + plan->workspace_bytes();
 
     std::lock_guard<std::mutex> lock(mu_);
@@ -117,17 +159,51 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
     it->second.ready = true;
     it->second.bytes = bytes;
     bytes_ += bytes;
+    quarantine_.erase(key);  // one success clears the failure history
     evict_locked(key);
   } catch (...) {
+    const std::exception_ptr eptr = std::current_exception();
+    std::string msg = "plan build failed";
+    ErrorCode code = ErrorCode::kBuildFailure;
+    try {
+      std::rethrow_exception(eptr);
+    } catch (const Error& e) {
+      msg = e.what();
+      code = e.code();
+    } catch (const std::exception& e) {
+      msg = e.what();
+    } catch (...) {
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // The failed build never caches: erasing the pending entry means the
+      // next acquire of this key starts fresh instead of observing a future
+      // that is poisoned forever.
       entries_.erase(key);
+      record_build_failure_locked(key, msg, code);
     }
-    prom.set_exception(std::current_exception());
-    throw;
+    prom.set_exception(eptr);
+    std::rethrow_exception(eptr);
   }
   prom.set_value(plan);
   return plan;
+}
+
+void PlanRegistry::record_build_failure_locked(const std::string& key, const std::string& msg,
+                                               ErrorCode code) {
+  ++stats_.build_failures;
+  Quarantine& q = quarantine_[key];
+  ++q.consecutive_failures;
+  q.last_error = msg;
+  q.last_code = code;
+  if (q.consecutive_failures >= cfg_.quarantine_threshold) {
+    auto backoff = cfg_.quarantine_base_backoff;
+    for (int i = cfg_.quarantine_threshold; i < q.consecutive_failures; ++i) {
+      backoff = std::min(backoff * 2, cfg_.quarantine_max_backoff);
+    }
+    backoff = std::min(backoff, cfg_.quarantine_max_backoff);
+    q.retry_after = std::chrono::steady_clock::now() + backoff;
+  }
 }
 
 void PlanRegistry::evict_locked(const std::string& keep_key) {
@@ -141,7 +217,9 @@ void PlanRegistry::evict_locked(const std::string& keep_key) {
     if (!cfg_.spill_dir.empty()) {
       const auto plan = victim->second.plan.get();
       std::filesystem::create_directories(cfg_.spill_dir);
-      save_plan(spill_path(victim->first), plan->plan(), plan->grid_desc());
+      const std::string path = spill_path(victim->first);
+      save_plan(path, plan->plan(), plan->grid_desc());
+      if (fault::should_fail("registry.spill.corrupt")) corrupt_spill_file(path);
       ++stats_.spills;
     }
     bytes_ -= victim->second.bytes;

@@ -21,8 +21,20 @@
 // skips the partition/bin/reorder pass. Without a spill_dir evicted plans
 // are simply dropped and rebuilt on demand. Evicted shared_ptrs held by
 // callers stay valid — eviction only releases the registry's reference.
+//
+// Failure handling: a build that throws never caches — the pending entry is
+// erased, every single-flight waiter receives the exception through the
+// shared future, and the next acquire of the key starts a fresh build. Spill
+// files carry a checksummed header (core/plan_cache), so a corrupt or
+// truncated file is detected, deleted and transparently rebuilt. Keys whose
+// builds fail `quarantine_threshold` consecutive times are quarantined: for
+// an exponentially growing backoff window further acquires fail fast with
+// the stored error instead of re-running a deterministically failing build
+// (and re-stampeding single-flight waiters behind it). One success clears
+// the key's failure history.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -30,6 +42,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/error.hpp"
 #include "core/grid.hpp"
 #include "core/nufft.hpp"
 #include "core/preprocess.hpp"
@@ -40,6 +53,13 @@ namespace nufft::exec {
 struct RegistryConfig {
   std::size_t max_bytes = 256u << 20;  // resident-plan budget
   std::string spill_dir;               // empty: evicted plans are dropped
+  // Quarantine policy for repeatedly failing keys: after `quarantine_threshold`
+  // consecutive build failures, acquires of the key fail fast (with the last
+  // stored error) for a backoff window that starts at `quarantine_base_backoff`
+  // and doubles per further failure up to `quarantine_max_backoff`.
+  int quarantine_threshold = 3;
+  std::chrono::milliseconds quarantine_base_backoff{100};
+  std::chrono::milliseconds quarantine_max_backoff{60000};
 };
 
 struct RegistryStats {
@@ -49,6 +69,9 @@ struct RegistryStats {
   std::uint64_t spills = 0;
   std::uint64_t spill_restores = 0;
   std::uint64_t single_flight_waits = 0;  // hits that blocked on a pending build
+  std::uint64_t build_failures = 0;       // builds that threw (any key)
+  std::uint64_t quarantine_rejects = 0;   // acquires failed fast by quarantine
+  std::uint64_t corrupt_spills = 0;       // spill files rejected by validation
 };
 
 class PlanRegistry {
@@ -81,12 +104,23 @@ class PlanRegistry {
     bool ready = false;
   };
 
+  // Per-key consecutive-failure record; erased on the first success.
+  struct Quarantine {
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point retry_after{};
+    std::string last_error;
+    ErrorCode last_code = ErrorCode::kBuildFailure;
+  };
+
   void evict_locked(const std::string& keep_key);
+  void record_build_failure_locked(const std::string& key, const std::string& msg,
+                                   ErrorCode code);
   std::string spill_path(const std::string& key) const;
 
   RegistryConfig cfg_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Quarantine> quarantine_;
   std::uint64_t tick_ = 0;
   std::size_t bytes_ = 0;
   RegistryStats stats_;

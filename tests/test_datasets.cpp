@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 #include <utility>
 
@@ -247,6 +248,79 @@ SampleSet hash_fixture() {
   p.k = 32;
   p.s = 8;
   return make_trajectory(TrajectoryType::kRadial, 3, p);
+}
+
+// --- validate_samples -------------------------------------------------------
+
+ErrorCode validation_code(const SampleSet& set) {
+  try {
+    validate_samples(set);
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "validation unexpectedly passed";
+  return ErrorCode::kInternal;
+}
+
+TEST(ValidateSamples, AcceptsEveryGeneratedTrajectory) {
+  TrajectoryParams p;
+  p.n = 16;
+  p.k = 8;
+  p.s = 10;
+  for (const auto type :
+       {TrajectoryType::kRadial, TrajectoryType::kRandom, TrajectoryType::kSpiral}) {
+    for (int dim = 1; dim <= 3; ++dim) {
+      EXPECT_NO_THROW(validate_samples(make_trajectory(type, dim, p)))
+          << trajectory_name(type) << " dim " << dim;
+    }
+  }
+}
+
+TEST(ValidateSamples, RejectsNonFiniteCoordinates) {
+  const SampleSet good = hash_fixture();
+  for (const float w : {std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::infinity(),
+                        -std::numeric_limits<float>::infinity()}) {
+    SampleSet bad = good;
+    bad.coords[2][5] = w;
+    EXPECT_EQ(validation_code(bad), ErrorCode::kInvalidInput) << "value " << w;
+  }
+}
+
+TEST(ValidateSamples, RejectsOutOfRangeCoordinates) {
+  const SampleSet good = hash_fixture();
+  SampleSet below = good;
+  below.coords[0][0] = -0.001f;
+  EXPECT_EQ(validation_code(below), ErrorCode::kInvalidInput);
+  SampleSet at_m = good;
+  at_m.coords[1][0] = static_cast<float>(good.m);  // half-open: M itself is out
+  EXPECT_EQ(validation_code(at_m), ErrorCode::kInvalidInput);
+}
+
+TEST(ValidateSamples, AcceptsBoundaryCoordinates) {
+  SampleSet set = hash_fixture();
+  set.coords[0][0] = 0.0f;
+  set.coords[1][0] = std::nextafter(static_cast<float>(set.m), 0.0f);
+  EXPECT_NO_THROW(validate_samples(set));
+}
+
+TEST(ValidateSamples, RejectsEmptyAndMalformedSets) {
+  SampleSet empty;
+  empty.dim = 2;
+  empty.m = 32;
+  EXPECT_EQ(validation_code(empty), ErrorCode::kInvalidInput);
+
+  SampleSet short_dim = hash_fixture();
+  short_dim.coords[1].pop_back();
+  EXPECT_EQ(validation_code(short_dim), ErrorCode::kInvalidInput);
+
+  SampleSet bad_dim = hash_fixture();
+  bad_dim.dim = 4;
+  EXPECT_EQ(validation_code(bad_dim), ErrorCode::kInvalidInput);
+
+  SampleSet no_grid = hash_fixture();
+  no_grid.m = 0;
+  EXPECT_EQ(validation_code(no_grid), ErrorCode::kInvalidInput);
 }
 
 TEST(ContentHash, EqualSetsHashEqual) {

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <limits>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -369,6 +371,208 @@ TEST(NufftEngine, BatchedJobsMatchSingles) {
               1e-5)
         << "slice " << b;
   }
+}
+
+// --- Failure handling ------------------------------------------------------
+
+// A sample set whose first coordinate is NaN: plan construction fails
+// deterministically with kInvalidInput, giving the failure-path tests a
+// reproducible "broken build" without compiled-in fault injection.
+datasets::SampleSet poisoned_set(const Fixture& f) {
+  datasets::SampleSet bad = f.set;
+  bad.coords[0][0] = std::numeric_limits<float>::quiet_NaN();
+  return bad;
+}
+
+ErrorCode future_error_code(std::future<exec::JobResult>& fut) {
+  try {
+    fut.get();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "job unexpectedly succeeded";
+  return ErrorCode::kInternal;
+}
+
+TEST(PlanRegistry, FailedBuildPropagatesToAllWaitersAndLeavesRegistryUsable) {
+  Fixture f = make_fixture(2);
+  const auto bad = poisoned_set(f);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+
+  // Every concurrent requester of the doomed key must observe the build
+  // error — whether it ran the build itself, waited on the single-flight
+  // future, or was rejected by quarantine after the threshold.
+  constexpr int kRequesters = 6;
+  std::atomic<int> invalid_input{0};
+  {
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    for (int t = 0; t < kRequesters; ++t) {
+      threads.emplace_back([&] {
+        ++ready;
+        while (ready.load() < kRequesters) std::this_thread::yield();
+        try {
+          registry.acquire(f.g, bad, cfg);
+        } catch (const Error& e) {
+          if (e.code() == ErrorCode::kInvalidInput) ++invalid_input;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_EQ(invalid_input.load(), kRequesters);
+  EXPECT_GE(registry.stats().build_failures, 1u);
+
+  // The failure never cached: the registry is empty and still serves good
+  // keys.
+  EXPECT_EQ(registry.resident_count(), 0u);
+  EXPECT_NE(registry.acquire(f.g, f.set, cfg), nullptr);
+  EXPECT_EQ(registry.resident_count(), 1u);
+}
+
+TEST(PlanRegistry, RepeatedFailuresQuarantineTheKey) {
+  Fixture f = make_fixture(2);
+  const auto bad = poisoned_set(f);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  exec::RegistryConfig rc;
+  rc.quarantine_threshold = 2;
+  rc.quarantine_base_backoff = std::chrono::milliseconds{60000};  // outlasts the test
+  PlanRegistry registry(rc);
+
+  for (int i = 0; i < rc.quarantine_threshold; ++i) {
+    EXPECT_THROW(registry.acquire(f.g, bad, cfg), Error) << "attempt " << i;
+  }
+  // Inside the backoff window the key fails fast — with the original code,
+  // without re-running the build.
+  try {
+    registry.acquire(f.g, bad, cfg);
+    FAIL() << "expected quarantine rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+  const auto st = registry.stats();
+  EXPECT_EQ(st.build_failures, static_cast<std::uint64_t>(rc.quarantine_threshold));
+  EXPECT_EQ(st.quarantine_rejects, 1u);
+  EXPECT_EQ(st.misses, static_cast<std::uint64_t>(rc.quarantine_threshold));
+
+  // Quarantine is per-key: other keys build normally.
+  EXPECT_NE(registry.acquire(f.g, f.set, cfg), nullptr);
+}
+
+TEST(NufftEngine, SubmitAfterShutdownResolvesCancelled) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+
+  NufftEngine engine;
+  engine.shutdown();
+  auto fut = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data());
+  EXPECT_EQ(future_error_code(fut), ErrorCode::kCancelled);
+}
+
+TEST(NufftEngine, ShutdownVsSubmitRaceIsSafe) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+
+  // Submitters race the shutdown: each job either ran (valid result) or was
+  // rejected with kCancelled — never a crash, hang, or leaked promise.
+  constexpr int kSubmitters = 3;
+  constexpr index_t kJobs = 6;
+  std::vector<cvecf> outs(static_cast<std::size_t>(kSubmitters * kJobs),
+                          cvecf(static_cast<std::size_t>(f.set.count())));
+  std::vector<std::future<exec::JobResult>> futs(static_cast<std::size_t>(kSubmitters * kJobs));
+  NufftEngine engine;
+  {
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    for (int t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&, t] {
+        ++ready;
+        while (ready.load() < kSubmitters + 1) std::this_thread::yield();
+        for (index_t j = 0; j < kJobs; ++j) {
+          const auto slot = static_cast<std::size_t>(t * kJobs + j);
+          futs[slot] = engine.submit(exec::Op::kForward, plan, f.images[0].data(),
+                                     outs[slot].data());
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      ++ready;
+      while (ready.load() < kSubmitters + 1) std::this_thread::yield();
+      engine.shutdown();
+    });
+    for (auto& t : threads) t.join();
+  }
+
+  int ran = 0, cancelled = 0;
+  for (auto& fut : futs) {
+    try {
+      fut.get();
+      ++ran;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ran + cancelled, kSubmitters * static_cast<int>(kJobs));
+}
+
+TEST(NufftEngine, PreCancelledTokenResolvesCancelled) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+
+  exec::JobOptions opts;
+  opts.cancel = std::make_shared<exec::CancelToken>();
+  opts.cancel->cancel();
+  NufftEngine engine;
+  auto fut = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data(), 1, opts);
+  EXPECT_EQ(future_error_code(fut), ErrorCode::kCancelled);
+}
+
+TEST(NufftEngine, ZeroTimeoutResolvesTimeout) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+
+  // timeout == 0 stamps a deadline that is already expired at dispatch, so
+  // the timeout path is deterministic even on an arbitrarily fast machine.
+  exec::JobOptions opts;
+  opts.timeout = std::chrono::milliseconds{0};
+  NufftEngine engine;
+  auto fut = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data(), 1, opts);
+  EXPECT_EQ(future_error_code(fut), ErrorCode::kTimeout);
+}
+
+TEST(NufftEngine, RegistryBuildFailureReachesTheFuture) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+  auto bad = std::make_shared<const datasets::SampleSet>(poisoned_set(f));
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+
+  NufftEngine engine;
+  auto fut =
+      engine.submit(exec::Op::kForward, registry, f.g, bad, cfg, f.images[0].data(), got.data());
+  EXPECT_EQ(future_error_code(fut), ErrorCode::kInvalidInput);
+
+  // The same engine and registry still serve good work afterwards.
+  auto samples = std::make_shared<const datasets::SampleSet>(f.set);
+  auto ok = engine.submit(exec::Op::kForward, registry, f.g, samples, cfg, f.images[0].data(),
+                          got.data());
+  EXPECT_GT(ok.get().stats.total_s, 0.0);
 }
 
 TEST(NufftEngine, RegistrySubmitResolvesPlanInWorker) {

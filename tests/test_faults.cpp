@@ -1,0 +1,350 @@
+// Fault-injection suite (ctest label: faults). Only built when the
+// NUFFT_FAULT_INJECT CMake option compiles the hooks in (common/fault.hpp);
+// each test arms a named site and checks that the library degrades, retries,
+// or fails with the documented ErrorCode instead of crashing or caching a
+// broken state.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "core/nufft.hpp"
+#include "datasets/trajectory.hpp"
+#include "exec/batch_nufft.hpp"
+#include "exec/engine.hpp"
+#include "exec/plan_registry.hpp"
+#include "test_util.hpp"
+
+static_assert(nufft::fault::enabled(),
+              "test_faults.cpp requires -DNUFFT_FAULT_INJECT=ON");
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+using exec::BatchNufft;
+using exec::NufftEngine;
+using exec::PlanRegistry;
+
+constexpr index_t kBatch = 4;
+
+struct Fixture {
+  GridDesc g;
+  datasets::SampleSet set;
+  std::vector<cvecf> images;
+  std::vector<cvecf> raws;
+};
+
+Fixture make_fixture(int dim = 2) {
+  Fixture f;
+  const index_t n = dim == 3 ? 12 : 20;
+  f.g = make_grid(dim, n, 2.0);
+  f.set = testing::small_trajectory(TrajectoryType::kRadial, dim, n, 400);
+  for (index_t b = 0; b < kBatch; ++b) {
+    f.images.push_back(testing::random_image(f.g.image_elems(), 100 + b));
+    f.raws.push_back(testing::random_raw(f.set.count(), 200 + b));
+  }
+  return f;
+}
+
+bool bitwise_equal(const cfloat* a, const cfloat* b, index_t n) {
+  return std::memcmp(a, b, static_cast<std::size_t>(n) * sizeof(cfloat)) == 0;
+}
+
+// Every test starts and ends with all sites disarmed, so an armed trigger
+// can never leak across tests.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+// --- PlanRegistry ----------------------------------------------------------
+
+TEST_F(FaultTest, RegistryBuildFaultNeverCaches) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+
+  fault::arm("registry.build", 1);
+  try {
+    registry.acquire(f.g, f.set, cfg);
+    FAIL() << "expected injected build failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBuildFailure);
+  }
+  EXPECT_EQ(registry.resident_count(), 0u);
+  EXPECT_EQ(registry.stats().build_failures, 1u);
+
+  // The trigger is consumed: the next acquire of the same key rebuilds.
+  EXPECT_NE(registry.acquire(f.g, f.set, cfg), nullptr);
+  EXPECT_EQ(registry.resident_count(), 1u);
+}
+
+TEST_F(FaultTest, SingleFlightWaitersObserveInjectedFault) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+
+  fault::arm("registry.build", 1);
+  constexpr int kRequesters = 6;
+  std::atomic<int> failed{0}, succeeded{0};
+  {
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    for (int t = 0; t < kRequesters; ++t) {
+      threads.emplace_back([&] {
+        ++ready;
+        while (ready.load() < kRequesters) std::this_thread::yield();
+        try {
+          if (registry.acquire(f.g, f.set, cfg) != nullptr) ++succeeded;
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kBuildFailure);
+          ++failed;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  // Exactly one build consumed the trigger; its own requester and every
+  // single-flight waiter of that attempt saw the error, later requesters
+  // rebuilt cleanly.
+  EXPECT_GE(failed.load(), 1);
+  EXPECT_EQ(failed.load() + succeeded.load(), kRequesters);
+  EXPECT_EQ(fault::fired("registry.build"), 1u);
+  // Whatever the interleaving, the registry ends usable.
+  EXPECT_NE(registry.acquire(f.g, f.set, cfg), nullptr);
+}
+
+TEST_F(FaultTest, CorruptSpillFallsBackToRebuildBitIdentically) {
+  Fixture f = make_fixture();
+  const auto set2 = testing::small_trajectory(TrajectoryType::kSpiral, 2, f.g.n[0], 400);
+  PlanConfig cfg;
+  cfg.threads = 1;
+
+  const auto dir = std::filesystem::temp_directory_path() / "nufft_fault_spill_test";
+  std::filesystem::remove_all(dir);
+  exec::RegistryConfig rc;
+  rc.max_bytes = 1;  // every second plan forces an eviction
+  rc.spill_dir = dir.string();
+  PlanRegistry registry(rc);
+
+  cvecf ref(static_cast<std::size_t>(f.set.count()));
+  {
+    const auto plan_a = registry.acquire(f.g, f.set, cfg);
+    Workspace ws = plan_a->make_workspace();
+    ThreadPool pool(1);
+    plan_a->forward(f.images[0].data(), ref.data(), ws, pool);
+  }
+
+  // Evicting A writes the spill file, then the armed site corrupts it.
+  fault::arm("registry.spill.corrupt", 1);
+  registry.acquire(f.g, set2, cfg);
+  EXPECT_EQ(fault::fired("registry.spill.corrupt"), 1u);
+
+  // Restoring A detects the corruption, deletes the file, and rebuilds —
+  // with results bit-identical to the original build.
+  const auto plan_a2 = registry.acquire(f.g, f.set, cfg);
+  const auto st = registry.stats();
+  EXPECT_EQ(st.corrupt_spills, 1u);
+  EXPECT_EQ(st.spill_restores, 0u);
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+  Workspace ws = plan_a2->make_workspace();
+  ThreadPool pool(1);
+  plan_a2->forward(f.images[0].data(), got.data(), ws, pool);
+  EXPECT_TRUE(bitwise_equal(got.data(), ref.data(), f.set.count()));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FaultTest, EnvSpecArmsSites) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+
+  ::setenv("NUFFT_FAULT", "registry.build:1", 1);
+  fault::reset();  // re-read the environment on the next hit
+  EXPECT_THROW(registry.acquire(f.g, f.set, cfg), Error);
+  ::unsetenv("NUFFT_FAULT");
+  fault::reset();
+  EXPECT_NE(registry.acquire(f.g, f.set, cfg), nullptr);
+}
+
+// --- NufftEngine -----------------------------------------------------------
+
+TEST_F(FaultTest, ApplyFaultDoesNotPoisonLeases) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+
+  cvecf ref(static_cast<std::size_t>(f.set.count()));
+  {
+    Workspace ws = plan->make_workspace();
+    ThreadPool pool(1);
+    plan->forward(f.images[0].data(), ref.data(), ws, pool);
+  }
+
+  exec::EngineConfig ec;
+  ec.workers = 1;  // one worker ⇒ the retry job reuses the returned lease
+  NufftEngine engine(ec);
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+
+  fault::arm("engine.apply", 1);
+  auto doomed = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data());
+  try {
+    doomed.get();
+    FAIL() << "expected injected apply failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);
+  }
+
+  // The lease returned on the failure path serves the next job unharmed.
+  auto ok = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data());
+  ok.get();
+  EXPECT_TRUE(bitwise_equal(got.data(), ref.data(), f.set.count()));
+}
+
+TEST_F(FaultTest, TransientFaultIsRetriedWithinBudget) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+  cvecf ref(static_cast<std::size_t>(f.set.count()));
+  {
+    Workspace ws = plan->make_workspace();
+    ThreadPool pool(1);
+    plan->forward(f.images[0].data(), ref.data(), ws, pool);
+  }
+
+  NufftEngine engine;
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+  exec::JobOptions opts;
+  opts.max_retries = 3;
+  opts.retry_backoff = std::chrono::milliseconds{1};
+
+  fault::arm("engine.apply.transient", 2);  // fail twice, succeed third
+  auto fut = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data(), 1, opts);
+  fut.get();
+  EXPECT_EQ(fault::fired("engine.apply.transient"), 2u);
+  EXPECT_TRUE(bitwise_equal(got.data(), ref.data(), f.set.count()));
+}
+
+TEST_F(FaultTest, RetryBudgetExhaustionSurfacesResourceExhausted) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+
+  NufftEngine engine;
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+  exec::JobOptions opts;
+  opts.max_retries = 1;
+  opts.retry_backoff = std::chrono::milliseconds{1};
+
+  fault::arm("engine.apply.transient", 5);  // outlasts the retry budget
+  auto fut = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data(), 1, opts);
+  try {
+    fut.get();
+    FAIL() << "expected retry budget exhaustion";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
+  // First attempt + one retry.
+  EXPECT_EQ(fault::fired("engine.apply.transient"), 2u);
+}
+
+// --- BatchNufft graceful degradation ---------------------------------------
+
+TEST_F(FaultTest, SimdAllocFailureDegradesToScalarWithinTolerance) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.use_simd = true;
+  cfg.isa = SimdIsa::kSse;
+  cfg.threads = 1;
+  Nufft plan(f.g, f.set, cfg);
+
+  std::vector<cvecf> ref(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  for (index_t b = 0; b < kBatch; ++b) plan.forward(f.images[b].data(), ref[b].data());
+
+  BatchNufft batch(plan, kBatch);
+  EXPECT_FALSE(batch.simd_downgraded());
+  std::vector<const cfloat*> in;
+  std::vector<cfloat*> out;
+  std::vector<cvecf> got(kBatch, cvecf(static_cast<std::size_t>(f.set.count())));
+  for (index_t b = 0; b < kBatch; ++b) {
+    in.push_back(f.images[b].data());
+    out.push_back(got[b].data());
+  }
+
+  fault::arm("batch.simd_alloc", 1);
+  batch.forward(in.data(), out.data(), kBatch);
+  EXPECT_EQ(fault::fired("batch.simd_alloc"), 1u);
+  EXPECT_TRUE(batch.simd_downgraded());
+  EXPECT_TRUE(batch.last_forward_stats().simd_downgraded);
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_LT(testing::rel_err(got[b].data(), ref[b].data(), f.set.count()), 1e-5)
+        << "slice " << b;
+  }
+
+  // The downgrade is sticky and the instance stays serviceable.
+  std::vector<cvecf> aref(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  for (index_t b = 0; b < kBatch; ++b) plan.adjoint(f.raws[b].data(), aref[b].data());
+  std::vector<const cfloat*> rin;
+  std::vector<cfloat*> iout;
+  std::vector<cvecf> agot(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  for (index_t b = 0; b < kBatch; ++b) {
+    rin.push_back(f.raws[b].data());
+    iout.push_back(agot[b].data());
+  }
+  batch.adjoint(rin.data(), iout.data(), kBatch);
+  EXPECT_TRUE(batch.last_adjoint_stats().simd_downgraded);
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_LT(testing::rel_err(agot[b].data(), aref[b].data(), f.g.image_elems()), 1e-5)
+        << "slice " << b;
+  }
+}
+
+TEST_F(FaultTest, PrivateBufferAllocFailureFallsBackToDirectScatter) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.use_simd = false;
+  cfg.threads = 2;
+  Nufft plan(f.g, f.set, cfg);
+
+  std::vector<cvecf> ref(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  for (index_t b = 0; b < kBatch; ++b) plan.adjoint(f.raws[b].data(), ref[b].data());
+
+  fault::arm("batch.private_alloc", 1);
+  BatchNufft batch(plan, kBatch);
+  EXPECT_EQ(fault::fired("batch.private_alloc"), 1u);
+  EXPECT_TRUE(batch.privatization_downgraded());
+
+  std::vector<const cfloat*> in;
+  std::vector<cfloat*> out;
+  std::vector<cvecf> got(kBatch, cvecf(static_cast<std::size_t>(f.g.image_elems())));
+  for (index_t b = 0; b < kBatch; ++b) {
+    in.push_back(f.raws[b].data());
+    out.push_back(got[b].data());
+  }
+  batch.adjoint(in.data(), out.data(), kBatch);
+  EXPECT_TRUE(batch.last_adjoint_stats().privatization_downgraded);
+  EXPECT_EQ(batch.last_adjoint_stats().privatized_tasks, 0);
+  for (index_t b = 0; b < kBatch; ++b) {
+    EXPECT_LT(testing::rel_err(got[b].data(), ref[b].data(), f.g.image_elems()), 1e-5)
+        << "slice " << b;
+  }
+}
+
+}  // namespace
+}  // namespace nufft

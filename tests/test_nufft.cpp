@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "baselines/nudft.hpp"
@@ -368,6 +369,97 @@ TEST(NufftConfig, RejectsDimensionMismatch) {
   const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 100);
   PlanConfig cfg;
   EXPECT_THROW(Nufft(g, set, cfg), Error);
+}
+
+// --- Input validation at plan construction ---------------------------------
+
+ErrorCode plan_error_code(const GridDesc& g, const datasets::SampleSet& set) {
+  PlanConfig cfg;
+  try {
+    Nufft plan(g, set, cfg);
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "plan construction unexpectedly succeeded";
+  return ErrorCode::kInternal;
+}
+
+TEST(NufftValidation, RejectsNonFiniteAndOutOfRangeCoordinates) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto good = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 100);
+  // A NaN, an infinity, a negative coordinate, or one at exactly M would all
+  // corrupt the preprocessing histogram; each must be rejected up front with
+  // the caller-facing code.
+  for (const float w : {std::numeric_limits<float>::quiet_NaN(),
+                        std::numeric_limits<float>::infinity(),
+                        -std::numeric_limits<float>::infinity(), -0.5f,
+                        static_cast<float>(good.m)}) {
+    datasets::SampleSet bad = good;
+    bad.coords[1][7] = w;
+    EXPECT_EQ(plan_error_code(g, bad), ErrorCode::kInvalidInput) << "coordinate " << w;
+  }
+}
+
+TEST(NufftValidation, RejectsEmptySampleSet) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  datasets::SampleSet empty;
+  empty.dim = 2;
+  empty.m = 64;
+  empty.k = 0;
+  empty.s = 0;
+  EXPECT_EQ(plan_error_code(g, empty), ErrorCode::kInvalidInput);
+}
+
+TEST(NufftValidation, RejectsMismatchedCoordinateArray) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  datasets::SampleSet bad = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 100);
+  bad.coords[1].pop_back();
+  EXPECT_EQ(plan_error_code(g, bad), ErrorCode::kInvalidInput);
+}
+
+TEST(NufftValidation, BoundaryCoordinatesAreValid) {
+  // 0 and nextafter(M, 0) are the edges of the half-open coordinate interval;
+  // both must plan and transform.
+  const GridDesc g = make_grid(2, 16, 2.0);
+  datasets::SampleSet set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 64);
+  const float edge = std::nextafter(static_cast<float>(set.m), 0.0f);
+  set.coords[0][0] = 0.0f;
+  set.coords[1][0] = edge;
+  set.coords[0][1] = edge;
+  set.coords[1][1] = 0.0f;
+  PlanConfig cfg;
+  Nufft plan(g, set, cfg);
+  const cvecf img = testing::random_image(g.image_elems(), 7);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(img.data(), raw.data());
+  for (const cfloat v : raw) {
+    ASSERT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+  }
+}
+
+TEST(NufftValidation, AllSamplesInOneCellStillTransform) {
+  // A degenerate trajectory collapses the preprocessing histogram into a
+  // single bin; partitioning and task-graph construction must still produce
+  // a working plan. With identical coordinates every forward output is the
+  // same value.
+  const GridDesc g = make_grid(2, 16, 2.0);
+  datasets::SampleSet set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 64);
+  for (auto& c : set.coords[0]) c = 7.25f;
+  for (auto& c : set.coords[1]) c = 9.5f;
+  PlanConfig cfg;
+  cfg.threads = 2;
+  Nufft plan(g, set, cfg);
+  const cvecf img = testing::random_image(g.image_elems(), 11);
+  cvecf raw(static_cast<std::size_t>(set.count()));
+  plan.forward(img.data(), raw.data());
+  for (index_t i = 1; i < set.count(); ++i) {
+    ASSERT_EQ(raw[static_cast<std::size_t>(i)], raw[0]) << "sample " << i;
+  }
+  cvecf back(static_cast<std::size_t>(g.image_elems()));
+  plan.adjoint(raw.data(), back.data());
+  for (const cfloat v : back) {
+    ASSERT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+  }
 }
 
 TEST(NufftRoundTrip, AdjointOfForwardPreservesImageShape) {

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -138,6 +139,79 @@ TEST(PlanCache, RejectsGarbageMagic) {
   auto blob = serialize_plan(pp, f.g);
   blob[0] ^= 0xFF;
   EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set), Error);
+}
+
+ErrorCode load_error_code(const std::string& path, const GridDesc& g,
+                          const datasets::SampleSet& set) {
+  try {
+    load_plan(path, g, set);
+  } catch (const Error& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "load_plan unexpectedly succeeded";
+  return ErrorCode::kInternal;
+}
+
+TEST(PlanCache, CorruptSpillFileIsDetectedByChecksum) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto path = std::filesystem::temp_directory_path() / "nufft_plan_corrupt.bin";
+  save_plan(path.string(), pp, f.g);
+
+  // Flip one payload byte in the middle of the file: the structural checks
+  // may or may not notice, but the file checksum always must.
+  const auto size = std::filesystem::file_size(path);
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(static_cast<std::streamoff>(size / 2));
+    file.write(&byte, 1);
+  }
+  EXPECT_EQ(load_error_code(path.string(), f.g, f.set), ErrorCode::kIoCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(PlanCache, TruncatedSpillFileIsRejected) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto path = std::filesystem::temp_directory_path() / "nufft_plan_trunc.bin";
+  save_plan(path.string(), pp, f.g);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_EQ(load_error_code(path.string(), f.g, f.set), ErrorCode::kIoCorruption);
+  // Even a file shorter than the header must fail cleanly.
+  std::filesystem::resize_file(path, 3);
+  EXPECT_EQ(load_error_code(path.string(), f.g, f.set), ErrorCode::kIoCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(PlanCache, ErrorCodesDistinguishCorruptionFromStaleGeometry) {
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g);
+
+  // Blob-integrity failures carry kIoCorruption...
+  auto truncated = blob;
+  truncated.resize(truncated.size() / 2);
+  try {
+    deserialize_plan(truncated.data(), truncated.size(), f.g, f.set);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoCorruption);
+  }
+
+  // ...while a well-formed blob for different geometry is a caller error.
+  const GridDesc other = make_grid(2, 64, 2.0);
+  const auto other_set = testing::small_trajectory(datasets::TrajectoryType::kRadial, 2, 64, 3000);
+  try {
+    deserialize_plan(blob.data(), blob.size(), other, other_set);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
 }
 
 TEST(PlanCache, RestorationIsFasterThanPreprocessing) {
