@@ -32,6 +32,7 @@ int main() {
   cvecf img_out(static_cast<std::size_t>(kMaxB * ne));
 
   std::printf("%4s  %14s  %14s  %8s\n", "B", "seq pairs/s", "batch pairs/s", "speedup");
+  BenchReport report("batch_throughput");
   for (const index_t B : {1, 2, 4, 8, 16}) {
     const double t_seq = time_call([&] {
       for (index_t b = 0; b < B; ++b) {
@@ -50,6 +51,11 @@ int main() {
     const double batch_rate = static_cast<double>(B) / t_batch;
     std::printf("%4lld  %14.2f  %14.2f  %7.2fx\n", static_cast<long long>(B), seq_rate,
                 batch_rate, batch_rate / seq_rate);
+    report.add("B=" + std::to_string(B), {{"batch", static_cast<double>(B)},
+                                          {"seq_pairs_per_s", seq_rate},
+                                          {"batch_pairs_per_s", batch_rate},
+                                          {"speedup", batch_rate / seq_rate}});
   }
+  report.write();
   return 0;
 }

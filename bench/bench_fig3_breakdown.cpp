@@ -33,10 +33,15 @@ Breakdown measure(Nufft& plan, const cvecf& img, const cvecf& raw) {
   return b;
 }
 
-void print(const char* label, const Breakdown& b) {
+void print(const char* label, const Breakdown& b, BenchReport& report) {
   std::printf("%-22s %9.4f %9.4f %9.4f %9.4f %9.4f   |  %5.1f%% %5.1f%% %5.1f%% %5.1f%%\n",
               label, b.adj_conv, b.fwd_conv, b.fft, b.scale, b.total, 100 * b.adj_conv / b.total,
               100 * b.fwd_conv / b.total, 100 * b.fft / b.total, 100 * b.scale / b.total);
+  report.add(label, {{"adj_conv_s", b.adj_conv},
+                     {"fwd_conv_s", b.fwd_conv},
+                     {"fft_s", b.fft},
+                     {"scale_s", b.scale},
+                     {"total_s", b.total}});
 }
 
 }  // namespace
@@ -52,13 +57,15 @@ int main() {
   std::printf("%-22s %9s %9s %9s %9s %9s   |  shares of total\n", "variant", "ADJconv",
               "FWDconv", "FFTs", "scale", "total(s)");
 
+  BenchReport report("fig3_breakdown");
   {
     Nufft plan(g, set, baseline_config());
-    print("Fig3: scalar seq", measure(plan, img, raw));
+    print("Fig3: scalar seq", measure(plan, img, raw), report);
   }
   {
     Nufft plan(g, set, optimized_config(bench_threads()));
-    print("Fig8: optimized par", measure(plan, img, raw));
+    print("Fig8: optimized par", measure(plan, img, raw), report);
   }
+  report.write();
   return 0;
 }

@@ -10,6 +10,9 @@
 #include "kernels/bessel.hpp"
 #include "kernels/kaiser_bessel.hpp"
 #include "kernels/lut.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "parallel/partitioner.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -179,6 +182,60 @@ void BM_SchedulerDrain(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * graph.size());
 }
 BENCHMARK(BM_SchedulerDrain)->Arg(4)->Arg(8);
+
+// Off-path cost of the observability layer: a disabled Span/counter must be
+// one relaxed load plus a branch (ISSUE acceptance: <2% on the macro bench).
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::set_trace_enabled(false);
+  for (auto _ : state) {
+    obs::Span s("bench.span", "bench");
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::set_trace_enabled(true);
+  obs::reset_spans();
+  for (auto _ : state) {
+    obs::Span s("bench.span", "bench");
+    benchmark::DoNotOptimize(&s);
+  }
+  obs::set_trace_enabled(false);
+  obs::reset_spans();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterDisabled(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  for (auto _ : state) {
+    obs::count("bench.counter");
+  }
+}
+BENCHMARK(BM_CounterDisabled);
+
+void BM_CounterEnabled(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  for (auto _ : state) {
+    obs::count("bench.counter");
+  }
+  obs::set_metrics_enabled(false);
+  obs::MetricsRegistry::instance().reset();
+}
+BENCHMARK(BM_CounterEnabled);
+
+// The cached-handle pattern the scheduler uses: resolve once, then relaxed
+// atomic adds only.
+void BM_CounterCachedHandle(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  auto& c = obs::MetricsRegistry::instance().counter("bench.counter_cached");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  obs::set_metrics_enabled(false);
+  obs::MetricsRegistry::instance().reset();
+}
+BENCHMARK(BM_CounterCachedHandle);
 
 }  // namespace
 

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace nufft::bench {
 
@@ -92,6 +96,87 @@ cvecf random_values(index_t n, std::uint64_t seed) {
     x = cfloat(static_cast<float>(rng.uniform(-1, 1)), static_cast<float>(rng.uniform(-1, 1)));
   }
   return v;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::add(std::string label, std::vector<std::pair<std::string, double>> fields) {
+  rows_.emplace_back(std::move(label), std::move(fields));
+}
+
+std::string BenchReport::write() const {
+  const char* json_env = std::getenv("NUFFT_BENCH_JSON");
+  if (json_env != nullptr && std::string(json_env) == "0") return {};
+
+  std::string out = "{\n  \"bench\": ";
+  append_json_string(out, name_);
+  out += ",\n  \"scale\": ";
+  append_json_string(out, paper_scale() ? "paper" : "container");
+  out += ",\n  \"threads\": ";
+  append_json_number(out, bench_threads());
+  out += ",\n  \"results\": [";
+  bool first_row = true;
+  for (const auto& [label, fields] : rows_) {
+    out += first_row ? "\n    {" : ",\n    {";
+    first_row = false;
+    out += "\"label\": ";
+    append_json_string(out, label);
+    for (const auto& [key, value] : fields) {
+      out += ", ";
+      append_json_string(out, key);
+      out += ": ";
+      append_json_number(out, value);
+    }
+    out += '}';
+  }
+  out += "\n  ]";
+  if (obs::metrics_enabled()) {
+    out += ",\n  \"metrics\": ";
+    out += obs::metrics_json(obs::MetricsRegistry::instance().snapshot());
+  }
+  out += "\n}\n";
+
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("NUFFT_BENCH_DIR"); dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  if (!obs::write_text_file(path, out)) {
+    std::fprintf(stderr, "warning: failed to write %s\n", path.c_str());
+    return {};
+  }
+  std::printf("report: %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace nufft::bench

@@ -5,10 +5,14 @@
 //   NUFFT_PAPER=1       full paper-scale problem sizes (Table I as printed)
 //   NUFFT_THREADS=n     max software thread count for parallel variants
 //   NUFFT_BENCH_REPS=n  repetitions per measurement (min over reps reported)
+//   NUFFT_BENCH_JSON=0  suppress the BENCH_<name>.json result file
+//   NUFFT_BENCH_DIR=p   directory for BENCH_<name>.json (default: cwd)
+//   NUFFT_METRICS=1     embed a metrics snapshot in the JSON report
 #pragma once
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.hpp"
@@ -53,5 +57,25 @@ void print_header(const std::string& title);
 
 /// Random complex vectors for operator inputs.
 cvecf random_values(index_t n, std::uint64_t seed = 4242);
+
+/// Machine-readable bench results. Each `add` appends one labelled row of
+/// numeric fields (insertion order preserved); `write` emits
+/// BENCH_<name>.json into NUFFT_BENCH_DIR (default cwd) with the run's
+/// scale/thread context, and — when NUFFT_METRICS is on — a full
+/// obs::MetricsRegistry snapshot under "metrics". Set NUFFT_BENCH_JSON=0 to
+/// suppress the file entirely.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void add(std::string label, std::vector<std::pair<std::string, double>> fields);
+
+  /// Returns the path written, or empty when suppressed / on I/O failure.
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> rows_;
+};
 
 }  // namespace nufft::bench

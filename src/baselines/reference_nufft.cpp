@@ -120,6 +120,7 @@ void interp_loop(const GridDesc& g, const kernels::KernelLut& lut,
 }  // namespace
 
 void ReferenceNufft::forward(const cfloat* image, cfloat* raw) {
+  fwd_stats_ = OperatorStats{};
   Timer total;
   Timer t;
   image_to_grid(image);
@@ -144,9 +145,13 @@ void ReferenceNufft::forward(const cfloat* image, cfloat* raw) {
 }
 
 void ReferenceNufft::adjoint(const cfloat* raw, cfloat* image) {
+  adj_stats_ = OperatorStats{};
   Timer total;
   Timer t;
+  // The grid clear counts as scale (like Nufft::adjoint), not convolution.
   zero_complex(grid_.data(), grid_.size());
+  adj_stats_.scale_s = t.seconds();
+  t.reset();
   spread_privatized(g_, *lut_, *samples_, raw, grid_.data(), *pool_);
   adj_stats_.conv_s = t.seconds();
   t.reset();
@@ -154,7 +159,7 @@ void ReferenceNufft::adjoint(const cfloat* raw, cfloat* image) {
   adj_stats_.fft_s = t.seconds();
   t.reset();
   grid_to_image(image);
-  adj_stats_.scale_s = t.seconds();
+  adj_stats_.scale_s += t.seconds();
   adj_stats_.total_s = total.seconds();
 }
 

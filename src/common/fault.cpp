@@ -8,6 +8,8 @@
 #include <new>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace nufft::fault {
 
 namespace {
@@ -59,6 +61,9 @@ struct Registry {
     }
     --it->second.remaining;
     ++it->second.fired;
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::instance().counter("fault.fired." + it->first).add(1);
+    }
     return true;
   }
 };

@@ -8,6 +8,7 @@
 #include "core/convolution.hpp"
 #include "core/convolution_avx2.hpp"
 #include "kernels/rolloff.hpp"
+#include "obs/trace.hpp"
 
 namespace nufft {
 
@@ -367,9 +368,11 @@ void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, Work
     sstats = run_task_graph(*pp_.graph, pp_.weights, pp_.privatized, pool, body, scfg);
   }
   if (stats != nullptr) {
-    stats->tasks = sstats.tasks;
-    stats->privatized_tasks = sstats.privatized_tasks;
-    stats->busy_ns_per_context = std::move(sstats.busy_ns_per_context);
+    // Accumulate, don't overwrite: an apply may walk the scheduler more than
+    // once (the batched adjoint does, per slab-group chunk) and the caller
+    // resets the struct at apply entry.
+    stats->add_scheduler_pass(sstats.tasks, sstats.privatized_tasks,
+                              sstats.busy_ns_per_context);
   }
   ws.trace = std::move(sstats.trace);
 }
@@ -380,17 +383,28 @@ void Nufft::spread(const cfloat* raw) {
 }
 
 void Nufft::forward(const cfloat* image, cfloat* raw, Workspace& ws, ThreadPool& pool) const {
+  ws.fwd_stats = OperatorStats{};
+  obs::Span apply("nufft.forward", "core");
   Timer total;
   Timer t;
-  image_to_grid(image, ws, pool);
+  {
+    obs::Span s("nufft.scale", "core");
+    image_to_grid(image, ws, pool);
+  }
   ws.fwd_stats.scale_s = t.seconds();
 
   t.reset();
-  fft_fwd_->transform(ws.grid.data(), pool);
+  {
+    obs::Span s("nufft.fft", "core");
+    fft_fwd_->transform(ws.grid.data(), pool);
+  }
   ws.fwd_stats.fft_s = t.seconds();
 
   t.reset();
-  interp(raw, ws, pool);
+  {
+    obs::Span s("nufft.conv", "core");
+    interp(raw, ws, pool);
+  }
   ws.fwd_stats.conv_s = t.seconds();
   ws.fwd_stats.total_s = total.seconds();
 }
@@ -398,21 +412,35 @@ void Nufft::forward(const cfloat* image, cfloat* raw, Workspace& ws, ThreadPool&
 void Nufft::forward(const cfloat* image, cfloat* raw) { forward(image, raw, ws_, *pool_); }
 
 void Nufft::adjoint(const cfloat* raw, cfloat* image, Workspace& ws, ThreadPool& pool) const {
+  ws.adj_stats = OperatorStats{};
+  obs::Span apply("nufft.adjoint", "core");
   Timer total;
   Timer t;
-  clear_grid(ws, pool);
+  {
+    obs::Span s("nufft.scale", "core");
+    clear_grid(ws, pool);
+  }
   ws.adj_stats.scale_s = t.seconds();
 
   t.reset();
-  run_spread(raw, ws, pool, &ws.adj_stats);
+  {
+    obs::Span s("nufft.conv", "core");
+    run_spread(raw, ws, pool, &ws.adj_stats);
+  }
   ws.adj_stats.conv_s = t.seconds();
 
   t.reset();
-  fft_inv_->transform(ws.grid.data(), pool);
+  {
+    obs::Span s("nufft.fft", "core");
+    fft_inv_->transform(ws.grid.data(), pool);
+  }
   ws.adj_stats.fft_s = t.seconds();
 
   t.reset();
-  grid_to_image(image, ws, pool);
+  {
+    obs::Span s("nufft.scale", "core");
+    grid_to_image(image, ws, pool);
+  }
   ws.adj_stats.scale_s += t.seconds();
   ws.adj_stats.total_s = total.seconds();
 }

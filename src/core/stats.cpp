@@ -5,12 +5,27 @@
 
 namespace nufft {
 
+void OperatorStats::add_scheduler_pass(int pass_tasks, int pass_privatized,
+                                       const std::vector<std::uint64_t>& busy) {
+  tasks += pass_tasks;
+  privatized_tasks += pass_privatized;
+  if (busy_ns_per_context.size() < busy.size()) {
+    busy_ns_per_context.resize(busy.size(), 0);
+  }
+  for (std::size_t i = 0; i < busy.size(); ++i) busy_ns_per_context[i] += busy[i];
+}
+
 double OperatorStats::load_imbalance() const {
-  if (busy_ns_per_context.empty()) return 0.0;
+  if (busy_ns_per_context.empty()) return 0.0;  // no parallel pass ran
   const auto max = *std::max_element(busy_ns_per_context.begin(), busy_ns_per_context.end());
   const auto sum = std::accumulate(busy_ns_per_context.begin(), busy_ns_per_context.end(),
                                    std::uint64_t{0});
-  if (sum == 0) return 0.0;
+  if (sum == 0) {
+    // A pass ran but recorded no busy time: with zero tasks that is trivial
+    // perfect balance; with real tasks the clock failed to resolve the work
+    // and 0.0 keeps "unmeasurable" distinguishable from "balanced".
+    return tasks == 0 ? 1.0 : 0.0;
+  }
   const double mean = static_cast<double>(sum) / static_cast<double>(busy_ns_per_context.size());
   return static_cast<double>(max) / mean;
 }

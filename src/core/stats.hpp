@@ -8,13 +8,21 @@
 namespace nufft {
 
 /// Timing breakdown for one operator application, in seconds.
+///
+/// Reset/accumulate discipline: an apply resets its stats struct at entry
+/// and then only accumulates — multi-pass applies (BatchNufft chunk loops,
+/// every scheduler walk of an adjoint) add their contribution per pass, so
+/// after the apply `tasks` / `busy_ns_per_context` cover *all* passes and
+/// `total_s` ≥ phase_sum() (the difference is scheduler/loop overhead plus
+/// the instants between phase timers).
 struct OperatorStats {
   double scale_s = 0.0;     // point-wise scaling + (de)chopping + grid clear
   double fft_s = 0.0;       // the oversampled (inverse) FFT
   double conv_s = 0.0;      // convolution interpolation
   double total_s = 0.0;
 
-  // Adjoint-convolution scheduling detail.
+  // Adjoint-convolution scheduling detail, summed over every scheduler walk
+  // of the apply (one per chunk for batched multi-slab-group adjoints).
   int tasks = 0;
   int privatized_tasks = 0;
   std::vector<std::uint64_t> busy_ns_per_context;
@@ -25,8 +33,23 @@ struct OperatorStats {
   bool simd_downgraded = false;
   bool privatization_downgraded = false;
 
+  /// Fold one scheduler pass into the running totals. busy times accumulate
+  /// element-wise, resizing on the first pass (a later pass may legally run
+  /// on a wider pool; missing contexts count as idle).
+  void add_scheduler_pass(int pass_tasks, int pass_privatized,
+                          const std::vector<std::uint64_t>& busy);
+
+  /// scale_s + fft_s + conv_s — the phase time the invariant
+  /// phase_sum() ≤ total_s is asserted against in the test suite.
+  double phase_sum() const { return scale_s + fft_s + conv_s; }
+
   /// Ratio of the busiest context's busy time to the mean — 1.0 is perfect
-  /// load balance. Returns 0 when no parallel pass ran.
+  /// load balance. Sentinels, distinguishable by the caller:
+  ///   0.0  no parallel pass ran (busy_ns_per_context is empty), or a pass
+  ///        ran real tasks too fast for the clock to resolve (tasks > 0 with
+  ///        uniformly zero busy time — unmeasurable, NOT perfect balance);
+  ///   1.0  a pass ran but had nothing to do (tasks == 0): trivially
+  ///        balanced.
   double load_imbalance() const;
 };
 

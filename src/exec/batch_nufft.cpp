@@ -8,6 +8,7 @@
 #include "core/convolution.hpp"
 #include "core/convolution_avx2.hpp"
 #include "exec/batch_conv.hpp"
+#include "obs/trace.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace nufft::exec {
@@ -374,51 +375,78 @@ void BatchNufft::batch_spread(const cfloat* const* raws, index_t nb, ThreadPool&
     sstats = run_task_graph(*pp.graph, pp.weights, priv, pool, body, scfg);
   }
   if (stats != nullptr) {
-    stats->tasks += sstats.tasks;
-    stats->privatized_tasks += sstats.privatized_tasks;
-    stats->busy_ns_per_context = std::move(sstats.busy_ns_per_context);
+    // Accumulate element-wise: a B-slice adjoint walks the scheduler once
+    // per slab-group chunk, and the apply's load-balance record must cover
+    // every walk, not just the last one.
+    stats->add_scheduler_pass(sstats.tasks, sstats.privatized_tasks,
+                              sstats.busy_ns_per_context);
   }
-  trace_ = std::move(sstats.trace);
+  if (trace_.empty()) {
+    trace_ = std::move(sstats.trace);
+  } else {
+    trace_.insert(trace_.end(), sstats.trace.begin(), sstats.trace.end());
+  }
 }
 
 void BatchNufft::forward_chunk(const cfloat* const* images, cfloat* const* raws, index_t nb,
                                ThreadPool& pool) {
   Timer t;
-  batch_image_to_grid(images, nb, pool);
+  {
+    obs::Span s("batch.scale", "batch", nb);
+    batch_image_to_grid(images, nb, pool);
+  }
   fwd_stats_.scale_s += t.seconds();
 
   t.reset();
-  const bool batched_stages = conv_mode_ != Nufft::ConvMode::kScalar;
-  bfft_.transform(slabs_.data(), nb, fft::Direction::kForward, pool, batched_stages);
+  {
+    obs::Span s("batch.fft", "batch", nb);
+    const bool batched_stages = conv_mode_ != Nufft::ConvMode::kScalar;
+    bfft_.transform(slabs_.data(), nb, fft::Direction::kForward, pool, batched_stages);
+  }
   fwd_stats_.fft_s += t.seconds();
 
   t.reset();
-  dim_dispatch(
-      plan_->g_.dim, [&] { batch_interp<1>(raws, nb, pool); },
-      [&] { batch_interp<2>(raws, nb, pool); }, [&] { batch_interp<3>(raws, nb, pool); });
+  {
+    obs::Span s("batch.conv", "batch", nb);
+    dim_dispatch(
+        plan_->g_.dim, [&] { batch_interp<1>(raws, nb, pool); },
+        [&] { batch_interp<2>(raws, nb, pool); }, [&] { batch_interp<3>(raws, nb, pool); });
+  }
   fwd_stats_.conv_s += t.seconds();
 }
 
 void BatchNufft::adjoint_chunk(const cfloat* const* raws, cfloat* const* images, index_t nb,
                                ThreadPool& pool) {
   Timer t;
-  clear_slabs(nb, pool);
+  {
+    obs::Span s("batch.scale", "batch", nb);
+    clear_slabs(nb, pool);
+  }
   adj_stats_.scale_s += t.seconds();
 
   t.reset();
-  dim_dispatch(
-      plan_->g_.dim, [&] { batch_spread<1>(raws, nb, pool, &adj_stats_); },
-      [&] { batch_spread<2>(raws, nb, pool, &adj_stats_); },
-      [&] { batch_spread<3>(raws, nb, pool, &adj_stats_); });
+  {
+    obs::Span s("batch.conv", "batch", nb);
+    dim_dispatch(
+        plan_->g_.dim, [&] { batch_spread<1>(raws, nb, pool, &adj_stats_); },
+        [&] { batch_spread<2>(raws, nb, pool, &adj_stats_); },
+        [&] { batch_spread<3>(raws, nb, pool, &adj_stats_); });
+  }
   adj_stats_.conv_s += t.seconds();
 
   t.reset();
-  const bool batched_stages = conv_mode_ != Nufft::ConvMode::kScalar;
-  bfft_.transform(slabs_.data(), nb, fft::Direction::kInverse, pool, batched_stages);
+  {
+    obs::Span s("batch.fft", "batch", nb);
+    const bool batched_stages = conv_mode_ != Nufft::ConvMode::kScalar;
+    bfft_.transform(slabs_.data(), nb, fft::Direction::kInverse, pool, batched_stages);
+  }
   adj_stats_.fft_s += t.seconds();
 
   t.reset();
-  batch_grid_to_image(images, nb, pool);
+  {
+    obs::Span s("batch.scale", "batch", nb);
+    batch_grid_to_image(images, nb, pool);
+  }
   adj_stats_.scale_s += t.seconds();
 }
 
@@ -426,6 +454,8 @@ void BatchNufft::forward(const cfloat* const* images, cfloat* const* raws, index
                          ThreadPool& pool) {
   NUFFT_CHECK(nb >= 1);
   fwd_stats_ = OperatorStats{};
+  trace_.clear();
+  obs::Span apply("batch.forward", "batch", nb);
   Timer total;
   for (index_t off = 0; off < nb; off += capacity_) {
     const index_t nc = std::min(capacity_, nb - off);
@@ -454,6 +484,8 @@ void BatchNufft::adjoint(const cfloat* const* raws, cfloat* const* images, index
                          ThreadPool& pool) {
   NUFFT_CHECK(nb >= 1);
   adj_stats_ = OperatorStats{};
+  trace_.clear();
+  obs::Span apply("batch.adjoint", "batch", nb);
   Timer total;
   for (index_t off = 0; off < nb; off += capacity_) {
     const index_t nc = std::min(capacity_, nb - off);

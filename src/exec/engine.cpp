@@ -8,8 +8,20 @@
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "exec/batch_conv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nufft::exec {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - since)
+                                        .count());
+}
+
+}  // namespace
 
 NufftEngine::NufftEngine(EngineConfig cfg) : cfg_(cfg) {
   NUFFT_CHECK(cfg_.workers >= 1);
@@ -68,18 +80,21 @@ std::future<JobResult> NufftEngine::submit(Op op, PlanRegistry& registry, const 
 
 std::future<JobResult> NufftEngine::enqueue(Job job) {
   auto fut = job.promise.get_future();
+  job.submitted = std::chrono::steady_clock::now();
   if (job.options.timeout.count() >= 0) {
     // Stamped at submission, so queue residence counts against the budget.
     // timeout == 0 is already expired here — the job deterministically
     // resolves with kTimeout at dispatch.
-    job.deadline = std::chrono::steady_clock::now() + job.options.timeout;
+    job.deadline = job.submitted + job.options.timeout;
     job.has_deadline = true;
   }
+  obs::count("engine.jobs_submitted");
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
       // Racing submit against shutdown is benign: the caller gets a future
       // that reports the job as cancelled instead of a crashed submitter.
+      obs::count("engine.jobs_rejected");
       job.promise.set_exception(std::make_exception_ptr(
           Error("job submitted after engine shutdown", ErrorCode::kCancelled)));
       return fut;
@@ -104,9 +119,13 @@ void NufftEngine::worker_main() {
       queue_.pop_front();
       ++active_;
     }
+    obs::observe_ns("engine.queue_wait_ns", elapsed_ns(job.submitted));
     try {
+      obs::Span span("engine.job", "engine", job.batch);
       job.promise.set_value(dispatch_job(job, pool));
+      obs::count("engine.jobs_completed");
     } catch (...) {
+      obs::count("engine.jobs_failed");
       job.promise.set_exception(std::current_exception());
     }
     {
@@ -124,9 +143,11 @@ JobResult NufftEngine::dispatch_job(Job& job, ThreadPool& pool) {
   auto backoff = std::max(job.options.retry_backoff, std::chrono::milliseconds{1});
   for (;;) {
     if (job.options.cancel && job.options.cancel->cancelled()) {
+      obs::count("engine.jobs_cancelled");
       throw Error("job cancelled before dispatch", ErrorCode::kCancelled);
     }
     if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+      obs::count("engine.jobs_timeout");
       throw Error("job deadline expired", ErrorCode::kTimeout);
     }
     try {
@@ -142,6 +163,7 @@ JobResult NufftEngine::dispatch_job(Job& job, ThreadPool& pool) {
       if (!is_retryable(e.code()) || attempt >= job.options.max_retries) throw;
     }
     ++attempt;
+    obs::count("engine.retries");
     // Exponential backoff, sliced so cancellation and the deadline are
     // honoured mid-sleep (the loop head converts them to kCancelled /
     // kTimeout on wakeup).

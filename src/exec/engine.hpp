@@ -134,6 +134,8 @@ class NufftEngine {
     // Deadline stamped at submission time from options.timeout.
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline{};
+    // Submission instant, feeding the engine.queue_wait_ns histogram.
+    std::chrono::steady_clock::time_point submitted{};
     std::promise<JobResult> promise;
   };
 

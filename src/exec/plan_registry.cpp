@@ -8,6 +8,8 @@
 
 #include "common/fault.hpp"
 #include "core/plan_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nufft::exec {
 
@@ -94,7 +96,11 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
-      if (!it->second.ready) ++stats_.single_flight_waits;
+      obs::count("registry.hits");
+      if (!it->second.ready) {
+        ++stats_.single_flight_waits;
+        obs::count("registry.single_flight_waits");
+      }
       it->second.tick = ++tick_;
       auto fut = it->second.plan;  // copy under lock; get() outside
       lock.unlock();
@@ -108,12 +114,14 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
       // has failed deterministically several times in a row — waiters would
       // otherwise stampede behind every doomed single-flight attempt.
       ++stats_.quarantine_rejects;
+      obs::count("registry.quarantine_rejects");
       throw Error("plan build quarantined after " +
                       std::to_string(qit->second.consecutive_failures) +
                       " consecutive failures: " + qit->second.last_error,
                   qit->second.last_code);
     }
     ++stats_.misses;
+    obs::count("registry.misses");
     Entry e;
     e.plan = prom.get_future().share();
     e.tick = ++tick_;
@@ -124,6 +132,7 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
   // and same-key acquires block on the shared future, not the mutex.
   std::shared_ptr<Nufft> plan;
   try {
+    obs::Span build_span("registry.build", "registry");
     bool restored = false;
     if (!cfg_.spill_dir.empty()) {
       const std::string path = spill_path(key);
@@ -140,6 +149,7 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
           if (e.code() == ErrorCode::kIoCorruption) {
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.corrupt_spills;
+            obs::count("registry.corrupt_spills");
           }
         } catch (...) {
           std::error_code ec;
@@ -154,7 +164,10 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
     std::size_t bytes = plan_resident_bytes(plan->plan(), g) + plan->workspace_bytes();
 
     std::lock_guard<std::mutex> lock(mu_);
-    if (restored) ++stats_.spill_restores;
+    if (restored) {
+      ++stats_.spill_restores;
+      obs::count("registry.spill_restores");
+    }
     auto it = entries_.find(key);
     it->second.ready = true;
     it->second.bytes = bytes;
@@ -192,6 +205,7 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
 void PlanRegistry::record_build_failure_locked(const std::string& key, const std::string& msg,
                                                ErrorCode code) {
   ++stats_.build_failures;
+  obs::count("registry.build_failures");
   Quarantine& q = quarantine_[key];
   ++q.consecutive_failures;
   q.last_error = msg;
@@ -221,10 +235,12 @@ void PlanRegistry::evict_locked(const std::string& keep_key) {
       save_plan(path, plan->plan(), plan->grid_desc());
       if (fault::should_fail("registry.spill.corrupt")) corrupt_spill_file(path);
       ++stats_.spills;
+      obs::count("registry.spills");
     }
     bytes_ -= victim->second.bytes;
     entries_.erase(victim);
     ++stats_.evictions;
+    obs::count("registry.evictions");
   }
 }
 

@@ -1,0 +1,141 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace nufft::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+// Microseconds with the nanosecond fraction kept: Chrome/Perfetto accept
+// fractional ts/dur.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& spans) {
+  std::string out;
+  out.reserve(spans.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& ev : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, ev.cat);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_u64(out, ev.tid);
+    out += ",\"ts\":";
+    append_us(out, ev.t0_ns);
+    out += ",\"dur\":";
+    append_us(out, ev.t1_ns >= ev.t0_ns ? ev.t1_ns - ev.t0_ns : 0);
+    if (ev.arg >= 0) {
+      out += ",\"args\":{\"v\":";
+      append_i64(out, ev.arg);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    append_u64(out, v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":";
+    append_i64(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, h.name);
+    out += "\":{\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum_ns\":";
+    append_u64(out, h.sum_ns);
+    out += ",\"buckets\":[";
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (i != 0) out += ',';
+      append_u64(out, h.buckets[static_cast<std::size_t>(i)]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == content.size();
+  return ok;
+}
+
+}  // namespace nufft::obs

@@ -1,0 +1,30 @@
+// Exporters for the observability layer.
+//
+//  * chrome_trace_json — spans as Chrome trace_event JSON ("complete" events,
+//    ph:"X"); open in chrome://tracing or https://ui.perfetto.dev.
+//  * metrics_json — a flat MetricsSnapshot as one JSON object; this is also
+//    the payload the bench harness embeds in BENCH_<name>.json.
+//  * write_text_file — tiny helper shared by the benches and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nufft::obs {
+
+/// Spans as a Chrome trace_event document: {"traceEvents":[...]}. Timestamps
+/// are microseconds with ns precision retained in the fraction.
+std::string chrome_trace_json(const std::vector<SpanEvent>& spans);
+
+/// Snapshot as {"counters":{...},"gauges":{...},"histograms":{name:
+/// {"count":..,"sum_ns":..,"buckets":[..]}}} with keys sorted.
+std::string metrics_json(const MetricsSnapshot& snap);
+
+/// Overwrite `path` with `content`. Returns false (and leaves any partial
+/// file) on I/O failure — exporters are best-effort by design.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace nufft::obs

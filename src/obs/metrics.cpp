@@ -1,0 +1,66 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace nufft::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry();  // immortal: references never dangle
+  return *r;
+}
+
+template <class T>
+T& MetricsRegistry::lookup(InstrumentMap<T>& map, std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map.find(name);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = map[std::string(name)];
+  if (!slot) slot = std::make_unique<T>();
+  return *slot;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) { return lookup(counters_, name); }
+Gauge& MetricsRegistry::gauge(std::string_view name) { return lookup(gauges_, name); }
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return lookup(histograms_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      MetricsSnapshot::Hist hs;
+      hs.name = name;
+      hs.count = h->count();
+      hs.sum_ns = h->sum_ns();
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        hs.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+      }
+      snap.histograms.push_back(std::move(hs));
+    }
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace nufft::obs

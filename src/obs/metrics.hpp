@@ -1,0 +1,170 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket latency
+// histograms keyed by name.
+//
+// Design for the hot paths that feed it (scheduler jobs, engine dispatch,
+// registry lookups):
+//
+//  * Instruments are plain atomics updated with relaxed operations — no lock
+//    is taken to record a value.
+//  * The name → instrument map is guarded by a shared_mutex taken shared on
+//    lookup; instruments are heap-allocated and never deallocated while the
+//    process lives, so call sites may resolve an instrument once and cache
+//    the reference across any number of updates (the scheduler does this
+//    once per TDG walk). reset() zeroes values but keeps every registered
+//    instrument alive for exactly this reason.
+//  * The convenience helpers (count / observe_ns / gauge_set) check
+//    metrics_enabled() first, so an instrumented path costs one relaxed load
+//    when metrics are off.
+//
+// Histograms use power-of-two nanosecond buckets: bucket i counts samples in
+// [2^i, 2^(i+1)) ns, with bucket 0 also absorbing 0 and the last bucket
+// absorbing everything ≥ 2^(kBuckets-1) ns (~9 min). Sum and count are exact;
+// the buckets give the shape for latency analysis without per-sample storage.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace nufft::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  // One instrument per cache line: counters for unrelated subsystems must not
+  // false-share when updated from different threads.
+  alignas(64) std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;  // 2^39 ns ≈ 9.2 minutes
+
+  void record(std::uint64_t ns) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_of(ns))].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum_ns() const noexcept { return sum_ns_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a value: floor(log2(ns)), clamped to the range.
+  static int bucket_of(std::uint64_t ns) noexcept {
+    if (ns <= 1) return 0;
+    const int b = 63 - __builtin_clzll(ns);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of bucket i in nanoseconds.
+  static std::uint64_t bucket_lo(int i) noexcept {
+    return i == 0 ? 0 : (std::uint64_t{1} << i);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  alignas(64) std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name so the
+/// JSON export (obs/export.hpp) is deterministic.
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<Hist> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Transparent hashing: lookups by string_view allocate nothing on the hit
+  // path (only a miss, which registers the instrument, builds a std::string).
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  template <class T>
+  using InstrumentMap =
+      std::unordered_map<std::string, std::unique_ptr<T>, NameHash, std::equal_to<>>;
+
+  static MetricsRegistry& instance();
+
+  /// The named instrument, created on first use. The returned reference is
+  /// valid for the life of the process (reset() zeroes, never deallocates).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument, keeping registrations (and cached references)
+  /// valid. Intended for tests and bench reps.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  template <class T>
+  T& lookup(InstrumentMap<T>& map, std::string_view name);
+
+  mutable std::shared_mutex mu_;
+  InstrumentMap<Counter> counters_;
+  InstrumentMap<Gauge> gauges_;
+  InstrumentMap<Histogram> histograms_;
+};
+
+// --- convenience recorders (no-ops when metrics are off) --------------------
+
+inline void count(std::string_view name, std::uint64_t d = 1) {
+  if (metrics_enabled()) MetricsRegistry::instance().counter(name).add(d);
+}
+
+inline void observe_ns(std::string_view name, std::uint64_t ns) {
+  if (metrics_enabled()) MetricsRegistry::instance().histogram(name).record(ns);
+}
+
+inline void gauge_set(std::string_view name, std::int64_t v) {
+  if (metrics_enabled()) MetricsRegistry::instance().gauge(name).set(v);
+}
+
+}  // namespace nufft::obs

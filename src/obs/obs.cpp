@@ -1,0 +1,31 @@
+#include "obs/obs.hpp"
+
+#include "common/env.hpp"
+
+namespace nufft::obs {
+
+namespace detail {
+
+std::atomic<int> g_metrics{-1};
+std::atomic<int> g_trace{-1};
+
+bool resolve(std::atomic<int>& flag, const char* env_var) {
+  const int v = env_flag(env_var) ? 1 : 0;
+  // Racing resolvers compute the same value; whoever stores first wins, and a
+  // concurrent set_*_enabled() override simply lands after.
+  int expected = -1;
+  flag.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+  return flag.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+  detail::g_trace.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace nufft::obs

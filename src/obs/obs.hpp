@@ -1,0 +1,43 @@
+// Runtime switches for the observability layer (metrics + span tracing).
+//
+// Both facilities are off by default and cost one relaxed atomic load plus a
+// predictable branch per call site when off — cheap enough to leave the
+// instrumentation compiled into the hot paths unconditionally (measured in
+// bench_micro: BM_SpanDisabled / BM_CounterDisabled).
+//
+//   NUFFT_METRICS=1   enable the process-wide MetricsRegistry (obs/metrics.hpp)
+//   NUFFT_TRACE=1     enable span recording into per-thread ring buffers
+//                     (obs/trace.hpp), exportable as Chrome trace JSON
+//
+// The environment is read once, lazily; tests and benches can override the
+// resolved value programmatically with set_*_enabled().
+#pragma once
+
+#include <atomic>
+
+namespace nufft::obs {
+
+namespace detail {
+// -1: unresolved (read the environment on first query), 0: off, 1: on.
+extern std::atomic<int> g_metrics;
+extern std::atomic<int> g_trace;
+bool resolve(std::atomic<int>& flag, const char* env_var);
+}  // namespace detail
+
+/// True when metric recording is on (NUFFT_METRICS or set_metrics_enabled).
+inline bool metrics_enabled() {
+  const int v = detail::g_metrics.load(std::memory_order_relaxed);
+  return v >= 0 ? v != 0 : detail::resolve(detail::g_metrics, "NUFFT_METRICS");
+}
+
+/// True when span tracing is on (NUFFT_TRACE or set_trace_enabled).
+inline bool trace_enabled() {
+  const int v = detail::g_trace.load(std::memory_order_relaxed);
+  return v >= 0 ? v != 0 : detail::resolve(detail::g_trace, "NUFFT_TRACE");
+}
+
+/// Override the environment-resolved switch (tests, benches).
+void set_metrics_enabled(bool on);
+void set_trace_enabled(bool on);
+
+}  // namespace nufft::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace nufft::obs {
+
+namespace {
+
+// 16Ki events ≈ 0.75 MB per recording thread; enough for several full
+// adjoint applies of scheduler-granularity spans before wrap-around.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 14;
+
+struct ThreadRing {
+  std::mutex mu;
+  std::vector<SpanEvent> ring;  // grows to kRingCapacity, then wraps
+  std::size_t next = 0;         // write position once wrapped
+  bool wrapped = false;
+  std::uint32_t tid = 0;
+
+  void push(const SpanEvent& ev, std::atomic<std::uint64_t>& dropped) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (ring.size() < kRingCapacity) {
+      ring.push_back(ev);
+      return;
+    }
+    wrapped = true;
+    ring[next] = ev;
+    next = (next + 1) % kRingCapacity;
+    dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void drain_into(std::vector<SpanEvent>& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (wrapped) {
+      // Oldest-first: [next, end) then [0, next).
+      out.insert(out.end(), ring.begin() + static_cast<std::ptrdiff_t>(next), ring.end());
+      out.insert(out.end(), ring.begin(), ring.begin() + static_cast<std::ptrdiff_t>(next));
+    } else {
+      out.insert(out.end(), ring.begin(), ring.end());
+    }
+    ring.clear();
+    next = 0;
+    wrapped = false;
+  }
+};
+
+struct TraceState {
+  std::mutex mu;  // guards `rings` (registration + drain iteration)
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::atomic<std::uint32_t> next_tid{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // immortal: outlives thread exits
+  return *s;
+}
+
+ThreadRing& local_ring() {
+  // The shared_ptr keeps the ring registered (and drainable) after the
+  // owning thread exits — pool threads come and go per apply.
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    TraceState& s = state();
+    r->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+std::uint32_t thread_id() { return local_ring().tid; }
+
+void record_span(const char* name, const char* cat, std::uint64_t t0_ns, std::uint64_t t1_ns,
+                 std::int64_t arg) {
+  ThreadRing& r = local_ring();
+  r.push(SpanEvent{name, cat, t0_ns, t1_ns, r.tid, arg}, state().dropped);
+}
+
+std::vector<SpanEvent> drain_spans() {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    rings = s.rings;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& r : rings) r->drain_into(out);
+  return out;
+}
+
+std::uint64_t dropped_spans() {
+  return state().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_spans() {
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    rings = s.rings;
+  }
+  std::vector<SpanEvent> scratch;
+  for (const auto& r : rings) r->drain_into(scratch);
+  s.dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace nufft::obs

@@ -9,10 +9,42 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nufft {
 
 namespace {
+
+// Span names / metric counters per JobPhase, indexed by the enum value.
+constexpr const char* kPhaseSpanName[3] = {"sched.convolve", "sched.private_convolve",
+                                           "sched.reduce"};
+constexpr const char* kPhaseNsCounter[3] = {"sched.convolve_ns", "sched.private_convolve_ns",
+                                            "sched.reduce_ns"};
+
+// Per-walk metric handles, resolved once so the per-job cost is a relaxed
+// atomic add (MetricsRegistry references stay valid forever).
+struct WalkMetrics {
+  obs::Counter* phase_ns[3] = {nullptr, nullptr, nullptr};
+  obs::Histogram* job_ns = nullptr;
+
+  explicit WalkMetrics(int ntasks) {
+    if (!obs::metrics_enabled()) return;
+    auto& mr = obs::MetricsRegistry::instance();
+    for (int p = 0; p < 3; ++p) phase_ns[p] = &mr.counter(kPhaseNsCounter[p]);
+    job_ns = &mr.histogram("sched.job_ns");
+    mr.counter("sched.walks").add(1);
+    mr.counter("sched.tasks").add(static_cast<std::uint64_t>(ntasks));
+  }
+
+  void record(JobPhase phase, std::uint64_t dur_ns) const {
+    const auto p = static_cast<std::size_t>(phase);
+    if (phase_ns[p] != nullptr) {
+      phase_ns[p]->add(dur_ns);
+      job_ns->record(dur_ns);
+    }
+  }
+};
 
 struct Job {
   std::int32_t task;
@@ -131,6 +163,8 @@ SchedulerStats run_task_graph(const TaskGraph& graph, const std::vector<index_t>
   }
 
   std::mutex trace_mu;
+  const WalkMetrics metrics(n);
+  const bool spans = obs::trace_enabled();
 
   pool.run_on_all([&](int tid) {
     Job job;
@@ -139,6 +173,11 @@ SchedulerStats run_task_graph(const TaskGraph& graph, const std::vector<index_t>
       body(job.task, tid, job.phase);
       const std::uint64_t t1 = now_ns();
       stats.busy_ns_per_context[static_cast<std::size_t>(tid)] += t1 - t0;
+      metrics.record(job.phase, t1 - t0);
+      if (spans) {
+        obs::record_span(kPhaseSpanName[static_cast<std::size_t>(job.phase)], "sched", t0, t1,
+                         job.task);
+      }
       if (cfg.record_trace) {
         std::lock_guard<std::mutex> lock(trace_mu);
         stats.trace.push_back(TraceEvent{job.task, job.phase, tid, t0, t1});
@@ -193,15 +232,23 @@ SchedulerStats run_task_graph_colored(const TaskGraph& graph,
     });
   }
 
+  const WalkMetrics metrics(n);
+  const bool spans = obs::trace_enabled();
   for (const auto& group : by_rank) {
     // parallel_for returns only when the whole color finished: the barrier.
     pool.parallel_for_tid(static_cast<index_t>(group.size()), 1,
                           [&](int tid, index_t b, index_t e) {
                             for (index_t i = b; i < e; ++i) {
+                              const std::int32_t task = group[static_cast<std::size_t>(i)];
                               const std::uint64_t t0 = now_ns();
-                              body(group[static_cast<std::size_t>(i)], tid, JobPhase::kConvolve);
+                              body(task, tid, JobPhase::kConvolve);
+                              const std::uint64_t t1 = now_ns();
                               stats.busy_ns_per_context[static_cast<std::size_t>(tid)] +=
-                                  now_ns() - t0;
+                                  t1 - t0;
+                              metrics.record(JobPhase::kConvolve, t1 - t0);
+                              if (spans) {
+                                obs::record_span("sched.convolve", "sched", t0, t1, task);
+                              }
                             }
                           });
   }
