@@ -1,5 +1,6 @@
 #include "baselines/reference_nufft.hpp"
 
+#include <cmath>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -14,6 +15,14 @@ ReferenceNufft::ReferenceNufft(const GridDesc& g, const datasets::SampleSet& sam
                                double kernel_radius, int threads)
     : g_(g), samples_(&samples) {
   NUFFT_CHECK(samples.dim == g.dim);
+  // Same input contract as nufft::Nufft: a kernel footprint wider than the
+  // grid is rejected up front (the raw spread_* baselines, by contrast,
+  // accept any grid and rely on compute_window's full modular wrap).
+  const auto footprint = 2 * static_cast<index_t>(std::ceil(kernel_radius)) + 1;
+  for (int d = 0; d < g.dim; ++d) {
+    NUFFT_CHECK_MSG(g.m[static_cast<std::size_t>(d)] >= footprint,
+                    "grid narrower than one kernel footprint");
+  }
   pool_ = std::make_unique<ThreadPool>(threads);
   const auto kernel =
       kernels::make_kernel(kernels::KernelType::kKaiserBessel, kernel_radius, g.alpha);

@@ -96,3 +96,22 @@ namespace detail {
       ::nufft::detail::throw_check_failure(#expr, __FILE__, __LINE__, os_.str(), (code)); \
     }                                                                          \
   } while (0)
+
+/// Debug-only invariant assertion for hot paths where a release-mode check
+/// would cost. Active in non-NDEBUG builds and in sanitizer builds
+/// (NUFFT_SANITIZE defines NUFFT_DEBUG_ASSERTS so the fuzz suite checks
+/// invariants under ASan/UBSan/TSan); compiles to nothing otherwise.
+/// Violations are library bugs and throw with ErrorCode::kInternal.
+#if !defined(NDEBUG) || defined(NUFFT_DEBUG_ASSERTS)
+#define NUFFT_DASSERT(expr)                                                    \
+  do {                                                                         \
+    if (!(expr))                                                               \
+      ::nufft::detail::throw_check_failure(#expr, __FILE__, __LINE__,          \
+                                           "internal invariant violated",      \
+                                           ::nufft::ErrorCode::kInternal);     \
+  } while (0)
+#else
+#define NUFFT_DASSERT(expr) \
+  do {                      \
+  } while (0)
+#endif

@@ -1,5 +1,6 @@
 #include "core/convolution.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -22,17 +23,36 @@ void compute_window(const GridDesc& g, const kernels::KernelLut& lut, const floa
   const float W = lut.radius();
   for (int d = 0; d < dim; ++d) {
     const float k = coord[d];
-    const auto x1 = static_cast<index_t>(std::ceil(k - W));
-    const auto x2 = static_cast<index_t>(std::floor(k + W));
-    const int l = static_cast<int>(x2 - x1 + 1);
+    auto x1 = static_cast<index_t>(std::ceil(k - W));
+    auto x2 = static_cast<index_t>(std::floor(k + W));
+    // Float rounding of k ± W can admit a neighbour just outside the kernel
+    // support (|nx − k| > W): for half-integer coordinates that makes the
+    // window 2W+2 wide, which overruns kMaxLen at W = 9.5, reads the LUT
+    // past its guard entries, and — on the privatized path — indexes one
+    // cell past the task's write box. Trim with the same float expression
+    // the weight lookup evaluates, so len ≤ 2W+1 holds in the arithmetic
+    // that matters.
+    if (std::fabs(static_cast<float>(x1) - k) > W) ++x1;
+    if (std::fabs(static_cast<float>(x2) - k) > W) --x2;
+    const int l = std::max(0, static_cast<int>(x2 - x1 + 1));
+    NUFFT_DASSERT(l <= WindowBuf::kMaxLen);
     const index_t m = g.m[static_cast<std::size_t>(d)];
     wb.start[d] = x1;
     wb.len[d] = l;
     for (int i = 0; i < l; ++i) {
       const index_t nx = x1 + i;
+      // One conditional wrap covers |nx| < 2m, which holds whenever the
+      // window fits the grid (2⌈W⌉+1 ≤ m — enforced at plan construction).
+      // The baselines accept arbitrary GridDescs, so a window wider than
+      // the grid falls back to a full modular wrap: the kernel tail then
+      // legitimately revisits cells, which is the periodic convolution.
       index_t wrapped = nx;
       if (wrapped < 0) wrapped += m;
       if (wrapped >= m) wrapped -= m;
+      if (wrapped < 0 || wrapped >= m) {
+        wrapped = nx % m;
+        if (wrapped < 0) wrapped += m;
+      }
       wb.idx[d][i] = wrapped;
       wb.win[d][i] = lut(std::fabs(static_cast<float>(nx) - k));
     }

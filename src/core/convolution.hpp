@@ -47,6 +47,17 @@ struct WindowBuf {
 /// Part 1 for one sample at coordinates coord[0..dim). When `fill_dup` is
 /// set (SIMD Part 2 follows), the duplicated last-dim weight array is
 /// populated as well.
+///
+/// Invariants (checked in debug/sanitizer builds):
+///   * len[d] ≤ 2W+1 ≤ kMaxLen — the candidate window is trimmed so every
+///     neighbour satisfies |nx − k| ≤ W in float, the same expression the
+///     weight lookup evaluates (float rounding of k ± W would otherwise
+///     admit a 2W+2-wide window for half-integer coordinates).
+///   * idx[d][i] ∈ [0, m) for ANY grid extent m ≥ 1: indices wrap fully
+///     modulo m, so a window wider than the grid (2⌈W⌉+1 > m — reachable
+///     only through the baselines, since plan construction rejects it)
+///     revisits cells instead of scribbling out of range; that is the
+///     correct periodic convolution.
 void compute_window(const GridDesc& g, const kernels::KernelLut& lut, const float* coord,
                     int dim, bool fill_dup, WindowBuf& wb);
 

@@ -56,6 +56,18 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
     NUFFT_CHECK_MSG(samples.m == g.m[static_cast<std::size_t>(d)],
                     "sample set generated for a different grid size");
   }
+  // A kernel footprint wider than the grid would make one sample revisit
+  // grid cells and the rolloff correction meaningless; reject it for every
+  // construction path — in particular the restored-plan constructor below,
+  // which skips preprocess() and its identical check.
+  const auto footprint = 2 * static_cast<index_t>(std::ceil(cfg.kernel_radius)) + 1;
+  for (int d = 0; d < g.dim; ++d) {
+    NUFFT_CHECK_MSG(g.m[static_cast<std::size_t>(d)] >= footprint,
+                    "grid dimension " << d << " (m = " << g.m[static_cast<std::size_t>(d)]
+                                      << ") narrower than one kernel footprint (2*ceil(W)+1 = "
+                                      << footprint
+                                      << "); shrink kernel_radius or enlarge the grid");
+  }
   pool_ = std::make_unique<ThreadPool>(cfg.threads);
   if (restored.graph != nullptr) {
     NUFFT_CHECK_MSG(static_cast<index_t>(restored.orig_index.size()) == nsamples_,

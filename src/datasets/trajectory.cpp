@@ -166,8 +166,11 @@ void validate_samples(const SampleSet& set) {
                    "sample set dimensionality must be 1–3, got " << set.dim);
   NUFFT_CHECK_CODE(set.m >= 1, ErrorCode::kInvalidInput,
                    "sample set has no grid extent (m = " << set.m << ")");
-  NUFFT_CHECK_CODE(set.count() >= 1, ErrorCode::kInvalidInput,
-                   "empty sample set (k = " << set.k << ", s = " << set.s << ")");
+  // Zero samples is a valid (empty) transform: production batch jobs may
+  // legitimately submit an interleave with no readout. Negative counts are
+  // caller errors.
+  NUFFT_CHECK_CODE(set.k >= 0 && set.s >= 0, ErrorCode::kInvalidInput,
+                   "negative sample count (k = " << set.k << ", s = " << set.s << ")");
   const auto count = static_cast<std::size_t>(set.count());
   const auto limit = static_cast<float>(set.m);
   for (int d = 0; d < set.dim; ++d) {

@@ -48,8 +48,10 @@ struct TrajectoryParams {
 SampleSet make_trajectory(TrajectoryType type, int dim, const TrajectoryParams& params);
 
 /// Validate a sample set as NUFFT input: dimensionality 1–3, a positive
-/// grid size, at least one sample, coordinate arrays sized to count(), and
-/// every coordinate finite and inside [0, m). Throws nufft::Error with
+/// grid size, non-negative sample counts, coordinate arrays sized to
+/// count(), and every coordinate finite and inside [0, m). A zero-sample
+/// set is valid — it plans and transforms as the empty operator (forward
+/// writes nothing, adjoint yields a zero image). Throws nufft::Error with
 /// ErrorCode::kInvalidInput naming the first offending sample. Plan
 /// construction (core/nufft.hpp) calls this on every build, so NaN/Inf or
 /// out-of-range coordinates can never reach the convolution kernels.

@@ -1,0 +1,178 @@
+#include "fuzz/fuzz_config.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace nufft::fuzz {
+
+const char* coord_style_name(CoordStyle s) {
+  switch (s) {
+    case CoordStyle::kUniform:
+      return "uniform";
+    case CoordStyle::kInteger:
+      return "integer";
+    case CoordStyle::kHalfInteger:
+      return "half-integer";
+    case CoordStyle::kBoundary:
+      return "boundary";
+    default:
+      return "clustered";
+  }
+}
+
+bool FuzzConfig::footprint_exceeds_grid() const {
+  const auto footprint = 2 * static_cast<index_t>(std::ceil(kernel_radius)) + 1;
+  return m < footprint;
+}
+
+double FuzzConfig::nudft_tolerance() const {
+  // Kernel-accuracy model, deliberately looser than the pinned accuracy
+  // tests (tests/test_nufft.cpp): the fuzzer's job is to catch structural
+  // disagreement between execution paths (wrong wrap, shift, scale, index),
+  // which produces O(1) relative error, not to re-measure the kernel's
+  // approximation floor on every adversarial geometry.
+  const double W = kernel_radius;
+  double tol;
+  if (W <= 1.5) {
+    tol = 5e-2;
+  } else if (W <= 2.0) {
+    tol = 2e-2;
+  } else if (W <= 3.0) {
+    tol = 5e-3;
+  } else {
+    tol = 1e-3;
+  }
+  // Low oversampling widens the aliasing floor dramatically.
+  if (alpha < 1.6) {
+    tol *= 50.0;
+  } else if (alpha < 1.95) {
+    tol *= 10.0;
+  }
+  // The Gaussian kernel is markedly less accurate than Kaiser–Bessel at
+  // equal width, and tiny grids (few cells per footprint) sit closer to
+  // the aliasing floor.
+  if (kernel == kernels::KernelType::kGaussian) tol *= 10.0;
+  if (m < 16) tol *= 5.0;
+  return std::min(tol, 0.5);
+}
+
+std::string FuzzConfig::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " dim=" << dim << " n=" << n << " m=" << m << " alpha=" << alpha
+     << " W=" << kernel_radius
+     << " kernel=" << (kernel == kernels::KernelType::kKaiserBessel ? "kb" : "gauss")
+     << " threads=" << threads << " count=" << count << " style=" << coord_style_name(style)
+     << " batch=" << batch << " pq=" << priority_queue << " priv=" << selective_privatization
+     << " barrier=" << color_barrier_schedule << " varpart=" << variable_partitions
+     << " reorder=" << reorder << " pfac=" << privatization_factor;
+  return os.str();
+}
+
+namespace {
+
+struct GridChoice {
+  index_t n;
+  double alpha;
+};
+
+// Grid families per dimension, sized so the O(N^d·K) NUDFT oracle stays
+// cheap. Each family mixes power-of-two m (Stockham FFT), prime m
+// (Bluestein), odd/composite m, and grids tiny enough that some kernel
+// widths exceed them (the rejection path).
+constexpr GridChoice kGrids1[] = {
+    {64, 2.0},   // m = 128, pow2
+    {48, 2.0},   // m = 96, composite
+    {10, 1.3},   // m = 13, prime → Bluestein
+    {31, 2.0},   // m = 62 = 2·31
+    {5, 2.0},    // m = 10, tiny legal for W ≤ 4
+    {3, 2.0},    // m = 6, rejected for W > 2.5
+    {2, 2.0},    // m = 4, rejected for every W ≥ 1.5
+    {2, 1.5},    // m = 3: at W = 4 the window spans > 2m (double wrap)
+    {16, 1.25},  // m = 20, low oversampling
+};
+constexpr GridChoice kGrids2[] = {
+    {16, 2.0},  // m = 32, pow2
+    {10, 1.3},  // m = 13, prime
+    {9, 2.0},   // m = 18, composite
+    {6, 2.0},   // m = 12
+    {3, 2.0},   // m = 6, rejected for W > 2.5
+    {2, 2.0},   // m = 4, rejected always
+    {2, 1.5},   // m = 3, double wrap at W = 4
+    {12, 1.5},  // m = 18, low oversampling
+};
+constexpr GridChoice kGrids3[] = {
+    {8, 2.0},   // m = 16, pow2
+    {6, 2.0},   // m = 12
+    {10, 1.3},  // m = 13, prime
+    {5, 1.8},   // m = 9, odd composite
+    {7, 2.0},   // m = 14
+    {2, 2.0},   // m = 4, rejected always
+    {2, 1.5},   // m = 3, double wrap at W = 4
+};
+
+constexpr double kRadii[] = {1.5, 2.0, 2.5, 3.0, 4.0};
+
+}  // namespace
+
+FuzzConfig make_fuzz_config(std::uint64_t seed) {
+  // A distinct stream from the coordinate RNG (fuzz_runner.cpp mixes the
+  // seed differently there) so config shape and sample data are independent.
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  FuzzConfig c;
+  c.seed = seed;
+
+  c.dim = static_cast<int>(rng.below(3)) + 1;
+  const GridChoice* grids = c.dim == 1 ? kGrids1 : (c.dim == 2 ? kGrids2 : kGrids3);
+  const std::size_t ngrids =
+      c.dim == 1 ? std::size(kGrids1) : (c.dim == 2 ? std::size(kGrids2) : std::size(kGrids3));
+  const GridChoice gc = grids[rng.below(ngrids)];
+  c.n = gc.n;
+  c.alpha = gc.alpha;
+  c.m = static_cast<index_t>(std::llround(gc.alpha * static_cast<double>(gc.n)));
+
+  c.kernel_radius = kRadii[rng.below(std::size(kRadii))];
+  c.kernel = rng.below(4) == 0 ? kernels::KernelType::kGaussian
+                               : kernels::KernelType::kKaiserBessel;
+  c.lut_samples_per_unit = rng.below(2) == 0 ? 1024 : 512;
+
+  c.threads = static_cast<int>(rng.below(4)) + 1;
+
+  // Sample-count families: the degenerate plans (0/1/2 samples — empty
+  // partitions through the full scheduler) get a fixed share of seeds; the
+  // rest are small or large enough to cross privatization thresholds.
+  switch (rng.below(8)) {
+    case 0:
+      c.count = 0;
+      break;
+    case 1:
+      c.count = 1;
+      break;
+    case 2:
+      c.count = 2;
+      break;
+    case 3:
+    case 4:
+      c.count = 5 + static_cast<index_t>(rng.below(35));
+      break;
+    default:
+      c.count = 60 + static_cast<index_t>(rng.below(140));
+      break;
+  }
+
+  c.style = static_cast<CoordStyle>(rng.below(5));
+  c.batch = 1 + static_cast<index_t>(rng.below(8));
+
+  c.priority_queue = rng.below(2) == 0;
+  c.selective_privatization = rng.below(4) != 0;
+  c.color_barrier_schedule = rng.below(4) == 0;
+  c.variable_partitions = rng.below(2) == 0;
+  c.reorder = rng.below(2) == 0;
+  // Factor < 1 lowers the Eq. 6 threshold → more privatized tasks.
+  c.privatization_factor = rng.below(3) == 0 ? 0.25 : 1.0;
+
+  return c;
+}
+
+}  // namespace nufft::fuzz

@@ -308,6 +308,107 @@ INSTANTIATE_TEST_SUITE_P(Sweep, ScalarVsSimd,
                                             ::testing::Values(2.0, 4.0, 8.0)),
                          svs_name);
 
+TEST(Window, TinyGridWrapsEveryIndexIntoRange) {
+  // Regression: a kernel footprint wider than TWO grid periods
+  // (2W+1 = 9 > 2m = 6) used to escape the single-pass ±m wrap and index
+  // out of range (silent corruption). The window must now wrap fully
+  // mod m, matching the brute-force periodic reference for every
+  // coordinate.
+  GridDesc g;
+  g.dim = 1;
+  g.n = {2, 0, 0};
+  g.m = {3, 0, 0};
+  g.alpha = 1.5;
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 2048);
+  const auto st = g.grid_strides();
+
+  for (float k = 0.0f; k < 3.0f; k += 0.23f) {
+    const float coord[1] = {k};
+    WindowBuf wb;
+    compute_window(g, lut, coord, 1, false, wb);
+    ASSERT_GT(wb.len[0], 2 * 3) << "k=" << k;  // wider than two grid periods
+    for (int i = 0; i < wb.len[0]; ++i) {
+      ASSERT_GE(wb.idx[0][i], 0) << "k=" << k << " i=" << i;
+      ASSERT_LT(wb.idx[0][i], 3) << "k=" << k << " i=" << i;
+    }
+    cvecf got(3, cfloat(0, 0));
+    cvecf want(3, cfloat(0, 0));
+    adj_scatter_scalar<1>(got.data(), st, wb, cfloat(1.0f, -0.5f));
+    reference_scatter<1>(g, kb, coord, cfloat(1.0f, -0.5f), want.data());
+    EXPECT_LT(testing::max_abs_diff(got.data(), want.data(), 3), 5e-4) << "k=" << k;
+  }
+}
+
+TEST(Window, TinyGrid2dScatterMatchesPeriodicReference) {
+  // Same regression in 2-d with unequal tiny dimensions: m = {3, 7}, both
+  // narrower than the W = 4 footprint; neighbours wrap several times.
+  GridDesc g;
+  g.dim = 2;
+  g.n = {2, 3, 0};
+  g.m = {3, 7, 0};
+  g.alpha = 2.0;
+  const auto kb = KaiserBessel::with_beatty_beta(4.0, 2.0);
+  const KernelLut lut(kb, 2048);
+  const auto st = g.grid_strides();
+  Rng rng(77);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const float coord[2] = {static_cast<float>(rng.uniform(0.0, 3.0)),
+                            static_cast<float>(rng.uniform(0.0, 7.0))};
+    WindowBuf wb;
+    compute_window(g, lut, coord, 2, false, wb);
+    for (int d = 0; d < 2; ++d) {
+      for (int i = 0; i < wb.len[d]; ++i) {
+        ASSERT_GE(wb.idx[d][i], 0);
+        ASSERT_LT(wb.idx[d][i], g.m[static_cast<std::size_t>(d)]);
+      }
+    }
+    cvecf got(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+    cvecf want(static_cast<std::size_t>(g.grid_elems()), cfloat(0, 0));
+    adj_scatter_scalar<2>(got.data(), st, wb, cfloat(0.5f, 1.0f));
+    reference_scatter<2>(g, kb, coord, cfloat(0.5f, 1.0f), want.data());
+    EXPECT_LT(testing::max_abs_diff(got.data(), want.data(), g.grid_elems()), 2e-3)
+        << "trial " << trial;
+  }
+}
+
+TEST(Window, FloatRoundingNeverWidensSupport) {
+  // Regression: ceil(k−W)/floor(k+W) evaluated in float can admit a
+  // neighbour with |nx − k| > W when k±W rounds across an integer —
+  // a 2W+2-wide window that overruns WindowBuf at W = 9.5 and writes one
+  // cell past a privatized box. The trimmed window must satisfy the
+  // support invariant for every coordinate, including the adversarial
+  // nextafter(half-integer) family that triggers the round-to-even case.
+  const GridDesc g = make_grid(1, 512, 2.0);  // M = 1024
+  for (const double W : {4.0, 6.0, 9.5}) {
+    const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+    const KernelLut lut(kb, 1024);
+    const auto check = [&](float k) {
+      if (!(k >= 0.0f) || k >= 1024.0f) return;
+      const float coord[1] = {k};
+      WindowBuf wb;
+      compute_window(g, lut, coord, 1, false, wb);
+      ASSERT_LE(wb.len[0], WindowBuf::kMaxLen) << "W=" << W << " k=" << k;
+      ASSERT_LE(wb.len[0], 2 * static_cast<int>(std::ceil(W)) + 1) << "W=" << W << " k=" << k;
+      for (int i = 0; i < wb.len[0]; ++i) {
+        ASSERT_LE(std::fabs(static_cast<float>(wb.start[0] + i) - k), static_cast<float>(W))
+            << "W=" << W << " k=" << k << " i=" << i;
+      }
+    };
+    for (index_t c = 0; c < 1024; c += 3) {
+      const float base = static_cast<float>(c);
+      for (const float off : {0.0f, 0.5f}) {
+        const float k = base + off;
+        check(k);
+        check(std::nextafterf(k, 0.0f));
+        check(std::nextafterf(k, 2048.0f));
+      }
+    }
+    check(std::nextafterf(1024.0f, 0.0f));  // domain boundary
+  }
+}
+
 TEST(Convolution, EnergyConservedByScatterGatherPair) {
   // gather(scatter(val)) = val·Σ weights² > 0 — sanity of weight handling.
   const GridDesc g = make_grid(3, 16, 2.0);

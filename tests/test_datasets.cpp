@@ -304,11 +304,22 @@ TEST(ValidateSamples, AcceptsBoundaryCoordinates) {
   EXPECT_NO_THROW(validate_samples(set));
 }
 
-TEST(ValidateSamples, RejectsEmptyAndMalformedSets) {
+TEST(ValidateSamples, AcceptsEmptySet) {
+  // Zero samples is valid input: it plans and transforms as the empty
+  // operator (core/nufft tests cover the end-to-end behaviour).
   SampleSet empty;
   empty.dim = 2;
   empty.m = 32;
-  EXPECT_EQ(validation_code(empty), ErrorCode::kInvalidInput);
+  EXPECT_NO_THROW(validate_samples(empty));
+}
+
+TEST(ValidateSamples, RejectsMalformedSets) {
+  SampleSet negative;
+  negative.dim = 2;
+  negative.m = 32;
+  negative.k = -1;
+  negative.s = 3;
+  EXPECT_EQ(validation_code(negative), ErrorCode::kInvalidInput);
 
   SampleSet short_dim = hash_fixture();
   short_dim.coords[1].pop_back();

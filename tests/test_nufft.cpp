@@ -400,14 +400,79 @@ TEST(NufftValidation, RejectsNonFiniteAndOutOfRangeCoordinates) {
   }
 }
 
-TEST(NufftValidation, RejectsEmptySampleSet) {
+TEST(NufftValidation, EmptySampleSetIsTheEmptyOperator) {
+  // Zero samples is valid input (a batch job may submit an empty
+  // interleave): the plan builds, runs the full scheduler path over its
+  // (sample-free) tasks, the forward writes nothing, and the adjoint
+  // produces an exactly zero image.
   const GridDesc g = make_grid(2, 32, 2.0);
   datasets::SampleSet empty;
   empty.dim = 2;
   empty.m = 64;
   empty.k = 0;
   empty.s = 0;
-  EXPECT_EQ(plan_error_code(g, empty), ErrorCode::kInvalidInput);
+  PlanConfig cfg;
+  cfg.threads = 2;
+  Nufft plan(g, empty, cfg);
+  EXPECT_EQ(plan.sample_count(), 0);
+  EXPECT_GT(plan.plan().stats.tasks, 0);
+
+  const cvecf img = testing::random_image(g.image_elems(), 41);
+  plan.forward(img.data(), nullptr);  // no samples: raw is never touched
+
+  cvecf back(static_cast<std::size_t>(g.image_elems()), cfloat(1.0f, 1.0f));
+  plan.adjoint(nullptr, back.data());
+  for (const cfloat v : back) ASSERT_EQ(v, cfloat(0.0f, 0.0f));
+  // The scheduler ran real (sample-free) tasks; the busy clock may or may
+  // not resolve them, so any sentinel (0.0 unmeasurable, 1.0 trivially
+  // balanced) or a genuine ratio ≥ 1 is acceptable — but never NaN.
+  const double li = plan.last_adjoint_stats().load_imbalance();
+  ASSERT_FALSE(std::isnan(li));
+  EXPECT_TRUE(li == 0.0 || li >= 1.0);
+}
+
+TEST(NufftValidation, RejectsNegativeSampleCount) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  datasets::SampleSet bad;
+  bad.dim = 2;
+  bad.m = 64;
+  bad.k = -4;
+  bad.s = 1;
+  EXPECT_EQ(plan_error_code(g, bad), ErrorCode::kInvalidInput);
+}
+
+TEST(NufftValidation, RejectsGridNarrowerThanKernelFootprint) {
+  // 2⌈W⌉+1 > m: one sample's window would cover the grid more than once.
+  // Plan construction must reject it — on the fresh path (via preprocess)
+  // AND on the restored-plan path, which skips preprocess entirely.
+  GridDesc g;
+  g.dim = 1;
+  g.n = {4, 0, 0};
+  g.m = {7, 1, 1};  // footprint for W=4 is 9 > 7
+  g.alpha = 7.0 / 4.0;
+  datasets::SampleSet set;
+  set.dim = 1;
+  set.m = 7;
+  set.k = 3;
+  set.s = 1;
+  set.coords[0] = {0.5f, 3.0f, 6.25f};
+  EXPECT_EQ(plan_error_code(g, set), ErrorCode::kInvalidInput);
+
+  // Restored path: hand the constructor a preprocessing result built on a
+  // wide-enough grid, then shrink the grid — the footprint check must fire
+  // before any convolution can run.
+  GridDesc gbig = g;
+  gbig.m = {9, 1, 1};
+  datasets::SampleSet sbig = set;
+  sbig.m = 9;
+  PlanConfig cfg;
+  Preprocessed pp = preprocess(gbig, sbig, cfg);
+  try {
+    Nufft plan(g, set, cfg, std::move(pp));
+    ADD_FAILURE() << "restored-plan construction unexpectedly succeeded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
 }
 
 TEST(NufftValidation, RejectsMismatchedCoordinateArray) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Run the differential fuzz harness (`ctest -L fuzz`) under AddressSanitizer
+# and UndefinedBehaviorSanitizer, as CI does. The sweep seeds are fixed
+# (tests/fuzz/test_fuzz.cpp kBaseSeed) so both instrumented runs execute the
+# identical configuration set; override with NUFFT_FUZZ_SEED /
+# NUFFT_FUZZ_CONFIGS to explore further or to reproduce one failing seed:
+#
+#   NUFFT_FUZZ_SEED=<seed> NUFFT_FUZZ_CONFIGS=1 tools/run_fuzz_sanitized.sh
+#
+# Sanitizer builds also compile in the library's debug invariant assertions
+# (NUFFT_DASSERT via NUFFT_DEBUG_ASSERTS — see the NUFFT_SANITIZE block in
+# the top-level CMakeLists.txt), so window-length and scheduler invariants
+# are checked alongside the memory/UB instrumentation.
+#
+# Usage: tools/run_fuzz_sanitized.sh [address] [undefined] [thread]
+#        (no arguments = address + undefined)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  build="build-${san}san"
+  echo "=== ${san} sanitizer: configuring ${build} ==="
+  cmake -B "${build}" -S . \
+    -DNUFFT_SANITIZE="${san}" \
+    -DNUFFT_BUILD_BENCH=OFF -DNUFFT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${build}" -j --target nufft_fuzz_tests
+  echo "=== ${san} sanitizer: ctest -L fuzz ==="
+  (cd "${build}" && ctest -L fuzz --output-on-failure)
+done
+
+echo "All sanitized fuzz runs passed."
