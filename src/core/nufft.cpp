@@ -74,7 +74,7 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
                     "restored plan does not match the sample set");
     pp_ = std::move(restored);
   } else {
-    pp_ = preprocess(g_, samples, cfg_);
+    pp_ = preprocess(g_, samples, cfg_, *pool_);
   }
 
   std::vector<std::size_t> dims;

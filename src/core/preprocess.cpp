@@ -1,10 +1,16 @@
 #include "core/preprocess.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+
 #include <cmath>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nufft {
 
@@ -26,24 +32,107 @@ int auto_partitions_per_dim(int threads, int dim) {
   return p;
 }
 
-// Pack the tile-scan reorder key: tile coordinates (scan-line order over
-// tiles), then cell coordinates within the tile (scan-line order again) —
-// "simple scan-line order with one level of tiling" (paper §III-D).
-std::uint64_t reorder_key(const std::array<index_t, 3>& cell, int dim, index_t tile) {
+int bits_for(std::uint64_t maxval) {
+  return maxval == 0 ? 0 : 64 - __builtin_clzll(maxval);
+}
+
+// Bit layout of the tile-scan reorder key: tile coordinates (scan-line order
+// over tiles), then cell coordinates within the tile (scan-line order again)
+// — "simple scan-line order with one level of tiling" (paper §III-D). Field
+// widths are derived from the grid extent and tile edge: a fixed width would
+// silently alias tile coordinates on wide grids (the old 10-bit packing broke
+// past 1023 tiles per dimension) and quietly destroy reorder locality.
+struct KeyPacking {
+  std::array<int, 3> tile_bits{0, 0, 0};
+  std::array<int, 3> cell_bits{0, 0, 0};
+  int total_bits = 0;
+};
+
+KeyPacking make_key_packing(int dim, const std::array<index_t, 3>& extent, index_t tile) {
+  KeyPacking p;
+  for (int d = 0; d < dim; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    const index_t ntiles = (extent[sd] + tile - 1) / tile;
+    p.tile_bits[sd] = bits_for(static_cast<std::uint64_t>(ntiles - 1));
+    p.cell_bits[sd] = bits_for(static_cast<std::uint64_t>(tile - 1));
+    p.total_bits += p.tile_bits[sd] + p.cell_bits[sd];
+  }
+  NUFFT_CHECK_MSG(p.total_bits <= 64,
+                  "tile-reorder key needs " << p.total_bits
+                                            << " bits; grid too large for a 64-bit key");
+  return p;
+}
+
+std::uint64_t reorder_key(const std::array<index_t, 3>& cell, int dim, index_t tile,
+                          const KeyPacking& pk) {
   std::uint64_t key = 0;
   for (int d = 0; d < dim; ++d) {
-    key = (key << 10) | static_cast<std::uint64_t>(cell[static_cast<std::size_t>(d)] / tile);
+    const auto sd = static_cast<std::size_t>(d);
+    key = (key << pk.tile_bits[sd]) | static_cast<std::uint64_t>(cell[sd] / tile);
   }
   for (int d = 0; d < dim; ++d) {
-    key = (key << 10) | static_cast<std::uint64_t>(cell[static_cast<std::size_t>(d)] % tile);
+    const auto sd = static_cast<std::size_t>(d);
+    key = (key << pk.cell_bits[sd]) | static_cast<std::uint64_t>(cell[sd] % tile);
   }
   return key;
+}
+
+// --- per-task reorder sort -------------------------------------------------
+//
+// The reordered position of a sample within its task is determined by
+// (key, orig_index) ascending — a total order, so any correct sort produces
+// the same permutation the old comparator std::sort did, independent of
+// which context sorts which task.
+
+struct KeyIdx {
+  std::uint64_t key;
+  index_t idx;
+};
+
+// Below this an LSD pass costs more in counter zeroing than the comparison
+// sort it replaces.
+constexpr index_t kRadixCutoff = 128;
+
+void sort_task_small(KeyIdx* a, index_t n) {
+  std::sort(a, a + n, [](const KeyIdx& x, const KeyIdx& y) {
+    return x.key != y.key ? x.key < y.key : x.idx < y.idx;
+  });
+}
+
+// Stable LSD radix sort over the low `key_bits` bits in 8-bit digits. The
+// input arrives idx-ascending (stable counting-sort order), so stability
+// alone reproduces the (key, idx) total order.
+void sort_task_radix(KeyIdx* a, KeyIdx* tmp, index_t n, int key_bits) {
+  const int passes = (key_bits + 7) / 8;
+  KeyIdx* src = a;
+  KeyIdx* dst = tmp;
+  for (int p = 0; p < passes; ++p) {
+    const int shift = p * 8;
+    std::array<index_t, 256> cnt{};
+    for (index_t i = 0; i < n; ++i) ++cnt[(src[i].key >> shift) & 0xff];
+    if (cnt[(src[0].key >> shift) & 0xff] == n) continue;  // uniform digit
+    index_t running = 0;
+    for (auto& c : cnt) {
+      const index_t v = c;
+      c = running;
+      running += v;
+    }
+    for (index_t i = 0; i < n; ++i) dst[cnt[(src[i].key >> shift) & 0xff]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != a) std::copy(src, src + n, a);
 }
 
 }  // namespace
 
 Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
                         const PlanConfig& cfg) {
+  ThreadPool pool(cfg.threads);
+  return preprocess(g, samples, cfg, pool);
+}
+
+Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
+                        const PlanConfig& cfg, ThreadPool& pool) {
   NUFFT_CHECK(samples.dim == g.dim);
   NUFFT_CHECK(cfg.kernel_radius > 0.0);
   NUFFT_CHECK(cfg.threads >= 1);
@@ -58,84 +147,150 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
 
   Preprocessed pp;
   Timer total;
+  pp.stats.threads_used = pool.size();
 
   std::array<const float*, 3> cptr{nullptr, nullptr, nullptr};
   for (int d = 0; d < dim; ++d) cptr[static_cast<std::size_t>(d)] = samples.coords[static_cast<std::size_t>(d)].data();
 
+  // Deterministic chunk decomposition for the counting-sort passes: the
+  // result is chunking-invariant (each chunk writes exactly the slots the
+  // serial stable sort would), so the chunk count may follow the pool width.
+  const int nchunks =
+      count == 0 ? 1 : static_cast<int>(std::min<index_t>(count, 4 * pool.size()));
+
   // --- partition layout (cumulative histograms + Fig. 5) ---
   Timer t;
-  const int target = cfg.partitions_per_dim > 0 ? cfg.partitions_per_dim
-                                                : auto_partitions_per_dim(cfg.threads, dim);
-  pp.layout = cfg.variable_partitions
-                  ? make_variable_layout(dim, g.m, cptr, count, target, min_width)
-                  : make_fixed_layout(dim, g.m, target, min_width);
+  {
+    obs::Span span("prep.partition", "prep", count);
+    const int target = cfg.partitions_per_dim > 0 ? cfg.partitions_per_dim
+                                                  : auto_partitions_per_dim(cfg.threads, dim);
+    pp.layout = cfg.variable_partitions
+                    ? make_variable_layout(dim, g.m, cptr, count, target, min_width, &pool)
+                    : make_fixed_layout(dim, g.m, target, min_width);
+  }
   pp.stats.partition_s = t.seconds();
 
-  // --- bin samples into tasks (counting sort by task id) ---
+  // --- bin samples into tasks (parallel stable counting sort by task id) ---
+  //
+  // Pass A counts task ids per deterministic sample chunk; a column scan of
+  // the [chunk × task] count matrix yields exact write cursors; pass B
+  // scatters each chunk in sample order. Output: the serial counting sort's
+  // orig_index, bit for bit.
   t.reset();
   const int ntasks = pp.layout.total_parts();
   std::vector<std::int32_t> task_of(static_cast<std::size_t>(count));
-  std::vector<index_t> task_count(static_cast<std::size_t>(ntasks), 0);
-  for (index_t i = 0; i < count; ++i) {
-    std::array<int, 3> pc{0, 0, 0};
-    for (int d = 0; d < dim; ++d) {
-      pc[static_cast<std::size_t>(d)] =
-          pp.layout.locate(d, cptr[static_cast<std::size_t>(d)][i]);
-    }
-    const int tk = pp.layout.flatten(pc);
-    task_of[static_cast<std::size_t>(i)] = tk;
-    ++task_count[static_cast<std::size_t>(tk)];
-  }
   std::vector<index_t> offset(static_cast<std::size_t>(ntasks) + 1, 0);
-  for (int k = 0; k < ntasks; ++k) {
-    offset[static_cast<std::size_t>(k) + 1] =
-        offset[static_cast<std::size_t>(k)] + task_count[static_cast<std::size_t>(k)];
-  }
-  pp.orig_index.resize(static_cast<std::size_t>(count));
   {
-    std::vector<index_t> cursor(offset.begin(), offset.end() - 1);
-    for (index_t i = 0; i < count; ++i) {
-      const auto tk = static_cast<std::size_t>(task_of[static_cast<std::size_t>(i)]);
-      pp.orig_index[static_cast<std::size_t>(cursor[tk]++)] = i;
+    obs::Span span("prep.bin", "prep", count);
+    std::vector<index_t> cursors(static_cast<std::size_t>(nchunks) * static_cast<std::size_t>(ntasks),
+                                 0);
+    pool.for_static_chunks(count, nchunks, [&](int c, index_t begin, index_t end) {
+      index_t* row = cursors.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(ntasks);
+      for (index_t i = begin; i < end; ++i) {
+        std::array<int, 3> pc{0, 0, 0};
+        for (int d = 0; d < dim; ++d) {
+          pc[static_cast<std::size_t>(d)] =
+              pp.layout.locate(d, cptr[static_cast<std::size_t>(d)][i]);
+        }
+        const int tk = pp.layout.flatten(pc);
+        task_of[static_cast<std::size_t>(i)] = tk;
+        ++row[tk];
+      }
+    });
+    for (int k = 0; k < ntasks; ++k) {
+      index_t task_total = 0;
+      for (int c = 0; c < nchunks; ++c) {
+        task_total += cursors[static_cast<std::size_t>(c) * static_cast<std::size_t>(ntasks) +
+                              static_cast<std::size_t>(k)];
+      }
+      offset[static_cast<std::size_t>(k) + 1] = offset[static_cast<std::size_t>(k)] + task_total;
     }
+    pool.column_exclusive_scan(cursors, nchunks, ntasks, offset.data());
+    pp.orig_index.resize(static_cast<std::size_t>(count));
+    pool.for_static_chunks(count, nchunks, [&](int c, index_t begin, index_t end) {
+      index_t* cur = cursors.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(ntasks);
+      for (index_t i = begin; i < end; ++i) {
+        pp.orig_index[static_cast<std::size_t>(cur[task_of[static_cast<std::size_t>(i)]]++)] = i;
+      }
+    });
   }
   pp.stats.bin_s = t.seconds();
 
   // --- per-task tile reorder for cache reuse (§III-D) ---
   t.reset();
-  if (cfg.reorder) {
+  if (cfg.reorder && count > 0) {
+    obs::Span span("prep.reorder", "prep", ntasks);
     const index_t tile = std::max<index_t>(1, cfg.reorder_tile);
+    const KeyPacking pk = make_key_packing(dim, g.m, tile);
     // keys[orig] = tile-scan position of the sample's grid cell.
     std::vector<std::uint64_t> keys(static_cast<std::size_t>(count));
-    for (index_t i = 0; i < count; ++i) {
-      std::array<index_t, 3> cell{0, 0, 0};
-      for (int d = 0; d < dim; ++d) {
-        cell[static_cast<std::size_t>(d)] =
-            static_cast<index_t>(cptr[static_cast<std::size_t>(d)][i]);
+    pool.parallel_for(count, [&](index_t begin, index_t end) {
+      for (index_t i = begin; i < end; ++i) {
+        std::array<index_t, 3> cell{0, 0, 0};
+        for (int d = 0; d < dim; ++d) {
+          const auto sd = static_cast<std::size_t>(d);
+          cell[sd] = std::clamp<index_t>(static_cast<index_t>(cptr[sd][i]), 0, g.m[sd] - 1);
+        }
+        keys[static_cast<std::size_t>(i)] = reorder_key(cell, dim, tile, pk);
       }
-      keys[static_cast<std::size_t>(i)] = reorder_key(cell, dim, tile);
-    }
+    });
+    // Independent per-task sorts, dispatched to the pool largest-first (the
+    // scheduler's priority discipline): the big tasks dominate, so they must
+    // start before the long tail of small ones.
+    std::vector<int> order(static_cast<std::size_t>(ntasks));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      const index_t ca = offset[static_cast<std::size_t>(a) + 1] - offset[static_cast<std::size_t>(a)];
+      const index_t cb = offset[static_cast<std::size_t>(b) + 1] - offset[static_cast<std::size_t>(b)];
+      return ca != cb ? ca > cb : a < b;
+    });
     auto* base = pp.orig_index.data();
-    for (int k = 0; k < ntasks; ++k) {
-      std::sort(base + offset[static_cast<std::size_t>(k)],
-                base + offset[static_cast<std::size_t>(k) + 1], [&](index_t a, index_t b) {
-                  const auto ka = keys[static_cast<std::size_t>(a)];
-                  const auto kb = keys[static_cast<std::size_t>(b)];
-                  return ka != kb ? ka < kb : a < b;
-                });
-    }
+    std::atomic<int> next{0};
+    pool.run_on_all([&](int) {
+      std::vector<KeyIdx> buf;
+      std::vector<KeyIdx> tmp;
+      for (;;) {
+        const int j = next.fetch_add(1, std::memory_order_relaxed);
+        if (j >= ntasks) break;
+        const int k = order[static_cast<std::size_t>(j)];
+        const index_t begin = offset[static_cast<std::size_t>(k)];
+        const index_t n = offset[static_cast<std::size_t>(k) + 1] - begin;
+        if (n <= 1) continue;
+        buf.resize(static_cast<std::size_t>(n));
+        for (index_t i = 0; i < n; ++i) {
+          const index_t idx = base[begin + i];
+          buf[static_cast<std::size_t>(i)] = {keys[static_cast<std::size_t>(idx)], idx};
+        }
+        if (n < kRadixCutoff) {
+          sort_task_small(buf.data(), n);
+        } else {
+          tmp.resize(static_cast<std::size_t>(n));
+          sort_task_radix(buf.data(), tmp.data(), n, pk.total_bits);
+        }
+        for (index_t i = 0; i < n; ++i) base[begin + i] = buf[static_cast<std::size_t>(i)].idx;
+      }
+    });
   }
   pp.stats.reorder_s = t.seconds();
 
-  // --- materialize reordered coordinate arrays ---
-  for (int d = 0; d < dim; ++d) {
-    auto& dst = pp.coords[static_cast<std::size_t>(d)];
-    dst.resize(static_cast<std::size_t>(count));
-    const float* src = cptr[static_cast<std::size_t>(d)];
-    for (index_t i = 0; i < count; ++i) {
-      dst[static_cast<std::size_t>(i)] = src[pp.orig_index[static_cast<std::size_t>(i)]];
+  // --- materialize reordered coordinate arrays (parallel gather) ---
+  t.reset();
+  {
+    obs::Span span("prep.gather", "prep", count);
+    for (int d = 0; d < dim; ++d) {
+      pp.coords[static_cast<std::size_t>(d)].resize(static_cast<std::size_t>(count));
     }
+    pool.parallel_for(count, [&](index_t begin, index_t end) {
+      for (index_t i = begin; i < end; ++i) {
+        const index_t orig = pp.orig_index[static_cast<std::size_t>(i)];
+        for (int d = 0; d < dim; ++d) {
+          const auto sd = static_cast<std::size_t>(d);
+          pp.coords[sd][static_cast<std::size_t>(i)] = cptr[sd][orig];
+        }
+      }
+    });
   }
+  pp.stats.gather_s = t.seconds();
 
   // --- task table, weights, privatization ---
   t.reset();
@@ -145,29 +300,33 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
   pp.privatized.assign(static_cast<std::size_t>(ntasks), 0);
   pp.privatization_threshold =
       privatization_threshold(count, cfg.threads, dim, cfg.privatization_factor);
-  for (int k = 0; k < ntasks; ++k) {
-    ConvTask& task = pp.tasks[static_cast<std::size_t>(k)];
-    task.begin = offset[static_cast<std::size_t>(k)];
-    task.end = offset[static_cast<std::size_t>(k) + 1];
-    pp.weights[static_cast<std::size_t>(k)] = task.count();
-    const TaskNode& node = pp.graph->node(k);
-    for (int d = 0; d < dim; ++d) {
-      const auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
-      const auto pcd = static_cast<std::size_t>(node.pcoord[static_cast<std::size_t>(d)]);
-      task.box_lo[static_cast<std::size_t>(d)] = b[pcd] - wceil;
-      task.box_hi[static_cast<std::size_t>(d)] = b[pcd + 1] + wceil;
+  pool.parallel_for(ntasks, [&](index_t kb, index_t ke) {
+    for (index_t ki = kb; ki < ke; ++ki) {
+      const int k = static_cast<int>(ki);
+      ConvTask& task = pp.tasks[static_cast<std::size_t>(k)];
+      task.begin = offset[static_cast<std::size_t>(k)];
+      task.end = offset[static_cast<std::size_t>(k) + 1];
+      pp.weights[static_cast<std::size_t>(k)] = task.count();
+      const TaskNode& node = pp.graph->node(k);
+      for (int d = 0; d < dim; ++d) {
+        const auto& b = pp.layout.bounds[static_cast<std::size_t>(d)];
+        const auto pcd = static_cast<std::size_t>(node.pcoord[static_cast<std::size_t>(d)]);
+        task.box_lo[static_cast<std::size_t>(d)] = b[pcd] - wceil;
+        task.box_hi[static_cast<std::size_t>(d)] = b[pcd + 1] + wceil;
+      }
+      if (cfg.selective_privatization && task.count() > pp.privatization_threshold &&
+          cfg.threads > 1) {
+        pp.privatized[static_cast<std::size_t>(k)] = 1;
+      }
     }
-    if (cfg.selective_privatization && task.count() > pp.privatization_threshold &&
-        cfg.threads > 1) {
-      pp.privatized[static_cast<std::size_t>(k)] = 1;
-    }
-  }
+  });
   pp.stats.graph_s = t.seconds();
 
   pp.stats.tasks = ntasks;
   pp.stats.privatized_tasks =
       static_cast<int>(std::count(pp.privatized.begin(), pp.privatized.end(), char(1)));
   pp.stats.total_s = total.seconds();
+  obs::observe_ns("prep_total_ns", static_cast<std::uint64_t>(pp.stats.total_s * 1e9));
   return pp;
 }
 

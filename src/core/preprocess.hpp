@@ -6,6 +6,18 @@
 // selective-privatization marking with each privatized task's private
 // write-region box. An iterative solver amortizes this cost over its many
 // forward/adjoint calls, exactly as FFTW amortizes planning.
+//
+// The whole pipeline runs on the caller's ThreadPool (DESIGN.md §11):
+// per-chunk partial histograms with prefix-scan merges, a two-pass parallel
+// stable counting sort for task binning, a per-task LSD radix sort for the
+// tile reorder (tasks dispatched largest-first), and parallel gather of the
+// reordered coordinate arrays.
+//
+// Determinism contract: the output depends only on (grid, samples, cfg) —
+// never on the pool width or its scheduling. Every field of `Preprocessed`
+// is bit-identical whether the pipeline runs on 1 thread or 64, so
+// plan-cache keys, serialized plans and the fuzz oracles stay valid across
+// machines with different core counts.
 #pragma once
 
 #include <array>
@@ -80,7 +92,14 @@ struct Preprocessed {
   PreprocessStats stats;
 };
 
-/// Run the full preprocessing pass.
+/// Run the full preprocessing pass on `pool`. The pool only supplies
+/// parallelism; the result is bit-identical at any pool width (see the
+/// determinism contract above). cfg.threads still parameterizes the *plan*
+/// (privatization threshold, partition count), as before.
+Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
+                        const PlanConfig& cfg, ThreadPool& pool);
+
+/// Convenience overload: runs on a transient pool of cfg.threads contexts.
 Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
                         const PlanConfig& cfg);
 

@@ -54,15 +54,22 @@ struct OperatorStats {
 };
 
 /// One-time preprocessing cost breakdown (paper §V-E, Fig. 14).
+///
+/// Since the preprocessing pipeline went parallel (DESIGN.md §11) every stage
+/// time is the wall-clock of its parallel pass; `threads_used` records the
+/// pool width that executed them, so bench_fig14_preproc can report per-stage
+/// scaling, not just the total.
 struct PreprocessStats {
   double histogram_s = 0.0;
-  double partition_s = 0.0;
-  double bin_s = 0.0;
-  double reorder_s = 0.0;
-  double graph_s = 0.0;
+  double partition_s = 0.0;  // per-dim histograms + boundary placement
+  double bin_s = 0.0;        // task-id count + scan + stable parallel scatter
+  double reorder_s = 0.0;    // per-task LSD radix sort, largest-first
+  double gather_s = 0.0;     // reordered coordinate materialization
+  double graph_s = 0.0;      // TDG + task/weights/privatization table
   double total_s = 0.0;
   int tasks = 0;
   int privatized_tasks = 0;
+  int threads_used = 1;      // pool width the pipeline actually ran on
 };
 
 }  // namespace nufft

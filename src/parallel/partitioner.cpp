@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace nufft {
 
@@ -21,12 +22,41 @@ int PartitionLayout::flatten(const std::array<int, 3>& pc) const {
   return idx;
 }
 
-std::vector<index_t> cumulative_histogram(const float* coords, index_t count, index_t extent) {
+std::vector<index_t> cumulative_histogram(const float* coords, index_t count, index_t extent,
+                                          ThreadPool* pool) {
   std::vector<index_t> hist(static_cast<std::size_t>(extent) + 1, 0);
-  for (index_t i = 0; i < count; ++i) {
-    auto cell = static_cast<index_t>(coords[i]);
-    cell = std::clamp<index_t>(cell, 0, extent - 1);
-    ++hist[static_cast<std::size_t>(cell) + 1];
+  // Below this the chunked pass costs more in partial-histogram zeroing than
+  // the count itself.
+  constexpr index_t kParallelCutoff = 1 << 14;
+  if (pool == nullptr || pool->size() == 1 || count < kParallelCutoff) {
+    for (index_t i = 0; i < count; ++i) {
+      auto cell = static_cast<index_t>(coords[i]);
+      cell = std::clamp<index_t>(cell, 0, extent - 1);
+      ++hist[static_cast<std::size_t>(cell) + 1];
+    }
+  } else {
+    const int nchunks = static_cast<int>(std::min<index_t>(count, 4 * pool->size()));
+    std::vector<index_t> partial(static_cast<std::size_t>(nchunks) * static_cast<std::size_t>(extent), 0);
+    pool->for_static_chunks(count, nchunks, [&](int c, index_t begin, index_t end) {
+      index_t* row = partial.data() + static_cast<std::size_t>(c) * static_cast<std::size_t>(extent);
+      for (index_t i = begin; i < end; ++i) {
+        auto cell = static_cast<index_t>(coords[i]);
+        cell = std::clamp<index_t>(cell, 0, extent - 1);
+        ++row[cell];
+      }
+    });
+    // Merge in fixed chunk order (exact integer sums — bit-identical to the
+    // serial count), parallel over cells.
+    pool->parallel_for(extent, [&](index_t begin, index_t end) {
+      for (index_t cell = begin; cell < end; ++cell) {
+        index_t s = 0;
+        for (int c = 0; c < nchunks; ++c) {
+          s += partial[static_cast<std::size_t>(c) * static_cast<std::size_t>(extent) +
+                       static_cast<std::size_t>(cell)];
+        }
+        hist[static_cast<std::size_t>(cell) + 1] = s;
+      }
+    });
   }
   for (std::size_t i = 1; i < hist.size(); ++i) hist[i] += hist[i - 1];
   return hist;
@@ -45,7 +75,7 @@ void force_even_count(std::vector<index_t>& bounds) {
 
 PartitionLayout make_variable_layout(int dim, const std::array<index_t, 3>& extent,
                                      const std::array<const float*, 3>& coords, index_t count,
-                                     int target_parts, index_t min_width) {
+                                     int target_parts, index_t min_width, ThreadPool* pool) {
   NUFFT_CHECK(dim >= 1 && dim <= 3);
   NUFFT_CHECK(target_parts >= 1);
   NUFFT_CHECK(min_width >= 1);
@@ -57,7 +87,7 @@ PartitionLayout make_variable_layout(int dim, const std::array<index_t, 3>& exte
   const index_t avg = std::max<index_t>(1, count / target_parts);
   for (int d = 0; d < dim; ++d) {
     const index_t M = extent[static_cast<std::size_t>(d)];
-    const auto hist = cumulative_histogram(coords[static_cast<std::size_t>(d)], count, M);
+    const auto hist = cumulative_histogram(coords[static_cast<std::size_t>(d)], count, M, pool);
     auto& b = layout.bounds[static_cast<std::size_t>(d)];
     b.push_back(0);
     index_t start = 0;

@@ -24,6 +24,8 @@
 
 namespace nufft {
 
+class ThreadPool;
+
 struct PartitionLayout {
   int dim = 0;
   /// bounds[d] has num_parts[d] + 1 entries; partition p spans
@@ -43,15 +45,22 @@ struct PartitionLayout {
 };
 
 /// Per-dimension cumulative histogram: hist(i) = number of samples with
-/// coordinate < i. Bin granularity is one grid cell.
-std::vector<index_t> cumulative_histogram(const float* coords, index_t count, index_t extent);
+/// coordinate < i. Bin granularity is one grid cell. When a pool is supplied
+/// the count runs as per-chunk partial histograms merged by a prefix scan;
+/// the result is bit-identical to the serial count at any pool width
+/// (integer sums in a fixed merge order).
+std::vector<index_t> cumulative_histogram(const float* coords, index_t count, index_t extent,
+                                          ThreadPool* pool = nullptr);
 
 /// Variable-width layout (Fig. 5). `target_parts` is the desired partition
 /// count P per dimension; `min_width` must be >= 2W+1.
-/// `extent[d]` is the grid size M along dimension d.
+/// `extent[d]` is the grid size M along dimension d. The optional pool
+/// parallelizes the per-dimension histograms (boundary placement itself is a
+/// cheap serial walk of the cumulative counts).
 PartitionLayout make_variable_layout(int dim, const std::array<index_t, 3>& extent,
                                      const std::array<const float*, 3>& coords, index_t count,
-                                     int target_parts, index_t min_width);
+                                     int target_parts, index_t min_width,
+                                     ThreadPool* pool = nullptr);
 
 /// Fixed-width layout: equal cuts of width max(min_width, extent/target).
 PartitionLayout make_fixed_layout(int dim, const std::array<index_t, 3>& extent,

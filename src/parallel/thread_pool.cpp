@@ -29,8 +29,14 @@ void ThreadPool::run_on_all(const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    NUFFT_CHECK_MSG(!in_job_, "ThreadPool::run_on_all must not be nested");
+    std::unique_lock<std::mutex> lock(mu_);
+    if (in_job_) {
+      // Nested (from inside a job body) or concurrent invocation: the workers
+      // are already owned by another job, so degrade to serial on the caller.
+      lock.unlock();
+      fn(0);
+      return;
+    }
     in_job_ = true;
     job_ = &fn;
     remaining_ = nthreads_ - 1;
@@ -97,6 +103,52 @@ void ThreadPool::parallel_for_tid(index_t n, index_t chunk,
       fn(tid, begin, std::min(begin + chunk, n));
     }
   });
+}
+
+void ThreadPool::for_static_chunks(index_t n, int nchunks,
+                                   const std::function<void(int, index_t, index_t)>& fn) {
+  if (n <= 0) return;
+  NUFFT_CHECK(nchunks >= 1);
+  const auto bound = [n, nchunks](int c) {
+    return static_cast<index_t>(static_cast<std::int64_t>(n) * c / nchunks);
+  };
+  if (nthreads_ == 1 || nchunks == 1) {
+    for (int c = 0; c < nchunks; ++c) {
+      const index_t begin = bound(c);
+      const index_t end = bound(c + 1);
+      if (begin < end) fn(c, begin, end);
+    }
+    return;
+  }
+  std::atomic<int> next{0};
+  run_on_all([&](int) {
+    for (;;) {
+      const int c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) break;
+      const index_t begin = bound(c);
+      const index_t end = bound(c + 1);
+      if (begin < end) fn(c, begin, end);
+    }
+  });
+}
+
+void ThreadPool::column_exclusive_scan(std::vector<index_t>& m, int nchunks, index_t ncols,
+                                       const index_t* base) {
+  NUFFT_CHECK(nchunks >= 1 && ncols >= 0);
+  NUFFT_CHECK(static_cast<index_t>(m.size()) >= static_cast<index_t>(nchunks) * ncols);
+  parallel_for(ncols, std::max<index_t>(1, ncols / (static_cast<index_t>(nthreads_) * 8)),
+               [&](index_t begin, index_t end) {
+                 for (index_t j = begin; j < end; ++j) {
+                   index_t running = base[j];
+                   for (int c = 0; c < nchunks; ++c) {
+                     auto& cell = m[static_cast<std::size_t>(c) * static_cast<std::size_t>(ncols) +
+                                    static_cast<std::size_t>(j)];
+                     const index_t v = cell;
+                     cell = running;
+                     running += v;
+                   }
+                 }
+               });
 }
 
 void ThreadPool::parallel_for(index_t n, const std::function<void(index_t, index_t)>& fn) {

@@ -9,6 +9,19 @@
 //
 // The caller's thread is execution context 0, so a pool of size T uses
 // exactly T OS threads (T-1 workers), matching how the paper counts cores.
+//
+// Nesting: a run_on_all (or any helper built on it) issued while the pool is
+// already executing a job — from inside a job body, or from a second thread —
+// degrades to serial execution on the caller instead of deadlocking or
+// asserting. Parallel preprocessing relies on this: a plan built from inside
+// another pool's worker still completes, just without extra parallelism.
+//
+// Determinism building blocks for the preprocessing pipeline
+// (core/preprocess.cpp): for_static_chunks() decomposes an index range into
+// chunks that depend only on (n, nchunks) — never on the pool width or on
+// scheduling — and column_exclusive_scan() turns per-chunk counts into
+// per-chunk write cursors, so a chunked stable counting sort reproduces the
+// serial sort bit-for-bit at any thread count.
 #pragma once
 
 #include <atomic>
@@ -35,7 +48,8 @@ class ThreadPool {
   int size() const { return nthreads_; }
 
   /// Run fn(tid) once on every context, tid in [0, size()). Blocks until all
-  /// contexts finish. Must not be called re-entrantly from inside a job.
+  /// contexts finish. Nested or concurrent invocations degrade to running
+  /// fn(0) serially on the caller (see the header comment).
   void run_on_all(const std::function<void(int)>& fn);
 
   /// Dynamically scheduled parallel loop: fn(begin, end) over chunks of
@@ -49,6 +63,23 @@ class ThreadPool {
   /// callers can keep per-thread scratch (e.g. FFT row buffers).
   void parallel_for_tid(index_t n, index_t chunk,
                         const std::function<void(int, index_t, index_t)>& fn);
+
+  /// Deterministic static decomposition: split [0, n) into `nchunks` equal
+  /// contiguous chunks (chunk c spans [c·n/nchunks, (c+1)·n/nchunks)) and run
+  /// fn(chunk, begin, end) once per non-empty chunk, chunks dynamically
+  /// assigned to contexts. The decomposition depends only on (n, nchunks), so
+  /// per-chunk partial results (histograms, counting-sort cursors) are
+  /// bit-identical at any pool width.
+  void for_static_chunks(index_t n, int nchunks,
+                         const std::function<void(int, index_t, index_t)>& fn);
+
+  /// Column-wise exclusive scan, parallel over columns, of the row-major
+  /// [nchunks × ncols] count matrix `m`, seeded by base: on return
+  ///   m[c·ncols + j] = base[j] + Σ_{c' < c} old m[c'·ncols + j].
+  /// Turns for_static_chunks() per-chunk counts into exact per-chunk write
+  /// cursors for a stable parallel scatter.
+  void column_exclusive_scan(std::vector<index_t>& m, int nchunks, index_t ncols,
+                             const index_t* base);
 
   /// Process-wide pool sized from NUFFT_THREADS / hardware_concurrency.
   /// Intended for library entry points that were not handed a pool.

@@ -1,0 +1,215 @@
+// Parallel-preprocessing suite (`ctest -L preproc`).
+//
+// The pipeline's determinism contract (core/preprocess.hpp): every field of
+// `Preprocessed` depends only on (grid, samples, cfg) — never on the width
+// of the pool that executed it or on its scheduling. These tests pin that
+// contract across pool widths and repeated runs, and cover the
+// derived-width reorder-key packing on grids wide enough to alias the old
+// fixed 10-bit fields. The binary is its own ctest label so the sanitizer
+// configs (tools/run_fuzz_sanitized.sh) race-check the parallel scatter and
+// radix sort under TSan/ASan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include <string>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::TrajectoryType;
+
+PlanConfig plan_config() {
+  PlanConfig cfg;
+  cfg.threads = 8;  // fixed: cfg parameterizes the plan, the pool only runs it
+  cfg.kernel_radius = 2.0;
+  return cfg;
+}
+
+// Field-by-field bit equality of two preprocessing results.
+void expect_identical(const Preprocessed& a, const Preprocessed& b) {
+  ASSERT_EQ(a.layout.dim, b.layout.dim);
+  for (int d = 0; d < a.layout.dim; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    EXPECT_EQ(a.layout.num_parts[sd], b.layout.num_parts[sd]);
+    ASSERT_EQ(a.layout.bounds[sd], b.layout.bounds[sd]);
+  }
+  ASSERT_EQ(a.orig_index, b.orig_index);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t k = 0; k < a.tasks.size(); ++k) {
+    EXPECT_EQ(a.tasks[k].begin, b.tasks[k].begin);
+    EXPECT_EQ(a.tasks[k].end, b.tasks[k].end);
+    EXPECT_EQ(a.tasks[k].box_lo, b.tasks[k].box_lo);
+    EXPECT_EQ(a.tasks[k].box_hi, b.tasks[k].box_hi);
+  }
+  ASSERT_EQ(a.weights, b.weights);
+  ASSERT_EQ(a.privatized, b.privatized);
+  EXPECT_EQ(a.privatization_threshold, b.privatization_threshold);
+  for (int d = 0; d < a.layout.dim; ++d) {
+    const auto& ca = a.coords[static_cast<std::size_t>(d)];
+    const auto& cb = b.coords[static_cast<std::size_t>(d)];
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      ASSERT_EQ(ca[i], cb[i]) << "coords differ at dim " << d << " index " << i;
+    }
+  }
+}
+
+TEST(PreprocParallel, BitIdenticalAcrossPoolWidths) {
+  const GridDesc g = make_grid(3, 16, 2.0);
+  // Radial data clusters at the center, so tasks are heavily skewed — the
+  // adversarial case for the chunked counting sort and largest-first radix.
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 3, 16, 20000);
+  const PlanConfig cfg = plan_config();
+  ThreadPool serial(1);
+  const auto reference = preprocess(g, set, cfg, serial);
+  EXPECT_EQ(reference.stats.threads_used, 1);
+  for (const int width : {2, 8}) {
+    ThreadPool pool(width);
+    const auto pp = preprocess(g, set, cfg, pool);
+    EXPECT_EQ(pp.stats.threads_used, width);
+    expect_identical(reference, pp);
+  }
+}
+
+TEST(PreprocParallel, BitIdenticalAcrossPoolWidthsNoReorder) {
+  // With reorder off the bin order itself is the output — the parallel
+  // scatter must reproduce the serial stable counting sort exactly.
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 12000);
+  PlanConfig cfg = plan_config();
+  cfg.reorder = false;
+  ThreadPool serial(1);
+  const auto reference = preprocess(g, set, cfg, serial);
+  for (const int width : {2, 8}) {
+    ThreadPool pool(width);
+    expect_identical(reference, preprocess(g, set, cfg, pool));
+  }
+}
+
+TEST(PreprocParallel, RepeatedRunsIdentical) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kSpiral, 2, 32, 10000);
+  const PlanConfig cfg = plan_config();
+  ThreadPool pool(8);
+  const auto first = preprocess(g, set, cfg, pool);
+  for (int rep = 0; rep < 3; ++rep) {
+    expect_identical(first, preprocess(g, set, cfg, pool));
+  }
+}
+
+TEST(PreprocParallel, LegacyOverloadMatchesExplicitPool) {
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 5000);
+  const PlanConfig cfg = plan_config();
+  ThreadPool pool(cfg.threads);
+  expect_identical(preprocess(g, set, cfg), preprocess(g, set, cfg, pool));
+}
+
+TEST(PreprocParallel, NestedPreprocessDegradesToSerial) {
+  // A plan built from inside another pool's job (e.g. a registry build on an
+  // engine worker) must still complete, on the caller alone.
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 4000);
+  const PlanConfig cfg = plan_config();
+  ThreadPool pool(4);
+  const auto reference = preprocess(g, set, cfg, pool);
+  pool.run_on_all([&](int tid) {
+    if (tid == 0) expect_identical(reference, preprocess(g, set, cfg, pool));
+  });
+}
+
+TEST(PreprocParallel, StageStatsArePopulated) {
+  const GridDesc g = make_grid(3, 16, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 3, 16, 8000);
+  ThreadPool pool(4);
+  const auto pp = preprocess(g, set, plan_config(), pool);
+  EXPECT_GT(pp.stats.total_s, 0.0);
+  EXPECT_GE(pp.stats.gather_s, 0.0);
+  EXPECT_EQ(pp.stats.threads_used, 4);
+  const double stage_sum = pp.stats.partition_s + pp.stats.bin_s + pp.stats.reorder_s +
+                           pp.stats.gather_s + pp.stats.graph_s;
+  EXPECT_LE(stage_sum, pp.stats.total_s + 1e-6);
+}
+
+TEST(PreprocParallel, EmitsStageSpansAndTotalHistogram) {
+  obs::set_trace_enabled(true);
+  obs::set_metrics_enabled(true);
+  obs::reset_spans();
+  obs::MetricsRegistry::instance().reset();
+  const GridDesc g = make_grid(2, 32, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 32, 4000);
+  ThreadPool pool(2);
+  preprocess(g, set, plan_config(), pool);
+  const auto spans = obs::drain_spans();
+  obs::set_trace_enabled(false);
+  obs::set_metrics_enabled(false);
+  for (const char* name : {"prep.partition", "prep.bin", "prep.reorder", "prep.gather"}) {
+    bool found = false;
+    for (const auto& s : spans) {
+      if (std::string(s.name) == name && std::string(s.cat) == "prep") found = true;
+    }
+    EXPECT_TRUE(found) << "missing span " << name;
+  }
+  EXPECT_GE(obs::MetricsRegistry::instance().histogram("prep_total_ns").count(), 1u);
+}
+
+// Regression for the reorder-key packing: the old fixed 10-bit fields alias
+// tile coordinates once a dimension has more than 1024 tiles (m/tile > 1023),
+// silently destroying reorder locality on wide grids. Field widths are now
+// derived from the grid extent and tile edge.
+TEST(PreprocParallel, WideGridTileOrderNoAliasing) {
+  // 2-D m = 16384, tile 8 → 2048 tiles per dimension: the y tile coordinate
+  // needs 11 bits and would bleed into the x field under 10-bit packing.
+  const GridDesc g = make_grid(2, 8192, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 2, 8192, 6000);
+  PlanConfig cfg = plan_config();
+  cfg.threads = 2;
+  cfg.reorder_tile = 8;
+  ThreadPool pool(2);
+  const auto pp = preprocess(g, set, cfg, pool);
+  for (const auto& task : pp.tasks) {
+    std::uint64_t prev = 0;
+    for (index_t i = task.begin; i < task.end; ++i) {
+      const auto cx = static_cast<std::uint64_t>(pp.coords[0][static_cast<std::size_t>(i)]);
+      const auto cy = static_cast<std::uint64_t>(pp.coords[1][static_cast<std::size_t>(i)]);
+      // Tile-scan position, packed wide enough that nothing can alias.
+      const std::uint64_t key =
+          (((cx / 8) * 2048 + (cy / 8)) * 8 + (cx % 8)) * 8 + (cy % 8);
+      ASSERT_GE(key, prev) << "tile-scan order violated inside a task";
+      prev = key;
+    }
+  }
+}
+
+TEST(PreprocParallel, WideTileCellOrderNoAliasing) {
+  // 1-D with a tile wider than 1024 cells: the cell-within-tile field
+  // overflows 10 bits; with derived widths the within-task order is simply
+  // the integer cell coordinate, non-decreasing.
+  const GridDesc g = make_grid(1, 8192, 2.0);  // m = 16384
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, 1, 8192, 4000);
+  PlanConfig cfg = plan_config();
+  cfg.threads = 2;
+  cfg.reorder_tile = 2048;
+  ThreadPool pool(2);
+  const auto pp = preprocess(g, set, cfg, pool);
+  for (const auto& task : pp.tasks) {
+    index_t prev = 0;
+    for (index_t i = task.begin; i < task.end; ++i) {
+      const auto cell = static_cast<index_t>(pp.coords[0][static_cast<std::size_t>(i)]);
+      ASSERT_GE(cell, prev) << "cell order violated inside a task";
+      prev = cell;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nufft

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Run the differential fuzz harness (`ctest -L fuzz`) under AddressSanitizer
-# and UndefinedBehaviorSanitizer, as CI does. The sweep seeds are fixed
+# Run the differential fuzz harness (`ctest -L fuzz`) and the
+# parallel-preprocessing suite (`ctest -L preproc`) under AddressSanitizer
+# and UndefinedBehaviorSanitizer, as CI does; pass `thread` to race-check the
+# preprocessing scatter/radix passes under TSan. The sweep seeds are fixed
 # (tests/fuzz/test_fuzz.cpp kBaseSeed) so both instrumented runs execute the
 # identical configuration set; override with NUFFT_FUZZ_SEED /
 # NUFFT_FUZZ_CONFIGS to explore further or to reproduce one failing seed:
@@ -29,9 +31,9 @@ for san in "${sanitizers[@]}"; do
   cmake -B "${build}" -S . \
     -DNUFFT_SANITIZE="${san}" \
     -DNUFFT_BUILD_BENCH=OFF -DNUFFT_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build "${build}" -j --target nufft_fuzz_tests
-  echo "=== ${san} sanitizer: ctest -L fuzz ==="
-  (cd "${build}" && ctest -L fuzz --output-on-failure)
+  cmake --build "${build}" -j --target nufft_fuzz_tests --target nufft_preproc_tests
+  echo "=== ${san} sanitizer: ctest -L 'fuzz|preproc' ==="
+  (cd "${build}" && ctest -L 'fuzz|preproc' --output-on-failure)
 done
 
-echo "All sanitized fuzz runs passed."
+echo "All sanitized fuzz + preproc runs passed."
