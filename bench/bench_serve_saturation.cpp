@@ -1,0 +1,193 @@
+// Serving-layer saturation sweep: offered load vs goodput, latency, and
+// shed rate through the full socket path (client → AF_UNIX → admission →
+// fair queue → engine → reply).
+//
+//   $ ./bench_serve_saturation
+//
+// Closed-loop clients with think time: each of C client threads submits one
+// request every 1/rate seconds (per client), so offered load sweeps from
+// under-subscribed to well past engine capacity. At each load point the
+// bench reports client-observed p50/p99 latency, goodput (completed
+// requests/s), the shed rate, and the server-side p99 queue wait that
+// drives deadline-aware admission. The overload points demonstrate the
+// shed-don't-collapse contract: goodput holds near engine capacity while
+// the excess arrives back as ErrorCode::kOverloaded instead of unbounded
+// queueing.
+//
+// Env knobs (bench/common.hpp): NUFFT_BENCH_REPS, NUFFT_BENCH_DIR,
+// NUFFT_BENCH_JSON, NUFFT_THREADS. Emits BENCH_serve.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "common/env.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace nufft;
+using Clock = std::chrono::steady_clock;
+
+struct LoadPointResult {
+  double offered_rps = 0;
+  double goodput_rps = 0;
+  double shed_rate = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double server_wait_p99_ms = 0;
+};
+
+double quantile_ms(std::vector<double>& lat_ms, double q) {
+  if (lat_ms.empty()) return 0;
+  std::sort(lat_ms.begin(), lat_ms.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(lat_ms.size() - 1));
+  return lat_ms[idx];
+}
+
+LoadPointResult run_load_point(const std::string& socket_path, const GridDesc& grid,
+                               const datasets::SampleSet& samples, const PlanConfig& cfg,
+                               const std::vector<cfloat>& image, serve::NufftServer& server,
+                               int clients, double per_client_rps, double seconds) {
+  std::atomic<std::uint64_t> ok{0}, shed{0}, failed{0};
+  std::mutex lat_mu;
+  std::vector<double> lat_ms;
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::NufftClient client;
+      client.connect(socket_path, "bench-" + std::to_string(c % 2));  // two tenants
+      const auto plan_id = client.register_plan(grid, samples, cfg);
+      const auto period =
+          std::chrono::duration<double>(per_client_rps > 0 ? 1.0 / per_client_rps : 0);
+      auto next = Clock::now();
+      while (std::chrono::duration<double>(Clock::now() - t0).count() < seconds) {
+        const auto start = Clock::now();
+        try {
+          serve::RunOptions opts;
+          opts.deadline_ms = 2000;
+          client.forward(plan_id, image, 1, opts);
+          ++ok;
+          const double ms =
+              std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+          std::lock_guard<std::mutex> lock(lat_mu);
+          lat_ms.push_back(ms);
+        } catch (const Error& e) {
+          if (e.code() == ErrorCode::kOverloaded) {
+            ++shed;
+          } else {
+            ++failed;
+          }
+        }
+        next += std::chrono::duration_cast<Clock::duration>(period);
+        std::this_thread::sleep_until(next);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadPointResult r;
+  const auto total = ok.load() + shed.load() + failed.load();
+  r.offered_rps = static_cast<double>(total) / elapsed;
+  r.goodput_rps = static_cast<double>(ok.load()) / elapsed;
+  r.shed_rate = total > 0 ? static_cast<double>(shed.load()) / static_cast<double>(total) : 0;
+  r.p50_ms = quantile_ms(lat_ms, 0.50);
+  r.p99_ms = quantile_ms(lat_ms, 0.99);
+  for (const auto& [name, value] : server.stat_counters()) {
+    if (name == "queue_wait_p99_us") r.server_wait_p99_ms = static_cast<double>(value) / 1000.0;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("serve saturation: goodput / latency / shed rate vs offered load");
+
+  // Small 2D problem so a load point is request-bound, not transform-bound.
+  const index_t N = 32;
+  const GridDesc grid = make_grid(2, N, 2.0);
+  datasets::TrajectoryParams params;
+  params.n = N;
+  params.k = 64;
+  params.s = 32;
+  const auto samples = datasets::make_trajectory(datasets::TrajectoryType::kRadial, 2, params);
+  PlanConfig cfg;
+  cfg.threads = 1;
+
+  serve::ServeConfig sc;
+  sc.socket_path = (std::filesystem::temp_directory_path() /
+                    ("nufft_bench_serve_" + std::to_string(::getpid()) + ".sock"))
+                       .string();
+  sc.engine.workers = std::max(1, static_cast<int>(env_int("NUFFT_THREADS", 2)));
+  // Tight backlog caps so the over-subscribed load points actually hit the
+  // admission controller: per-tenant 1 in flight + 2 queued, 4 queued total.
+  sc.default_tenant.max_inflight = 1;
+  sc.default_tenant.max_queued = 2;
+  sc.max_queued_total = 4;
+  serve::NufftServer server(sc);
+  server.start();
+
+  const auto image = bench::random_values(grid.image_elems());
+  const std::vector<cfloat> input(image.begin(), image.end());
+
+  // Calibrate: unloaded service time of one request over the socket.
+  {
+    serve::NufftClient warm;
+    warm.connect(sc.socket_path, "bench-0");
+    const auto plan_id = warm.register_plan(grid, samples, cfg);
+    warm.forward(plan_id, input);
+  }
+
+  const double seconds = static_cast<double>(env_int("NUFFT_SERVE_BENCH_MS", 1500)) / 1000.0;
+  // Offered load sweeps by client count and per-client rate: paced points
+  // stay under capacity; the unthrottled points (rate 0) over-subscribe the
+  // tight backlog caps and exercise the shed path.
+  struct LoadPoint {
+    int clients;
+    double rate;  // per-client req/s; 0 = open throttle
+  };
+  const std::vector<LoadPoint> points = {{2, 10}, {4, 40}, {4, 0}, {8, 0}, {16, 0}};
+
+  bench::BenchReport report("serve");
+  std::printf("%16s %12s %12s %10s %10s %10s %14s\n", "load", "offered/s", "goodput/s",
+              "shed%", "p50 ms", "p99 ms", "srv p99 wait");
+  for (const auto& lp : points) {
+    const auto r = run_load_point(sc.socket_path, grid, samples, cfg, input, server,
+                                  lp.clients, lp.rate, seconds);
+    const std::string label =
+        lp.rate > 0 ? std::to_string(lp.clients) + "x" +
+                          std::to_string(static_cast<int>(lp.rate)) + "rps"
+                    : std::to_string(lp.clients) + "x_unthrottled";
+    std::printf("%16s %12.1f %12.1f %9.1f%% %10.2f %10.2f %12.2f ms\n", label.c_str(),
+                r.offered_rps, r.goodput_rps, 100.0 * r.shed_rate, r.p50_ms, r.p99_ms,
+                r.server_wait_p99_ms);
+    report.add(label, {{"offered_rps", r.offered_rps},
+                       {"goodput_rps", r.goodput_rps},
+                       {"shed_rate", r.shed_rate},
+                       {"latency_p50_ms", r.p50_ms},
+                       {"latency_p99_ms", r.p99_ms},
+                       {"server_queue_wait_p99_ms", r.server_wait_p99_ms}});
+  }
+
+  const auto stats = server.stats();
+  std::printf("server totals: accepted %llu, completed %llu, shed %llu, degraded %llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.shed_overload + stats.shed_deadline),
+              static_cast<unsigned long long>(stats.degraded));
+  server.stop();
+
+  const auto path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -24,6 +24,7 @@ enum class ErrorCode : int {
   kCancelled,             // job cancelled before execution
   kTimeout,               // job deadline expired
   kResourceExhausted,     // allocation or capacity failure
+  kOverloaded,            // admission shed: server or tenant over capacity
 };
 
 constexpr const char* error_code_name(ErrorCode code) {
@@ -35,15 +36,19 @@ constexpr const char* error_code_name(ErrorCode code) {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "?";
 }
 
 /// True for failures that a bounded retry may clear. Invalid input and build
 /// failures are deterministic (the registry quarantines them instead);
-/// cancellation and timeouts are final by definition.
+/// cancellation and timeouts are final by definition. kOverloaded is an
+/// admission shed — by design the caller should back off and retry once the
+/// server or tenant drops below capacity.
 constexpr bool is_retryable(ErrorCode code) {
-  return code == ErrorCode::kResourceExhausted || code == ErrorCode::kIoCorruption;
+  return code == ErrorCode::kResourceExhausted || code == ErrorCode::kIoCorruption ||
+         code == ErrorCode::kOverloaded;
 }
 
 /// Exception type thrown by all NUFFT failures.

@@ -21,6 +21,18 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
                                         .count());
 }
 
+// Fire a job's completion hook after its promise has been resolved. The hook
+// contract (JobOptions::on_complete) promises a ready future and exactly one
+// invocation; a throwing hook is a caller bug we contain rather than letting
+// it tear down a worker thread.
+void notify_complete(const JobOptions& opts) noexcept {
+  if (!opts.on_complete) return;
+  try {
+    opts.on_complete();
+  } catch (...) {
+  }
+}
+
 }  // namespace
 
 NufftEngine::NufftEngine(EngineConfig cfg) : cfg_(cfg) {
@@ -40,9 +52,19 @@ void NufftEngine::shutdown() {
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
-  }
+  // Exactly one caller joins; concurrent shutdown() calls (including the
+  // destructor racing an explicit shutdown from another thread) block here
+  // until the drain completes instead of racing on std::thread::join.
+  std::call_once(join_once_, [this] {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  });
+}
+
+EngineLoad NufftEngine::load() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EngineLoad{queue_.size(), active_, static_cast<int>(threads_.size())};
 }
 
 std::future<JobResult> NufftEngine::submit(Op op, std::shared_ptr<const Nufft> plan,
@@ -91,17 +113,19 @@ std::future<JobResult> NufftEngine::enqueue(Job job) {
   obs::count("engine.jobs_submitted");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) {
-      // Racing submit against shutdown is benign: the caller gets a future
-      // that reports the job as cancelled instead of a crashed submitter.
-      obs::count("engine.jobs_rejected");
-      job.promise.set_exception(std::make_exception_ptr(
-          Error("job submitted after engine shutdown", ErrorCode::kCancelled)));
+    if (!stop_) {
+      queue_.push_back(std::move(job));
+      cv_.notify_one();
       return fut;
     }
-    queue_.push_back(std::move(job));
   }
-  cv_.notify_one();
+  // Racing submit against shutdown is benign: the caller gets a future that
+  // reports the job as cancelled instead of a crashed submitter. Resolved
+  // outside the lock so the completion hook may inspect the engine.
+  obs::count("engine.jobs_rejected");
+  job.promise.set_exception(std::make_exception_ptr(
+      Error("job submitted after engine shutdown", ErrorCode::kCancelled)));
+  notify_complete(job.options);
   return fut;
 }
 
@@ -128,6 +152,7 @@ void NufftEngine::worker_main() {
       obs::count("engine.jobs_failed");
       job.promise.set_exception(std::current_exception());
     }
+    notify_complete(job.options);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -80,11 +80,26 @@ struct JobOptions {
   /// First retry delay; doubles per attempt (capped internally). The sleep
   /// is cancellation- and deadline-aware.
   std::chrono::milliseconds retry_backoff{1};
+  /// Completion hook for callers that multiplex many jobs without parking a
+  /// thread per future (the serving layer's poll loop). Invoked exactly once,
+  /// after the job's promise is resolved — with a value or an exception, on
+  /// every path including rejection at submit-after-shutdown — from whichever
+  /// thread resolved it. The future is guaranteed ready inside the hook. Must
+  /// not throw; must not call back into the engine's shutdown.
+  std::function<void()> on_complete;
 };
 
 struct EngineConfig {
   int workers = 2;             // dispatcher threads, each owning a pool
   int threads_per_worker = 1;  // ThreadPool size inside each worker
+};
+
+/// Point-in-time load snapshot, the admission-control hook for callers that
+/// gate work before it reaches the queue (serve::NufftServer).
+struct EngineLoad {
+  std::size_t queued = 0;  // jobs waiting for a worker
+  int active = 0;          // jobs currently executing
+  int workers = 0;         // dispatcher thread count
 };
 
 class NufftEngine {
@@ -116,10 +131,15 @@ class NufftEngine {
   void wait_idle();
 
   /// Stop accepting work, drain jobs already queued, and join the workers.
-  /// Idempotent; the destructor calls it. Safe to race with concurrent
+  /// Idempotent and safe to call from any number of threads concurrently —
+  /// the join runs exactly once and every caller blocks until the drain is
+  /// complete. The destructor calls it. Safe to race with concurrent
   /// submit() calls — each such submit either runs before the drain or gets
   /// a future resolved with ErrorCode::kCancelled.
   void shutdown();
+
+  /// Queue/active snapshot for admission control.
+  EngineLoad load() const;
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
@@ -161,12 +181,17 @@ class NufftEngine {
   void return_batch(const Nufft* plan, std::unique_ptr<BatchNufft> bn);
 
   EngineConfig cfg_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<Job> queue_;
   int active_ = 0;
   bool stop_ = false;
+  // Joining a std::thread from two threads at once is a data race, and both
+  // "destructor while another thread calls shutdown()" and plain concurrent
+  // shutdown() calls are legal — the once_flag makes the join single-entry
+  // while still blocking every concurrent caller until the drain finishes.
+  std::once_flag join_once_;
   std::vector<std::thread> threads_;
 
   std::mutex lease_mu_;

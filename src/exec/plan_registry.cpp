@@ -87,14 +87,21 @@ std::string PlanRegistry::spill_path(const std::string& key) const {
 
 std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
                                                    const datasets::SampleSet& samples,
-                                                   const PlanConfig& cfg) {
+                                                   const PlanConfig& cfg,
+                                                   const std::string& tenant) {
   const std::string key = make_key(g, samples, cfg);
+  const std::size_t reservation = estimate_plan_bytes(g, samples);
 
   std::promise<std::shared_ptr<const Nufft>> prom;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
+      // Quota admission runs before the hit is served: a tenant joining an
+      // existing entry pays for it too (ready entries at their footprint,
+      // pending builds at the reservation their waiters were admitted with).
+      charge_tenant_locked(it->second, tenant,
+                           it->second.ready ? it->second.bytes : reservation);
       ++stats_.hits;
       obs::count("registry.hits");
       if (!it->second.ready) {
@@ -125,6 +132,9 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
     Entry e;
     e.plan = prom.get_future().share();
     e.tick = ++tick_;
+    // Admit against the tenant's quota before any work happens — an
+    // over-quota build is refused here, cheaply, not after preprocessing.
+    charge_tenant_locked(e, tenant, reservation);
     entries_.emplace(key, std::move(e));
   }
 
@@ -172,6 +182,8 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
     it->second.ready = true;
     it->second.bytes = bytes;
     bytes_ += bytes;
+    // The real footprint is known now — replace every waiter's reservation.
+    true_up_entry_locked(it->second, bytes);
     quarantine_.erase(key);  // one success clears the failure history
     evict_locked(key);
   } catch (...) {
@@ -191,8 +203,15 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
       std::lock_guard<std::mutex> lock(mu_);
       // The failed build never caches: erasing the pending entry means the
       // next acquire of this key starts fresh instead of observing a future
-      // that is poisoned forever.
-      entries_.erase(key);
+      // that is poisoned forever. The quota reservations held by the dying
+      // entry — the builder's and every single-flight waiter's — are
+      // refunded here; without this, a key that fails its way into
+      // quarantine would leak its charge and slowly eat the tenant's budget.
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        refund_entry_locked(it->second);
+        entries_.erase(it);
+      }
       record_build_failure_locked(key, msg, code);
     }
     prom.set_exception(eptr);
@@ -238,10 +257,76 @@ void PlanRegistry::evict_locked(const std::string& keep_key) {
       obs::count("registry.spills");
     }
     bytes_ -= victim->second.bytes;
+    refund_entry_locked(victim->second);
     entries_.erase(victim);
     ++stats_.evictions;
     obs::count("registry.evictions");
   }
+}
+
+void PlanRegistry::charge_tenant_locked(Entry& e, const std::string& tenant,
+                                        std::size_t bytes) {
+  if (tenant.empty()) return;
+  if (e.charges.count(tenant) != 0) return;  // this tenant already pays for it
+  TenantUsage& u = tenants_[tenant];
+  const bool over_bytes = cfg_.tenant_max_bytes != 0 && u.bytes + bytes > cfg_.tenant_max_bytes;
+  const bool over_plans = cfg_.tenant_max_plans != 0 && u.plans + 1 > cfg_.tenant_max_plans;
+  if (over_bytes || over_plans) {
+    ++stats_.quota_rejects;
+    obs::count("registry.quota_rejects");
+    throw Error("tenant '" + tenant + "' over " + (over_bytes ? "byte" : "plan") +
+                    " quota: " + std::to_string(u.bytes) + " B across " +
+                    std::to_string(u.plans) + " plans resident, " + std::to_string(bytes) +
+                    " B requested",
+                ErrorCode::kOverloaded);
+  }
+  u.bytes += bytes;
+  u.plans += 1;
+  e.charges.emplace(tenant, bytes);
+}
+
+void PlanRegistry::refund_entry_locked(Entry& e) {
+  for (const auto& [tenant, charged] : e.charges) {
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) continue;
+    it->second.bytes -= std::min(it->second.bytes, charged);
+    if (it->second.plans > 0) it->second.plans -= 1;
+    if (it->second.bytes == 0 && it->second.plans == 0) tenants_.erase(it);
+  }
+  e.charges.clear();
+}
+
+void PlanRegistry::true_up_entry_locked(Entry& e, std::size_t bytes) {
+  for (auto& [tenant, charged] : e.charges) {
+    TenantUsage& u = tenants_[tenant];
+    u.bytes -= std::min(u.bytes, charged);
+    u.bytes += bytes;
+    charged = bytes;
+  }
+}
+
+std::size_t PlanRegistry::tenant_bytes(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.bytes;
+}
+
+std::size_t PlanRegistry::tenant_plans(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.plans;
+}
+
+std::size_t PlanRegistry::estimate_plan_bytes(const GridDesc& g,
+                                              const datasets::SampleSet& samples) {
+  // Reordered coordinates (dim float arrays), per-sample LUT offsets and the
+  // reorder permutation, plus one grid-sized complex workspace. This bounds
+  // the dominant terms of plan_resident_bytes() + workspace_bytes() from
+  // above for every supported configuration.
+  const auto count = static_cast<std::size_t>(samples.count());
+  const std::size_t per_sample =
+      static_cast<std::size_t>(samples.dim + 1) * sizeof(float) + 2 * sizeof(index_t);
+  return count * per_sample + static_cast<std::size_t>(g.grid_elems()) * sizeof(cfloat);
 }
 
 RegistryStats PlanRegistry::stats() const {

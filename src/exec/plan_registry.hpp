@@ -53,6 +53,15 @@ namespace nufft::exec {
 struct RegistryConfig {
   std::size_t max_bytes = 256u << 20;  // resident-plan budget
   std::string spill_dir;               // empty: evicted plans are dropped
+  // Per-tenant quotas for multi-tenant acquires (serve::NufftServer). A
+  // tenant is charged for every resident entry it has acquired — while a
+  // build it joined is still pending, the charge is a conservative byte
+  // reservation (estimate_plan_bytes) that is trued up to the real footprint
+  // when the build completes, and released if the build fails or the entry
+  // is evicted. 0 = unlimited; acquires with an empty tenant are never
+  // charged (single-tenant callers keep the old behaviour).
+  std::size_t tenant_max_bytes = 0;
+  std::size_t tenant_max_plans = 0;
   // Quarantine policy for repeatedly failing keys: after `quarantine_threshold`
   // consecutive build failures, acquires of the key fail fast (with the last
   // stored error) for a backoff window that starts at `quarantine_base_backoff`
@@ -72,6 +81,7 @@ struct RegistryStats {
   std::uint64_t build_failures = 0;       // builds that threw (any key)
   std::uint64_t quarantine_rejects = 0;   // acquires failed fast by quarantine
   std::uint64_t corrupt_spills = 0;       // spill files rejected by validation
+  std::uint64_t quota_rejects = 0;        // acquires rejected by tenant quota
 };
 
 class PlanRegistry {
@@ -84,12 +94,31 @@ class PlanRegistry {
   /// The plan for (g, samples, cfg) — built, restored from spill, or shared
   /// with earlier acquirers. Blocks if another thread is mid-build on the
   /// same key. Thread-safe.
+  ///
+  /// A non-empty `tenant` charges the plan's resident footprint against that
+  /// tenant's quota (RegistryConfig::tenant_max_bytes / tenant_max_plans);
+  /// over-quota acquires throw nufft::Error with ErrorCode::kOverloaded
+  /// *before* any build starts. Plans stay content-keyed — tenants acquiring
+  /// the same key share one plan and are each charged for it.
   std::shared_ptr<const Nufft> acquire(const GridDesc& g, const datasets::SampleSet& samples,
-                                       const PlanConfig& cfg);
+                                       const PlanConfig& cfg,
+                                       const std::string& tenant = std::string());
 
   RegistryStats stats() const;
   std::size_t resident_bytes() const;
   std::size_t resident_count() const;
+
+  /// Bytes currently charged against a tenant (ready entries at their real
+  /// footprint, pending builds at their reservation). Unknown tenants are 0.
+  std::size_t tenant_bytes(const std::string& tenant) const;
+  /// Entries currently charged against a tenant.
+  std::size_t tenant_plans(const std::string& tenant) const;
+
+  /// Conservative reservation used to admit a build before its real footprint
+  /// is known: reordered coordinates + per-sample tables + one grid-sized
+  /// workspace. Intentionally on the high side — an admission check against
+  /// it can only over-refuse, never over-commit.
+  static std::size_t estimate_plan_bytes(const GridDesc& g, const datasets::SampleSet& samples);
 
   /// The registry key: packed bytes of the grid geometry, the trajectory
   /// content hash, and every PlanConfig field.
@@ -102,6 +131,16 @@ class PlanRegistry {
     std::uint64_t tick = 0;   // last-acquire stamp for LRU
     std::size_t bytes = 0;    // charged once ready
     bool ready = false;
+    // Per-tenant quota charges held by this entry (reservation while the
+    // build is pending, real bytes once ready). Every lifecycle exit —
+    // build failure (→ quarantine) and LRU eviction — must refund these;
+    // tests/test_exec.cpp cycles build-fail → quarantine → evict to pin it.
+    std::unordered_map<std::string, std::size_t> charges;
+  };
+
+  struct TenantUsage {
+    std::size_t bytes = 0;
+    std::size_t plans = 0;
   };
 
   // Per-key consecutive-failure record; erased on the first success.
@@ -116,11 +155,20 @@ class PlanRegistry {
   void record_build_failure_locked(const std::string& key, const std::string& msg,
                                    ErrorCode code);
   std::string spill_path(const std::string& key) const;
+  // Charge `bytes` for one entry against a tenant's quota, throwing
+  // kOverloaded (and recording quota_rejects) when it would exceed either
+  // budget. No-op for the empty tenant.
+  void charge_tenant_locked(Entry& e, const std::string& tenant, std::size_t bytes);
+  // Release every tenant charge an entry holds (eviction, failed build).
+  void refund_entry_locked(Entry& e);
+  // Replace every charge on a now-ready entry with the real footprint.
+  void true_up_entry_locked(Entry& e, std::size_t bytes);
 
   RegistryConfig cfg_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::unordered_map<std::string, Quarantine> quarantine_;
+  std::unordered_map<std::string, TenantUsage> tenants_;
   std::uint64_t tick_ = 0;
   std::size_t bytes_ = 0;
   RegistryStats stats_;

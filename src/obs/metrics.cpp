@@ -63,4 +63,22 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+std::uint64_t histogram_quantile_ns(const Histogram& h, double q) {
+  const std::uint64_t total = h.count();
+  if (total == 0 || q <= 0.0) return 0;
+  if (q > 1.0) q = 1.0;
+  // ceil(q * total) without floating-point edge surprises at q == 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total) || rank == 0) ++rank;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    cum += h.bucket(i);
+    if (cum >= rank) {
+      // Exclusive upper edge of bucket i = inclusive lower edge of i+1.
+      return Histogram::bucket_lo(i + 1);
+    }
+  }
+  return Histogram::bucket_lo(Histogram::kBuckets);  // unreachable if counts match
+}
+
 }  // namespace nufft::obs

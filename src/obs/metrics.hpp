@@ -153,6 +153,14 @@ class MetricsRegistry {
   InstrumentMap<Histogram> histograms_;
 };
 
+/// Upper-bound estimate of the q-quantile (q ∈ (0, 1]) of a pow2-bucket
+/// histogram: the exclusive upper edge of the first bucket whose cumulative
+/// count reaches ceil(q · count). Returns 0 for an empty histogram. Because
+/// buckets are powers of two the estimate is within 2× of the true quantile —
+/// plenty for admission-control decisions ("will this job's deadline survive
+/// the queue"), which need the order of magnitude, not the exact value.
+std::uint64_t histogram_quantile_ns(const Histogram& h, double q);
+
 // --- convenience recorders (no-ops when metrics are off) --------------------
 
 inline void count(std::string_view name, std::uint64_t d = 1) {

@@ -1,0 +1,183 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nufft::serve {
+
+NufftClient::~NufftClient() { close(); }
+
+NufftClient::NufftClient(NufftClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_(other.next_request_),
+      session_id_(other.session_id_),
+      last_plan_bytes_(other.last_plan_bytes_),
+      rbuf_(std::move(other.rbuf_)) {}
+
+NufftClient& NufftClient::operator=(NufftClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_ = other.next_request_;
+    session_id_ = other.session_id_;
+    last_plan_bytes_ = other.last_plan_bytes_;
+    rbuf_ = std::move(other.rbuf_);
+  }
+  return *this;
+}
+
+void NufftClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  session_id_ = 0;
+  rbuf_.clear();
+}
+
+void NufftClient::connect(const std::string& socket_path, const std::string& tenant) {
+  NUFFT_CHECK_CODE(!tenant.empty(), ErrorCode::kInvalidInput,
+                   "tenant name must be non-empty");
+  close();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  NUFFT_CHECK_CODE(socket_path.size() < sizeof(addr.sun_path), ErrorCode::kInvalidInput,
+                   "socket path too long for AF_UNIX: " << socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw Error("socket() failed", ErrorCode::kInternal);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw Error("cannot connect to " + socket_path + ": " + why, ErrorCode::kInternal);
+  }
+
+  HelloMsg hello;
+  hello.tenant = tenant;
+  const Frame ack = rpc(MsgType::kHello, encode(hello), MsgType::kHelloAck);
+  session_id_ = decode_hello_ack(ack.body).session_id;
+}
+
+std::uint64_t NufftClient::register_plan(const GridDesc& grid,
+                                         const datasets::SampleSet& samples,
+                                         const PlanConfig& cfg) {
+  RegisterPlanMsg m;
+  m.grid = grid;
+  m.config = cfg;
+  m.samples = samples;
+  const Frame ack = rpc(MsgType::kRegisterPlan, encode(m), MsgType::kRegisterAck);
+  const RegisterAckMsg r = decode_register_ack(ack.body);
+  last_plan_bytes_ = r.resident_bytes;
+  return r.plan_id;
+}
+
+RunResult NufftClient::forward(std::uint64_t plan_id,
+                                            const std::vector<cfloat>& input,
+                                            std::uint32_t batch, const RunOptions& opts) {
+  return run(WireOp::kForward, plan_id, input, batch, opts);
+}
+
+RunResult NufftClient::adjoint(std::uint64_t plan_id,
+                                            const std::vector<cfloat>& input,
+                                            std::uint32_t batch, const RunOptions& opts) {
+  return run(WireOp::kAdjoint, plan_id, input, batch, opts);
+}
+
+RunResult NufftClient::run(WireOp op, std::uint64_t plan_id,
+                                        const std::vector<cfloat>& input,
+                                        std::uint32_t batch, const RunOptions& opts) {
+  SubmitMsg m;
+  m.plan_id = plan_id;
+  m.op = op;
+  m.batch = batch;
+  m.deadline_ms = opts.deadline_ms;
+  m.flags = opts.best_effort ? kFlagBestEffort : 0;
+  m.input = input;
+  const Frame res = rpc(MsgType::kSubmit, encode(m), MsgType::kResult);
+  ResultMsg r = decode_result(res.body);
+  RunResult out;
+  out.output = std::move(r.output);
+  out.queue_wait_us = r.queue_wait_us;
+  out.exec_us = r.exec_us;
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> NufftClient::server_stats() {
+  const Frame ack = rpc(MsgType::kStats, Bytes{}, MsgType::kStatsAck);
+  return decode_stats_ack(ack.body).counters;
+}
+
+Frame NufftClient::rpc(MsgType type, const Bytes& body, MsgType expect) {
+  NUFFT_CHECK_CODE(fd_ >= 0, ErrorCode::kInvalidInput, "client is not connected");
+  const std::uint64_t request_id = next_request_++;
+  Bytes wire;
+  encode_frame(wire, type, request_id, body);
+  write_all(wire);
+
+  for (;;) {
+    Frame f = read_frame();
+    if (f.request_id != request_id) {
+      // Unsolicited or stale frame (e.g. the error a server sends just
+      // before closing a poisoned stream with request id 0). Surface errors,
+      // drop anything else.
+      if (f.type == MsgType::kError) {
+        const ErrorMsg e = decode_error(f.body);
+        throw Error(e.message, static_cast<ErrorCode>(e.code));
+      }
+      continue;
+    }
+    if (f.type == MsgType::kError) {
+      const ErrorMsg e = decode_error(f.body);
+      throw Error(e.message, static_cast<ErrorCode>(e.code));
+    }
+    if (f.type != expect) {
+      throw Error("unexpected response type for request", ErrorCode::kIoCorruption);
+    }
+    return f;
+  }
+}
+
+void NufftClient::write_all(const Bytes& buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const auto n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = std::strerror(errno);
+      close();
+      throw Error("connection write failed: " + why, ErrorCode::kIoCorruption);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Frame NufftClient::read_frame() {
+  Frame f;
+  for (;;) {
+    if (!rbuf_.empty()) {
+      const std::size_t consumed = try_decode_frame(rbuf_.data(), rbuf_.size(), f);
+      if (consumed > 0) {
+        rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+        return f;
+      }
+    }
+    std::uint8_t chunk[64 * 1024];
+    const auto n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();
+    throw Error("connection closed by server mid-response", ErrorCode::kIoCorruption);
+  }
+}
+
+}  // namespace nufft::serve

@@ -1,0 +1,89 @@
+// Blocking client for NUFFT-as-a-service (serve::NufftServer).
+//
+// One NufftClient owns one AF_UNIX connection and one tenant session. Calls
+// are synchronous RPCs: the request is framed and written, then the socket is
+// read until the response frame carrying the matching request id arrives.
+// A server-side ErrorMsg is rethrown locally as nufft::Error with the
+// original ErrorCode — remote failures are indistinguishable from in-process
+// ones (a shed request throws kOverloaded, an expired deadline kTimeout).
+//
+// The class is not thread-safe; use one client per thread, many clients per
+// server. That is the intended saturation-bench topology as well.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace nufft::serve {
+
+struct RunResult {
+  std::vector<cfloat> output;
+  std::uint64_t queue_wait_us = 0;  // server-side admission → dispatch
+  std::uint64_t exec_us = 0;        // operator wall time inside the engine
+};
+
+struct RunOptions {
+  std::int64_t deadline_ms = -1;  // wall budget from server receipt; -1 = none
+  bool best_effort = false;       // degrade instead of deadline-shed
+};
+
+class NufftClient {
+ public:
+  NufftClient() = default;
+  ~NufftClient();
+
+  NufftClient(const NufftClient&) = delete;
+  NufftClient& operator=(const NufftClient&) = delete;
+  NufftClient(NufftClient&& other) noexcept;
+  NufftClient& operator=(NufftClient&& other) noexcept;
+
+  /// Connect and open a tenant session (Hello/HelloAck handshake). Throws
+  /// Error(kInternal) if the socket cannot be reached, kInvalidInput for an
+  /// empty tenant name.
+  void connect(const std::string& socket_path, const std::string& tenant);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  std::uint64_t session_id() const { return session_id_; }
+
+  /// Ship a plan description to the server and block until the plan is built
+  /// (or served from the registry cache). Returns the plan handle for
+  /// forward()/adjoint(). Throws the server-side build error verbatim —
+  /// including kOverloaded when the tenant's registry quota is exhausted.
+  std::uint64_t register_plan(const GridDesc& grid, const datasets::SampleSet& samples,
+                              const PlanConfig& cfg);
+
+  /// Resident bytes reported by the most recent register_plan ack.
+  std::uint64_t last_plan_bytes() const { return last_plan_bytes_; }
+
+  /// Type-2 transform: uniform image(s) in, nonuniform samples out.
+  /// `input` must hold batch · image_elems values.
+  RunResult forward(std::uint64_t plan_id, const std::vector<cfloat>& input,
+                    std::uint32_t batch = 1, const RunOptions& opts = {});
+
+  /// Type-1 (gridding) transform: nonuniform samples in, uniform image(s)
+  /// out. `input` must hold batch · sample_count values.
+  RunResult adjoint(std::uint64_t plan_id, const std::vector<cfloat>& input,
+                    std::uint32_t batch = 1, const RunOptions& opts = {});
+
+  /// Counter snapshot from the server (ServerStats + per-tenant).
+  std::vector<std::pair<std::string, std::uint64_t>> server_stats();
+
+ private:
+  Frame rpc(MsgType type, const Bytes& body, MsgType expect);
+  RunResult run(WireOp op, std::uint64_t plan_id, const std::vector<cfloat>& input,
+                std::uint32_t batch, const RunOptions& opts);
+  void write_all(const Bytes& buf);
+  Frame read_frame();
+
+  int fd_ = -1;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t session_id_ = 0;
+  std::uint64_t last_plan_bytes_ = 0;
+  Bytes rbuf_;
+};
+
+}  // namespace nufft::serve

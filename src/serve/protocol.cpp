@@ -1,0 +1,310 @@
+#include "serve/protocol.hpp"
+
+#include <limits>
+
+namespace nufft::serve {
+
+namespace {
+
+bool known_type(std::uint16_t t) {
+  return t >= static_cast<std::uint16_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint16_t>(MsgType::kStatsAck);
+}
+
+void put_grid(Writer& w, const GridDesc& g) {
+  w.pod(static_cast<std::int32_t>(g.dim));
+  for (int d = 0; d < 3; ++d) w.pod(static_cast<std::int64_t>(g.n[static_cast<std::size_t>(d)]));
+  for (int d = 0; d < 3; ++d) w.pod(static_cast<std::int64_t>(g.m[static_cast<std::size_t>(d)]));
+  w.pod(g.alpha);
+}
+
+GridDesc get_grid(Reader& r) {
+  GridDesc g;
+  g.dim = static_cast<int>(r.pod<std::int32_t>());
+  NUFFT_CHECK_CODE(g.dim >= 1 && g.dim <= 3, ErrorCode::kInvalidInput,
+                   "grid dimension out of range: " << g.dim);
+  for (int d = 0; d < 3; ++d) g.n[static_cast<std::size_t>(d)] = r.pod<std::int64_t>();
+  for (int d = 0; d < 3; ++d) g.m[static_cast<std::size_t>(d)] = r.pod<std::int64_t>();
+  g.alpha = r.pod<double>();
+  return g;
+}
+
+// Every PlanConfig field crosses the wire explicitly, mirroring
+// PlanRegistry::make_key — two processes agreeing on this struct agree on
+// the plan's content key.
+void put_config(Writer& w, const PlanConfig& c) {
+  w.pod(c.kernel_radius);
+  w.pod(static_cast<std::int32_t>(c.kernel));
+  w.pod(static_cast<std::int32_t>(c.lut_samples_per_unit));
+  w.pod(static_cast<std::int32_t>(c.threads));
+  w.pod(static_cast<std::int32_t>(c.use_simd));
+  w.pod(static_cast<std::int32_t>(c.isa));
+  w.pod(static_cast<std::int32_t>(c.reorder));
+  w.pod(static_cast<std::int32_t>(c.color_barrier_schedule));
+  w.pod(static_cast<std::int32_t>(c.variable_partitions));
+  w.pod(static_cast<std::int32_t>(c.priority_queue));
+  w.pod(static_cast<std::int32_t>(c.selective_privatization));
+  w.pod(static_cast<std::int32_t>(c.partitions_per_dim));
+  w.pod(c.privatization_factor);
+  w.pod(static_cast<std::int64_t>(c.reorder_tile));
+  w.pod(static_cast<std::int32_t>(c.record_trace));
+}
+
+PlanConfig get_config(Reader& r) {
+  PlanConfig c;
+  c.kernel_radius = r.pod<double>();
+  c.kernel = static_cast<kernels::KernelType>(r.pod<std::int32_t>());
+  c.lut_samples_per_unit = static_cast<int>(r.pod<std::int32_t>());
+  c.threads = static_cast<int>(r.pod<std::int32_t>());
+  c.use_simd = r.pod<std::int32_t>() != 0;
+  c.isa = static_cast<SimdIsa>(r.pod<std::int32_t>());
+  c.reorder = r.pod<std::int32_t>() != 0;
+  c.color_barrier_schedule = r.pod<std::int32_t>() != 0;
+  c.variable_partitions = r.pod<std::int32_t>() != 0;
+  c.priority_queue = r.pod<std::int32_t>() != 0;
+  c.selective_privatization = r.pod<std::int32_t>() != 0;
+  c.partitions_per_dim = static_cast<int>(r.pod<std::int32_t>());
+  c.privatization_factor = r.pod<double>();
+  c.reorder_tile = r.pod<std::int64_t>();
+  c.record_trace = r.pod<std::int32_t>() != 0;
+  return c;
+}
+
+void put_samples(Writer& w, const datasets::SampleSet& s) {
+  w.pod(static_cast<std::int32_t>(s.dim));
+  w.pod(static_cast<std::int64_t>(s.m));
+  w.pod(static_cast<std::int64_t>(s.k));
+  w.pod(static_cast<std::int64_t>(s.s));
+  w.pod(static_cast<std::int32_t>(s.type));
+  for (int d = 0; d < s.dim; ++d) {
+    const auto& c = s.coords[static_cast<std::size_t>(d)];
+    w.array(c.data(), c.size());
+  }
+}
+
+datasets::SampleSet get_samples(Reader& r) {
+  datasets::SampleSet s;
+  s.dim = static_cast<int>(r.pod<std::int32_t>());
+  NUFFT_CHECK_CODE(s.dim >= 1 && s.dim <= 3, ErrorCode::kInvalidInput,
+                   "sample-set dimension out of range: " << s.dim);
+  s.m = r.pod<std::int64_t>();
+  s.k = r.pod<std::int64_t>();
+  s.s = r.pod<std::int64_t>();
+  s.type = static_cast<datasets::TrajectoryType>(r.pod<std::int32_t>());
+  NUFFT_CHECK_CODE(s.k >= 0 && s.s >= 0, ErrorCode::kInvalidInput,
+                   "negative sample-set geometry");
+  // Guard k*s against signed overflow before count() is ever evaluated.
+  NUFFT_CHECK_CODE(s.k == 0 || s.s <= std::numeric_limits<index_t>::max() / s.k,
+                   ErrorCode::kInvalidInput, "sample-set geometry overflows");
+  for (int d = 0; d < s.dim; ++d) {
+    s.coords[static_cast<std::size_t>(d)] = r.array<fvec>();
+    if (static_cast<index_t>(s.coords[static_cast<std::size_t>(d)].size()) != s.count()) {
+      throw Error("coordinate array length does not match k*s", ErrorCode::kIoCorruption);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t checksum(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint32_t h = 0x811c9dc5u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+void encode_frame(Bytes& out, MsgType type, std::uint64_t request_id, const Bytes& body) {
+  NUFFT_CHECK_CODE(body.size() <= kMaxBody, ErrorCode::kInvalidInput,
+                   "frame body exceeds kMaxBody");
+  FrameHeader h;
+  h.type = static_cast<std::uint16_t>(type);
+  h.request_id = request_id;
+  h.body_len = static_cast<std::uint32_t>(body.size());
+  h.body_check = checksum(body.data(), body.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&h);
+  out.insert(out.end(), p, p + sizeof(h));
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+std::size_t try_decode_frame(const std::uint8_t* data, std::size_t n, Frame& frame) {
+  if (n < sizeof(FrameHeader)) return 0;
+  FrameHeader h;
+  std::memcpy(&h, data, sizeof(h));
+  if (h.magic != kMagic) {
+    throw Error("bad frame magic", ErrorCode::kIoCorruption);
+  }
+  if (h.version != kProtocolVersion) {
+    throw Error("unsupported protocol version " + std::to_string(h.version),
+                ErrorCode::kIoCorruption);
+  }
+  if (h.body_len > kMaxBody) {
+    throw Error("frame body length " + std::to_string(h.body_len) + " exceeds limit",
+                ErrorCode::kIoCorruption);
+  }
+  if (!known_type(h.type)) {
+    throw Error("unknown message type " + std::to_string(h.type), ErrorCode::kIoCorruption);
+  }
+  const std::size_t total = sizeof(FrameHeader) + h.body_len;
+  if (n < total) return 0;  // truncated so far — not an error, read more
+  const std::uint8_t* body = data + sizeof(FrameHeader);
+  if (checksum(body, h.body_len) != h.body_check) {
+    throw Error("frame checksum mismatch", ErrorCode::kIoCorruption);
+  }
+  frame.type = static_cast<MsgType>(h.type);
+  frame.request_id = h.request_id;
+  frame.body.assign(body, body + h.body_len);
+  return total;
+}
+
+Bytes encode(const HelloMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.str(m.tenant);
+  return b;
+}
+
+HelloMsg decode_hello(const Bytes& b) {
+  Reader r(b);
+  HelloMsg m;
+  m.tenant = r.str();
+  return m;
+}
+
+Bytes encode(const HelloAckMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.session_id);
+  w.pod(m.server_version);
+  return b;
+}
+
+HelloAckMsg decode_hello_ack(const Bytes& b) {
+  Reader r(b);
+  HelloAckMsg m;
+  m.session_id = r.pod<std::uint64_t>();
+  m.server_version = r.pod<std::uint16_t>();
+  return m;
+}
+
+Bytes encode(const RegisterPlanMsg& m) {
+  Bytes b;
+  Writer w(b);
+  put_grid(w, m.grid);
+  put_config(w, m.config);
+  put_samples(w, m.samples);
+  return b;
+}
+
+RegisterPlanMsg decode_register_plan(const Bytes& b) {
+  Reader r(b);
+  RegisterPlanMsg m;
+  m.grid = get_grid(r);
+  m.config = get_config(r);
+  m.samples = get_samples(r);
+  return m;
+}
+
+Bytes encode(const RegisterAckMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.plan_id);
+  w.pod(m.resident_bytes);
+  return b;
+}
+
+RegisterAckMsg decode_register_ack(const Bytes& b) {
+  Reader r(b);
+  RegisterAckMsg m;
+  m.plan_id = r.pod<std::uint64_t>();
+  m.resident_bytes = r.pod<std::uint64_t>();
+  return m;
+}
+
+Bytes encode(const SubmitMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.plan_id);
+  w.pod(static_cast<std::uint8_t>(m.op));
+  w.pod(m.batch);
+  w.pod(m.deadline_ms);
+  w.pod(m.flags);
+  w.array(m.input.data(), m.input.size());
+  return b;
+}
+
+SubmitMsg decode_submit(const Bytes& b) {
+  Reader r(b);
+  SubmitMsg m;
+  m.plan_id = r.pod<std::uint64_t>();
+  const auto op = r.pod<std::uint8_t>();
+  NUFFT_CHECK_CODE(op <= 1, ErrorCode::kInvalidInput, "transform op out of range: " << int{op});
+  m.op = static_cast<WireOp>(op);
+  m.batch = r.pod<std::uint32_t>();
+  NUFFT_CHECK_CODE(m.batch >= 1, ErrorCode::kInvalidInput, "batch must be >= 1");
+  m.deadline_ms = r.pod<std::int64_t>();
+  m.flags = r.pod<std::uint32_t>();
+  m.input = r.array<std::vector<cfloat>>();
+  return m;
+}
+
+Bytes encode(const ResultMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.queue_wait_us);
+  w.pod(m.exec_us);
+  w.array(m.output.data(), m.output.size());
+  return b;
+}
+
+ResultMsg decode_result(const Bytes& b) {
+  Reader r(b);
+  ResultMsg m;
+  m.queue_wait_us = r.pod<std::uint64_t>();
+  m.exec_us = r.pod<std::uint64_t>();
+  m.output = r.array<std::vector<cfloat>>();
+  return m;
+}
+
+Bytes encode(const ErrorMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.code);
+  w.str(m.message);
+  return b;
+}
+
+ErrorMsg decode_error(const Bytes& b) {
+  Reader r(b);
+  ErrorMsg m;
+  m.code = r.pod<std::int32_t>();
+  m.message = r.str();
+  return m;
+}
+
+Bytes encode(const StatsAckMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(static_cast<std::uint64_t>(m.counters.size()));
+  for (const auto& [name, value] : m.counters) {
+    w.str(name);
+    w.pod(value);
+  }
+  return b;
+}
+
+StatsAckMsg decode_stats_ack(const Bytes& b) {
+  Reader r(b);
+  StatsAckMsg m;
+  const auto count = r.pod<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = r.str();
+    const auto value = r.pod<std::uint64_t>();
+    m.counters.emplace_back(std::move(name), value);
+  }
+  return m;
+}
+
+}  // namespace nufft::serve

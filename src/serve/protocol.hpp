@@ -1,0 +1,250 @@
+// Wire protocol for NUFFT-as-a-service (serve::NufftServer / NufftClient).
+//
+// Framing: every message travels as a fixed 24-byte little-endian header
+// followed by `body_len` payload bytes. The header carries a magic, the
+// protocol version, the message type, a caller-chosen request id (echoed on
+// the response so one connection can pipeline requests), and an FNV-1a
+// checksum of the body. The decoder is incremental — feed it a byte stream
+// and it either yields a complete frame, asks for more bytes, or throws
+// nufft::Error(kIoCorruption) on a frame that can never become valid (bad
+// magic/version, oversized body, checksum mismatch). Truncation mid-frame is
+// not an error until the peer closes; corruption always is.
+//
+// Message bodies are packed little-endian PODs plus length-framed arrays
+// (u64 element count, then raw elements), written and read by the
+// bounds-checked Writer/Reader below. A read past the end of a body throws
+// kIoCorruption, so a truncated or hostile body can never over-read. Error
+// responses carry the library's ErrorCode taxonomy (common/error.hpp)
+// verbatim — a shed job arrives at the client as the same
+// ErrorCode::kOverloaded it would have carried in-process.
+//
+// The protocol is host-endian and intended for local (AF_UNIX) transport
+// between processes on one machine, matching the paper's single-node scope;
+// both ends of a connection share one ABI for float/complex layout.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "core/grid.hpp"
+#include "core/preprocess.hpp"
+#include "datasets/trajectory.hpp"
+
+namespace nufft::serve {
+
+inline constexpr std::uint32_t kMagic = 0x5346554Eu;  // "NUFS" on the wire
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Body cap: a frame claiming more than this is corrupt (or hostile), not
+/// merely large — reject before allocating.
+inline constexpr std::uint32_t kMaxBody = 256u << 20;
+
+enum class MsgType : std::uint16_t {
+  kHello = 1,        // client → server: open a tenant session
+  kHelloAck,         // server → client
+  kRegisterPlan,     // client → server: build/acquire a plan, get a handle
+  kRegisterAck,      // server → client
+  kSubmit,           // client → server: run a transform against a handle
+  kResult,           // server → client: output payload + timings
+  kError,            // server → client: ErrorCode + message
+  kStats,            // client → server: counters snapshot request
+  kStatsAck,         // server → client
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kProtocolVersion;
+  std::uint16_t type = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t body_len = 0;
+  std::uint32_t body_check = 0;
+};
+static_assert(sizeof(FrameHeader) == 24, "header must be padding-free");
+static_assert(alignof(FrameHeader) <= 8);
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// FNV-1a 32-bit over a byte range — the frame body checksum.
+std::uint32_t checksum(const std::uint8_t* data, std::size_t n) noexcept;
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;
+  Bytes body;
+};
+
+/// Append one complete frame (header + body) to `out`.
+void encode_frame(Bytes& out, MsgType type, std::uint64_t request_id, const Bytes& body);
+
+/// Incremental decode: returns 0 when `data` does not yet hold a complete
+/// frame (read more), else the number of bytes consumed with `frame` filled.
+/// Throws Error(kIoCorruption) for bad magic/version, an oversized body
+/// declaration, an unknown message type, or a checksum mismatch.
+std::size_t try_decode_frame(const std::uint8_t* data, std::size_t n, Frame& frame);
+
+// --- bounds-checked body serialization --------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(Bytes& out) : out_(out) {}
+
+  template <class T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+  void str(const std::string& s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  template <class T>
+  void array(const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    pod(static_cast<std::uint64_t>(count));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), p, p + count * sizeof(T));
+  }
+
+ private:
+  Bytes& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : p_(data), n_(n) {}
+  explicit Reader(const Bytes& b) : Reader(b.data(), b.size()) {}
+
+  template <class T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p_ + off_, sizeof(T));
+    off_ += sizeof(T);
+    return v;
+  }
+  std::string str() {
+    const auto len = length(sizeof(char));
+    std::string s(reinterpret_cast<const char*>(p_ + off_), len);
+    off_ += len;
+    return s;
+  }
+  template <class Vec>
+  Vec array() {
+    using T = typename Vec::value_type;
+    const auto count = length(sizeof(T));
+    Vec v(count);
+    std::memcpy(v.data(), p_ + off_, count * sizeof(T));
+    off_ += count * sizeof(T);
+    return v;
+  }
+  bool done() const { return off_ == n_; }
+  std::size_t remaining() const { return n_ - off_; }
+
+ private:
+  // Validate a length prefix against the bytes actually present: a hostile
+  // count cannot trigger a huge allocation or an over-read.
+  std::size_t length(std::size_t elem_size) {
+    const auto count = static_cast<std::size_t>(pod<std::uint64_t>());
+    if (elem_size != 0 && count > remaining() / elem_size) {
+      throw Error("message body truncated: array of " + std::to_string(count) +
+                      " elements exceeds remaining " + std::to_string(remaining()) + " bytes",
+                  ErrorCode::kIoCorruption);
+    }
+    return count;
+  }
+  void need(std::size_t k) const {
+    if (n_ - off_ < k) {
+      throw Error("message body truncated: need " + std::to_string(k) + " bytes, have " +
+                      std::to_string(n_ - off_),
+                  ErrorCode::kIoCorruption);
+    }
+  }
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+};
+
+// --- message structs --------------------------------------------------------
+
+struct HelloMsg {
+  std::string tenant;
+};
+
+struct HelloAckMsg {
+  std::uint64_t session_id = 0;
+  std::uint16_t server_version = kProtocolVersion;
+};
+
+struct RegisterPlanMsg {
+  GridDesc grid;
+  PlanConfig config;
+  datasets::SampleSet samples;
+};
+
+struct RegisterAckMsg {
+  std::uint64_t plan_id = 0;
+  std::uint64_t resident_bytes = 0;
+};
+
+/// Transform direction on the wire. kAdjoint is the type-1 (nonuniform →
+/// uniform, gridding) direction, kForward the type-2 (uniform → nonuniform).
+enum class WireOp : std::uint8_t { kForward = 0, kAdjoint = 1 };
+
+/// Submit flags. kBestEffort is the admission controller's degrade path: the
+/// request is exempt from deadline-based shedding (it may complete late)
+/// while overload shedding still applies.
+inline constexpr std::uint32_t kFlagBestEffort = 1u << 0;
+
+struct SubmitMsg {
+  std::uint64_t plan_id = 0;
+  WireOp op = WireOp::kForward;
+  std::uint32_t batch = 1;
+  std::int64_t deadline_ms = -1;  // wall budget from server receipt; -1 = none
+  std::uint32_t flags = 0;
+  std::vector<cfloat> input;
+};
+
+struct ResultMsg {
+  std::uint64_t queue_wait_us = 0;  // admission → dispatch, server-side
+  std::uint64_t exec_us = 0;        // operator wall time inside the engine
+  std::vector<cfloat> output;
+};
+
+struct ErrorMsg {
+  std::int32_t code = 0;  // nufft::ErrorCode
+  std::string message;
+};
+
+struct StatsAckMsg {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+// --- body encode/decode -----------------------------------------------------
+// decode_* throws Error(kIoCorruption) on truncation and kInvalidInput on
+// semantically impossible values (dimension out of range, op out of range).
+
+Bytes encode(const HelloMsg& m);
+Bytes encode(const HelloAckMsg& m);
+Bytes encode(const RegisterPlanMsg& m);
+Bytes encode(const RegisterAckMsg& m);
+Bytes encode(const SubmitMsg& m);
+Bytes encode(const ResultMsg& m);
+Bytes encode(const ErrorMsg& m);
+Bytes encode(const StatsAckMsg& m);
+
+HelloMsg decode_hello(const Bytes& b);
+HelloAckMsg decode_hello_ack(const Bytes& b);
+RegisterPlanMsg decode_register_plan(const Bytes& b);
+RegisterAckMsg decode_register_ack(const Bytes& b);
+SubmitMsg decode_submit(const Bytes& b);
+ResultMsg decode_result(const Bytes& b);
+ErrorMsg decode_error(const Bytes& b);
+StatsAckMsg decode_stats_ack(const Bytes& b);
+
+}  // namespace nufft::serve

@@ -1,0 +1,810 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/plan_cache.hpp"
+#include "obs/obs.hpp"
+
+namespace nufft::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+// --- internal state structs -------------------------------------------------
+
+struct NufftServer::Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::string tenant;  // empty until Hello
+  Bytes rbuf;
+  std::deque<Bytes> wbuf;
+  std::size_t woff = 0;  // bytes of wbuf.front() already written
+  bool close_after_flush = false;
+};
+
+struct NufftServer::Tenant {
+  std::string name;
+  TenantPolicy policy;
+  std::map<std::uint64_t, std::shared_ptr<const Nufft>> plans;
+  std::deque<std::uint64_t> queue;  // admitted pending ids, FIFO per tenant
+  int inflight = 0;
+  std::uint32_t deficit = 0;  // deficit-round-robin credit
+};
+
+struct NufftServer::Pending {
+  std::uint64_t id = 0;
+  std::uint64_t conn_id = 0;
+  std::uint64_t request_id = 0;
+  std::string tenant;
+  std::shared_ptr<const Nufft> plan;
+  exec::Op op = exec::Op::kForward;
+  index_t batch = 1;
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  Clock::time_point arrival{};
+  Clock::time_point dispatched{};
+  bool inflight = false;
+  // Owned I/O buffers: the engine reads input and writes output in place, so
+  // the Pending must stay at a stable address until its future resolves —
+  // std::map node stability provides exactly that.
+  std::vector<cfloat> input;
+  std::vector<cfloat> output;
+  std::future<exec::JobResult> future;
+};
+
+// --- lifecycle --------------------------------------------------------------
+
+NufftServer::NufftServer(ServeConfig cfg)
+    : cfg_(std::move(cfg)), registry_(cfg_.registry), engine_(cfg_.engine) {
+  NUFFT_CHECK_MSG(!cfg_.socket_path.empty(), "ServeConfig::socket_path is required");
+  max_inflight_ = cfg_.max_inflight > 0 ? cfg_.max_inflight : engine_.workers();
+}
+
+NufftServer::~NufftServer() { stop(); }
+
+void NufftServer::start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (running_) return;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  NUFFT_CHECK_CODE(cfg_.socket_path.size() < sizeof(addr.sun_path), ErrorCode::kInvalidInput,
+                   "socket path too long for AF_UNIX: " << cfg_.socket_path);
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(), cfg_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw Error("socket() failed", ErrorCode::kInternal);
+  ::unlink(cfg_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, cfg_.backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("cannot bind/listen on " + cfg_.socket_path + ": " + why,
+                ErrorCode::kInternal);
+  }
+  set_nonblocking(listen_fd_);
+
+  int pipefd[2];
+  if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("pipe2() failed", ErrorCode::kInternal);
+  }
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+
+  stop_flag_.store(false);
+  build_stop_ = false;
+  poll_thread_ = std::thread([this] { poll_loop(); });
+  build_thread_ = std::thread([this] { builder_loop(); });
+  running_ = true;
+}
+
+void NufftServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  stop_flag_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    build_stop_ = true;
+  }
+  build_cv_.notify_all();
+  wake();
+  if (build_thread_.joinable()) build_thread_.join();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  // Drain the engine while every Pending (whose buffers in-flight jobs
+  // read/write) is still alive; only then tear the maps down.
+  engine_.shutdown();
+  for (auto& [id, c] : conns_) {
+    if (c.fd >= 0) ::close(c.fd);
+  }
+  conns_.clear();
+  pendings_.clear();
+  tenants_.clear();
+  rotation_.clear();
+  queued_total_ = 0;
+  inflight_total_ = 0;
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  listen_fd_ = wake_r_ = wake_w_ = -1;
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+bool NufftServer::running() const {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  return running_;
+}
+
+void NufftServer::wake() {
+  if (wake_w_ < 0) return;
+  const char b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success here.
+  [[maybe_unused]] const auto n = ::write(wake_w_, &b, 1);
+}
+
+void NufftServer::builder_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(build_mu_);
+      build_cv_.wait(lock, [this] { return build_stop_ || !build_q_.empty(); });
+      if (build_q_.empty()) return;  // stop requested and queue drained
+      task = std::move(build_q_.front());
+      build_q_.pop_front();
+    }
+    task();
+  }
+}
+
+// --- poll loop --------------------------------------------------------------
+
+void NufftServer::poll_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;
+  while (!stop_flag_.load(std::memory_order_relaxed)) {
+    finalize_completions();
+    pump_dispatch();
+
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fds.push_back(pollfd{wake_r_, POLLIN, 0});
+    fd_conn.push_back(0);
+    fd_conn.push_back(0);
+    for (const auto& [id, c] : conns_) {
+      short events = POLLIN;
+      if (!c.wbuf.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{c.fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/100) < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure: shut the loop down
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) accept_ready();
+
+    std::vector<std::uint64_t> to_close;
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      auto it = conns_.find(fd_conn[i]);
+      if (it == conns_.end()) continue;
+      Conn& c = it->second;
+      bool alive = true;
+      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (fds[i].revents & POLLIN) == 0) {
+        alive = false;
+      }
+      if (alive && (fds[i].revents & POLLIN) != 0) {
+        read_ready(c);
+        alive = c.fd >= 0;
+      }
+      if (alive && !c.wbuf.empty()) alive = flush_writes(c);
+      if (alive && c.wbuf.empty() && c.close_after_flush) alive = false;
+      if (!alive) to_close.push_back(it->first);
+    }
+    for (const auto id : to_close) close_conn(id);
+  }
+}
+
+void NufftServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient failure — poll again
+    if (conns_.size() >= cfg_.max_connections) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_connections;
+      obs::count("serve.rejected_connections");
+      continue;
+    }
+    set_nonblocking(fd);
+    Conn c;
+    c.fd = fd;
+    c.id = next_conn_++;
+    conns_.emplace(c.id, std::move(c));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    obs::count("serve.connections");
+  }
+}
+
+void NufftServer::read_ready(Conn& c) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const auto n = ::read(c.fd, buf, sizeof(buf));
+    if (n > 0) {
+      c.rbuf.insert(c.rbuf.end(), buf, buf + n);
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      ::close(c.fd);
+      c.fd = -1;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ::close(c.fd);
+    c.fd = -1;
+    return;
+  }
+
+  std::size_t off = 0;
+  while (off < c.rbuf.size()) {
+    Frame f;
+    std::size_t consumed = 0;
+    try {
+      consumed = try_decode_frame(c.rbuf.data() + off, c.rbuf.size() - off, f);
+    } catch (const Error& e) {
+      // A corrupt frame poisons the whole stream — there is no way to find
+      // the next frame boundary. Report and close.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      obs::count("serve.protocol_errors");
+      send_error(c, 0, e.code(), e.what());
+      c.close_after_flush = true;
+      c.rbuf.clear();
+      return;
+    }
+    if (consumed == 0) break;  // incomplete frame — keep the tail buffered
+    off += consumed;
+    handle_frame(c, std::move(f));
+    if (c.fd < 0 || c.close_after_flush) break;
+  }
+  c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + static_cast<std::ptrdiff_t>(off));
+}
+
+bool NufftServer::flush_writes(Conn& c) {
+  while (!c.wbuf.empty()) {
+    const Bytes& front = c.wbuf.front();
+    const auto n = ::write(c.fd, front.data() + c.woff, front.size() - c.woff);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // POLLOUT will retry
+      if (errno == EINTR) continue;
+      return false;
+    }
+    c.woff += static_cast<std::size_t>(n);
+    if (c.woff == front.size()) {
+      c.wbuf.pop_front();
+      c.woff = 0;
+    }
+  }
+  return true;
+}
+
+void NufftServer::send_frame(Conn& c, MsgType type, std::uint64_t request_id,
+                             const Bytes& body) {
+  if (c.fd < 0) return;
+  Bytes out;
+  encode_frame(out, type, request_id, body);
+  c.wbuf.push_back(std::move(out));
+  flush_writes(c);  // opportunistic immediate write
+}
+
+void NufftServer::send_error(Conn& c, std::uint64_t request_id, ErrorCode code,
+                             const std::string& msg) {
+  ErrorMsg e;
+  e.code = static_cast<std::int32_t>(code);
+  e.message = msg;
+  send_frame(c, MsgType::kError, request_id, encode(e));
+}
+
+void NufftServer::close_conn(std::uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  // Cancel this connection's admitted-but-undispatched requests: they have
+  // not touched the engine, so dropping them costs nothing and frees backlog
+  // for live connections. In-flight jobs finish and are counted orphaned.
+  std::vector<std::uint64_t> drop;
+  for (const auto& [pid, p] : pendings_) {
+    if (p.conn_id == conn_id && !p.inflight) drop.push_back(pid);
+  }
+  for (const auto pid : drop) {
+    Pending& p = pendings_.at(pid);
+    auto tit = tenants_.find(p.tenant);
+    if (tit != tenants_.end()) {
+      auto& q = tit->second.queue;
+      q.erase(std::remove(q.begin(), q.end(), pid), q.end());
+      update_tenant_gauges(tit->second);
+    }
+    --queued_total_;
+    pendings_.erase(pid);
+  }
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+// --- request handling -------------------------------------------------------
+
+void NufftServer::handle_frame(Conn& c, Frame&& f) {
+  try {
+    switch (f.type) {
+      case MsgType::kHello:
+        handle_hello(c, f);
+        return;
+      case MsgType::kRegisterPlan:
+        handle_register(c, std::move(f));
+        return;
+      case MsgType::kSubmit:
+        handle_submit(c, std::move(f));
+        return;
+      case MsgType::kStats:
+        handle_stats(c, f);
+        return;
+      default:
+        throw Error("unexpected server-bound message type", ErrorCode::kIoCorruption);
+    }
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kIoCorruption) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.protocol_errors;
+    }
+    send_error(c, f.request_id, e.code(), e.what());
+    if (e.code() == ErrorCode::kIoCorruption) c.close_after_flush = true;
+  } catch (const std::exception& e) {
+    send_error(c, f.request_id, ErrorCode::kInternal, e.what());
+  }
+}
+
+void NufftServer::handle_hello(Conn& c, const Frame& f) {
+  const HelloMsg m = decode_hello(f.body);
+  NUFFT_CHECK_CODE(!m.tenant.empty(), ErrorCode::kInvalidInput, "tenant name must be non-empty");
+  c.tenant = m.tenant;
+  tenant_for(m.tenant);
+  HelloAckMsg ack;
+  ack.session_id = c.id;
+  send_frame(c, MsgType::kHelloAck, f.request_id, encode(ack));
+}
+
+NufftServer::Tenant& NufftServer::tenant_for(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second;
+  Tenant t;
+  t.name = name;
+  auto pit = cfg_.tenants.find(name);
+  t.policy = pit != cfg_.tenants.end() ? pit->second : cfg_.default_tenant;
+  rotation_.push_back(name);
+  return tenants_.emplace(name, std::move(t)).first->second;
+}
+
+void NufftServer::handle_register(Conn& c, Frame&& f) {
+  NUFFT_CHECK_CODE(!c.tenant.empty(), ErrorCode::kInvalidInput,
+                   "session has no tenant: send Hello first");
+  // Decode on the poll thread (cheap, and corruption is detected while the
+  // connection context is at hand); build on the builder thread.
+  auto msg = std::make_shared<RegisterPlanMsg>(decode_register_plan(f.body));
+  const auto conn_id = c.id;
+  const auto request_id = f.request_id;
+  const auto tenant = c.tenant;
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    build_q_.push_back([this, conn_id, request_id, tenant, msg] {
+      Registration reg;
+      reg.conn_id = conn_id;
+      reg.request_id = request_id;
+      reg.tenant = tenant;
+      try {
+        reg.plan = registry_.acquire(msg->grid, msg->samples, msg->config, tenant);
+      } catch (const Error& e) {
+        reg.code = e.code();
+        reg.error = e.what();
+      } catch (const std::exception& e) {
+        reg.code = ErrorCode::kBuildFailure;
+        reg.error = e.what();
+      }
+      {
+        std::lock_guard<std::mutex> out_lock(out_mu_);
+        registrations_.push_back(std::move(reg));
+      }
+      wake();
+    });
+  }
+  build_cv_.notify_one();
+}
+
+void NufftServer::handle_submit(Conn& c, Frame&& f) {
+  NUFFT_CHECK_CODE(!c.tenant.empty(), ErrorCode::kInvalidInput,
+                   "session has no tenant: send Hello first");
+  SubmitMsg m = decode_submit(f.body);
+  Tenant& t = tenant_for(c.tenant);
+
+  auto pit = t.plans.find(m.plan_id);
+  if (pit == t.plans.end()) {
+    throw Error("unknown plan handle " + std::to_string(m.plan_id) + " for tenant '" +
+                    c.tenant + "'",
+                ErrorCode::kInvalidInput);
+  }
+  const auto& plan = pit->second;
+  const auto batch = static_cast<index_t>(m.batch);
+  const index_t in_elems =
+      m.op == WireOp::kForward ? plan->image_elems() : plan->sample_count();
+  const index_t out_elems =
+      m.op == WireOp::kForward ? plan->sample_count() : plan->image_elems();
+  NUFFT_CHECK_CODE(static_cast<index_t>(m.input.size()) == batch * in_elems,
+                   ErrorCode::kInvalidInput,
+                   "input payload holds " << m.input.size() << " values, plan expects "
+                                          << batch * in_elems);
+
+  ErrorCode shed_code = ErrorCode::kOverloaded;
+  std::string why;
+  if (!admit(t, m, shed_code, why)) {
+    send_error(c, f.request_id, shed_code, why);
+    return;
+  }
+
+  Pending p;
+  p.id = next_pending_++;
+  p.conn_id = c.id;
+  p.request_id = f.request_id;
+  p.tenant = c.tenant;
+  p.plan = plan;
+  p.op = m.op == WireOp::kForward ? exec::Op::kForward : exec::Op::kAdjoint;
+  p.batch = batch;
+  p.arrival = Clock::now();
+  const bool best_effort = (m.flags & kFlagBestEffort) != 0;
+  if (m.deadline_ms >= 0 && !best_effort) {
+    p.has_deadline = true;
+    p.deadline = p.arrival + std::chrono::milliseconds(m.deadline_ms);
+  }
+  p.input = std::move(m.input);
+  p.output.resize(static_cast<std::size_t>(batch * out_elems));
+
+  t.queue.push_back(p.id);
+  ++queued_total_;
+  pendings_.emplace(p.id, std::move(p));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+    ++tenant_stats_[c.tenant].accepted;
+  }
+  obs::count("serve.accepted");
+  update_tenant_gauges(t);
+  pump_dispatch();
+}
+
+bool NufftServer::admit(Tenant& t, const SubmitMsg& m, ErrorCode& code, std::string& why) {
+  if (t.queue.size() >= t.policy.max_queued) {
+    code = ErrorCode::kOverloaded;
+    why = "tenant '" + t.name + "' backlog full (" + std::to_string(t.queue.size()) +
+          " queued)";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_overload;
+    ++tenant_stats_[t.name].shed_overload;
+    obs::count("serve.shed_overload");
+    return false;
+  }
+  if (queued_total_ >= cfg_.max_queued_total) {
+    code = ErrorCode::kOverloaded;
+    why = "server backlog full (" + std::to_string(queued_total_) + " queued)";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_overload;
+    ++tenant_stats_[t.name].shed_overload;
+    obs::count("serve.shed_overload");
+    return false;
+  }
+  // Deadline-aware shedding: once the queue-wait histogram is warm, a
+  // request whose whole budget would be eaten by the p99 queue wait is
+  // refused now instead of timing out later — unless the client opted into
+  // best-effort degradation, in which case it runs without a deadline.
+  if (m.deadline_ms >= 0 && wait_hist_.count() >= cfg_.min_wait_samples) {
+    const std::uint64_t p99_ns = obs::histogram_quantile_ns(wait_hist_, 0.99);
+    const std::uint64_t budget_ns = static_cast<std::uint64_t>(m.deadline_ms) * 1000000ull;
+    if (p99_ns > budget_ns) {
+      if ((m.flags & kFlagBestEffort) != 0) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.degraded;
+        ++tenant_stats_[t.name].degraded;
+        obs::count("serve.degraded");
+        return true;
+      }
+      code = ErrorCode::kOverloaded;
+      why = "deadline " + std::to_string(m.deadline_ms) + " ms below p99 queue wait " +
+            std::to_string(p99_ns / 1000000) + " ms — shed";
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.shed_deadline;
+      ++tenant_stats_[t.name].shed_deadline;
+      obs::count("serve.shed_deadline");
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- dispatch and completion ------------------------------------------------
+
+void NufftServer::pump_dispatch() {
+  if (rotation_.empty() || queued_total_ == 0) return;
+  bool progress = true;
+  while (progress && inflight_total_ < max_inflight_ && queued_total_ > 0) {
+    progress = false;
+    for (std::size_t visit = 0;
+         visit < rotation_.size() && inflight_total_ < max_inflight_; ++visit) {
+      Tenant& t = tenants_.at(rotation_[rotation_cursor_]);
+      rotation_cursor_ = (rotation_cursor_ + 1) % rotation_.size();
+      if (t.queue.empty()) {
+        t.deficit = 0;  // classic DRR: no banking credit while idle
+        continue;
+      }
+      if (t.inflight >= t.policy.max_inflight) continue;
+      // Cap banked credit so a long-blocked tenant cannot burst far past its
+      // share once its in-flight cap frees up.
+      t.deficit = std::min(t.deficit + t.policy.weight, 2 * t.policy.weight);
+      while (t.deficit >= 1 && !t.queue.empty() && t.inflight < t.policy.max_inflight &&
+             inflight_total_ < max_inflight_) {
+        const auto id = t.queue.front();
+        t.queue.pop_front();
+        --queued_total_;
+        t.deficit -= 1;
+        dispatch_one(id);
+        progress = true;
+      }
+      update_tenant_gauges(t);
+    }
+  }
+}
+
+void NufftServer::dispatch_one(std::uint64_t pending_id) {
+  Pending& p = pendings_.at(pending_id);
+  Tenant& t = tenants_.at(p.tenant);
+  const auto now = Clock::now();
+
+  if (p.has_deadline && now >= p.deadline) {
+    // Expired while queued: fail without spending an engine slot.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.deadline_missed;
+      ++stats_.failed;
+      ++tenant_stats_[p.tenant].deadline_missed;
+      ++tenant_stats_[p.tenant].failed;
+    }
+    obs::count("serve.deadline_missed");
+    auto cit = conns_.find(p.conn_id);
+    if (cit != conns_.end()) {
+      send_error(cit->second, p.request_id, ErrorCode::kTimeout,
+                 "deadline expired in server queue");
+    }
+    pendings_.erase(pending_id);
+    return;
+  }
+
+  exec::JobOptions opts;
+  if (p.has_deadline) {
+    opts.timeout = std::chrono::duration_cast<std::chrono::milliseconds>(p.deadline - now);
+  }
+  const auto id = pending_id;
+  opts.on_complete = [this, id] {
+    {
+      std::lock_guard<std::mutex> lock(out_mu_);
+      completed_.push_back(id);
+    }
+    wake();
+  };
+  p.dispatched = now;
+  p.inflight = true;
+  ++t.inflight;
+  ++inflight_total_;
+  p.future = engine_.submit(p.op, p.plan, p.input.data(), p.output.data(), p.batch, opts);
+}
+
+void NufftServer::finalize_completions() {
+  std::vector<std::uint64_t> done;
+  std::vector<Registration> regs;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    done.swap(completed_);
+    regs.swap(registrations_);
+  }
+  for (auto& reg : regs) {
+    auto cit = conns_.find(reg.conn_id);
+    Conn* c = cit == conns_.end() ? nullptr : &cit->second;
+    if (reg.plan) {
+      Tenant& t = tenant_for(reg.tenant);
+      const auto plan_id = next_plan_++;
+      t.plans.emplace(plan_id, reg.plan);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.plans_registered;
+      }
+      obs::count("serve.plans_registered");
+      if (c != nullptr) {
+        RegisterAckMsg ack;
+        ack.plan_id = plan_id;
+        ack.resident_bytes = plan_resident_bytes(reg.plan->plan(), reg.plan->grid_desc()) +
+                             reg.plan->workspace_bytes();
+        send_frame(*c, MsgType::kRegisterAck, reg.request_id, encode(ack));
+      }
+    } else if (c != nullptr) {
+      send_error(*c, reg.request_id, reg.code, reg.error);
+    }
+    if (c == nullptr) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.orphaned;
+    }
+  }
+  for (const auto id : done) finalize(id);
+}
+
+void NufftServer::finalize(std::uint64_t pending_id) {
+  auto it = pendings_.find(pending_id);
+  if (it == pendings_.end()) return;
+  Pending& p = it->second;
+
+  auto tit = tenants_.find(p.tenant);
+  if (tit != tenants_.end() && p.inflight) {
+    --tit->second.inflight;
+    update_tenant_gauges(tit->second);
+  }
+  if (p.inflight) --inflight_total_;
+
+  const std::uint64_t wait_ns = ns_between(p.arrival, p.dispatched);
+  wait_hist_.record(wait_ns);
+  obs::observe_ns("serve.queue_wait_ns", wait_ns);
+
+  ResultMsg res;
+  ErrorCode err_code = ErrorCode::kInternal;
+  std::string err_msg;
+  bool ok = false;
+  try {
+    exec::JobResult r = p.future.get();
+    res.queue_wait_us = wait_ns / 1000;
+    res.exec_us = static_cast<std::uint64_t>(r.stats.total_s * 1e6);
+    res.output = std::move(p.output);
+    ok = true;
+  } catch (const Error& e) {
+    err_code = e.code();
+    err_msg = e.what();
+  } catch (const std::exception& e) {
+    err_msg = e.what();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    TenantStats& ts = tenant_stats_[p.tenant];
+    if (ok) {
+      ++stats_.completed;
+      ++ts.completed;
+    } else {
+      ++stats_.failed;
+      ++ts.failed;
+      if (err_code == ErrorCode::kTimeout) {
+        ++stats_.deadline_missed;
+        ++ts.deadline_missed;
+      }
+    }
+  }
+  obs::count(ok ? "serve.completed" : "serve.failed");
+  obs::observe_ns("serve.service_ns", ns_between(p.arrival, Clock::now()));
+
+  auto cit = conns_.find(p.conn_id);
+  if (cit != conns_.end()) {
+    if (ok) {
+      send_frame(cit->second, MsgType::kResult, p.request_id, encode(res));
+    } else {
+      send_error(cit->second, p.request_id, err_code, err_msg);
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.orphaned;
+  }
+  pendings_.erase(it);
+}
+
+void NufftServer::handle_stats(Conn& c, const Frame& f) {
+  StatsAckMsg ack;
+  ack.counters = stat_counters();
+  send_frame(c, MsgType::kStatsAck, f.request_id, encode(ack));
+}
+
+// --- stats ------------------------------------------------------------------
+
+void NufftServer::update_tenant_gauges(const Tenant& t) const {
+  if (!obs::metrics_enabled()) return;
+  obs::gauge_set("serve.tenant." + t.name + ".queued",
+                 static_cast<std::int64_t>(t.queue.size()));
+  obs::gauge_set("serve.tenant." + t.name + ".inflight", t.inflight);
+}
+
+ServerStats NufftServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::map<std::string, TenantStats> NufftServer::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return tenant_stats_;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> NufftServer::stat_counters() const {
+  ServerStats s;
+  std::map<std::string, TenantStats> ts;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+    ts = tenant_stats_;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.emplace_back("connections", s.connections);
+  out.emplace_back("rejected_connections", s.rejected_connections);
+  out.emplace_back("protocol_errors", s.protocol_errors);
+  out.emplace_back("plans_registered", s.plans_registered);
+  out.emplace_back("accepted", s.accepted);
+  out.emplace_back("completed", s.completed);
+  out.emplace_back("failed", s.failed);
+  out.emplace_back("shed_overload", s.shed_overload);
+  out.emplace_back("shed_deadline", s.shed_deadline);
+  out.emplace_back("degraded", s.degraded);
+  out.emplace_back("deadline_missed", s.deadline_missed);
+  out.emplace_back("orphaned", s.orphaned);
+  out.emplace_back("queue_wait_p50_us", obs::histogram_quantile_ns(wait_hist_, 0.50) / 1000);
+  out.emplace_back("queue_wait_p99_us", obs::histogram_quantile_ns(wait_hist_, 0.99) / 1000);
+  for (const auto& [name, t] : ts) {
+    out.emplace_back("tenant." + name + ".accepted", t.accepted);
+    out.emplace_back("tenant." + name + ".completed", t.completed);
+    out.emplace_back("tenant." + name + ".failed", t.failed);
+    out.emplace_back("tenant." + name + ".shed_overload", t.shed_overload);
+    out.emplace_back("tenant." + name + ".shed_deadline", t.shed_deadline);
+    out.emplace_back("tenant." + name + ".degraded", t.degraded);
+    out.emplace_back("tenant." + name + ".deadline_missed", t.deadline_missed);
+  }
+  return out;
+}
+
+}  // namespace nufft::serve

@@ -1,0 +1,219 @@
+// NUFFT-as-a-service: a poll-loop socket server wrapping exec::NufftEngine.
+//
+// Architecture — three thread roles around the existing execution engine:
+//
+//   poll thread     owns every connection: accept, frame reassembly,
+//                   admission control, the weighted-fair dispatch queues,
+//                   and all socket writes. Single-threaded by design; no
+//                   per-connection locks exist.
+//   builder thread  runs plan registrations (PlanRegistry::acquire) so a
+//                   multi-second preprocessing pass never stalls the loop.
+//   engine workers  execute transforms; their JobOptions::on_complete hook
+//                   pushes the job id onto a completion queue and wakes the
+//                   poll thread through a self-pipe, so results are written
+//                   back without parking a thread per future.
+//
+// Multi-tenancy: a session opens with Hello{tenant}. Tenants are the unit of
+// isolation — each gets a PlanRegistry byte/plan quota (enforced inside the
+// registry, rejected as kOverloaded), an admitted-backlog cap, an in-flight
+// cap, and a weight. Admitted requests queue per tenant and are dispatched
+// by deficit round-robin: each visit grants the tenant `weight` credits, one
+// credit per job, so over any window tenants with backlog split engine slots
+// in proportion to their weights regardless of arrival rates.
+//
+// Admission control (the "shed, don't collapse" policy):
+//   * backlog caps — tenant queue full or global backlog full → kOverloaded.
+//   * deadline-aware shedding — the server keeps a pow2 histogram of
+//     observed server-side queue wait (the PR 3 obs::Histogram type). Once
+//     warmed up, a request whose deadline budget is below the p99 queue wait
+//     is shed at admission (kOverloaded) instead of being queued to die: the
+//     engine slot it would have wasted goes to a request that can still make
+//     its deadline. Requests flagged kFlagBestEffort degrade instead — they
+//     are admitted without a deadline and may complete late.
+//   * dispatch-time expiry — a request whose deadline passed while queued is
+//     failed as kTimeout without touching the engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "exec/plan_registry.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace nufft::serve {
+
+struct TenantPolicy {
+  std::uint32_t weight = 1;     // deficit-round-robin share
+  int max_inflight = 2;         // concurrent jobs inside the engine
+  std::size_t max_queued = 64;  // admitted-but-undispatched cap
+};
+
+struct ServeConfig {
+  std::string socket_path;  // AF_UNIX path; unlinked on bind and on stop
+  int backlog = 16;
+  std::size_t max_connections = 64;
+  exec::EngineConfig engine;
+  exec::RegistryConfig registry;  // tenant quotas live here
+  TenantPolicy default_tenant;
+  std::map<std::string, TenantPolicy> tenants;  // per-name overrides
+  std::size_t max_queued_total = 256;  // global admitted-backlog cap
+  // Engine-side concurrency cap. 0 = engine worker count: the engine queue
+  // stays near-empty so ordering is decided by the fair queues, not FIFO.
+  int max_inflight = 0;
+  // Queue-wait histogram warm-up: deadline-aware shedding stays off until
+  // this many completions have been observed (a cold server sheds nothing).
+  std::uint64_t min_wait_samples = 32;
+};
+
+struct TenantStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;          // engine-side errors (incl. timeouts)
+  std::uint64_t shed_overload = 0;   // backlog caps
+  std::uint64_t shed_deadline = 0;   // deadline-aware admission
+  std::uint64_t degraded = 0;        // best-effort requests past the shed line
+  std::uint64_t deadline_missed = 0; // expired in queue or kTimeout in engine
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t rejected_connections = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t plans_registered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed_overload = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t orphaned = 0;  // completions whose connection had closed
+};
+
+class NufftServer {
+ public:
+  explicit NufftServer(ServeConfig cfg);
+  ~NufftServer();  // calls stop()
+
+  NufftServer(const NufftServer&) = delete;
+  NufftServer& operator=(const NufftServer&) = delete;
+
+  /// Bind the socket and start the poll and builder threads. Throws
+  /// Error(kInternal) if the socket cannot be created or bound.
+  void start();
+
+  /// Stop accepting work, resolve or drop everything in flight, join the
+  /// threads, close every connection and unlink the socket. Idempotent.
+  void stop();
+
+  bool running() const;
+  const std::string& socket_path() const { return cfg_.socket_path; }
+
+  ServerStats stats() const;
+  std::map<std::string, TenantStats> tenant_stats() const;
+
+  /// Flat counter view (ServerStats + per-tenant), the payload of the Stats
+  /// RPC — exposed so in-process embedders (the saturation bench) and remote
+  /// clients read identical numbers.
+  std::vector<std::pair<std::string, std::uint64_t>> stat_counters() const;
+
+ private:
+  struct Conn;
+  struct Tenant;
+  struct Pending;
+
+  // A plan registration finished by the builder thread, applied to tenant
+  // state by the poll thread (tenant maps are poll-thread-owned).
+  struct Registration {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::string tenant;
+    std::shared_ptr<const Nufft> plan;  // null on failure
+    ErrorCode code = ErrorCode::kInternal;
+    std::string error;
+  };
+
+  void poll_loop();
+  void builder_loop();
+  void wake();
+
+  void accept_ready();
+  void read_ready(Conn& c);
+  bool flush_writes(Conn& c);  // false once the connection should close
+  void handle_frame(Conn& c, Frame&& f);
+  void handle_hello(Conn& c, const Frame& f);
+  void handle_register(Conn& c, Frame&& f);
+  void handle_submit(Conn& c, Frame&& f);
+  void handle_stats(Conn& c, const Frame& f);
+  void send_frame(Conn& c, MsgType type, std::uint64_t request_id, const Bytes& body);
+  void send_error(Conn& c, std::uint64_t request_id, ErrorCode code, const std::string& msg);
+  void close_conn(std::uint64_t conn_id);
+
+  Tenant& tenant_for(const std::string& name);
+  // Admission verdict for one submit; fills `why` on a shed.
+  bool admit(Tenant& t, const SubmitMsg& m, ErrorCode& code, std::string& why);
+  void pump_dispatch();
+  void dispatch_one(std::uint64_t pending_id);
+  void finalize_completions();
+  void finalize(std::uint64_t pending_id);
+  void update_tenant_gauges(const Tenant& t) const;
+
+  ServeConfig cfg_;
+  exec::PlanRegistry registry_;
+  exec::NufftEngine engine_;
+  int max_inflight_ = 0;
+
+  // All state below belongs to the poll thread except where noted.
+  int listen_fd_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;  // self-pipe: engine/builder → poll thread
+  std::uint64_t next_conn_ = 1;
+  std::uint64_t next_pending_ = 1;
+  std::uint64_t next_plan_ = 1;
+  std::map<std::uint64_t, Conn> conns_;
+  std::map<std::string, Tenant> tenants_;
+  std::vector<std::string> rotation_;  // tenant visit order for DRR
+  std::size_t rotation_cursor_ = 0;
+  std::map<std::uint64_t, Pending> pendings_;
+  std::size_t queued_total_ = 0;
+  int inflight_total_ = 0;
+
+  // Server-side queue-wait histogram feeding deadline-aware admission.
+  // Always on (a member, not an env-gated global instrument); mirrored into
+  // the process metrics registry under serve.* when NUFFT_METRICS is set.
+  obs::Histogram wait_hist_;
+
+  // Cross-thread handoff: engine completions and builder results land here
+  // and the self-pipe wakes the poll thread to collect them.
+  mutable std::mutex out_mu_;
+  std::vector<std::uint64_t> completed_;     // pending ids
+  std::vector<Registration> registrations_;  // finished plan builds
+
+  // Builder thread: plan registrations, executed off the poll thread.
+  std::mutex build_mu_;
+  std::condition_variable build_cv_;
+  std::deque<std::function<void()>> build_q_;
+  bool build_stop_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::map<std::string, TenantStats> tenant_stats_;
+
+  std::thread poll_thread_;
+  std::thread build_thread_;
+  std::atomic<bool> stop_flag_{false};
+  mutable std::mutex run_mu_;
+  bool running_ = false;
+};
+
+}  // namespace nufft::serve

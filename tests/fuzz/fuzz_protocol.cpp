@@ -1,0 +1,160 @@
+// Seed-reproducible fuzz of the serving wire protocol (`ctest -L fuzz`).
+//
+// Two properties, both derived deterministically from a base seed:
+//   1. Hostility: arbitrary byte streams, bit-flipped valid frames, and
+//      truncations fed to the incremental frame decoder and the body
+//      decoders must either parse, ask for more bytes, or throw
+//      nufft::Error (kIoCorruption / kInvalidInput) — never crash,
+//      over-read (ASan-visible), or throw anything else.
+//   2. Round trip: randomly generated messages survive encode → frame →
+//      decode bit-exactly.
+//
+// Reproduce a failing iteration with:
+//   NUFFT_FUZZ_SEED=<seed> ./nufft_fuzz_tests --gtest_filter='ProtocolFuzz.*'
+//
+// Environment knobs:
+//   NUFFT_FUZZ_SEED=s    base seed (default kBaseSeed, shared with the
+//                        differential sweep)
+//   NUFFT_FUZZ_PROTO=n   iterations per property (default 300)
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "serve/protocol.hpp"
+
+namespace nufft::serve {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 20120521;
+
+std::int64_t iterations() { return env_int("NUFFT_FUZZ_PROTO", 300); }
+
+std::uint64_t base_seed() {
+  return static_cast<std::uint64_t>(
+      env_int("NUFFT_FUZZ_SEED", static_cast<std::int64_t>(kBaseSeed)));
+}
+
+// Feed a byte stream to every decoder entry point; the only acceptable
+// outcomes are success, "need more bytes", or a typed nufft::Error.
+void expect_graceful(const Bytes& stream, std::uint64_t seed) {
+  Frame f;
+  std::size_t off = 0;
+  try {
+    while (off < stream.size()) {
+      const std::size_t n = try_decode_frame(stream.data() + off, stream.size() - off, f);
+      if (n == 0) break;
+      off += n;
+      // A structurally valid frame may still carry a hostile body.
+      switch (f.type) {
+        case MsgType::kHello: decode_hello(f.body); break;
+        case MsgType::kHelloAck: decode_hello_ack(f.body); break;
+        case MsgType::kRegisterPlan: decode_register_plan(f.body); break;
+        case MsgType::kRegisterAck: decode_register_ack(f.body); break;
+        case MsgType::kSubmit: decode_submit(f.body); break;
+        case MsgType::kResult: decode_result(f.body); break;
+        case MsgType::kError: decode_error(f.body); break;
+        case MsgType::kStats: break;
+        case MsgType::kStatsAck: decode_stats_ack(f.body); break;
+      }
+    }
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.code() == ErrorCode::kIoCorruption || e.code() == ErrorCode::kInvalidInput)
+        << "seed " << seed << ": unexpected code " << error_code_name(e.code());
+    return;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "seed " << seed << ": non-Error exception: " << e.what();
+  }
+}
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes b(n);
+  for (auto& v : b) v = static_cast<std::uint8_t>(rng.next_u64());
+  return b;
+}
+
+// A structurally valid frame stream of random type/body, for mutation.
+Bytes valid_stream(Rng& rng) {
+  Bytes out;
+  const int frames = 1 + static_cast<int>(rng.next_u64() % 3);
+  for (int i = 0; i < frames; ++i) {
+    const auto type = static_cast<MsgType>(1 + rng.next_u64() % 9);
+    const Bytes body = random_bytes(rng, rng.next_u64() % 512);
+    encode_frame(out, type, rng.next_u64(), body);
+  }
+  return out;
+}
+
+TEST(ProtocolFuzz, HostileStreamsNeverCrash) {
+  const auto base = base_seed();
+  for (std::int64_t i = 0; i < iterations(); ++i) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+    Rng rng(seed);
+    switch (rng.next_u64() % 3) {
+      case 0: {  // pure noise
+        expect_graceful(random_bytes(rng, rng.next_u64() % 2048), seed);
+        break;
+      }
+      case 1: {  // valid stream with one flipped bit
+        Bytes s = valid_stream(rng);
+        const std::size_t pos = rng.next_u64() % s.size();
+        s[pos] ^= static_cast<std::uint8_t>(1u << (rng.next_u64() % 8));
+        expect_graceful(s, seed);
+        break;
+      }
+      default: {  // valid stream truncated mid-frame
+        Bytes s = valid_stream(rng);
+        s.resize(rng.next_u64() % (s.size() + 1));
+        expect_graceful(s, seed);
+        break;
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomMessagesRoundTripExactly) {
+  const auto base = base_seed() + 1000003;
+  for (std::int64_t i = 0; i < iterations(); ++i) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+    Rng rng(seed);
+
+    SubmitMsg sub;
+    sub.plan_id = rng.next_u64();
+    sub.op = rng.next_u64() % 2 == 0 ? WireOp::kForward : WireOp::kAdjoint;
+    sub.batch = 1 + static_cast<std::uint32_t>(rng.next_u64() % 16);
+    sub.deadline_ms = static_cast<std::int64_t>(rng.next_u64() % 1000) - 1;
+    sub.flags = static_cast<std::uint32_t>(rng.next_u64() % 2);
+    sub.input.resize(rng.next_u64() % 256);
+    for (auto& v : sub.input) v = {static_cast<float>(rng.uniform(-1.0, 1.0)), static_cast<float>(rng.uniform(-1.0, 1.0))};
+
+    Bytes wire;
+    encode_frame(wire, MsgType::kSubmit, seed, encode(sub));
+    Frame f;
+    ASSERT_EQ(try_decode_frame(wire.data(), wire.size(), f), wire.size()) << "seed " << seed;
+    ASSERT_EQ(f.request_id, seed);
+    const SubmitMsg back = decode_submit(f.body);
+    EXPECT_EQ(back.plan_id, sub.plan_id) << "seed " << seed;
+    EXPECT_EQ(back.op, sub.op) << "seed " << seed;
+    EXPECT_EQ(back.batch, sub.batch) << "seed " << seed;
+    EXPECT_EQ(back.deadline_ms, sub.deadline_ms) << "seed " << seed;
+    EXPECT_EQ(back.flags, sub.flags) << "seed " << seed;
+    ASSERT_EQ(back.input.size(), sub.input.size()) << "seed " << seed;
+    EXPECT_EQ(std::memcmp(back.input.data(), sub.input.data(),
+                          sub.input.size() * sizeof(cfloat)),
+              0)
+        << "seed " << seed;
+
+    ErrorMsg err;
+    err.code = static_cast<std::int32_t>(rng.next_u64() % 8);
+    err.message = std::string(rng.next_u64() % 64, 'x');
+    const ErrorMsg eback = decode_error(encode(err));
+    EXPECT_EQ(eback.code, err.code) << "seed " << seed;
+    EXPECT_EQ(eback.message, err.message) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace nufft::serve

@@ -597,5 +597,161 @@ TEST(NufftEngine, RegistrySubmitResolvesPlanInWorker) {
   EXPECT_TRUE(bitwise_equal(got.data(), ref.data(), f.set.count()));
 }
 
+TEST(NufftEngine, ConcurrentShutdownsAndSubmitsAreSafe) {
+  // Regression for the engine's join race: shutdown() used to call
+  // std::thread::join unguarded, so "destructor while another thread calls
+  // shutdown()" — the natural server teardown sequence — was a data race on
+  // the join flag (TSan-visible) and double-join UB. With std::call_once
+  // every concurrent shutdown caller blocks until the single drain finishes.
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  auto plan = std::make_shared<const Nufft>(f.g, f.set, cfg);
+
+  for (int round = 0; round < 4; ++round) {
+    constexpr int kShutdowns = 3;
+    constexpr int kSubmitters = 2;
+    constexpr index_t kJobs = 4;
+    std::vector<cvecf> outs(static_cast<std::size_t>(kSubmitters * kJobs),
+                            cvecf(static_cast<std::size_t>(f.set.count())));
+    NufftEngine engine;
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    const int parties = kShutdowns + kSubmitters;
+    for (int t = 0; t < kShutdowns; ++t) {
+      threads.emplace_back([&] {
+        ++ready;
+        while (ready.load() < parties) std::this_thread::yield();
+        engine.shutdown();
+        // After shutdown returns, submissions must reject deterministically.
+        cvecf post(static_cast<std::size_t>(f.set.count()));
+        auto fut = engine.submit(exec::Op::kForward, plan, f.images[0].data(), post.data());
+        EXPECT_EQ(future_error_code(fut), ErrorCode::kCancelled);
+      });
+    }
+    std::atomic<int> completed{0};
+    for (int t = 0; t < kSubmitters; ++t) {
+      threads.emplace_back([&, t] {
+        ++ready;
+        while (ready.load() < parties) std::this_thread::yield();
+        for (index_t j = 0; j < kJobs; ++j) {
+          exec::JobOptions opts;
+          opts.on_complete = [&] { ++completed; };
+          auto fut = engine.submit(exec::Op::kForward, plan, f.images[0].data(),
+                                   outs[static_cast<std::size_t>(t * kJobs + j)].data(), 1,
+                                   opts);
+          try {
+            fut.get();
+          } catch (const Error& e) {
+            EXPECT_EQ(e.code(), ErrorCode::kCancelled);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    // on_complete fires exactly once per job on every path, including the
+    // submit-after-shutdown rejection.
+    EXPECT_EQ(completed.load(), kSubmitters * kJobs);
+  }
+}
+
+// --- tenant quota accounting ------------------------------------------------
+
+TEST(PlanRegistryQuota, ByteAndPlanBudgetsRejectAsOverloaded) {
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  exec::RegistryConfig rc;
+  rc.tenant_max_plans = 1;
+  PlanRegistry registry(rc);
+
+  auto plan = registry.acquire(f.g, f.set, cfg, "a");
+  EXPECT_EQ(registry.tenant_plans("a"), 1u);
+  EXPECT_GT(registry.tenant_bytes("a"), 0u);
+
+  // Re-acquiring the same key is not a second charge.
+  auto again = registry.acquire(f.g, f.set, cfg, "a");
+  EXPECT_EQ(plan.get(), again.get());
+  EXPECT_EQ(registry.tenant_plans("a"), 1u);
+
+  // A second distinct key busts tenant a's plan quota …
+  PlanConfig cfg2 = cfg;
+  cfg2.reorder = !cfg.reorder;
+  try {
+    registry.acquire(f.g, f.set, cfg2, "a");
+    FAIL() << "expected quota rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+  EXPECT_EQ(registry.stats().quota_rejects, 1u);
+
+  // … while tenant b and the unmetered empty tenant are unaffected.
+  auto other = registry.acquire(f.g, f.set, cfg2, "b");
+  EXPECT_NE(other.get(), plan.get());
+  auto unmetered = registry.acquire(f.g, f.set, cfg, "");
+  EXPECT_EQ(unmetered.get(), plan.get());
+  EXPECT_EQ(registry.tenant_plans(""), 0u);
+
+  // Byte quotas reject the same way when the reservation cannot fit.
+  exec::RegistryConfig tiny;
+  tiny.tenant_max_bytes = 1;
+  PlanRegistry small(tiny);
+  try {
+    small.acquire(f.g, f.set, cfg, "c");
+    FAIL() << "expected byte-quota rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+  EXPECT_EQ(small.tenant_bytes("c"), 0u);
+}
+
+TEST(PlanRegistryQuota, FailedBuildQuarantineAndEvictionAllReleaseCharges) {
+  // The full lifecycle the quota fix pins: a failing build must refund its
+  // reservation (it used to leak, wedging the tenant even though no plan
+  // existed), quarantined retries must not accumulate charges, and LRU
+  // eviction of a ready entry must release its tenant charges.
+  Fixture f = make_fixture(2);
+  const auto bad = poisoned_set(f);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  exec::RegistryConfig rc;
+  rc.tenant_max_plans = 2;
+  rc.quarantine_threshold = 2;
+  rc.quarantine_base_backoff = std::chrono::milliseconds{60000};  // outlasts the test
+  PlanRegistry registry(rc);
+
+  // Build-fail cycle: every attempt (real builds and quarantine fast-fails)
+  // charges the reservation at admission and refunds it on the way out.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW(registry.acquire(f.g, bad, cfg, "t"), Error) << "attempt " << i;
+    EXPECT_EQ(registry.tenant_bytes("t"), 0u) << "attempt " << i;
+    EXPECT_EQ(registry.tenant_plans("t"), 0u) << "attempt " << i;
+  }
+  EXPECT_GE(registry.stats().quarantine_rejects, 1u);
+
+  // The tenant's quota is fully available: two healthy plans fit.
+  auto p1 = registry.acquire(f.g, f.set, cfg, "t");
+  PlanConfig cfg2 = cfg;
+  cfg2.reorder = !cfg.reorder;
+  auto p2 = registry.acquire(f.g, f.set, cfg2, "t");
+  EXPECT_EQ(registry.tenant_plans("t"), 2u);
+  const auto charged = registry.tenant_bytes("t");
+  EXPECT_GT(charged, 0u);
+
+  // Shrink the byte budget so the next insert evicts the LRU entry (p1);
+  // its charge against the tenant must be released with it.
+  exec::RegistryConfig lru;
+  lru.tenant_max_plans = 4;
+  lru.max_bytes = 1;  // evict everything not just inserted
+  PlanRegistry evicting(lru);
+  evicting.acquire(f.g, f.set, cfg, "t");
+  EXPECT_EQ(evicting.tenant_plans("t"), 1u);
+  evicting.acquire(f.g, f.set, cfg2, "t");  // evicts the first entry
+  EXPECT_EQ(evicting.stats().evictions, 1u);
+  EXPECT_EQ(evicting.tenant_plans("t"), 1u)
+      << "eviction must release the evicted entry's quota charge";
+  EXPECT_EQ(evicting.tenant_bytes("t"), evicting.resident_bytes());
+}
+
 }  // namespace
 }  // namespace nufft

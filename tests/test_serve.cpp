@@ -1,0 +1,502 @@
+// Tests for the serving layer (src/serve/): wire-protocol round trips and
+// corruption rejection, then loopback end-to-end coverage — two tenants over
+// AF_UNIX against a live NufftServer, results compared bitwise against
+// direct in-process execution, overload shedding, registry quota rejection,
+// and deadline handling. This executable carries the `serve` ctest label and
+// is included in the sanitizer sweep (tools/run_fuzz_sanitized.sh).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/nufft.hpp"
+#include "datasets/trajectory.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "test_util.hpp"
+
+namespace nufft::serve {
+namespace {
+
+using datasets::TrajectoryType;
+
+std::string unique_socket_path(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const auto dir = std::filesystem::temp_directory_path();
+  return (dir / ("nufft_serve_" + std::to_string(::getpid()) + "_" + tag + "_" +
+                 std::to_string(counter++) + ".sock"))
+      .string();
+}
+
+struct Fixture {
+  GridDesc g;
+  datasets::SampleSet set;
+  PlanConfig cfg;
+  std::vector<cfloat> image;  // image_elems values
+  std::vector<cfloat> raw;    // sample_count values
+};
+
+Fixture make_fixture(std::uint64_t seed = 7) {
+  Fixture f;
+  const index_t n = 16;
+  f.g = make_grid(2, n, 2.0);
+  f.set = testing::small_trajectory(TrajectoryType::kRadial, 2, n, 300, seed);
+  f.cfg.threads = 1;  // single-thread scalar applies are bitwise deterministic
+  f.cfg.use_simd = false;
+  const auto img = testing::random_image(f.g.image_elems(), seed + 1);
+  const auto raw = testing::random_raw(f.set.count(), seed + 2);
+  f.image.assign(img.begin(), img.end());
+  f.raw.assign(raw.begin(), raw.end());
+  return f;
+}
+
+std::uint64_t counter_value(const std::vector<std::pair<std::string, std::uint64_t>>& c,
+                            const std::string& name) {
+  for (const auto& [k, v] : c) {
+    if (k == name) return v;
+  }
+  ADD_FAILURE() << "counter not found: " << name;
+  return 0;
+}
+
+// --- wire protocol ----------------------------------------------------------
+
+TEST(Protocol, FrameRoundTripAndIncrementalDecode) {
+  Bytes body = {1, 2, 3, 4, 5};
+  Bytes wire;
+  encode_frame(wire, MsgType::kSubmit, 42, body);
+  ASSERT_EQ(wire.size(), sizeof(FrameHeader) + body.size());
+
+  // Every strict prefix is "incomplete", never an error.
+  Frame f;
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_EQ(try_decode_frame(wire.data(), n, f), 0u) << "prefix " << n;
+  }
+  EXPECT_EQ(try_decode_frame(wire.data(), wire.size(), f), wire.size());
+  EXPECT_EQ(f.type, MsgType::kSubmit);
+  EXPECT_EQ(f.request_id, 42u);
+  EXPECT_EQ(f.body, body);
+}
+
+TEST(Protocol, CorruptFramesAreRejected) {
+  Bytes body = {9, 9, 9};
+  Bytes wire;
+  encode_frame(wire, MsgType::kHello, 1, body);
+  Frame f;
+
+  auto expect_corrupt = [&](Bytes bad) {
+    try {
+      try_decode_frame(bad.data(), bad.size(), f);
+      ADD_FAILURE() << "corrupt frame accepted";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoCorruption);
+    }
+  };
+
+  Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  expect_corrupt(bad_magic);
+
+  Bytes bad_version = wire;
+  bad_version[4] ^= 0xFF;
+  expect_corrupt(bad_version);
+
+  Bytes bad_type = wire;
+  bad_type[6] = 0xEE;  // unknown message type
+  expect_corrupt(bad_type);
+
+  Bytes bad_body = wire;
+  bad_body[sizeof(FrameHeader)] ^= 0x01;  // checksum mismatch
+  expect_corrupt(bad_body);
+
+  Bytes huge = wire;
+  const std::uint32_t len = kMaxBody + 1;
+  std::memcpy(huge.data() + 16, &len, sizeof(len));  // body_len field
+  expect_corrupt(huge);
+}
+
+TEST(Protocol, EveryMessageTypeRoundTrips) {
+  Fixture fx = make_fixture();
+
+  HelloMsg hello{"tenant-a"};
+  EXPECT_EQ(decode_hello(encode(hello)).tenant, "tenant-a");
+
+  HelloAckMsg hack;
+  hack.session_id = 77;
+  const auto hack2 = decode_hello_ack(encode(hack));
+  EXPECT_EQ(hack2.session_id, 77u);
+  EXPECT_EQ(hack2.server_version, kProtocolVersion);
+
+  RegisterPlanMsg reg;
+  reg.grid = fx.g;
+  reg.config = fx.cfg;
+  reg.config.kernel_radius = 2.25;
+  reg.config.reorder_tile = 512;
+  reg.samples = fx.set;
+  const auto reg2 = decode_register_plan(encode(reg));
+  EXPECT_EQ(reg2.grid.dim, fx.g.dim);
+  EXPECT_EQ(reg2.grid.n[0], fx.g.n[0]);
+  EXPECT_EQ(reg2.grid.m[1], fx.g.m[1]);
+  EXPECT_DOUBLE_EQ(reg2.grid.alpha, fx.g.alpha);
+  EXPECT_DOUBLE_EQ(reg2.config.kernel_radius, 2.25);
+  EXPECT_EQ(reg2.config.reorder_tile, 512);
+  EXPECT_EQ(reg2.config.threads, fx.cfg.threads);
+  EXPECT_EQ(reg2.config.use_simd, fx.cfg.use_simd);
+  ASSERT_EQ(reg2.samples.count(), fx.set.count());
+  EXPECT_EQ(reg2.samples.coords[0], fx.set.coords[0]);
+  EXPECT_EQ(reg2.samples.coords[1], fx.set.coords[1]);
+
+  RegisterAckMsg rack;
+  rack.plan_id = 5;
+  rack.resident_bytes = 123456;
+  const auto rack2 = decode_register_ack(encode(rack));
+  EXPECT_EQ(rack2.plan_id, 5u);
+  EXPECT_EQ(rack2.resident_bytes, 123456u);
+
+  SubmitMsg sub;
+  sub.plan_id = 5;
+  sub.op = WireOp::kAdjoint;
+  sub.batch = 3;
+  sub.deadline_ms = 250;
+  sub.flags = kFlagBestEffort;
+  sub.input = {{1.0f, -2.0f}, {0.5f, 0.25f}};
+  const auto sub2 = decode_submit(encode(sub));
+  EXPECT_EQ(sub2.plan_id, 5u);
+  EXPECT_EQ(sub2.op, WireOp::kAdjoint);
+  EXPECT_EQ(sub2.batch, 3u);
+  EXPECT_EQ(sub2.deadline_ms, 250);
+  EXPECT_EQ(sub2.flags, kFlagBestEffort);
+  EXPECT_EQ(sub2.input, sub.input);
+
+  ResultMsg res;
+  res.queue_wait_us = 11;
+  res.exec_us = 22;
+  res.output = {{3.0f, 4.0f}};
+  const auto res2 = decode_result(encode(res));
+  EXPECT_EQ(res2.queue_wait_us, 11u);
+  EXPECT_EQ(res2.exec_us, 22u);
+  EXPECT_EQ(res2.output, res.output);
+
+  ErrorMsg err;
+  err.code = static_cast<std::int32_t>(ErrorCode::kOverloaded);
+  err.message = "shed";
+  const auto err2 = decode_error(encode(err));
+  EXPECT_EQ(static_cast<ErrorCode>(err2.code), ErrorCode::kOverloaded);
+  EXPECT_EQ(err2.message, "shed");
+
+  StatsAckMsg st;
+  st.counters = {{"accepted", 9}, {"tenant.a.completed", 4}};
+  const auto st2 = decode_stats_ack(encode(st));
+  ASSERT_EQ(st2.counters.size(), 2u);
+  EXPECT_EQ(st2.counters[0].first, "accepted");
+  EXPECT_EQ(st2.counters[1].second, 4u);
+}
+
+TEST(Protocol, TruncatedBodiesAreRejectedNotOverRead) {
+  Fixture fx = make_fixture();
+  RegisterPlanMsg reg;
+  reg.grid = fx.g;
+  reg.config = fx.cfg;
+  reg.samples = fx.set;
+  const Bytes full = encode(reg);
+
+  // Chopping the body anywhere must throw kIoCorruption (truncation) or
+  // kInvalidInput (a value check fired first) — never read out of bounds.
+  for (std::size_t n = 0; n < full.size(); n += 97) {
+    Bytes cut(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(n));
+    try {
+      decode_register_plan(cut);
+      ADD_FAILURE() << "truncated body accepted at " << n;
+    } catch (const Error& e) {
+      EXPECT_TRUE(e.code() == ErrorCode::kIoCorruption || e.code() == ErrorCode::kInvalidInput)
+          << "at " << n;
+    }
+  }
+
+  // A hostile array length cannot force a huge allocation.
+  SubmitMsg sub;
+  sub.input = {{1.0f, 1.0f}};
+  Bytes b = encode(sub);
+  const std::uint64_t absurd = 1ull << 60;
+  std::memcpy(b.data() + b.size() - sizeof(cfloat) - sizeof(std::uint64_t), &absurd,
+              sizeof(absurd));
+  try {
+    decode_submit(b);
+    ADD_FAILURE() << "hostile array length accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoCorruption);
+  }
+}
+
+// --- loopback end-to-end ----------------------------------------------------
+
+TEST(ServeE2E, TwoTenantsMatchDirectExecutionBitwise) {
+  Fixture fx = make_fixture();
+
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("e2e");
+  sc.engine.workers = 2;
+  sc.engine.threads_per_worker = 1;
+  NufftServer server(sc);
+  server.start();
+
+  // Ground truth: the same plan applied directly in-process.
+  Nufft direct(fx.g, fx.set, fx.cfg);
+  std::vector<cfloat> want_fwd(static_cast<std::size_t>(fx.set.count()));
+  std::vector<cfloat> want_adj(static_cast<std::size_t>(fx.g.image_elems()));
+  direct.forward(fx.image.data(), want_fwd.data());
+  direct.adjoint(fx.raw.data(), want_adj.data());
+
+  auto run_tenant = [&](const std::string& tenant) {
+    NufftClient client;
+    client.connect(sc.socket_path, tenant);
+    EXPECT_TRUE(client.connected());
+    const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+    EXPECT_GT(client.last_plan_bytes(), 0u);
+
+    const auto fwd = client.forward(plan_id, fx.image);
+    ASSERT_EQ(fwd.output.size(), want_fwd.size());
+    EXPECT_EQ(std::memcmp(fwd.output.data(), want_fwd.data(),
+                          want_fwd.size() * sizeof(cfloat)),
+              0)
+        << "forward result differs from direct execution for " << tenant;
+
+    const auto adj = client.adjoint(plan_id, fx.raw);
+    ASSERT_EQ(adj.output.size(), want_adj.size());
+    EXPECT_EQ(std::memcmp(adj.output.data(), want_adj.data(),
+                          want_adj.size() * sizeof(cfloat)),
+              0)
+        << "adjoint result differs from direct execution for " << tenant;
+  };
+
+  // Two tenants in parallel against one server; both must see exact results.
+  std::thread ta([&] { run_tenant("tenant-a"); });
+  std::thread tb([&] { run_tenant("tenant-b"); });
+  ta.join();
+  tb.join();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 0u);
+  const auto ts = server.tenant_stats();
+  ASSERT_TRUE(ts.count("tenant-a"));
+  ASSERT_TRUE(ts.count("tenant-b"));
+  EXPECT_EQ(ts.at("tenant-a").completed, 2u);
+  EXPECT_EQ(ts.at("tenant-b").completed, 2u);
+
+  server.stop();
+  EXPECT_FALSE(std::filesystem::exists(sc.socket_path));
+}
+
+TEST(ServeE2E, BacklogCapShedsWithOverloadedCode) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("shed");
+  sc.engine.workers = 1;
+  // A zero-length admitted queue sheds every submit deterministically.
+  sc.default_tenant.max_queued = 0;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "greedy");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  try {
+    client.forward(plan_id, fx.image);
+    FAIL() << "expected overload shed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+  // The connection survives a shed — the next RPC still works.
+  const auto counters = client.server_stats();
+  EXPECT_EQ(counter_value(counters, "shed_overload"), 1u);
+  EXPECT_EQ(counter_value(counters, "completed"), 0u);
+  server.stop();
+}
+
+TEST(ServeE2E, RegistryQuotaRejectsSecondPlanAsOverloaded) {
+  Fixture fx = make_fixture(7);
+  Fixture fx2 = make_fixture(7);
+  fx2.cfg.reorder = !fx.cfg.reorder;  // different PlanConfig → different key
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("quota");
+  sc.registry.tenant_max_plans = 1;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "quota-tenant");
+  client.register_plan(fx.g, fx.set, fx.cfg);
+  try {
+    client.register_plan(fx2.g, fx2.set, fx2.cfg);
+    FAIL() << "expected quota rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+
+  // A second tenant is unaffected by the first tenant's exhausted quota.
+  NufftClient other;
+  other.connect(sc.socket_path, "other-tenant");
+  const auto plan_id = other.register_plan(fx2.g, fx2.set, fx2.cfg);
+  const auto res = other.forward(plan_id, fx2.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx2.set.count()));
+  server.stop();
+}
+
+TEST(ServeE2E, ExpiredDeadlineFailsAsTimeoutButBestEffortDegrades) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("deadline");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "deadline-tenant");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  // deadline 0: already expired when the dispatcher reaches it → kTimeout
+  // without ever entering the engine.
+  RunOptions strict;
+  strict.deadline_ms = 0;
+  try {
+    client.forward(plan_id, fx.image, 1, strict);
+    FAIL() << "expected deadline timeout";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+
+  // The same impossible budget with best-effort degrades instead: the
+  // request runs without a deadline and completes.
+  RunOptions lax;
+  lax.deadline_ms = 0;
+  lax.best_effort = true;
+  const auto res = client.forward(plan_id, fx.image, 1, lax);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+
+  const auto ts = server.tenant_stats();
+  EXPECT_GE(ts.at("deadline-tenant").deadline_missed, 1u);
+  server.stop();
+}
+
+TEST(ServeE2E, InvalidSubmitsAreRejectedWithoutKillingTheSession) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("invalid");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "t");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  try {
+    client.forward(9999, fx.image);
+    FAIL() << "expected unknown-plan rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+
+  std::vector<cfloat> short_input(3);
+  try {
+    client.forward(plan_id, short_input);
+    FAIL() << "expected size-mismatch rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+
+  // The session is intact after both semantic errors.
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  server.stop();
+}
+
+TEST(ServeE2E, GarbageBytesGetAnErrorReplyAndTheConnectionCloses) {
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("garbage");
+  NufftServer server(sc);
+  server.start();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, sc.socket_path.c_str(), sc.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::uint8_t garbage[64];
+  for (std::size_t i = 0; i < sizeof(garbage); ++i) garbage[i] = static_cast<std::uint8_t>(i * 37 + 1);
+  ASSERT_EQ(::write(fd, garbage, sizeof(garbage)), static_cast<ssize_t>(sizeof(garbage)));
+
+  // The server answers with a well-formed kError frame, then closes.
+  Bytes rx;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const auto n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    rx.insert(rx.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  Frame f;
+  ASSERT_GT(try_decode_frame(rx.data(), rx.size(), f), 0u);
+  EXPECT_EQ(f.type, MsgType::kError);
+  const ErrorMsg e = decode_error(f.body);
+  EXPECT_EQ(static_cast<ErrorCode>(e.code), ErrorCode::kIoCorruption);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(ServeE2E, ConcurrentMixedLoadKeepsAccountingConsistent) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("mixed");
+  sc.engine.workers = 2;
+  sc.default_tenant.max_inflight = 1;
+  sc.default_tenant.max_queued = 2;
+  sc.tenants["heavy"] = TenantPolicy{/*weight=*/3, /*max_inflight=*/2, /*max_queued=*/4};
+  NufftServer server(sc);
+  server.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kReqs = 8;
+  std::atomic<int> ok{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      NufftClient client;
+      client.connect(sc.socket_path, t % 2 == 0 ? "heavy" : "light");
+      const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+      for (int i = 0; i < kReqs; ++i) {
+        try {
+          const auto res = client.forward(plan_id, fx.image);
+          if (res.output.size() == static_cast<std::size_t>(fx.set.count())) ++ok;
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+          ++shed;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto st = server.stats();
+  EXPECT_EQ(ok.load() + shed.load(), kThreads * kReqs);
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(st.shed_overload, static_cast<std::uint64_t>(shed.load()));
+  EXPECT_EQ(st.accepted, st.completed + st.failed);
+  EXPECT_GT(st.completed, 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nufft::serve

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Run the differential fuzz harness (`ctest -L fuzz`) and the
-# parallel-preprocessing suite (`ctest -L preproc`) under AddressSanitizer
-# and UndefinedBehaviorSanitizer, as CI does; pass `thread` to race-check the
-# preprocessing scatter/radix passes under TSan. The sweep seeds are fixed
+# Run the differential fuzz harness (`ctest -L fuzz`, including the serving
+# wire-protocol fuzz), the parallel-preprocessing suite (`ctest -L preproc`)
+# and the serving-layer suite (`ctest -L serve`) under AddressSanitizer and
+# UndefinedBehaviorSanitizer, as CI does; pass `thread` to race-check the
+# preprocessing scatter/radix passes and the server's poll/builder/engine
+# thread handoff under TSan. The sweep seeds are fixed
 # (tests/fuzz/test_fuzz.cpp kBaseSeed) so both instrumented runs execute the
 # identical configuration set; override with NUFFT_FUZZ_SEED /
 # NUFFT_FUZZ_CONFIGS to explore further or to reproduce one failing seed:
@@ -31,9 +33,10 @@ for san in "${sanitizers[@]}"; do
   cmake -B "${build}" -S . \
     -DNUFFT_SANITIZE="${san}" \
     -DNUFFT_BUILD_BENCH=OFF -DNUFFT_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build "${build}" -j --target nufft_fuzz_tests --target nufft_preproc_tests
-  echo "=== ${san} sanitizer: ctest -L 'fuzz|preproc' ==="
-  (cd "${build}" && ctest -L 'fuzz|preproc' --output-on-failure)
+  cmake --build "${build}" -j --target nufft_fuzz_tests --target nufft_preproc_tests \
+    --target nufft_serve_tests
+  echo "=== ${san} sanitizer: ctest -L 'fuzz|preproc|serve' ==="
+  (cd "${build}" && ctest -L 'fuzz|preproc|serve' --output-on-failure)
 done
 
-echo "All sanitized fuzz + preproc runs passed."
+echo "All sanitized fuzz + preproc + serve runs passed."
