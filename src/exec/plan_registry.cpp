@@ -95,6 +95,9 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
   std::promise<std::shared_ptr<const Nufft>> prom;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Collect quota refunds for evicted plans whose last holder has since
+    // let go, so the admission check below sees the tenant's real usage.
+    sweep_zombies_locked();
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       // Quota admission runs before the hit is served: a tenant joining an
@@ -109,6 +112,12 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
         obs::count("registry.single_flight_waits");
       }
       it->second.tick = ++tick_;
+      if (it->second.ready) {
+        // Ready entries hand out the shared_ptr under the lock (get() cannot
+        // block here), so a concurrent eviction always sees this holder's
+        // reference and defers the quota refund accordingly.
+        return it->second.plan.get();
+      }
       auto fut = it->second.plan;  // copy under lock; get() outside
       lock.unlock();
       return fut.get();
@@ -257,11 +266,20 @@ void PlanRegistry::evict_locked(const std::string& keep_key) {
       obs::count("registry.spills");
     }
     bytes_ -= victim->second.bytes;
-    refund_entry_locked(victim->second);
+    // Defer the quota refund until the last outside reference dies: eviction
+    // only drops the registry's reference, and a tenant whose handles keep
+    // the plan resident must stay charged for it — refunding here would let
+    // register → evict → register cycles escape tenant_max_bytes.
+    if (!victim->second.charges.empty()) {
+      zombies_.push_back(Zombie{victim->second.plan.get(), std::move(victim->second.charges)});
+    }
     entries_.erase(victim);
     ++stats_.evictions;
     obs::count("registry.evictions");
   }
+  // An evicted plan nobody else held died with its entry just now; refund it
+  // immediately rather than waiting for the next acquire.
+  sweep_zombies_locked();
 }
 
 void PlanRegistry::charge_tenant_locked(Entry& e, const std::string& tenant,
@@ -286,14 +304,30 @@ void PlanRegistry::charge_tenant_locked(Entry& e, const std::string& tenant,
 }
 
 void PlanRegistry::refund_entry_locked(Entry& e) {
-  for (const auto& [tenant, charged] : e.charges) {
+  refund_charges_locked(e.charges);
+  e.charges.clear();
+}
+
+void PlanRegistry::refund_charges_locked(
+    const std::unordered_map<std::string, std::size_t>& charges) const {
+  for (const auto& [tenant, charged] : charges) {
     auto it = tenants_.find(tenant);
     if (it == tenants_.end()) continue;
     it->second.bytes -= std::min(it->second.bytes, charged);
     if (it->second.plans > 0) it->second.plans -= 1;
     if (it->second.bytes == 0 && it->second.plans == 0) tenants_.erase(it);
   }
-  e.charges.clear();
+}
+
+void PlanRegistry::sweep_zombies_locked() const {
+  for (auto it = zombies_.begin(); it != zombies_.end();) {
+    if (it->plan.expired()) {
+      refund_charges_locked(it->charges);
+      it = zombies_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void PlanRegistry::true_up_entry_locked(Entry& e, std::size_t bytes) {
@@ -307,12 +341,14 @@ void PlanRegistry::true_up_entry_locked(Entry& e, std::size_t bytes) {
 
 std::size_t PlanRegistry::tenant_bytes(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
+  sweep_zombies_locked();
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.bytes;
 }
 
 std::size_t PlanRegistry::tenant_plans(const std::string& tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
+  sweep_zombies_locked();
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.plans;
 }

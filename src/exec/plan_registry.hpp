@@ -21,6 +21,12 @@
 // skips the partition/bin/reorder pass. Without a spill_dir evicted plans
 // are simply dropped and rebuilt on demand. Evicted shared_ptrs held by
 // callers stay valid — eviction only releases the registry's reference.
+// Tenant quota charges on an evicted entry are NOT refunded while outside
+// references keep the plan resident: the charges move to a deferred-refund
+// list keyed by a weak_ptr and are released only once the last holder drops
+// the plan (swept on the next acquire/eviction or quota query). Without
+// this, a tenant could cycle register → LRU-evict → register and pin
+// arbitrarily more memory than tenant_max_bytes through its own handles.
 //
 // Failure handling: a build that throws never caches — the pending entry is
 // erased, every single-flight waiter receives the exception through the
@@ -108,8 +114,10 @@ class PlanRegistry {
   std::size_t resident_bytes() const;
   std::size_t resident_count() const;
 
-  /// Bytes currently charged against a tenant (ready entries at their real
-  /// footprint, pending builds at their reservation). Unknown tenants are 0.
+  /// Bytes currently charged against a tenant: ready entries at their real
+  /// footprint, pending builds at their reservation, plus evicted entries
+  /// whose plan the tenant (or anyone it handed the shared_ptr to) still
+  /// keeps alive. Unknown tenants are 0.
   std::size_t tenant_bytes(const std::string& tenant) const;
   /// Entries currently charged against a tenant.
   std::size_t tenant_plans(const std::string& tenant) const;
@@ -143,6 +151,13 @@ class PlanRegistry {
     std::size_t plans = 0;
   };
 
+  // Quota charges of an evicted entry whose plan outside holders keep
+  // resident. Refunded (and the record dropped) once the weak_ptr expires.
+  struct Zombie {
+    std::weak_ptr<const Nufft> plan;
+    std::unordered_map<std::string, std::size_t> charges;
+  };
+
   // Per-key consecutive-failure record; erased on the first success.
   struct Quarantine {
     int consecutive_failures = 0;
@@ -159,8 +174,15 @@ class PlanRegistry {
   // kOverloaded (and recording quota_rejects) when it would exceed either
   // budget. No-op for the empty tenant.
   void charge_tenant_locked(Entry& e, const std::string& tenant, std::size_t bytes);
-  // Release every tenant charge an entry holds (eviction, failed build).
+  // Release every tenant charge an entry holds (failed build — no plan ever
+  // escaped, so the refund is immediate and unconditional).
   void refund_entry_locked(Entry& e);
+  // Release a charge map (refund_entry_locked and the zombie sweep share it).
+  // const because the sweep runs from const quota queries; the mutated
+  // members are declared mutable below.
+  void refund_charges_locked(const std::unordered_map<std::string, std::size_t>& charges) const;
+  // Refund and drop every zombie whose plan has been released everywhere.
+  void sweep_zombies_locked() const;
   // Replace every charge on a now-ready entry with the real footprint.
   void true_up_entry_locked(Entry& e, std::size_t bytes);
 
@@ -168,7 +190,8 @@ class PlanRegistry {
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::unordered_map<std::string, Quarantine> quarantine_;
-  std::unordered_map<std::string, TenantUsage> tenants_;
+  mutable std::unordered_map<std::string, TenantUsage> tenants_;
+  mutable std::vector<Zombie> zombies_;
   std::uint64_t tick_ = 0;
   std::size_t bytes_ = 0;
   RegistryStats stats_;

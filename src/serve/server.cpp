@@ -48,10 +48,16 @@ struct NufftServer::Conn {
 struct NufftServer::Tenant {
   std::string name;
   TenantPolicy policy;
-  std::map<std::uint64_t, std::shared_ptr<const Nufft>> plans;
+  struct PlanHandle {
+    std::shared_ptr<const Nufft> plan;
+    std::uint64_t last_use = 0;  // LRU stamp for the max_plans handle cap
+  };
+  std::map<std::uint64_t, PlanHandle> plans;
   std::deque<std::uint64_t> queue;  // admitted pending ids, FIFO per tenant
+  std::size_t pending_bytes = 0;    // payload bytes across this tenant's live Pendings
   int inflight = 0;
-  std::uint32_t deficit = 0;  // deficit-round-robin credit
+  std::uint32_t deficit = 0;   // deficit-round-robin credit
+  std::uint64_t use_tick = 0;  // source for PlanHandle::last_use stamps
 };
 
 struct NufftServer::Pending {
@@ -67,6 +73,7 @@ struct NufftServer::Pending {
   Clock::time_point arrival{};
   Clock::time_point dispatched{};
   bool inflight = false;
+  std::size_t payload_bytes = 0;  // input + output footprint charged at admission
   // Owned I/O buffers: the engine reads input and writes output in place, so
   // the Pending must stay at a stable address until its future resolves —
   // std::map node stability provides exactly that.
@@ -150,7 +157,9 @@ void NufftServer::stop() {
   tenants_.clear();
   rotation_.clear();
   queued_total_ = 0;
+  pending_bytes_total_ = 0;
   inflight_total_ = 0;
+  tenant_count_.store(0, std::memory_order_relaxed);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_r_ >= 0) ::close(wake_r_);
   if (wake_w_ >= 0) ::close(wake_w_);
@@ -192,6 +201,14 @@ void NufftServer::poll_loop() {
   while (!stop_flag_.load(std::memory_order_relaxed)) {
     finalize_completions();
     pump_dispatch();
+
+    // Connections torn down outside the fd scan below (a send that could not
+    // be framed during finalize) are reaped here.
+    std::vector<std::uint64_t> dead;
+    for (const auto& [id, c] : conns_) {
+      if (c.fd < 0) dead.push_back(id);
+    }
+    for (const auto id : dead) close_conn(id);
 
     fds.clear();
     fd_conn.clear();
@@ -266,6 +283,7 @@ void NufftServer::accept_ready() {
 
 void NufftServer::read_ready(Conn& c) {
   std::uint8_t buf[64 * 1024];
+  bool peer_eof = false;
   for (;;) {
     const auto n = ::read(c.fd, buf, sizeof(buf));
     if (n > 0) {
@@ -273,10 +291,13 @@ void NufftServer::read_ready(Conn& c) {
       if (static_cast<std::size_t>(n) < sizeof(buf)) break;
       continue;
     }
-    if (n == 0) {  // peer closed
-      ::close(c.fd);
-      c.fd = -1;
-      return;
+    if (n == 0) {
+      // Peer closed its write side. Bytes appended above (or buffered from
+      // earlier reads) may hold complete frames — fall through to the decode
+      // loop so a half-closing client still gets its responses, and only
+      // then close.
+      peer_eof = true;
+      break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
@@ -310,12 +331,17 @@ void NufftServer::read_ready(Conn& c) {
     if (c.fd < 0 || c.close_after_flush) break;
   }
   c.rbuf.erase(c.rbuf.begin(), c.rbuf.begin() + static_cast<std::ptrdiff_t>(off));
+  // EOF with the buffered frames now handled: flush responses, then close.
+  if (peer_eof && c.fd >= 0) c.close_after_flush = true;
 }
 
 bool NufftServer::flush_writes(Conn& c) {
   while (!c.wbuf.empty()) {
     const Bytes& front = c.wbuf.front();
-    const auto n = ::write(c.fd, front.data() + c.woff, front.size() - c.woff);
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE on
+    // this connection, not SIGPIPE for the whole process.
+    const auto n =
+        ::send(c.fd, front.data() + c.woff, front.size() - c.woff, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // POLLOUT will retry
       if (errno == EINTR) continue;
@@ -334,7 +360,17 @@ void NufftServer::send_frame(Conn& c, MsgType type, std::uint64_t request_id,
                              const Bytes& body) {
   if (c.fd < 0) return;
   Bytes out;
-  encode_frame(out, type, request_id, body);
+  try {
+    encode_frame(out, type, request_id, body);
+  } catch (const std::exception&) {
+    // A response that cannot be framed (body over kMaxBody, allocation
+    // failure) must cost this connection, never the poll thread — several
+    // callers (finalize paths) sit directly on the poll loop.
+    obs::count("serve.send_failures");
+    ::close(c.fd);
+    c.fd = -1;
+    return;
+  }
   c.wbuf.push_back(std::move(out));
   flush_writes(c);  // opportunistic immediate write
 }
@@ -366,10 +402,13 @@ void NufftServer::close_conn(std::uint64_t conn_id) {
       update_tenant_gauges(tit->second);
     }
     --queued_total_;
+    release_payload(p);
     pendings_.erase(pid);
   }
+  const std::string tenant = it->second.tenant;
   if (it->second.fd >= 0) ::close(it->second.fd);
   conns_.erase(it);
+  maybe_gc_tenant(tenant);
 }
 
 // --- request handling -------------------------------------------------------
@@ -407,8 +446,13 @@ void NufftServer::handle_frame(Conn& c, Frame&& f) {
 void NufftServer::handle_hello(Conn& c, const Frame& f) {
   const HelloMsg m = decode_hello(f.body);
   NUFFT_CHECK_CODE(!m.tenant.empty(), ErrorCode::kInvalidInput, "tenant name must be non-empty");
+  const std::string previous = c.tenant;
   c.tenant = m.tenant;
   tenant_for(m.tenant);
+  // A repeated Hello switches the session's tenant; the record it abandoned
+  // may now be unreachable (a client cycling names on one connection must
+  // not grow the tenant maps without bound).
+  if (!previous.empty() && previous != m.tenant) maybe_gc_tenant(previous);
   HelloAckMsg ack;
   ack.session_id = c.id;
   send_frame(c, MsgType::kHelloAck, f.request_id, encode(ack));
@@ -422,7 +466,37 @@ NufftServer::Tenant& NufftServer::tenant_for(const std::string& name) {
   auto pit = cfg_.tenants.find(name);
   t.policy = pit != cfg_.tenants.end() ? pit->second : cfg_.default_tenant;
   rotation_.push_back(name);
-  return tenants_.emplace(name, std::move(t)).first->second;
+  auto& slot = tenants_.emplace(name, std::move(t)).first->second;
+  tenant_count_.store(tenants_.size(), std::memory_order_relaxed);
+  return slot;
+}
+
+void NufftServer::maybe_gc_tenant(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) return;
+  if (!it->second.queue.empty() || it->second.inflight > 0) return;
+  for (const auto& [id, c] : conns_) {
+    if (c.tenant == name) return;
+  }
+  // No session and no live work: drop the tenant record — plan handles
+  // included, which releases the registry references so the tenant's quota
+  // charges can be refunded. Without this, a client cycling distinct Hello
+  // names would grow tenants_/rotation_ (and the DRR scan) without bound.
+  // Historical counters in tenant_stats_ survive; they only exist for
+  // tenants that actually ran work.
+  if (obs::metrics_enabled()) {
+    obs::gauge_set("serve.tenant." + name + ".queued", 0);
+    obs::gauge_set("serve.tenant." + name + ".inflight", 0);
+  }
+  tenants_.erase(it);
+  auto rit = std::find(rotation_.begin(), rotation_.end(), name);
+  if (rit != rotation_.end()) {
+    const auto idx = static_cast<std::size_t>(rit - rotation_.begin());
+    rotation_.erase(rit);
+    if (idx < rotation_cursor_) --rotation_cursor_;
+    if (rotation_cursor_ >= rotation_.size()) rotation_cursor_ = 0;
+  }
+  tenant_count_.store(tenants_.size(), std::memory_order_relaxed);
 }
 
 void NufftServer::handle_register(Conn& c, Frame&& f) {
@@ -472,20 +546,42 @@ void NufftServer::handle_submit(Conn& c, Frame&& f) {
                     c.tenant + "'",
                 ErrorCode::kInvalidInput);
   }
-  const auto& plan = pit->second;
+  pit->second.last_use = ++t.use_tick;
+  const auto& plan = pit->second.plan;
+  NUFFT_CHECK_CODE(m.batch >= 1, ErrorCode::kInvalidInput, "batch must be >= 1");
   const auto batch = static_cast<index_t>(m.batch);
   const index_t in_elems =
       m.op == WireOp::kForward ? plan->image_elems() : plan->sample_count();
   const index_t out_elems =
       m.op == WireOp::kForward ? plan->sample_count() : plan->image_elems();
+  // Both directions of the transfer must fit one protocol frame, checked in
+  // overflow-safe u64 arithmetic BEFORE anything is allocated or admitted.
+  // The output bound is the critical one: for an asymmetric plan a legal
+  // request could otherwise demand a ResultMsg beyond kMaxBody, which
+  // encode_frame would only reject at completion time — on the poll thread,
+  // with no handler between it and std::terminate.
+  const auto batch_u = static_cast<std::uint64_t>(m.batch);
+  const auto in_u = static_cast<std::uint64_t>(in_elems);
+  const auto out_u = static_cast<std::uint64_t>(out_elems);
+  constexpr std::uint64_t kResultOverhead = 3 * sizeof(std::uint64_t);  // timings + count
+  const std::uint64_t max_in = kMaxBody / sizeof(cfloat);
+  const std::uint64_t max_out = (kMaxBody - kResultOverhead) / sizeof(cfloat);
+  NUFFT_CHECK_CODE(in_u == 0 || batch_u <= max_in / in_u, ErrorCode::kInvalidInput,
+                   "input of " << m.batch << " x " << in_elems
+                               << " values cannot fit one protocol frame");
+  NUFFT_CHECK_CODE(out_u == 0 || batch_u <= max_out / out_u, ErrorCode::kInvalidInput,
+                   "result payload (" << m.batch << " x " << out_elems << " values) would "
+                   "exceed the " << kMaxBody << "-byte frame cap; split the batch");
   NUFFT_CHECK_CODE(static_cast<index_t>(m.input.size()) == batch * in_elems,
                    ErrorCode::kInvalidInput,
                    "input payload holds " << m.input.size() << " values, plan expects "
                                           << batch * in_elems);
+  const auto payload_bytes = static_cast<std::size_t>((batch_u * in_u + batch_u * out_u) *
+                                                      sizeof(cfloat));
 
   ErrorCode shed_code = ErrorCode::kOverloaded;
   std::string why;
-  if (!admit(t, m, shed_code, why)) {
+  if (!admit(t, m, payload_bytes, shed_code, why)) {
     send_error(c, f.request_id, shed_code, why);
     return;
   }
@@ -506,6 +602,9 @@ void NufftServer::handle_submit(Conn& c, Frame&& f) {
   }
   p.input = std::move(m.input);
   p.output.resize(static_cast<std::size_t>(batch * out_elems));
+  p.payload_bytes = payload_bytes;
+  t.pending_bytes += payload_bytes;
+  pending_bytes_total_ += payload_bytes;
 
   t.queue.push_back(p.id);
   ++queued_total_;
@@ -520,7 +619,8 @@ void NufftServer::handle_submit(Conn& c, Frame&& f) {
   pump_dispatch();
 }
 
-bool NufftServer::admit(Tenant& t, const SubmitMsg& m, ErrorCode& code, std::string& why) {
+bool NufftServer::admit(Tenant& t, const SubmitMsg& m, std::size_t payload_bytes,
+                        ErrorCode& code, std::string& why) {
   if (t.queue.size() >= t.policy.max_queued) {
     code = ErrorCode::kOverloaded;
     why = "tenant '" + t.name + "' backlog full (" + std::to_string(t.queue.size()) +
@@ -534,6 +634,44 @@ bool NufftServer::admit(Tenant& t, const SubmitMsg& m, ErrorCode& code, std::str
   if (queued_total_ >= cfg_.max_queued_total) {
     code = ErrorCode::kOverloaded;
     why = "server backlog full (" + std::to_string(queued_total_) + " queued)";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_overload;
+    ++tenant_stats_[t.name].shed_overload;
+    obs::count("serve.shed_overload");
+    return false;
+  }
+  // Byte-based admission: request counts alone cannot bound memory — with a
+  // small-input plan a single admitted submit may pin a huge output buffer.
+  // A submit that can never fit the tenant budget is a client error
+  // (kInvalidInput: retrying verbatim is pointless); one that merely does not
+  // fit *right now* is kOverloaded and worth retrying after the backlog drains.
+  if (t.policy.max_pending_bytes != 0 &&
+      t.pending_bytes + payload_bytes > t.policy.max_pending_bytes) {
+    const bool never_fits = payload_bytes > t.policy.max_pending_bytes;
+    code = never_fits ? ErrorCode::kInvalidInput : ErrorCode::kOverloaded;
+    why = never_fits
+              ? "request payload of " + std::to_string(payload_bytes) +
+                    " B exceeds tenant '" + t.name + "' budget of " +
+                    std::to_string(t.policy.max_pending_bytes) + " B; split the batch"
+              : "tenant '" + t.name + "' payload budget full (" +
+                    std::to_string(t.pending_bytes) + " B pinned, " +
+                    std::to_string(payload_bytes) + " B requested)";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_overload;
+    ++tenant_stats_[t.name].shed_overload;
+    obs::count("serve.shed_overload");
+    return false;
+  }
+  if (cfg_.max_pending_bytes_total != 0 &&
+      pending_bytes_total_ + payload_bytes > cfg_.max_pending_bytes_total) {
+    const bool never_fits = payload_bytes > cfg_.max_pending_bytes_total;
+    code = never_fits ? ErrorCode::kInvalidInput : ErrorCode::kOverloaded;
+    why = never_fits
+              ? "request payload of " + std::to_string(payload_bytes) +
+                    " B exceeds the server budget of " +
+                    std::to_string(cfg_.max_pending_bytes_total) + " B; split the batch"
+              : "server payload budget full (" + std::to_string(pending_bytes_total_) +
+                    " B pinned, " + std::to_string(payload_bytes) + " B requested)";
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.shed_overload;
     ++tenant_stats_[t.name].shed_overload;
@@ -566,6 +704,14 @@ bool NufftServer::admit(Tenant& t, const SubmitMsg& m, ErrorCode& code, std::str
     }
   }
   return true;
+}
+
+void NufftServer::release_payload(const Pending& p) {
+  auto tit = tenants_.find(p.tenant);
+  if (tit != tenants_.end()) {
+    tit->second.pending_bytes -= std::min(tit->second.pending_bytes, p.payload_bytes);
+  }
+  pending_bytes_total_ -= std::min(pending_bytes_total_, p.payload_bytes);
 }
 
 // --- dispatch and completion ------------------------------------------------
@@ -621,6 +767,7 @@ void NufftServer::dispatch_one(std::uint64_t pending_id) {
       send_error(cit->second, p.request_id, ErrorCode::kTimeout,
                  "deadline expired in server queue");
     }
+    release_payload(p);
     pendings_.erase(pending_id);
     return;
   }
@@ -654,30 +801,56 @@ void NufftServer::finalize_completions() {
   }
   for (auto& reg : regs) {
     auto cit = conns_.find(reg.conn_id);
-    Conn* c = cit == conns_.end() ? nullptr : &cit->second;
-    if (reg.plan) {
-      Tenant& t = tenant_for(reg.tenant);
-      const auto plan_id = next_plan_++;
-      t.plans.emplace(plan_id, reg.plan);
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.plans_registered;
-      }
-      obs::count("serve.plans_registered");
-      if (c != nullptr) {
-        RegisterAckMsg ack;
-        ack.plan_id = plan_id;
-        ack.resident_bytes = plan_resident_bytes(reg.plan->plan(), reg.plan->grid_desc()) +
-                             reg.plan->workspace_bytes();
-        send_frame(*c, MsgType::kRegisterAck, reg.request_id, encode(ack));
-      }
-    } else if (c != nullptr) {
-      send_error(*c, reg.request_id, reg.code, reg.error);
-    }
-    if (c == nullptr) {
+    if (cit == conns_.end()) {
+      // The connection died while the build ran. Drop the result instead of
+      // attaching a handle to a tenant record nobody can reach — the plan's
+      // shared_ptr dies here and the registry sweeps the quota charge back.
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.orphaned;
+      continue;
     }
+    Conn& c = cit->second;
+    if (c.tenant != reg.tenant) {
+      // The session re-Hello'd to another tenant while the build ran. Treat
+      // the result as orphaned rather than attaching a handle to the
+      // abandoned (possibly already garbage-collected) tenant record.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.orphaned;
+      continue;
+    }
+    if (!reg.plan) {
+      send_error(c, reg.request_id, reg.code, reg.error);
+      continue;
+    }
+    Tenant& t = tenant_for(reg.tenant);
+    const auto plan_id = next_plan_++;
+    t.plans.emplace(plan_id, Tenant::PlanHandle{reg.plan, ++t.use_tick});
+    if (t.policy.max_plans != 0 && t.plans.size() > t.policy.max_plans) {
+      // Over the handle cap: drop the least-recently-used handle (never the
+      // one just registered — it carries the newest stamp). The dropped
+      // shared_ptr releases the registry reference, so an evicted-but-held
+      // plan stops counting against the tenant quota once nothing uses it.
+      auto victim = t.plans.begin();
+      for (auto hit = t.plans.begin(); hit != t.plans.end(); ++hit) {
+        if (hit->second.last_use < victim->second.last_use) victim = hit;
+      }
+      t.plans.erase(victim);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.plans_dropped;
+      }
+      obs::count("serve.plans_dropped");
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.plans_registered;
+    }
+    obs::count("serve.plans_registered");
+    RegisterAckMsg ack;
+    ack.plan_id = plan_id;
+    ack.resident_bytes = plan_resident_bytes(reg.plan->plan(), reg.plan->grid_desc()) +
+                         reg.plan->workspace_bytes();
+    send_frame(c, MsgType::kRegisterAck, reg.request_id, encode(ack));
   }
   for (const auto id : done) finalize(id);
 }
@@ -735,16 +908,30 @@ void NufftServer::finalize(std::uint64_t pending_id) {
 
   auto cit = conns_.find(p.conn_id);
   if (cit != conns_.end()) {
-    if (ok) {
-      send_frame(cit->second, MsgType::kResult, p.request_id, encode(res));
-    } else {
-      send_error(cit->second, p.request_id, err_code, err_msg);
+    try {
+      if (ok) {
+        send_frame(cit->second, MsgType::kResult, p.request_id, encode(res));
+      } else {
+        send_error(cit->second, p.request_id, err_code, err_msg);
+      }
+    } catch (const std::exception&) {
+      // Body serialization failed (allocation) — admission already bounds
+      // result sizes, so this is a last-ditch guard: the poll thread must
+      // survive anything the per-connection send path throws.
+      obs::count("serve.send_failures");
+      ::close(cit->second.fd);
+      cit->second.fd = -1;
     }
   } else {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.orphaned;
   }
+  release_payload(p);
+  const std::string tenant = p.tenant;
   pendings_.erase(it);
+  // This may have been the tenant's last live work after its connection
+  // already closed — reap the record now that nothing references it.
+  maybe_gc_tenant(tenant);
 }
 
 void NufftServer::handle_stats(Conn& c, const Frame& f) {
@@ -793,6 +980,7 @@ std::vector<std::pair<std::string, std::uint64_t>> NufftServer::stat_counters() 
   out.emplace_back("degraded", s.degraded);
   out.emplace_back("deadline_missed", s.deadline_missed);
   out.emplace_back("orphaned", s.orphaned);
+  out.emplace_back("plans_dropped", s.plans_dropped);
   out.emplace_back("queue_wait_p50_us", obs::histogram_quantile_ns(wait_hist_, 0.50) / 1000);
   out.emplace_back("queue_wait_p99_us", obs::histogram_quantile_ns(wait_hist_, 0.99) / 1000);
   for (const auto& [name, t] : ts) {

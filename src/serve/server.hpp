@@ -57,6 +57,17 @@ struct TenantPolicy {
   std::uint32_t weight = 1;     // deficit-round-robin share
   int max_inflight = 2;         // concurrent jobs inside the engine
   std::size_t max_queued = 64;  // admitted-but-undispatched cap
+  // Payload budget over the tenant's live requests (input + output bytes of
+  // every admitted or in-flight submit). Bounds the request memory a tenant
+  // can pin, not just how many requests it may queue; a single submit larger
+  // than this budget can never be admitted. 0 = unlimited.
+  std::size_t max_pending_bytes = 256u << 20;
+  // Plan handles the tenant may hold at once; registering past the cap drops
+  // the least-recently-used handle (later submits against it fail with
+  // kInvalidInput and the client must re-register). Together with the
+  // registry's deferred quota refunds this bounds the resident plan memory a
+  // tenant can pin through its handles. 0 = unlimited.
+  std::size_t max_plans = 8;
 };
 
 struct ServeConfig {
@@ -68,6 +79,10 @@ struct ServeConfig {
   TenantPolicy default_tenant;
   std::map<std::string, TenantPolicy> tenants;  // per-name overrides
   std::size_t max_queued_total = 256;  // global admitted-backlog cap
+  // Global payload budget (sum of input + output bytes across every live
+  // request, all tenants). The backstop against one tenant-policy hole
+  // OOM-killing the server. 0 = unlimited.
+  std::size_t max_pending_bytes_total = 1u << 30;
   // Engine-side concurrency cap. 0 = engine worker count: the engine queue
   // stays near-empty so ordering is decided by the fair queues, not FIFO.
   int max_inflight = 0;
@@ -98,7 +113,8 @@ struct ServerStats {
   std::uint64_t shed_deadline = 0;
   std::uint64_t degraded = 0;
   std::uint64_t deadline_missed = 0;
-  std::uint64_t orphaned = 0;  // completions whose connection had closed
+  std::uint64_t orphaned = 0;       // completions whose connection had closed
+  std::uint64_t plans_dropped = 0;  // LRU plan-handle drops (TenantPolicy::max_plans)
 };
 
 class NufftServer {
@@ -127,6 +143,14 @@ class NufftServer {
   /// RPC — exposed so in-process embedders (the saturation bench) and remote
   /// clients read identical numbers.
   std::vector<std::pair<std::string, std::uint64_t>> stat_counters() const;
+
+  /// Tenants currently resident in the poll thread's maps. A tenant record
+  /// is garbage-collected (plan handles dropped with it) once its last
+  /// connection closes and no queued or in-flight work remains, so this
+  /// stays bounded no matter how many distinct Hello names a client cycles
+  /// through. A reconnecting tenant re-registers its plans; the content-keyed
+  /// registry usually makes that a cache hit. Observational (tests/monitoring).
+  std::size_t tenant_count() const { return tenant_count_.load(std::memory_order_relaxed); }
 
  private:
   struct Conn;
@@ -161,8 +185,16 @@ class NufftServer {
   void close_conn(std::uint64_t conn_id);
 
   Tenant& tenant_for(const std::string& name);
-  // Admission verdict for one submit; fills `why` on a shed.
-  bool admit(Tenant& t, const SubmitMsg& m, ErrorCode& code, std::string& why);
+  // Drop a tenant record (plans, queues, gauges, rotation slot) once it has
+  // no connection, no queued or in-flight work, and thus no reachable state.
+  void maybe_gc_tenant(const std::string& name);
+  // Admission verdict for one submit; fills `why` on a shed. `payload_bytes`
+  // is the request's input + output footprint, charged against the byte
+  // budgets for as long as the Pending lives.
+  bool admit(Tenant& t, const SubmitMsg& m, std::size_t payload_bytes, ErrorCode& code,
+             std::string& why);
+  // Release a Pending's payload-byte charges (every path that erases one).
+  void release_payload(const Pending& p);
   void pump_dispatch();
   void dispatch_one(std::uint64_t pending_id);
   void finalize_completions();
@@ -186,7 +218,9 @@ class NufftServer {
   std::size_t rotation_cursor_ = 0;
   std::map<std::uint64_t, Pending> pendings_;
   std::size_t queued_total_ = 0;
+  std::size_t pending_bytes_total_ = 0;  // payload bytes across live Pendings
   int inflight_total_ = 0;
+  std::atomic<std::size_t> tenant_count_{0};  // mirrors tenants_.size() for observers
 
   // Server-side queue-wait histogram feeding deadline-aware admission.
   // Always on (a member, not an env-gated global instrument); mirrored into

@@ -753,5 +753,49 @@ TEST(PlanRegistryQuota, FailedBuildQuarantineAndEvictionAllReleaseCharges) {
   EXPECT_EQ(evicting.tenant_bytes("t"), evicting.resident_bytes());
 }
 
+TEST(PlanRegistryQuota, EvictionDefersRefundWhileHandlesAreHeld) {
+  // The quota-bypass fix: LRU eviction drops only the registry's reference,
+  // so a tenant whose handles keep the plan resident must stay charged until
+  // the last handle dies. Without this, register → evict → register cycles
+  // would pin arbitrarily more memory than tenant_max_bytes/plans admit.
+  Fixture f = make_fixture(2);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanConfig cfg2 = cfg;
+  cfg2.reorder = !cfg.reorder;
+  PlanConfig cfg3 = cfg;
+  cfg3.use_simd = !cfg.use_simd;
+
+  exec::RegistryConfig rc;
+  rc.max_bytes = 1;         // every insert evicts the previous entry
+  rc.tenant_max_plans = 2;  // the budget the eviction cycle used to escape
+  PlanRegistry registry(rc);
+
+  auto held = registry.acquire(f.g, f.set, cfg, "t");
+  registry.acquire(f.g, f.set, cfg2, "t");  // evicts key 1; `held` keeps it alive
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  EXPECT_EQ(registry.tenant_plans("t"), 2u)
+      << "a held handle must stay charged across eviction";
+  EXPECT_GT(registry.tenant_bytes("t"), registry.resident_bytes());
+
+  // The quota still binds while the evicted plan is held.
+  try {
+    registry.acquire(f.g, f.set, cfg3, "t");
+    FAIL() << "expected quota rejection while the evicted plan is still held";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+
+  // Dropping the last handle releases the deferred charge and unblocks the
+  // tenant (the third key evicts the unheld second, whose refund is instant).
+  held.reset();
+  EXPECT_EQ(registry.tenant_plans("t"), 1u);
+  EXPECT_EQ(registry.tenant_bytes("t"), registry.resident_bytes());
+  auto third = registry.acquire(f.g, f.set, cfg3, "t");
+  EXPECT_NE(third, nullptr);
+  EXPECT_EQ(registry.tenant_plans("t"), 1u);
+  EXPECT_EQ(registry.tenant_bytes("t"), registry.resident_bytes());
+}
+
 }  // namespace
 }  // namespace nufft

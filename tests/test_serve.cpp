@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -453,6 +454,178 @@ TEST(ServeE2E, GarbageBytesGetAnErrorReplyAndTheConnectionCloses) {
   const ErrorMsg e = decode_error(f.body);
   EXPECT_EQ(static_cast<ErrorCode>(e.code), ErrorCode::kIoCorruption);
   EXPECT_GE(server.stats().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(ServeE2E, OversizedResultPayloadIsRejectedNotFatal) {
+  Fixture fx = make_fixture();
+  // A plan with many more samples than image pixels: a modest forward batch
+  // would yield a ResultMsg beyond the frame cap. The server must reject the
+  // submit at admission with kInvalidInput — not hit the cap while encoding
+  // the result on the poll thread, where the exception would be fatal.
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, 2, 16, 500000, 11);
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("bigout");
+  sc.default_tenant.max_pending_bytes = 0;  // isolate the frame-cap check
+  sc.max_pending_bytes_total = 0;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "big");
+  const auto plan_id = client.register_plan(fx.g, set, fx.cfg);
+
+  const auto out_elems = static_cast<std::uint64_t>(set.count());
+  const auto batch =
+      static_cast<std::uint32_t>(kMaxBody / (out_elems * sizeof(cfloat)) + 2);
+  std::vector<cfloat> input(static_cast<std::size_t>(batch) *
+                            static_cast<std::size_t>(fx.g.image_elems()));
+  try {
+    client.forward(plan_id, input, batch);
+    FAIL() << "expected frame-cap rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+
+  // Both the connection and the server survive the rejection.
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(set.count()));
+  server.stop();
+}
+
+TEST(ServeE2E, PayloadByteBudgetBoundsPinnedMemory) {
+  Fixture fx = make_fixture();
+  const std::size_t per_req = (static_cast<std::size_t>(fx.g.image_elems()) +
+                               static_cast<std::size_t>(fx.set.count())) *
+                              sizeof(cfloat);
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("bytes");
+  // Budget admits exactly one single-batch request; a batch of two can never
+  // fit, no matter how empty the queue is.
+  sc.default_tenant.max_pending_bytes = per_req + per_req / 2;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "metered");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  std::vector<cfloat> two(static_cast<std::size_t>(fx.g.image_elems()) * 2);
+  try {
+    client.forward(plan_id, two, 2);
+    FAIL() << "expected payload-budget rejection";
+  } catch (const Error& e) {
+    // Permanently over budget is a client error, not a retryable overload.
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+
+  // Single-batch requests fit — and keep fitting: completion releases the
+  // byte charge (a leak would shed the second iteration as kOverloaded).
+  for (int i = 0; i < 4; ++i) {
+    const auto res = client.forward(plan_id, fx.image);
+    EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  }
+  EXPECT_EQ(server.stats().shed_overload, 1u);
+  server.stop();
+}
+
+TEST(ServeE2E, PlanHandleCapDropsLeastRecentlyUsed) {
+  Fixture fx = make_fixture();
+  Fixture fx2 = make_fixture();
+  fx2.cfg.reorder = !fx.cfg.reorder;  // different PlanConfig → different plan
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("plancap");
+  sc.default_tenant.max_plans = 1;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "capped");
+  const auto plan_a = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto plan_b = client.register_plan(fx2.g, fx2.set, fx2.cfg);
+  EXPECT_EQ(server.stats().plans_dropped, 1u);
+
+  // The LRU handle was dropped; the newest registration still works.
+  try {
+    client.forward(plan_a, fx.image);
+    FAIL() << "expected dropped-handle rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+  const auto res = client.forward(plan_b, fx2.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx2.set.count()));
+  server.stop();
+}
+
+TEST(ServeE2E, TenantRecordsAreGarbageCollectedOnDisconnect) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("gc");
+  NufftServer server(sc);
+  server.start();
+
+  // A client cycling distinct Hello names must not grow the tenant maps
+  // without bound: each record is reaped once its connection closes.
+  for (int i = 0; i < 16; ++i) {
+    NufftClient client;
+    client.connect(sc.socket_path, "cycler-" + std::to_string(i));
+    client.close();
+  }
+  for (int i = 0; i < 500 && server.tenant_count() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.tenant_count(), 0u);
+
+  // A tenant with a live session still functions after the churn.
+  NufftClient client;
+  client.connect(sc.socket_path, "steady");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  EXPECT_EQ(server.tenant_count(), 1u);
+  server.stop();
+}
+
+TEST(ServeE2E, HalfCloseStillDrainsBufferedFrames) {
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("eof");
+  NufftServer server(sc);
+  server.start();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, sc.socket_path.c_str(), sc.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Hello + Stats written back-to-back, then the write side closes. Frames
+  // that arrive together with (or before) the EOF must still be decoded and
+  // answered — a half-closing client gets its responses, not silence.
+  Bytes wire;
+  encode_frame(wire, MsgType::kHello, 1, encode(HelloMsg{"eof-tenant"}));
+  Bytes stats_frame;
+  encode_frame(stats_frame, MsgType::kStats, 2, Bytes{});
+  wire.insert(wire.end(), stats_frame.begin(), stats_frame.end());
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()), static_cast<ssize_t>(wire.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+
+  Bytes rx;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const auto n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    rx.insert(rx.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  Frame f1;
+  const auto c1 = try_decode_frame(rx.data(), rx.size(), f1);
+  ASSERT_GT(c1, 0u);
+  EXPECT_EQ(f1.type, MsgType::kHelloAck);
+  Frame f2;
+  ASSERT_GT(try_decode_frame(rx.data() + c1, rx.size() - c1, f2), 0u);
+  EXPECT_EQ(f2.type, MsgType::kStatsAck);
   server.stop();
 }
 
