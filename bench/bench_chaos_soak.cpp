@@ -1,0 +1,327 @@
+// Chaos soak: sustained multi-client load through the full serving path
+// while fault sites fire, ending in a SIGTERM drain — the robustness
+// contract as a pass/fail harness rather than a unit test.
+//
+//   $ ./bench_chaos_soak            # exit 0 = contract held, 1 = violated
+//
+// Phases (each NUFFT_CHAOS_MS long; faults armed via fault::arm_prob, which
+// compiles to a no-op without -DNUFFT_FAULT_INJECT=ON, leaving a plain soak):
+//
+//   baseline     no faults — calibrates goodput and latency
+//   front_door   serve.decode (stream kills) + serve.admission (sheds):
+//                clients must reconnect, re-register, and keep going
+//   mid_path     serve.build + serve.dispatch + engine.apply.transient
+//   slow_path    serve.complete.drop_wake (lost wakes) + engine.apply.stall
+//                (wedged applies; the engine watchdog resolves them)
+//   drain        load running, then SIGTERM mid-phase: graceful drain must
+//                complete within its deadline while late submits are
+//                rejected kUnavailable
+//
+// Hard gates, checked at exit (any failure → nonzero exit):
+//   * server books balance: accepted == completed + failed — a lost or
+//     duplicated completion breaks this identity
+//   * every client request reached exactly one outcome
+//   * client-confirmed successes never exceed server completions
+//   * p99 latency of successful requests stays under NUFFT_CHAOS_P99_MS
+//   * the drain completes within its deadline (+ scheduling slack)
+//
+// Env knobs: NUFFT_CHAOS_MS (per phase, default 1200), NUFFT_CHAOS_CLIENTS
+// (default 4), NUFFT_CHAOS_P99_MS (gate, default 5000), plus the common
+// bench knobs (NUFFT_BENCH_DIR, NUFFT_BENCH_JSON). Emits BENCH_chaos.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common.hpp"
+#include "common/env.hpp"
+#include "common/fault.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace nufft;
+using Clock = std::chrono::steady_clock;
+
+struct Outcomes {
+  std::atomic<std::uint64_t> issued{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> shed{0};       // kOverloaded
+  std::atomic<std::uint64_t> rejected{0};   // kUnavailable / stale plan handle
+  std::atomic<std::uint64_t> timeout{0};    // kTimeout (incl. watchdog)
+  std::atomic<std::uint64_t> io{0};         // kIoCorruption / kCancelled
+  std::atomic<std::uint64_t> other{0};
+  std::atomic<std::uint64_t> register_failures{0};
+
+  std::uint64_t outcomes() const {
+    return ok.load() + shed.load() + rejected.load() + timeout.load() + io.load() +
+           other.load();
+  }
+};
+
+double quantile_ms(std::vector<double>& lat_ms, double q) {
+  if (lat_ms.empty()) return 0;
+  std::sort(lat_ms.begin(), lat_ms.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(lat_ms.size() - 1));
+  return lat_ms[idx];
+}
+
+// One closed-loop client: connect, register, hammer forward() until told to
+// stop. Every thrown code is an expected terminal outcome for that request;
+// stream kills and tenant GC are handled by reconnecting and re-registering.
+void client_loop(const std::string& socket_path, const std::string& tenant,
+                 const GridDesc& grid, const datasets::SampleSet& samples,
+                 const PlanConfig& cfg, const std::vector<cfloat>& image,
+                 std::atomic<bool>& stop, Outcomes& o, std::vector<double>& lat_ms,
+                 std::mutex& lat_mu) {
+  serve::ClientOptions copts;
+  copts.backoff_base = std::chrono::milliseconds(2);
+  copts.backoff_max = std::chrono::milliseconds(50);
+  serve::NufftClient client(copts);
+  std::uint64_t plan_id = 0;
+  bool ready = false;
+  while (!stop.load(std::memory_order_relaxed)) {
+    try {
+      if (!client.connected()) {
+        client.connect(socket_path, tenant);
+        ready = false;  // the tenant record (and plan handles) may be gone
+      }
+      if (!ready) {
+        plan_id = client.register_plan(grid, samples, cfg);
+        ready = true;
+      }
+    } catch (const Error&) {
+      ++o.register_failures;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    ++o.issued;
+    const auto t0 = Clock::now();
+    try {
+      client.forward(plan_id, image);
+      ++o.ok;
+      const double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      std::lock_guard<std::mutex> lock(lat_mu);
+      lat_ms.push_back(ms);
+    } catch (const Error& e) {
+      switch (e.code()) {
+        case ErrorCode::kOverloaded: ++o.shed; break;
+        case ErrorCode::kResourceExhausted: ++o.shed; break;  // transient dispatch shed
+        case ErrorCode::kUnavailable: ++o.rejected; ready = false; break;
+        case ErrorCode::kInvalidInput: ++o.rejected; ready = false; break;  // stale handle
+        case ErrorCode::kTimeout: ++o.timeout; break;
+        case ErrorCode::kIoCorruption: ++o.io; ready = false; break;
+        case ErrorCode::kCancelled: ++o.io; break;  // drain-deadline cancellation
+        default: ++o.other; break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+struct PhaseResult {
+  Outcomes o;
+  std::vector<double> lat_ms;
+  std::uint64_t fault_fires = 0;
+};
+
+void run_phase(const std::string& socket_path, const GridDesc& grid,
+               const datasets::SampleSet& samples, const PlanConfig& cfg,
+               const std::vector<cfloat>& image, int clients, double seconds,
+               const std::function<void()>& mid_phase, PhaseResult& out) {
+  std::atomic<bool> stop{false};
+  std::mutex lat_mu;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      client_loop(socket_path, "chaos-" + std::to_string(c % 2), grid, samples, cfg, image,
+                  stop, out.o, out.lat_ms, lat_mu);
+    });
+  }
+  const auto until = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(seconds));
+  if (mid_phase) {
+    std::this_thread::sleep_until(Clock::now() + (until - Clock::now()) / 3);
+    mid_phase();
+  }
+  std::this_thread::sleep_until(until);
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  out.fault_fires = fault::fired_total();
+  fault::reset();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("chaos soak: fault sweep + SIGTERM drain through the serving path");
+  if (!fault::enabled()) {
+    std::printf("note: built without NUFFT_FAULT_INJECT — running as a plain soak\n");
+  }
+
+  const index_t N = 32;
+  const GridDesc grid = make_grid(2, N, 2.0);
+  datasets::TrajectoryParams params;
+  params.n = N;
+  params.k = 64;
+  params.s = 32;
+  const auto samples = datasets::make_trajectory(datasets::TrajectoryType::kRadial, 2, params);
+  PlanConfig cfg;
+  cfg.threads = 1;
+  const auto values = bench::random_values(grid.image_elems());
+  const std::vector<cfloat> image(values.begin(), values.end());
+
+  serve::ServeConfig sc;
+  sc.socket_path = (std::filesystem::temp_directory_path() /
+                    ("nufft_chaos_soak_" + std::to_string(::getpid()) + ".sock"))
+                       .string();
+  sc.engine.workers = std::max(1, static_cast<int>(env_int("NUFFT_THREADS", 2)));
+  sc.engine.stall_threshold = std::chrono::milliseconds(250);  // watchdog armed
+  sc.engine.watchdog_poll = std::chrono::milliseconds(10);
+  sc.drain_on_sigterm = true;
+  sc.drain_deadline = std::chrono::milliseconds(1000);
+  serve::NufftServer server(sc);
+  server.start();
+
+  const double seconds = static_cast<double>(env_int("NUFFT_CHAOS_MS", 1200)) / 1000.0;
+  const int clients = std::max(1, static_cast<int>(env_int("NUFFT_CHAOS_CLIENTS", 4)));
+  const double p99_gate_ms = static_cast<double>(env_int("NUFFT_CHAOS_P99_MS", 5000));
+
+  struct Phase {
+    const char* name;
+    std::function<void()> arm;
+    std::function<void()> mid;
+  };
+  std::vector<Phase> phases;
+  phases.push_back({"baseline", [] {}, nullptr});
+  phases.push_back({"front_door",
+                    [] {
+                      fault::arm_prob("serve.decode", 0.002);
+                      fault::arm_prob("serve.admission", 0.02);
+                    },
+                    nullptr});
+  phases.push_back({"mid_path",
+                    [] {
+                      fault::arm_prob("serve.build", 0.05);
+                      fault::arm_prob("serve.dispatch", 0.02);
+                      fault::arm_prob("engine.apply.transient", 0.01);
+                    },
+                    nullptr});
+  phases.push_back({"slow_path",
+                    [] {
+                      fault::arm_prob("serve.complete.drop_wake", 0.05);
+                      // Stalls outlast the 250 ms watchdog threshold.
+                      fault::arm_prob("engine.apply.stall", 0.002, /*budget=*/3,
+                                      /*stall ms=*/600);
+                    },
+                    nullptr});
+  std::atomic<bool> drain_met{false};
+  phases.push_back({"drain", [] {}, [&] {
+                      std::raise(SIGTERM);
+                      const auto slack = sc.drain_deadline + std::chrono::milliseconds(3000);
+                      const auto give_up = Clock::now() + slack;
+                      while (!server.drain_complete() && Clock::now() < give_up) {
+                        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                      }
+                      drain_met.store(server.drain_complete());
+                    }});
+
+  bench::BenchReport report("chaos");
+  std::printf("%12s %9s %9s %7s %9s %8s %7s %9s %9s %8s\n", "phase", "issued", "ok", "shed",
+              "rejected", "timeout", "io", "p50 ms", "p99 ms", "fires");
+
+  std::uint64_t total_issued = 0, total_outcomes = 0, total_ok = 0;
+  double worst_p99 = 0;
+  serve::ServerStats before = server.stats();
+  for (auto& ph : phases) {
+    fault::reset();
+    ph.arm();
+    PhaseResult pr;
+    run_phase(sc.socket_path, grid, samples, cfg, image, clients, seconds, ph.mid, pr);
+    const serve::ServerStats after = server.stats();
+
+    const double p50 = quantile_ms(pr.lat_ms, 0.50);
+    const double p99 = quantile_ms(pr.lat_ms, 0.99);
+    if (std::string(ph.name) != "drain") worst_p99 = std::max(worst_p99, p99);
+    total_issued += pr.o.issued.load();
+    total_outcomes += pr.o.outcomes();
+    total_ok += pr.o.ok.load();
+
+    std::printf("%12s %9llu %9llu %7llu %9llu %8llu %7llu %9.2f %9.2f %8llu\n", ph.name,
+                static_cast<unsigned long long>(pr.o.issued.load()),
+                static_cast<unsigned long long>(pr.o.ok.load()),
+                static_cast<unsigned long long>(pr.o.shed.load()),
+                static_cast<unsigned long long>(pr.o.rejected.load()),
+                static_cast<unsigned long long>(pr.o.timeout.load()),
+                static_cast<unsigned long long>(pr.o.io.load()), p50, p99,
+                static_cast<unsigned long long>(pr.fault_fires));
+    report.add(ph.name,
+               {{"issued", static_cast<double>(pr.o.issued.load())},
+                {"ok", static_cast<double>(pr.o.ok.load())},
+                {"shed", static_cast<double>(pr.o.shed.load())},
+                {"rejected", static_cast<double>(pr.o.rejected.load())},
+                {"timeout", static_cast<double>(pr.o.timeout.load())},
+                {"io", static_cast<double>(pr.o.io.load())},
+                {"register_failures", static_cast<double>(pr.o.register_failures.load())},
+                {"goodput_rps", static_cast<double>(pr.o.ok.load()) / seconds},
+                {"latency_p50_ms", p50},
+                {"latency_p99_ms", p99},
+                {"fault_fires", static_cast<double>(pr.fault_fires)},
+                {"srv_completed", static_cast<double>(after.completed - before.completed)},
+                {"srv_failed", static_cast<double>(after.failed - before.failed)},
+                {"srv_shed", static_cast<double>(after.shed_overload - before.shed_overload)}});
+    before = after;
+  }
+
+  const serve::ServerStats st = server.stats();
+  const auto wd = server.watchdog_stats();
+  std::printf("server: accepted %llu completed %llu failed %llu orphaned %llu replays %llu "
+              "rebinds %llu drain_cancelled %llu watchdog stalls %llu\n",
+              static_cast<unsigned long long>(st.accepted),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.failed),
+              static_cast<unsigned long long>(st.orphaned),
+              static_cast<unsigned long long>(st.replays),
+              static_cast<unsigned long long>(st.rebinds),
+              static_cast<unsigned long long>(st.drain_cancelled),
+              static_cast<unsigned long long>(wd.stalls));
+  server.stop();
+
+  // --- hard gates ---------------------------------------------------------
+  int violations = 0;
+  auto gate = [&](bool ok, const char* what) {
+    std::printf("gate %-46s %s\n", what, ok ? "PASS" : "FAIL");
+    if (!ok) ++violations;
+  };
+  gate(st.accepted == st.completed + st.failed,
+       "books balance (accepted == completed + failed)");
+  gate(total_outcomes == total_issued, "every request reached exactly one outcome");
+  gate(total_ok <= st.completed, "client successes never exceed completions");
+  gate(worst_p99 <= p99_gate_ms, "p99 latency bounded");
+  gate(drain_met.load(), "SIGTERM drain completed within deadline");
+
+  report.add("totals", {{"issued", static_cast<double>(total_issued)},
+                        {"ok", static_cast<double>(total_ok)},
+                        {"srv_accepted", static_cast<double>(st.accepted)},
+                        {"srv_completed", static_cast<double>(st.completed)},
+                        {"srv_failed", static_cast<double>(st.failed)},
+                        {"srv_replays", static_cast<double>(st.replays)},
+                        {"srv_rebinds", static_cast<double>(st.rebinds)},
+                        {"srv_drain_cancelled", static_cast<double>(st.drain_cancelled)},
+                        {"watchdog_stalls", static_cast<double>(wd.stalls)},
+                        {"worst_p99_ms", worst_p99},
+                        {"violations", static_cast<double>(violations)}});
+  const auto path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return violations == 0 ? 0 : 1;
+}

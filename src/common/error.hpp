@@ -25,7 +25,15 @@ enum class ErrorCode : int {
   kTimeout,               // job deadline expired
   kResourceExhausted,     // allocation or capacity failure
   kOverloaded,            // admission shed: server or tenant over capacity
+  kUnavailable,           // endpoint draining, quarantined or unreachable
 };
+
+/// Number of ErrorCode values. Every classification switch below must cover
+/// exactly this many codes; ErrorTaxonomy.EveryCodeIsClassified
+/// (tests/test_common.cpp) walks [0, kErrorCodeCount) and fails when a new
+/// enum value lands without a name/retryability entry, and -Wswitch flags
+/// the switches at compile time (they have no default case on purpose).
+inline constexpr int kErrorCodeCount = static_cast<int>(ErrorCode::kUnavailable) + 1;
 
 constexpr const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -37,18 +45,53 @@ constexpr const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kResourceExhausted: return "resource-exhausted";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "?";
 }
 
-/// True for failures that a bounded retry may clear. Invalid input and build
-/// failures are deterministic (the registry quarantines them instead);
-/// cancellation and timeouts are final by definition. kOverloaded is an
-/// admission shed — by design the caller should back off and retry once the
-/// server or tenant drops below capacity.
+/// What a caller may safely do with a failed request.
+enum class RetryClass {
+  /// Deterministic or final: retrying the identical request is pointless
+  /// (invalid input, failed build, expired deadline, internal bug).
+  kTerminal,
+  /// Transient: a bounded in-place retry may clear it (fresh allocation,
+  /// rebuilt spill file, backlog draining below the admission caps).
+  kTransient,
+  /// The *request* is still viable but this channel/endpoint is not:
+  /// reconnect (or reach another instance) and resubmit. Work failed this
+  /// way was never completed — kCancelled from a graceful drain and
+  /// kUnavailable from a draining or quarantined endpoint both promise the
+  /// request did not run to completion, so an idempotent resubmission is
+  /// safe (the serving layer additionally dedups by client request id).
+  kAfterReconnect,
+};
+
+/// Exhaustive ErrorCode → RetryClass mapping, the failure-model contract the
+/// engine retry loop, the serving admission layer and the resilient client
+/// all share. Covered case-by-case so -Wswitch (and the taxonomy test)
+/// breaks the build/test when a code is added without classification.
+constexpr RetryClass retry_class(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInternal: return RetryClass::kTerminal;
+    case ErrorCode::kInvalidInput: return RetryClass::kTerminal;
+    case ErrorCode::kBuildFailure: return RetryClass::kTerminal;
+    case ErrorCode::kIoCorruption: return RetryClass::kTransient;
+    case ErrorCode::kCancelled: return RetryClass::kAfterReconnect;
+    case ErrorCode::kTimeout: return RetryClass::kTerminal;
+    case ErrorCode::kResourceExhausted: return RetryClass::kTransient;
+    case ErrorCode::kOverloaded: return RetryClass::kTransient;
+    case ErrorCode::kUnavailable: return RetryClass::kAfterReconnect;
+  }
+  return RetryClass::kTerminal;
+}
+
+/// True for failures that a bounded *in-place* retry may clear — the
+/// engine's retry loop keys off this. kCancelled/kUnavailable are
+/// kAfterReconnect: retrying on the same channel cannot help, but the
+/// request itself remains safe to resubmit elsewhere (see RetryClass).
 constexpr bool is_retryable(ErrorCode code) {
-  return code == ErrorCode::kResourceExhausted || code == ErrorCode::kIoCorruption ||
-         code == ErrorCode::kOverloaded;
+  return retry_class(code) == RetryClass::kTransient;
 }
 
 /// Exception type thrown by all NUFFT failures.

@@ -2,11 +2,14 @@
 
 #if defined(NUFFT_FAULT_INJECT)
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
 #include <new>
+#include <random>
 #include <string>
+#include <thread>
 
 #include "obs/metrics.hpp"
 
@@ -15,8 +18,15 @@ namespace nufft::fault {
 namespace {
 
 struct Site {
-  int remaining = 0;        // triggers left to fire
-  int skip = 0;             // hits to ignore before firing
+  // Deterministic sites fire while remaining > 0 (after `skip` ignored
+  // hits); probabilistic sites fire with probability `prob` per hit, capped
+  // by `budget` total fires when budget > 0.
+  bool probabilistic = false;
+  int remaining = 0;        // deterministic: triggers left to fire
+  int skip = 0;             // deterministic: hits to ignore before firing
+  double prob = 0.0;        // probabilistic: per-hit fire probability
+  int budget = 0;           // probabilistic: max total fires (<=0 = unlimited)
+  int param = 0;            // site-defined payload (e.g. stall milliseconds)
   std::uint64_t fired = 0;  // triggers consumed so far
 };
 
@@ -24,11 +34,17 @@ struct Registry {
   std::mutex mu;
   std::map<std::string, Site> sites;
   bool env_parsed = false;
+  std::mt19937_64 rng{1};
 
-  // NUFFT_FAULT="site:count[:skip][,site2:count2...]" — parsed once per
-  // reset() epoch so tests that call reset() re-read the environment.
+  // NUFFT_FAULT="site:count[:skip[:param]]" or "site:p<prob>[:budget[:param]]",
+  // comma/semicolon separated — parsed once per reset() epoch so tests that
+  // call reset() re-read the environment. NUFFT_FAULT_SEED seeds the PRNG
+  // behind probabilistic sites (default 1, so runs are reproducible).
   void parse_env_locked() {
     env_parsed = true;
+    if (const char* seed = std::getenv("NUFFT_FAULT_SEED")) {
+      rng.seed(static_cast<std::uint64_t>(std::strtoull(seed, nullptr, 10)));
+    }
     const char* v = std::getenv("NUFFT_FAULT");
     if (v == nullptr || *v == '\0') return;
     std::string spec(v);
@@ -42,25 +58,46 @@ struct Registry {
       if (c1 == std::string::npos || c1 == 0) continue;
       const std::string name = item.substr(0, c1);
       const std::size_t c2 = item.find(':', c1 + 1);
+      const std::size_t c3 = c2 == std::string::npos ? std::string::npos : item.find(':', c2 + 1);
       Site s;
-      s.remaining = std::atoi(item.c_str() + c1 + 1);
-      if (c2 != std::string::npos) s.skip = std::atoi(item.c_str() + c2 + 1);
-      if (s.remaining > 0) sites[name] = s;
+      if (item[c1 + 1] == 'p') {
+        s.probabilistic = true;
+        s.prob = std::atof(item.c_str() + c1 + 2);
+        if (s.prob < 0.0) s.prob = 0.0;
+        if (s.prob > 1.0) s.prob = 1.0;
+        if (c2 != std::string::npos) s.budget = std::atoi(item.c_str() + c2 + 1);
+        if (c3 != std::string::npos) s.param = std::atoi(item.c_str() + c3 + 1);
+        if (s.prob > 0.0) sites[name] = s;
+      } else {
+        s.remaining = std::atoi(item.c_str() + c1 + 1);
+        if (c2 != std::string::npos) s.skip = std::atoi(item.c_str() + c2 + 1);
+        if (c3 != std::string::npos) s.param = std::atoi(item.c_str() + c3 + 1);
+        if (s.remaining > 0) sites[name] = s;
+      }
     }
   }
 
   // True when the named site is armed and a trigger fires on this hit.
-  bool hit(const char* site) {
+  // When firing, *param_out (if non-null) receives the site's param.
+  bool hit(const char* site, int* param_out = nullptr) {
     std::lock_guard<std::mutex> lock(mu);
     if (!env_parsed) parse_env_locked();
     auto it = sites.find(site);
-    if (it == sites.end() || it->second.remaining <= 0) return false;
-    if (it->second.skip > 0) {
-      --it->second.skip;
-      return false;
+    if (it == sites.end()) return false;
+    Site& s = it->second;
+    if (s.probabilistic) {
+      if (s.budget > 0 && s.fired >= static_cast<std::uint64_t>(s.budget)) return false;
+      if (std::generate_canonical<double, 53>(rng) >= s.prob) return false;
+    } else {
+      if (s.remaining <= 0) return false;
+      if (s.skip > 0) {
+        --s.skip;
+        return false;
+      }
+      --s.remaining;
     }
-    --it->second.remaining;
-    ++it->second.fired;
+    ++s.fired;
+    if (param_out != nullptr) *param_out = s.param;
     if (obs::metrics_enabled()) {
       obs::MetricsRegistry::instance().counter("fault.fired." + it->first).add(1);
     }
@@ -87,13 +124,35 @@ void inject_alloc(const char* site) {
   if (registry().hit(site)) throw std::bad_alloc();
 }
 
-void arm(const char* site, int count, int skip) {
+void maybe_stall(const char* site) {
+  int ms = 0;
+  if (registry().hit(site, &ms)) {
+    if (ms <= 0) ms = 50;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+void arm(const char* site, int count, int skip, int param) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   r.env_parsed = true;  // explicit arming overrides the environment
   Site s;
   s.remaining = count;
   s.skip = skip;
+  s.param = param;
+  s.fired = r.sites.count(site) ? r.sites[site].fired : 0;
+  r.sites[site] = s;
+}
+
+void arm_prob(const char* site, double prob, int budget, int param) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_parsed = true;
+  Site s;
+  s.probabilistic = true;
+  s.prob = prob < 0.0 ? 0.0 : (prob > 1.0 ? 1.0 : prob);
+  s.budget = budget;
+  s.param = param;
   s.fired = r.sites.count(site) ? r.sites[site].fired : 0;
   r.sites[site] = s;
 }
@@ -103,6 +162,7 @@ void reset() {
   std::lock_guard<std::mutex> lock(r.mu);
   r.sites.clear();
   r.env_parsed = false;
+  r.rng.seed(1);
 }
 
 std::uint64_t fired(const char* site) {
@@ -110,6 +170,14 @@ std::uint64_t fired(const char* site) {
   std::lock_guard<std::mutex> lock(r.mu);
   auto it = r.sites.find(site);
   return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+std::uint64_t fired_total() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& [name, s] : r.sites) total += s.fired;
+  return total;
 }
 
 }  // namespace nufft::fault

@@ -21,6 +21,12 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
                                         .count());
 }
 
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 // Fire a job's completion hook after its promise has been resolved. The hook
 // contract (JobOptions::on_complete) promises a ready future and exactly one
 // invocation; a throwing hook is a caller bug we contain rather than letting
@@ -42,6 +48,9 @@ NufftEngine::NufftEngine(EngineConfig cfg) : cfg_(cfg) {
   for (int w = 0; w < cfg_.workers; ++w) {
     threads_.emplace_back([this] { worker_main(); });
   }
+  if (cfg_.stall_threshold.count() >= 0) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
 }
 
 NufftEngine::~NufftEngine() { shutdown(); }
@@ -51,11 +60,21 @@ void NufftEngine::shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
+  {
+    std::lock_guard<std::mutex> lock(wd_mu_);
+    wd_stop_ = true;
+  }
   cv_.notify_all();
+  wd_cv_.notify_all();
   // Exactly one caller joins; concurrent shutdown() calls (including the
   // destructor racing an explicit shutdown from another thread) block here
   // until the drain completes instead of racing on std::thread::join.
+  // The watchdog goes first: it is the only thread that grows threads_, so
+  // once it is joined the worker join loop iterates a stable vector. A truly
+  // wedged worker blocks the join until its apply returns — the watchdog has
+  // already resolved its future, but thread teardown cannot be forced.
   std::call_once(join_once_, [this] {
+    if (watchdog_.joinable()) watchdog_.join();
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
     }
@@ -144,29 +163,129 @@ void NufftEngine::worker_main() {
       ++active_;
     }
     obs::observe_ns("engine.queue_wait_ns", elapsed_ns(job.submitted));
+    // Shared record the watchdog can see: promise ownership moves here so a
+    // stalled job can be resolved from outside this (possibly wedged) thread.
+    auto rec = std::make_shared<Running>();
+    rec->options = job.options;
+    rec->promise = std::move(job.promise);
+    rec->last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(wd_mu_);
+      running_.push_back(rec);
+    }
+    bool expelled = false;
     try {
       obs::Span span("engine.job", "engine", job.batch);
-      job.promise.set_value(dispatch_job(job, pool));
-      obs::count("engine.jobs_completed");
+      JobResult result = dispatch_job(job, pool, *rec);
+      if (!rec->claimed.exchange(true)) {
+        rec->promise.set_value(std::move(result));
+        obs::count("engine.jobs_completed");
+        notify_complete(rec->options);
+      } else {
+        expelled = true;
+      }
     } catch (...) {
-      obs::count("engine.jobs_failed");
-      job.promise.set_exception(std::current_exception());
+      if (!rec->claimed.exchange(true)) {
+        obs::count("engine.jobs_failed");
+        rec->promise.set_exception(std::current_exception());
+        notify_complete(rec->options);
+      } else {
+        expelled = true;
+      }
     }
-    notify_complete(job.options);
+    {
+      // Only now may the submitter's buffers die: the apply has returned, so
+      // releasing options.keepalive (held via rec) is safe.
+      std::lock_guard<std::mutex> lock(wd_mu_);
+      running_.erase(std::find(running_.begin(), running_.end(), rec));
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
     }
     idle_cv_.notify_all();
+    if (expelled) {
+      // The watchdog already resolved this job kTimeout and spawned a
+      // replacement worker; exiting keeps the worker count at cfg_.workers.
+      // Release ordering: a caller that observes this count through
+      // watchdog_stats() must also observe the late apply's buffer writes —
+      // it is the only signal that the expelled worker is done with them.
+      wd_late_.fetch_add(1, std::memory_order_release);
+      obs::count("engine.watchdog_late_completions");
+      return;
+    }
   }
 }
 
-JobResult NufftEngine::dispatch_job(Job& job, ThreadPool& pool) {
+void NufftEngine::watchdog_main() {
+  const auto threshold = std::chrono::nanoseconds(cfg_.stall_threshold).count();
+  auto poll = cfg_.watchdog_poll;
+  if (poll.count() <= 0) {
+    poll = std::clamp(cfg_.stall_threshold / 4, std::chrono::milliseconds{5},
+                      std::chrono::milliseconds{500});
+  }
+  for (;;) {
+    // Claim stalled jobs under wd_mu_, act on them outside it: promise
+    // resolution fires user code (future waiters, on_complete) and the
+    // quarantine takes the registry lock — neither belongs under wd_mu_.
+    std::vector<std::pair<std::shared_ptr<Running>, std::shared_ptr<const Nufft>>> stalled;
+    {
+      std::unique_lock<std::mutex> lock(wd_mu_);
+      wd_cv_.wait_for(lock, poll, [this] { return wd_stop_; });
+      if (wd_stop_) return;
+      const std::int64_t now = steady_now_ns();
+      for (const auto& rec : running_) {
+        if (now - rec->last_beat_ns.load(std::memory_order_relaxed) < threshold) continue;
+        if (rec->claimed.exchange(true)) continue;  // worker is resolving right now
+        stalled.emplace_back(rec, rec->plan);
+      }
+    }
+    for (auto& [rec, plan] : stalled) {
+      wd_stalls_.fetch_add(1, std::memory_order_relaxed);
+      obs::count("engine.watchdog_stalls");
+      rec->promise.set_exception(std::make_exception_ptr(
+          Error("watchdog: job heartbeat exceeded the stall threshold (" +
+                    std::to_string(cfg_.stall_threshold.count()) + " ms); worker presumed hung",
+                ErrorCode::kTimeout)));
+      if (cfg_.watchdog_registry != nullptr && plan != nullptr &&
+          cfg_.watchdog_registry->quarantine_plan(plan, "watchdog: apply hung on this plan")) {
+        wd_quarantines_.fetch_add(1, std::memory_order_relaxed);
+      }
+      notify_complete(rec->options);
+      {
+        // Restore the worker slot the wedged thread occupies. Skipped during
+        // shutdown — stop_ is set, so a new worker would exit immediately
+        // and the join loop may already be iterating threads_.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!stop_) {
+          threads_.emplace_back([this] { worker_main(); });
+          wd_replacements_.fetch_add(1, std::memory_order_relaxed);
+          obs::count("engine.watchdog_replacements");
+        }
+      }
+    }
+  }
+}
+
+WatchdogStats NufftEngine::watchdog_stats() const {
+  // Acquire pairs with the release increment of wd_late_ in worker_main:
+  // seeing late_completions == n makes the expelled workers' final buffer
+  // writes visible, so observers may reclaim job buffers afterwards.
+  WatchdogStats s;
+  s.stalls = wd_stalls_.load(std::memory_order_relaxed);
+  s.quarantines = wd_quarantines_.load(std::memory_order_relaxed);
+  s.replacements = wd_replacements_.load(std::memory_order_relaxed);
+  s.late_completions = wd_late_.load(std::memory_order_acquire);
+  return s;
+}
+
+JobResult NufftEngine::dispatch_job(Job& job, ThreadPool& pool, Running& rec) {
   constexpr std::chrono::milliseconds kBackoffCap{250};
   constexpr std::chrono::milliseconds kSleepSlice{10};
   int attempt = 0;
   auto backoff = std::max(job.options.retry_backoff, std::chrono::milliseconds{1});
   for (;;) {
+    rec.last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
     if (job.options.cancel && job.options.cancel->cancelled()) {
       obs::count("engine.jobs_cancelled");
       throw Error("job cancelled before dispatch", ErrorCode::kCancelled);
@@ -176,7 +295,7 @@ JobResult NufftEngine::dispatch_job(Job& job, ThreadPool& pool) {
       throw Error("job deadline expired", ErrorCode::kTimeout);
     }
     try {
-      return run_job(job, pool);
+      return run_job(job, pool, rec);
     } catch (const std::bad_alloc&) {
       if (attempt >= job.options.max_retries) {
         throw Error("job allocation failed and retry budget is exhausted",
@@ -199,13 +318,27 @@ JobResult NufftEngine::dispatch_job(Job& job, ThreadPool& pool) {
       const auto slice = std::min(remaining, kSleepSlice);
       std::this_thread::sleep_for(slice);
       remaining -= slice;
+      // Backing off is not a stall — keep the watchdog fed between attempts.
+      rec.last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
     }
     backoff = std::min(backoff * 2, kBackoffCap);
   }
 }
 
-JobResult NufftEngine::run_job(Job& job, ThreadPool& pool) {
+JobResult NufftEngine::run_job(Job& job, ThreadPool& pool, Running& rec) {
   std::shared_ptr<const Nufft> plan = job.resolve_plan();
+  {
+    // Publish the plan so a stall claimed from here on can quarantine it,
+    // and re-stamp the heartbeat: plan resolution may legitimately have
+    // taken a while (registry builds run inside the worker) and the apply's
+    // budget starts now.
+    std::lock_guard<std::mutex> lock(wd_mu_);
+    rec.plan = plan;
+  }
+  rec.last_beat_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  // Chaos site: a hung apply, from the watchdog's point of view. The stall
+  // duration comes from the site's param (milliseconds).
+  fault::maybe_stall("engine.apply.stall");
   JobResult result;
   if (job.batch == 1) {
     auto ws = lease_workspace(plan);

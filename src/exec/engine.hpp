@@ -87,11 +87,43 @@ struct JobOptions {
   /// thread resolved it. The future is guaranteed ready inside the hook. Must
   /// not throw; must not call back into the engine's shutdown.
   std::function<void()> on_complete;
+  /// Anything the apply reads or writes that the submitter might free once
+  /// the future resolves. The watchdog resolves stalled jobs kTimeout while
+  /// the wedged apply is still running — without a keepalive the submitter
+  /// would free `in`/`out` under the apply's feet. The engine holds this
+  /// reference until the apply truly returns (or forever, for a job that
+  /// never does), not merely until the future is ready.
+  std::shared_ptr<void> keepalive;
 };
 
 struct EngineConfig {
   int workers = 2;             // dispatcher threads, each owning a pool
   int threads_per_worker = 1;  // ThreadPool size inside each worker
+  /// Watchdog stall threshold: a dispatched job whose execution heartbeat
+  /// (stamped at dispatch, plan resolution and every retry/backoff boundary —
+  /// NOT inside an apply) is older than this is presumed hung. The watchdog
+  /// resolves its future with ErrorCode::kTimeout, quarantines the plan in
+  /// `watchdog_registry` (when set), fires on_complete, and spawns a
+  /// replacement worker so engine capacity survives the wedged thread. Must
+  /// exceed the worst-case plan-resolution + single-apply latency. Negative
+  /// (default) disables the watchdog entirely — no thread is started.
+  std::chrono::milliseconds stall_threshold{-1};
+  /// Watchdog scan period; <= 0 derives stall_threshold / 4, clamped to
+  /// [5 ms, 500 ms].
+  std::chrono::milliseconds watchdog_poll{0};
+  /// Registry whose entry for a stalled job's plan should be quarantined
+  /// (subsequent acquires fail fast kUnavailable for the registry's backoff
+  /// window). Null: stalls time out without quarantine. Must outlive the
+  /// engine.
+  PlanRegistry* watchdog_registry = nullptr;
+};
+
+/// Watchdog activity counters (monotonic since construction).
+struct WatchdogStats {
+  std::uint64_t stalls = 0;            // jobs claimed kTimeout by the watchdog
+  std::uint64_t quarantines = 0;       // stalled plans quarantined in the registry
+  std::uint64_t replacements = 0;      // workers spawned to cover wedged ones
+  std::uint64_t late_completions = 0;  // claimed jobs whose apply later returned
 };
 
 /// Point-in-time load snapshot, the admission-control hook for callers that
@@ -141,7 +173,13 @@ class NufftEngine {
   /// Queue/active snapshot for admission control.
   EngineLoad load() const;
 
-  int workers() const { return static_cast<int>(threads_.size()); }
+  /// Watchdog counters; all-zero when the watchdog is disabled.
+  WatchdogStats watchdog_stats() const;
+
+  int workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(threads_.size());
+  }
 
  private:
   struct Job {
@@ -168,11 +206,26 @@ class NufftEngine {
     std::vector<std::unique_ptr<BatchNufft>> batches;
   };
 
+  // One dispatched job's shared state between its worker and the watchdog.
+  // `claimed` arbitrates promise resolution: whoever flips it false→true owns
+  // set_value/set_exception and the on_complete call; the loser only observes.
+  // The record (and options.keepalive with it) lives in running_ until the
+  // apply returns, so buffers a watchdog-resolved submitter freed early stay
+  // valid under the wedged apply.
+  struct Running {
+    std::atomic<bool> claimed{false};
+    std::atomic<std::int64_t> last_beat_ns{0};  // steady_clock since-epoch ns
+    std::promise<JobResult> promise;
+    JobOptions options;
+    std::shared_ptr<const Nufft> plan;  // published under wd_mu_ once resolved
+  };
+
   std::future<JobResult> enqueue(Job job);
   void worker_main();
+  void watchdog_main();
   // Cancellation / deadline / bounded-retry wrapper around run_job.
-  JobResult dispatch_job(Job& job, ThreadPool& pool);
-  JobResult run_job(Job& job, ThreadPool& pool);
+  JobResult dispatch_job(Job& job, ThreadPool& pool, Running& rec);
+  JobResult run_job(Job& job, ThreadPool& pool, Running& rec);
 
   std::unique_ptr<Workspace> lease_workspace(const std::shared_ptr<const Nufft>& plan);
   void return_workspace(const Nufft* plan, std::unique_ptr<Workspace> ws);
@@ -191,8 +244,24 @@ class NufftEngine {
   // "destructor while another thread calls shutdown()" and plain concurrent
   // shutdown() calls are legal — the once_flag makes the join single-entry
   // while still blocking every concurrent caller until the drain finishes.
+  // threads_ grows when the watchdog spawns replacement workers; every
+  // mutation happens under mu_ with stop_ false, and shutdown joins the
+  // watchdog before iterating threads_, so the join loop sees a stable
+  // vector without holding mu_ (workers need mu_ to finish draining).
   std::once_flag join_once_;
   std::vector<std::thread> threads_;
+  std::thread watchdog_;
+
+  // Watchdog state: the set of dispatched-but-unfinished jobs. Workers
+  // insert/erase around dispatch; the watchdog scans for stale heartbeats.
+  mutable std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+  std::vector<std::shared_ptr<Running>> running_;
+  std::atomic<std::uint64_t> wd_stalls_{0};
+  std::atomic<std::uint64_t> wd_quarantines_{0};
+  std::atomic<std::uint64_t> wd_replacements_{0};
+  std::atomic<std::uint64_t> wd_late_{0};
 
   std::mutex lease_mu_;
   std::map<const Nufft*, LeasePool> leases_;

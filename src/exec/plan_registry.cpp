@@ -230,6 +230,42 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
   return plan;
 }
 
+bool PlanRegistry::quarantine_plan(const std::shared_ptr<const Nufft>& plan,
+                                   const std::string& reason) {
+  if (plan == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    Entry& e = it->second;
+    if (!e.ready || e.plan.get().get() != plan.get()) continue;
+    const std::string key = it->first;
+    bytes_ -= e.bytes;
+    // The watchdog (and whoever submitted the job) still holds the plan;
+    // like LRU eviction, the tenant charges follow the live references.
+    if (!e.charges.empty()) {
+      zombies_.push_back(Zombie{std::weak_ptr<const Nufft>(plan), std::move(e.charges)});
+    }
+    entries_.erase(it);
+    // Jump straight past the failure-count threshold: one hung apply is
+    // worth quarantine_threshold failed builds — the plan's preprocessing
+    // output is suspect and re-acquiring it immediately would hand the next
+    // job the same hazard. A later acquire after the backoff rebuilds from
+    // scratch (or from spill) and one success clears the record.
+    Quarantine& q = quarantine_[key];
+    q.consecutive_failures = std::max(q.consecutive_failures + 1, cfg_.quarantine_threshold);
+    q.last_error = reason;
+    q.last_code = ErrorCode::kUnavailable;
+    auto backoff = cfg_.quarantine_base_backoff;
+    for (int i = cfg_.quarantine_threshold; i < q.consecutive_failures; ++i) {
+      backoff = std::min(backoff * 2, cfg_.quarantine_max_backoff);
+    }
+    q.retry_after = std::chrono::steady_clock::now() + backoff;
+    ++stats_.watchdog_quarantines;
+    obs::count("registry.watchdog_quarantines");
+    return true;
+  }
+  return false;
+}
+
 void PlanRegistry::record_build_failure_locked(const std::string& key, const std::string& msg,
                                                ErrorCode code) {
   ++stats_.build_failures;

@@ -88,6 +88,7 @@ struct RegistryStats {
   std::uint64_t quarantine_rejects = 0;   // acquires failed fast by quarantine
   std::uint64_t corrupt_spills = 0;       // spill files rejected by validation
   std::uint64_t quota_rejects = 0;        // acquires rejected by tenant quota
+  std::uint64_t watchdog_quarantines = 0; // plans quarantined via quarantine_plan
 };
 
 class PlanRegistry {
@@ -109,6 +110,15 @@ class PlanRegistry {
   std::shared_ptr<const Nufft> acquire(const GridDesc& g, const datasets::SampleSet& samples,
                                        const PlanConfig& cfg,
                                        const std::string& tenant = std::string());
+
+  /// Quarantine the resident entry holding `plan` — the engine watchdog's
+  /// path for a plan whose apply hung. The entry is dropped from the registry
+  /// (outside handles stay valid; tenant charges move to the deferred-refund
+  /// list) and further acquires of its key fail fast with
+  /// ErrorCode::kUnavailable for the configured quarantine backoff, exactly
+  /// as if its builds had failed `quarantine_threshold` times. Returns true
+  /// when the plan was found resident. Thread-safe.
+  bool quarantine_plan(const std::shared_ptr<const Nufft>& plan, const std::string& reason);
 
   RegistryStats stats() const;
   std::size_t resident_bytes() const;

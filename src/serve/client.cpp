@@ -1,31 +1,67 @@
 #include "serve/client.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <random>
+#include <thread>
 #include <utility>
 
 namespace nufft::serve {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60 * 60 * 1000) return 60 * 60 * 1000;  // poll() takes int
+  return static_cast<int>(left.count());
+}
+
+std::uint64_t random_client_id() {
+  // random_device twice: a single 32-bit draw collides at birthday scale.
+  std::random_device rd;
+  std::uint64_t id = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  if (id == 0) id = 1;  // 0 means "no identity" on the wire
+  return id;
+}
+
+}  // namespace
+
 NufftClient::~NufftClient() { close(); }
 
 NufftClient::NufftClient(NufftClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)),
+    : opts_(other.opts_),
+      fd_(std::exchange(other.fd_, -1)),
       next_request_(other.next_request_),
       session_id_(other.session_id_),
+      client_id_(other.client_id_),
       last_plan_bytes_(other.last_plan_bytes_),
+      reconnects_(other.reconnects_),
+      socket_path_(std::move(other.socket_path_)),
+      tenant_(std::move(other.tenant_)),
       rbuf_(std::move(other.rbuf_)) {}
 
 NufftClient& NufftClient::operator=(NufftClient&& other) noexcept {
   if (this != &other) {
     close();
+    opts_ = other.opts_;
     fd_ = std::exchange(other.fd_, -1);
     next_request_ = other.next_request_;
     session_id_ = other.session_id_;
+    client_id_ = other.client_id_;
     last_plan_bytes_ = other.last_plan_bytes_;
+    reconnects_ = other.reconnects_;
+    socket_path_ = std::move(other.socket_path_);
+    tenant_ = std::move(other.tenant_);
     rbuf_ = std::move(other.rbuf_);
   }
   return *this;
@@ -43,25 +79,59 @@ void NufftClient::close() {
 void NufftClient::connect(const std::string& socket_path, const std::string& tenant) {
   NUFFT_CHECK_CODE(!tenant.empty(), ErrorCode::kInvalidInput,
                    "tenant name must be non-empty");
+  socket_path_ = socket_path;
+  tenant_ = tenant;
+  if (client_id_ == 0) {
+    client_id_ = opts_.client_id != 0 ? opts_.client_id : random_client_id();
+  }
+  do_connect();
+}
+
+void NufftClient::do_connect() {
   close();
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
-  NUFFT_CHECK_CODE(socket_path.size() < sizeof(addr.sun_path), ErrorCode::kInvalidInput,
-                   "socket path too long for AF_UNIX: " << socket_path);
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  NUFFT_CHECK_CODE(socket_path_.size() < sizeof(addr.sun_path), ErrorCode::kInvalidInput,
+                   "socket path too long for AF_UNIX: " << socket_path_);
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
 
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) throw Error("socket() failed", ErrorCode::kInternal);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) throw Error("socket() failed", ErrorCode::kUnavailable);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string why = std::strerror(errno);
-    close();
-    throw Error("cannot connect to " + socket_path + ": " + why, ErrorCode::kInternal);
+    if (errno == EINPROGRESS || errno == EAGAIN) {
+      // Non-blocking connect in flight (EAGAIN: AF_UNIX backlog full) —
+      // bounded wait for writability, then read the final verdict.
+      const auto deadline = Clock::now() + opts_.io_timeout;
+      try {
+        io_wait(POLLOUT, deadline);
+      } catch (...) {
+        close();
+        throw;
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+        const std::string why = std::strerror(soerr != 0 ? soerr : errno);
+        close();
+        throw Error("cannot connect to " + socket_path_ + ": " + why,
+                    ErrorCode::kUnavailable);
+      }
+    } else {
+      const std::string why = std::strerror(errno);
+      close();
+      throw Error("cannot connect to " + socket_path_ + ": " + why,
+                  ErrorCode::kUnavailable);
+    }
   }
 
   HelloMsg hello;
-  hello.tenant = tenant;
-  const Frame ack = rpc(MsgType::kHello, encode(hello), MsgType::kHelloAck);
+  hello.tenant = tenant_;
+  hello.client_id = client_id_;
+  const std::uint64_t request_id = next_request_++;
+  Bytes wire;
+  encode_frame(wire, MsgType::kHello, request_id, encode(hello));
+  const Frame ack = rpc_once(wire, request_id, MsgType::kHelloAck);
   session_id_ = decode_hello_ack(ack.body).session_id;
 }
 
@@ -114,20 +184,73 @@ std::vector<std::pair<std::string, std::uint64_t>> NufftClient::server_stats() {
   return decode_stats_ack(ack.body).counters;
 }
 
+void NufftClient::ping() { rpc(MsgType::kPing, Bytes{}, MsgType::kPong); }
+
+HealthAckMsg NufftClient::health() {
+  const Frame ack = rpc(MsgType::kHealth, Bytes{}, MsgType::kHealthAck);
+  return decode_health_ack(ack.body);
+}
+
+DrainAckMsg NufftClient::drain_server(std::int64_t deadline_ms) {
+  DrainMsg m;
+  m.deadline_ms = deadline_ms;
+  const Frame ack = rpc(MsgType::kDrain, encode(m), MsgType::kDrainAck);
+  return decode_drain_ack(ack.body);
+}
+
+void NufftClient::backoff_sleep(int attempt) {
+  std::int64_t base_ms = opts_.backoff_base.count();
+  if (base_ms <= 0) return;
+  for (int i = 0; i < attempt && base_ms < opts_.backoff_max.count(); ++i) base_ms *= 2;
+  base_ms = std::min<std::int64_t>(base_ms, std::max<std::int64_t>(opts_.backoff_max.count(), 1));
+  // Jitter ~ U(0.5, 1.5)·base: reconnecting clients must not stampede the
+  // server in lockstep after it comes back.
+  std::random_device rd;
+  std::uniform_real_distribution<double> dist(0.5, 1.5);
+  std::mt19937_64 rng{(static_cast<std::uint64_t>(rd()) << 32) ^ rd()};
+  const auto sleep_ms = static_cast<std::int64_t>(static_cast<double>(base_ms) * dist(rng));
+  std::this_thread::sleep_for(std::chrono::milliseconds(std::max<std::int64_t>(sleep_ms, 1)));
+}
+
 Frame NufftClient::rpc(MsgType type, const Bytes& body, MsgType expect) {
-  NUFFT_CHECK_CODE(fd_ >= 0, ErrorCode::kInvalidInput, "client is not connected");
+  NUFFT_CHECK_CODE(fd_ >= 0 || !socket_path_.empty(), ErrorCode::kInvalidInput,
+                   "client is not connected");
   const std::uint64_t request_id = next_request_++;
   Bytes wire;
   encode_frame(wire, type, request_id, body);
-  write_all(wire);
 
+  // Transport failures close the fd; server-reported errors leave it open.
+  // That distinction drives the retry decision: anything thrown while the
+  // connection is still healthy is an application answer, not a transport
+  // problem, and must surface unchanged.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (fd_ < 0) {
+        do_connect();
+        ++reconnects_;
+      }
+      return rpc_once(wire, request_id, expect);
+    } catch (const Error&) {
+      if (fd_ >= 0) throw;  // server answered; not a transport failure
+      if (attempt >= opts_.max_reconnects) throw;
+      backoff_sleep(attempt);
+      // Resubmission of the SAME request id is safe: the server deduplicates
+      // (client_id, request_id) — a still-running first execution is
+      // re-homed, a finished one is replayed from its cache.
+    }
+  }
+}
+
+Frame NufftClient::rpc_once(const Bytes& wire, std::uint64_t request_id, MsgType expect) {
+  write_all(wire);
   for (;;) {
     Frame f = read_frame();
     if (f.request_id != request_id) {
       // Unsolicited or stale frame (e.g. the error a server sends just
-      // before closing a poisoned stream with request id 0). Surface errors,
-      // drop anything else.
-      if (f.type == MsgType::kError) {
+      // before closing a poisoned stream with request id 0, or a response
+      // to a pre-reconnect request). Surface stream-level errors, drop
+      // anything else.
+      if (f.type == MsgType::kError && f.request_id == 0) {
         const ErrorMsg e = decode_error(f.body);
         throw Error(e.message, static_cast<ErrorCode>(e.code));
       }
@@ -144,12 +267,42 @@ Frame NufftClient::rpc(MsgType type, const Bytes& body, MsgType expect) {
   }
 }
 
+void NufftClient::io_wait(short events, Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd_, events, 0};
+    const int timeout = opts_.io_timeout.count() < 0 ? -1 : remaining_ms(deadline);
+    const int r = ::poll(&pfd, 1, timeout);
+    if (r > 0) {
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+        close();
+        throw Error("connection failed while waiting for I/O", ErrorCode::kIoCorruption);
+      }
+      return;  // readable/writable (POLLHUP still delivers buffered bytes)
+    }
+    if (r == 0) {
+      close();
+      throw Error("I/O deadline expired after " + std::to_string(opts_.io_timeout.count()) +
+                      " ms waiting on the server",
+                  ErrorCode::kUnavailable);
+    }
+    if (errno == EINTR) continue;
+    close();
+    throw Error("poll() failed: " + std::string(std::strerror(errno)),
+                ErrorCode::kIoCorruption);
+  }
+}
+
 void NufftClient::write_all(const Bytes& buf) {
+  const auto deadline = Clock::now() + opts_.io_timeout;
   std::size_t off = 0;
   while (off < buf.size()) {
-    const auto n = ::write(fd_, buf.data() + off, buf.size() - off);
+    const auto n = ::send(fd_, buf.data() + off, buf.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        io_wait(POLLOUT, deadline);  // bounded: throws on expiry
+        continue;
+      }
       const std::string why = std::strerror(errno);
       close();
       throw Error("connection write failed: " + why, ErrorCode::kIoCorruption);
@@ -160,9 +313,18 @@ void NufftClient::write_all(const Bytes& buf) {
 
 Frame NufftClient::read_frame() {
   Frame f;
+  // Progress-based deadline: restarted whenever bytes arrive, so a large
+  // result on a slow socket survives while a wedged server does not.
+  auto deadline = Clock::now() + opts_.io_timeout;
   for (;;) {
     if (!rbuf_.empty()) {
-      const std::size_t consumed = try_decode_frame(rbuf_.data(), rbuf_.size(), f);
+      std::size_t consumed = 0;
+      try {
+        consumed = try_decode_frame(rbuf_.data(), rbuf_.size(), f);
+      } catch (...) {
+        close();  // corrupt stream: no recoverable frame boundary remains
+        throw;
+      }
       if (consumed > 0) {
         rbuf_.erase(rbuf_.begin(), rbuf_.begin() + static_cast<std::ptrdiff_t>(consumed));
         return f;
@@ -172,9 +334,16 @@ Frame NufftClient::read_frame() {
     const auto n = ::read(fd_, chunk, sizeof(chunk));
     if (n > 0) {
       rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+      deadline = Clock::now() + opts_.io_timeout;
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        io_wait(POLLIN, deadline);  // bounded: throws on expiry
+        continue;
+      }
+    }
     close();
     throw Error("connection closed by server mid-response", ErrorCode::kIoCorruption);
   }

@@ -7,10 +7,24 @@
 // original ErrorCode — remote failures are indistinguishable from in-process
 // ones (a shed request throws kOverloaded, an expired deadline kTimeout).
 //
+// Resilience: every syscall is bounded by a poll(2)-based deadline
+// (ClientOptions::io_timeout) — no call can block forever on a hung or
+// half-dead server. When the transport dies mid-RPC (connection refused,
+// reset, corrupt stream, deadline expired), the client reconnects with
+// jittered exponential backoff and resubmits the SAME request id. The client
+// announces a stable nonzero client_id in its Hello, and the server
+// deduplicates (client_id, request_id) across reconnects: a request whose
+// first execution is still running is re-homed to the new connection, and one
+// that already finished replays its recorded outcome — so a resubmission
+// never runs the work twice. Errors the *server* sends on a healthy
+// connection are never retried here; retry policy for those belongs to the
+// caller (see retry_class() in common/error.hpp).
+//
 // The class is not thread-safe; use one client per thread, many clients per
 // server. That is the intended saturation-bench topology as well.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -31,9 +45,30 @@ struct RunOptions {
   bool best_effort = false;       // degrade instead of deadline-shed
 };
 
+struct ClientOptions {
+  /// Deadline for each I/O phase: connect, the whole request write, and — on
+  /// reads — time without a single byte of progress (the clock restarts
+  /// whenever bytes arrive, so a large result on a slow socket is fine while
+  /// a wedged server is not). Raise this when submitting transforms whose
+  /// compute time exceeds it. Negative disables deadlines entirely.
+  std::chrono::milliseconds io_timeout{5000};
+  /// Reconnect-and-resubmit attempts per RPC after a transport failure.
+  /// 0 disables resilience: the first transport error is thrown.
+  int max_reconnects = 3;
+  /// Jittered exponential backoff between reconnect attempts:
+  /// sleep ~ U(0.5, 1.5) · min(backoff_base · 2^attempt, backoff_max).
+  std::chrono::milliseconds backoff_base{10};
+  std::chrono::milliseconds backoff_max{1000};
+  /// Stable identity for server-side (client_id, request_id) dedup. 0 (the
+  /// default) generates a random nonzero id at first connect and keeps it for
+  /// the lifetime of the client object, reconnects included.
+  std::uint64_t client_id = 0;
+};
+
 class NufftClient {
  public:
   NufftClient() = default;
+  explicit NufftClient(ClientOptions opts) : opts_(opts) {}
   ~NufftClient();
 
   NufftClient(const NufftClient&) = delete;
@@ -42,12 +77,17 @@ class NufftClient {
   NufftClient& operator=(NufftClient&& other) noexcept;
 
   /// Connect and open a tenant session (Hello/HelloAck handshake). Throws
-  /// Error(kInternal) if the socket cannot be reached, kInvalidInput for an
-  /// empty tenant name.
+  /// Error(kUnavailable) if the socket cannot be reached within the I/O
+  /// deadline, kInvalidInput for an empty tenant name. Remembers the target,
+  /// so later RPCs can reconnect after a transport failure.
   void connect(const std::string& socket_path, const std::string& tenant);
   void close();
   bool connected() const { return fd_ >= 0; }
   std::uint64_t session_id() const { return session_id_; }
+  /// The dedup identity sent in Hello (fixed after the first connect).
+  std::uint64_t client_id() const { return client_id_; }
+  /// Successful reconnect-and-resubmit cycles performed so far.
+  std::uint64_t reconnects() const { return reconnects_; }
 
   /// Ship a plan description to the server and block until the plan is built
   /// (or served from the registry cache). Returns the plan handle for
@@ -72,17 +112,35 @@ class NufftClient {
   /// Counter snapshot from the server (ServerStats + per-tenant).
   std::vector<std::pair<std::string, std::uint64_t>> server_stats();
 
+  /// Liveness round-trip (Ping/Pong). Throws on transport failure.
+  void ping();
+  /// Lifecycle snapshot (Health/HealthAck): state, admitting flag, load.
+  HealthAckMsg health();
+  /// Ask the server to drain gracefully; <= 0 uses the server's default
+  /// deadline. Returns the ack (state + in-flight count at drain start).
+  DrainAckMsg drain_server(std::int64_t deadline_ms = -1);
+
  private:
   Frame rpc(MsgType type, const Bytes& body, MsgType expect);
+  Frame rpc_once(const Bytes& wire, std::uint64_t request_id, MsgType expect);
   RunResult run(WireOp op, std::uint64_t plan_id, const std::vector<cfloat>& input,
                 std::uint32_t batch, const RunOptions& opts);
+  void do_connect();
+  void backoff_sleep(int attempt);
+  // Poll until `events` is ready or `deadline`; throws kUnavailable on expiry.
+  void io_wait(short events, std::chrono::steady_clock::time_point deadline);
   void write_all(const Bytes& buf);
   Frame read_frame();
 
+  ClientOptions opts_;
   int fd_ = -1;
   std::uint64_t next_request_ = 1;
   std::uint64_t session_id_ = 0;
+  std::uint64_t client_id_ = 0;
   std::uint64_t last_plan_bytes_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::string socket_path_;
+  std::string tenant_;
   Bytes rbuf_;
 };
 

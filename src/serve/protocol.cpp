@@ -8,7 +8,7 @@ namespace {
 
 bool known_type(std::uint16_t t) {
   return t >= static_cast<std::uint16_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint16_t>(MsgType::kStatsAck);
+         t <= static_cast<std::uint16_t>(MsgType::kDrainAck);
 }
 
 void put_grid(Writer& w, const GridDesc& g) {
@@ -163,6 +163,7 @@ Bytes encode(const HelloMsg& m) {
   Bytes b;
   Writer w(b);
   w.str(m.tenant);
+  w.pod(m.client_id);
   return b;
 }
 
@@ -170,6 +171,9 @@ HelloMsg decode_hello(const Bytes& b) {
   Reader r(b);
   HelloMsg m;
   m.tenant = r.str();
+  // client_id arrived with the resilience layer; a body that ends after the
+  // tenant string is the legacy encoding and means "no replay identity".
+  m.client_id = r.done() ? 0 : r.pod<std::uint64_t>();
   return m;
 }
 
@@ -304,6 +308,66 @@ StatsAckMsg decode_stats_ack(const Bytes& b) {
     const auto value = r.pod<std::uint64_t>();
     m.counters.emplace_back(std::move(name), value);
   }
+  return m;
+}
+
+Bytes encode(const HealthAckMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(static_cast<std::uint8_t>(m.state));
+  w.pod(m.accepting);
+  w.pod(m.connections);
+  w.pod(m.inflight);
+  w.pod(m.queued);
+  w.pod(m.watchdog_stalls);
+  return b;
+}
+
+HealthAckMsg decode_health_ack(const Bytes& b) {
+  Reader r(b);
+  HealthAckMsg m;
+  const auto state = r.pod<std::uint8_t>();
+  NUFFT_CHECK_CODE(state <= 2, ErrorCode::kInvalidInput,
+                   "health state out of range: " << int{state});
+  m.state = static_cast<WireHealth>(state);
+  m.accepting = r.pod<std::uint8_t>();
+  m.connections = r.pod<std::uint64_t>();
+  m.inflight = r.pod<std::uint64_t>();
+  m.queued = r.pod<std::uint64_t>();
+  m.watchdog_stalls = r.pod<std::uint64_t>();
+  return m;
+}
+
+Bytes encode(const DrainMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.deadline_ms);
+  return b;
+}
+
+DrainMsg decode_drain(const Bytes& b) {
+  Reader r(b);
+  DrainMsg m;
+  m.deadline_ms = r.pod<std::int64_t>();
+  return m;
+}
+
+Bytes encode(const DrainAckMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(static_cast<std::uint8_t>(m.state));
+  w.pod(m.inflight);
+  return b;
+}
+
+DrainAckMsg decode_drain_ack(const Bytes& b) {
+  Reader r(b);
+  DrainAckMsg m;
+  const auto state = r.pod<std::uint8_t>();
+  NUFFT_CHECK_CODE(state <= 2, ErrorCode::kInvalidInput,
+                   "health state out of range: " << int{state});
+  m.state = static_cast<WireHealth>(state);
+  m.inflight = r.pod<std::uint64_t>();
   return m;
 }
 

@@ -53,6 +53,12 @@ enum class MsgType : std::uint16_t {
   kError,            // server → client: ErrorCode + message
   kStats,            // client → server: counters snapshot request
   kStatsAck,         // server → client
+  kPing,             // client → server: liveness probe (empty body)
+  kPong,             // server → client: liveness echo (empty body)
+  kHealth,           // client → server: readiness snapshot request (empty body)
+  kHealthAck,        // server → client
+  kDrain,            // client → server: begin a graceful drain
+  kDrainAck,         // server → client
 };
 
 struct FrameHeader {
@@ -174,11 +180,44 @@ class Reader {
 
 struct HelloMsg {
   std::string tenant;
+  /// Stable client identity surviving reconnects. The server keys its
+  /// response-replay cache on (tenant, client_id, request_id), so a client
+  /// that reconnects after losing a connection mid-request can resubmit the
+  /// same request_id and get the original outcome instead of a duplicate
+  /// execution. 0 (the legacy encoding, which omits the field entirely)
+  /// opts out of replay.
+  std::uint64_t client_id = 0;
 };
 
 struct HelloAckMsg {
   std::uint64_t session_id = 0;
   std::uint16_t server_version = kProtocolVersion;
+};
+
+/// Server lifecycle on the wire: ready (admitting normally), degraded
+/// (admitting, but shedding or quarantine activity suggests reduced
+/// capacity), draining (no new work; in-flight jobs are being flushed).
+enum class WireHealth : std::uint8_t { kReady = 0, kDegraded = 1, kDraining = 2 };
+
+struct HealthAckMsg {
+  WireHealth state = WireHealth::kReady;
+  std::uint8_t accepting = 1;      // 0 once draining
+  std::uint64_t connections = 0;
+  std::uint64_t inflight = 0;      // admitted jobs not yet resolved
+  std::uint64_t queued = 0;        // engine backlog
+  std::uint64_t watchdog_stalls = 0;
+};
+
+struct DrainMsg {
+  /// Budget for flushing in-flight work; <= 0 uses the server's configured
+  /// default. When the deadline passes, the remainder fails kCancelled
+  /// (RetryClass::kAfterReconnect — safe to resubmit elsewhere).
+  std::int64_t deadline_ms = -1;
+};
+
+struct DrainAckMsg {
+  WireHealth state = WireHealth::kDraining;
+  std::uint64_t inflight = 0;  // jobs the drain must flush or fail
 };
 
 struct RegisterPlanMsg {
@@ -237,6 +276,9 @@ Bytes encode(const SubmitMsg& m);
 Bytes encode(const ResultMsg& m);
 Bytes encode(const ErrorMsg& m);
 Bytes encode(const StatsAckMsg& m);
+Bytes encode(const HealthAckMsg& m);
+Bytes encode(const DrainMsg& m);
+Bytes encode(const DrainAckMsg& m);
 
 HelloMsg decode_hello(const Bytes& b);
 HelloAckMsg decode_hello_ack(const Bytes& b);
@@ -246,5 +288,8 @@ SubmitMsg decode_submit(const Bytes& b);
 ResultMsg decode_result(const Bytes& b);
 ErrorMsg decode_error(const Bytes& b);
 StatsAckMsg decode_stats_ack(const Bytes& b);
+HealthAckMsg decode_health_ack(const Bytes& b);
+DrainMsg decode_drain(const Bytes& b);
+DrainAckMsg decode_drain_ack(const Bytes& b);
 
 }  // namespace nufft::serve

@@ -9,9 +9,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <utility>
 
+#include "common/fault.hpp"
 #include "core/plan_cache.hpp"
 #include "obs/obs.hpp"
 
@@ -31,6 +33,11 @@ void set_nonblocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+// SIGTERM → graceful drain. Process-global by nature of signals: every
+// server configured with drain_on_sigterm polls it from its poll loop.
+std::atomic<bool> g_sigterm{false};
+void sigterm_handler(int) { g_sigterm.store(true, std::memory_order_relaxed); }
+
 }  // namespace
 
 // --- internal state structs -------------------------------------------------
@@ -39,10 +46,13 @@ struct NufftServer::Conn {
   int fd = -1;
   std::uint64_t id = 0;
   std::string tenant;  // empty until Hello
+  std::uint64_t client_id = 0;  // reconnect/replay identity (0 = none)
   Bytes rbuf;
   std::deque<Bytes> wbuf;
-  std::size_t woff = 0;  // bytes of wbuf.front() already written
+  std::size_t woff = 0;        // bytes of wbuf.front() already written
+  std::size_t wbuf_bytes = 0;  // total queued outbound bytes (slow-reader cap)
   bool close_after_flush = false;
+  Clock::time_point last_activity{};  // any read/write progress (idle timeout)
 };
 
 struct NufftServer::Tenant {
@@ -58,12 +68,22 @@ struct NufftServer::Tenant {
   int inflight = 0;
   std::uint32_t deficit = 0;   // deficit-round-robin credit
   std::uint64_t use_tick = 0;  // source for PlanHandle::last_use stamps
+  // Exactly-once across reconnects. `live_by_rid` maps (client_id,
+  // request_id) of requests still in flight — a resubmission re-homes the
+  // Pending to the new connection instead of re-executing. `replay` holds
+  // finished responses as raw frames (FIFO-evicted by entry and byte caps)
+  // so a resubmission after completion replays the original outcome.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> live_by_rid;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Bytes> replay;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> replay_order;
+  std::size_t replay_bytes = 0;
 };
 
 struct NufftServer::Pending {
   std::uint64_t id = 0;
   std::uint64_t conn_id = 0;
   std::uint64_t request_id = 0;
+  std::uint64_t client_id = 0;
   std::string tenant;
   std::shared_ptr<const Nufft> plan;
   exec::Op op = exec::Op::kForward;
@@ -74,18 +94,30 @@ struct NufftServer::Pending {
   Clock::time_point dispatched{};
   bool inflight = false;
   std::size_t payload_bytes = 0;  // input + output footprint charged at admission
-  // Owned I/O buffers: the engine reads input and writes output in place, so
-  // the Pending must stay at a stable address until its future resolves —
-  // std::map node stability provides exactly that.
-  std::vector<cfloat> input;
-  std::vector<cfloat> output;
+  // Owned I/O buffers, shared with the engine as JobOptions::keepalive: the
+  // apply reads input and writes output in place, and may still be running
+  // when this Pending dies early (watchdog kTimeout, drain-deadline
+  // kCancelled) — the engine's reference keeps the buffers valid until the
+  // apply truly returns.
+  struct IoBuffers {
+    std::vector<cfloat> input;
+    std::vector<cfloat> output;
+  };
+  std::shared_ptr<IoBuffers> io;
   std::future<exec::JobResult> future;
 };
 
 // --- lifecycle --------------------------------------------------------------
 
 NufftServer::NufftServer(ServeConfig cfg)
-    : cfg_(std::move(cfg)), registry_(cfg_.registry), engine_(cfg_.engine) {
+    : cfg_(std::move(cfg)), registry_(cfg_.registry), engine_([this] {
+        // Point the engine watchdog at this server's registry so a hung
+        // apply quarantines the plan it ran on (registry_ is declared — and
+        // thus constructed — before engine_).
+        exec::EngineConfig e = cfg_.engine;
+        if (e.watchdog_registry == nullptr) e.watchdog_registry = &registry_;
+        return e;
+      }()) {
   NUFFT_CHECK_MSG(!cfg_.socket_path.empty(), "ServeConfig::socket_path is required");
   max_inflight_ = cfg_.max_inflight > 0 ? cfg_.max_inflight : engine_.workers();
 }
@@ -123,6 +155,14 @@ void NufftServer::start() {
   }
   wake_r_ = pipefd[0];
   wake_w_ = pipefd[1];
+
+  if (cfg_.drain_on_sigterm) {
+    g_sigterm.store(false, std::memory_order_relaxed);
+    if (!sigterm_installed_) {
+      std::signal(SIGTERM, sigterm_handler);
+      sigterm_installed_ = true;
+    }
+  }
 
   stop_flag_.store(false);
   build_stop_ = false;
@@ -165,6 +205,13 @@ void NufftServer::stop() {
   if (wake_w_ >= 0) ::close(wake_w_);
   listen_fd_ = wake_r_ = wake_w_ = -1;
   ::unlink(cfg_.socket_path.c_str());
+  // Reset drain state so a restarted server admits again (the poll thread is
+  // joined; nothing races these).
+  drain_active_ = false;
+  drain_requested_.store(false, std::memory_order_relaxed);
+  draining_.store(false, std::memory_order_relaxed);
+  drain_complete_.store(false, std::memory_order_relaxed);
+  health_state_.store(static_cast<int>(WireHealth::kReady), std::memory_order_relaxed);
 }
 
 bool NufftServer::running() const {
@@ -201,6 +248,7 @@ void NufftServer::poll_loop() {
   while (!stop_flag_.load(std::memory_order_relaxed)) {
     finalize_completions();
     pump_dispatch();
+    lifecycle_tick();
 
     // Connections torn down outside the fd scan below (a send that could not
     // be framed during finalize) are reaped here.
@@ -261,7 +309,7 @@ void NufftServer::accept_ready() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or transient failure — poll again
-    if (conns_.size() >= cfg_.max_connections) {
+    if (drain_active_ || conns_.size() >= cfg_.max_connections) {
       ::close(fd);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.rejected_connections;
@@ -272,6 +320,7 @@ void NufftServer::accept_ready() {
     Conn c;
     c.fd = fd;
     c.id = next_conn_++;
+    c.last_activity = Clock::now();
     conns_.emplace(c.id, std::move(c));
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -288,6 +337,7 @@ void NufftServer::read_ready(Conn& c) {
     const auto n = ::read(c.fd, buf, sizeof(buf));
     if (n > 0) {
       c.rbuf.insert(c.rbuf.end(), buf, buf + n);
+      c.last_activity = Clock::now();
       if (static_cast<std::size_t>(n) < sizeof(buf)) break;
       continue;
     }
@@ -311,6 +361,7 @@ void NufftServer::read_ready(Conn& c) {
     Frame f;
     std::size_t consumed = 0;
     try {
+      fault::inject("serve.decode", ErrorCode::kIoCorruption);
       consumed = try_decode_frame(c.rbuf.data() + off, c.rbuf.size() - off, f);
     } catch (const Error& e) {
       // A corrupt frame poisons the whole stream — there is no way to find
@@ -347,13 +398,38 @@ bool NufftServer::flush_writes(Conn& c) {
       if (errno == EINTR) continue;
       return false;
     }
+    if (n > 0) c.last_activity = Clock::now();
     c.woff += static_cast<std::size_t>(n);
     if (c.woff == front.size()) {
+      c.wbuf_bytes -= std::min(c.wbuf_bytes, front.size());
       c.wbuf.pop_front();
       c.woff = 0;
     }
   }
   return true;
+}
+
+void NufftServer::send_raw(Conn& c, Bytes frame) {
+  if (c.fd < 0) return;
+  c.wbuf_bytes += frame.size();
+  c.wbuf.push_back(std::move(frame));
+  flush_writes(c);  // opportunistic immediate write
+  // Slow-reader guard: the cap applies to bytes queued *behind* the frame at
+  // the head, so one legitimately large response can always be delivered —
+  // what gets a connection closed is a peer that stops reading while the
+  // server keeps producing.
+  if (cfg_.max_wbuf_bytes != 0 && c.fd >= 0 && !c.wbuf.empty()) {
+    const std::size_t head = c.wbuf.front().size();
+    if (c.wbuf_bytes > head && c.wbuf_bytes - head > cfg_.max_wbuf_bytes) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.slow_reader_closed;
+      }
+      obs::count("serve.slow_reader_closed");
+      ::close(c.fd);
+      c.fd = -1;  // reaped by the poll loop; its pendings finish orphaned
+    }
+  }
 }
 
 void NufftServer::send_frame(Conn& c, MsgType type, std::uint64_t request_id,
@@ -371,8 +447,7 @@ void NufftServer::send_frame(Conn& c, MsgType type, std::uint64_t request_id,
     c.fd = -1;
     return;
   }
-  c.wbuf.push_back(std::move(out));
-  flush_writes(c);  // opportunistic immediate write
+  send_raw(c, std::move(out));
 }
 
 void NufftServer::send_error(Conn& c, std::uint64_t request_id, ErrorCode code,
@@ -402,6 +477,7 @@ void NufftServer::close_conn(std::uint64_t conn_id) {
       update_tenant_gauges(tit->second);
     }
     --queued_total_;
+    erase_live(p);
     release_payload(p);
     pendings_.erase(pid);
   }
@@ -428,6 +504,17 @@ void NufftServer::handle_frame(Conn& c, Frame&& f) {
       case MsgType::kStats:
         handle_stats(c, f);
         return;
+      case MsgType::kPing:
+        // Liveness probe: valid before Hello (an orchestrator's health check
+        // needs no tenant session).
+        send_frame(c, MsgType::kPong, f.request_id, Bytes{});
+        return;
+      case MsgType::kHealth:
+        handle_health(c, f);
+        return;
+      case MsgType::kDrain:
+        handle_drain(c, f);
+        return;
       default:
         throw Error("unexpected server-bound message type", ErrorCode::kIoCorruption);
     }
@@ -448,6 +535,7 @@ void NufftServer::handle_hello(Conn& c, const Frame& f) {
   NUFFT_CHECK_CODE(!m.tenant.empty(), ErrorCode::kInvalidInput, "tenant name must be non-empty");
   const std::string previous = c.tenant;
   c.tenant = m.tenant;
+  c.client_id = m.client_id;
   tenant_for(m.tenant);
   // A repeated Hello switches the session's tenant; the record it abandoned
   // may now be unreachable (a client cycling names on one connection must
@@ -502,6 +590,15 @@ void NufftServer::maybe_gc_tenant(const std::string& name) {
 void NufftServer::handle_register(Conn& c, Frame&& f) {
   NUFFT_CHECK_CODE(!c.tenant.empty(), ErrorCode::kInvalidInput,
                    "session has no tenant: send Hello first");
+  if (drain_active_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.drain_rejected;
+    }
+    obs::count("serve.drain_rejected");
+    throw Error("server is draining; reconnect and retry elsewhere",
+                ErrorCode::kUnavailable);
+  }
   // Decode on the poll thread (cheap, and corruption is detected while the
   // connection context is at hand); build on the builder thread.
   auto msg = std::make_shared<RegisterPlanMsg>(decode_register_plan(f.body));
@@ -516,6 +613,7 @@ void NufftServer::handle_register(Conn& c, Frame&& f) {
       reg.request_id = request_id;
       reg.tenant = tenant;
       try {
+        fault::inject("serve.build", ErrorCode::kBuildFailure);
         reg.plan = registry_.acquire(msg->grid, msg->samples, msg->config, tenant);
       } catch (const Error& e) {
         reg.code = e.code();
@@ -537,8 +635,51 @@ void NufftServer::handle_register(Conn& c, Frame&& f) {
 void NufftServer::handle_submit(Conn& c, Frame&& f) {
   NUFFT_CHECK_CODE(!c.tenant.empty(), ErrorCode::kInvalidInput,
                    "session has no tenant: send Hello first");
-  SubmitMsg m = decode_submit(f.body);
   Tenant& t = tenant_for(c.tenant);
+
+  // Exactly-once across reconnects, checked before anything else (a replay
+  // must work even mid-drain — the original execution already happened).
+  if (c.client_id != 0) {
+    const auto key = std::make_pair(c.client_id, f.request_id);
+    auto rit = t.replay.find(key);
+    if (rit != t.replay.end()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.replays;
+      }
+      obs::count("serve.replays");
+      send_raw(c, rit->second);  // copy: the cache keeps its entry
+      return;
+    }
+    auto lit = t.live_by_rid.find(key);
+    if (lit != t.live_by_rid.end()) {
+      auto pit2 = pendings_.find(lit->second);
+      if (pit2 != pendings_.end()) {
+        // Original execution still in flight: re-home it to this connection
+        // instead of running the work twice.
+        pit2->second.conn_id = c.id;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.rebinds;
+        }
+        obs::count("serve.rebinds");
+        return;
+      }
+      t.live_by_rid.erase(lit);  // stale index entry — fall through and run
+    }
+  }
+
+  if (drain_active_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.drain_rejected;
+    }
+    obs::count("serve.drain_rejected");
+    throw Error("server is draining; reconnect and resubmit elsewhere",
+                ErrorCode::kUnavailable);
+  }
+
+  SubmitMsg m = decode_submit(f.body);
 
   auto pit = t.plans.find(m.plan_id);
   if (pit == t.plans.end()) {
@@ -590,6 +731,7 @@ void NufftServer::handle_submit(Conn& c, Frame&& f) {
   p.id = next_pending_++;
   p.conn_id = c.id;
   p.request_id = f.request_id;
+  p.client_id = c.client_id;
   p.tenant = c.tenant;
   p.plan = plan;
   p.op = m.op == WireOp::kForward ? exec::Op::kForward : exec::Op::kAdjoint;
@@ -600,14 +742,18 @@ void NufftServer::handle_submit(Conn& c, Frame&& f) {
     p.has_deadline = true;
     p.deadline = p.arrival + std::chrono::milliseconds(m.deadline_ms);
   }
-  p.input = std::move(m.input);
-  p.output.resize(static_cast<std::size_t>(batch * out_elems));
+  p.io = std::make_shared<Pending::IoBuffers>();
+  p.io->input = std::move(m.input);
+  p.io->output.resize(static_cast<std::size_t>(batch * out_elems));
   p.payload_bytes = payload_bytes;
   t.pending_bytes += payload_bytes;
   pending_bytes_total_ += payload_bytes;
 
   t.queue.push_back(p.id);
   ++queued_total_;
+  if (p.client_id != 0) {
+    t.live_by_rid[{p.client_id, p.request_id}] = p.id;
+  }
   pendings_.emplace(p.id, std::move(p));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -621,6 +767,15 @@ void NufftServer::handle_submit(Conn& c, Frame&& f) {
 
 bool NufftServer::admit(Tenant& t, const SubmitMsg& m, std::size_t payload_bytes,
                         ErrorCode& code, std::string& why) {
+  if (fault::should_fail("serve.admission")) {
+    code = ErrorCode::kOverloaded;
+    why = "injected admission fault";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed_overload;
+    ++tenant_stats_[t.name].shed_overload;
+    obs::count("serve.shed_overload");
+    return false;
+  }
   if (t.queue.size() >= t.policy.max_queued) {
     code = ErrorCode::kOverloaded;
     why = "tenant '" + t.name + "' backlog full (" + std::to_string(t.queue.size()) +
@@ -767,6 +922,27 @@ void NufftServer::dispatch_one(std::uint64_t pending_id) {
       send_error(cit->second, p.request_id, ErrorCode::kTimeout,
                  "deadline expired in server queue");
     }
+    erase_live(p);
+    release_payload(p);
+    pendings_.erase(pending_id);
+    return;
+  }
+
+  if (fault::should_fail("serve.dispatch")) {
+    // Simulated dispatch failure: resolve the request as a transient engine
+    // rejection (kResourceExhausted — safe for the client to retry in place).
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failed;
+      ++tenant_stats_[p.tenant].failed;
+    }
+    obs::count("serve.failed");
+    auto cit = conns_.find(p.conn_id);
+    if (cit != conns_.end()) {
+      send_error(cit->second, p.request_id, ErrorCode::kResourceExhausted,
+                 "injected dispatch fault");
+    }
+    erase_live(p);
     release_payload(p);
     pendings_.erase(pending_id);
     return;
@@ -776,19 +952,25 @@ void NufftServer::dispatch_one(std::uint64_t pending_id) {
   if (p.has_deadline) {
     opts.timeout = std::chrono::duration_cast<std::chrono::milliseconds>(p.deadline - now);
   }
+  // The engine holds the I/O buffers alive until the apply truly returns,
+  // even if this Pending is failed early (watchdog, drain deadline).
+  opts.keepalive = p.io;
   const auto id = pending_id;
   opts.on_complete = [this, id] {
     {
       std::lock_guard<std::mutex> lock(out_mu_);
       completed_.push_back(id);
     }
-    wake();
+    // A dropped wake is recovered by the poll loop's 100 ms timeout — the
+    // completion id above is never lost, only its prompt delivery.
+    if (!fault::should_fail("serve.complete.drop_wake")) wake();
   };
   p.dispatched = now;
   p.inflight = true;
   ++t.inflight;
   ++inflight_total_;
-  p.future = engine_.submit(p.op, p.plan, p.input.data(), p.output.data(), p.batch, opts);
+  p.future =
+      engine_.submit(p.op, p.plan, p.io->input.data(), p.io->output.data(), p.batch, opts);
 }
 
 void NufftServer::finalize_completions() {
@@ -879,7 +1061,7 @@ void NufftServer::finalize(std::uint64_t pending_id) {
     exec::JobResult r = p.future.get();
     res.queue_wait_us = wait_ns / 1000;
     res.exec_us = static_cast<std::uint64_t>(r.stats.total_s * 1e6);
-    res.output = std::move(p.output);
+    res.output = std::move(p.io->output);
     ok = true;
   } catch (const Error& e) {
     err_code = e.code();
@@ -906,23 +1088,42 @@ void NufftServer::finalize(std::uint64_t pending_id) {
   obs::count(ok ? "serve.completed" : "serve.failed");
   obs::observe_ns("serve.service_ns", ns_between(p.arrival, Clock::now()));
 
+  // Build the full response frame once: it is both the reply and (for
+  // identified clients) the replay-cache entry, so a client that reconnects
+  // and resubmits this request_id replays the original outcome byte-for-byte
+  // instead of executing twice.
+  Bytes frame;
+  bool frame_ok = true;
+  try {
+    if (ok) {
+      encode_frame(frame, MsgType::kResult, p.request_id, encode(res));
+    } else {
+      ErrorMsg e;
+      e.code = static_cast<std::int32_t>(err_code);
+      e.message = err_msg;
+      encode_frame(frame, MsgType::kError, p.request_id, encode(e));
+    }
+  } catch (const std::exception&) {
+    // Body serialization failed (allocation) — admission already bounds
+    // result sizes, so this is a last-ditch guard: the poll thread must
+    // survive anything the response path throws.
+    frame_ok = false;
+    obs::count("serve.send_failures");
+  }
+  erase_live(p);
+  if (frame_ok) cache_response(p.tenant, p.client_id, p.request_id, frame);
+
   auto cit = conns_.find(p.conn_id);
   if (cit != conns_.end()) {
-    try {
-      if (ok) {
-        send_frame(cit->second, MsgType::kResult, p.request_id, encode(res));
-      } else {
-        send_error(cit->second, p.request_id, err_code, err_msg);
-      }
-    } catch (const std::exception&) {
-      // Body serialization failed (allocation) — admission already bounds
-      // result sizes, so this is a last-ditch guard: the poll thread must
-      // survive anything the per-connection send path throws.
-      obs::count("serve.send_failures");
+    if (frame_ok) {
+      send_raw(cit->second, std::move(frame));
+    } else {
       ::close(cit->second.fd);
       cit->second.fd = -1;
     }
   } else {
+    // The connection died mid-flight; the cached frame above is what the
+    // client collects when it reconnects and resubmits.
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.orphaned;
   }
@@ -938,6 +1139,189 @@ void NufftServer::handle_stats(Conn& c, const Frame& f) {
   StatsAckMsg ack;
   ack.counters = stat_counters();
   send_frame(c, MsgType::kStatsAck, f.request_id, encode(ack));
+}
+
+// --- lifecycle: health, drain, idle, replay ----------------------------------
+
+void NufftServer::drain(std::chrono::milliseconds deadline) {
+  drain_deadline_ms_.store(deadline.count(), std::memory_order_relaxed);
+  drain_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void NufftServer::begin_drain(std::chrono::milliseconds deadline) {
+  if (drain_active_) return;
+  drain_active_ = true;
+  draining_.store(true, std::memory_order_relaxed);
+  const auto budget = deadline.count() > 0 ? deadline : cfg_.drain_deadline;
+  drain_until_ = Clock::now() + budget;
+  health_state_.store(static_cast<int>(WireHealth::kDraining), std::memory_order_relaxed);
+  obs::count("serve.drains");
+}
+
+void NufftServer::handle_health(Conn& c, const Frame& f) {
+  HealthAckMsg ack;
+  ack.state = health();
+  ack.accepting = drain_active_ ? 0 : 1;
+  ack.connections = conns_.size();
+  ack.inflight = pendings_.size();
+  ack.queued = queued_total_;
+  ack.watchdog_stalls = engine_.watchdog_stats().stalls;
+  send_frame(c, MsgType::kHealthAck, f.request_id, encode(ack));
+}
+
+void NufftServer::handle_drain(Conn& c, const Frame& f) {
+  const DrainMsg m = f.body.empty() ? DrainMsg{} : decode_drain(f.body);
+  // Runs on the poll thread, which owns drain state — flip it directly so
+  // the ack below reflects the drain it just started.
+  begin_drain(std::chrono::milliseconds(m.deadline_ms));
+  DrainAckMsg ack;
+  ack.state = WireHealth::kDraining;
+  ack.inflight = pendings_.size();
+  send_frame(c, MsgType::kDrainAck, f.request_id, encode(ack));
+}
+
+void NufftServer::lifecycle_tick() {
+  const auto now = Clock::now();
+
+  if (cfg_.drain_on_sigterm && g_sigterm.load(std::memory_order_relaxed)) {
+    begin_drain(cfg_.drain_deadline);
+  }
+  if (drain_requested_.exchange(false, std::memory_order_acq_rel)) {
+    begin_drain(std::chrono::milliseconds(drain_deadline_ms_.load(std::memory_order_relaxed)));
+  }
+  if (drain_active_ && !drain_complete_.load(std::memory_order_relaxed)) {
+    if (pendings_.empty()) {
+      drain_complete_.store(true, std::memory_order_release);
+    } else if (now >= drain_until_) {
+      fail_all_live(ErrorCode::kCancelled,
+                    "server drained before this request finished; resubmit after "
+                    "reconnecting");
+      drain_complete_.store(true, std::memory_order_release);
+    }
+  }
+
+  // Idle-connection sweep: a connection with no traffic and no live work past
+  // the timeout is reclaimed (a request in flight keeps its connection open
+  // no matter how long the compute runs).
+  if (cfg_.idle_timeout.count() >= 0) {
+    std::vector<std::uint64_t> idle;
+    for (const auto& [id, c] : conns_) {
+      if (c.fd < 0) continue;
+      if (now - c.last_activity < cfg_.idle_timeout) continue;
+      bool busy = !c.wbuf.empty();
+      for (const auto& [pid, p] : pendings_) {
+        if (busy) break;
+        if (p.conn_id == id) busy = true;
+      }
+      if (!busy) idle.push_back(id);
+    }
+    for (const auto id : idle) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.idle_closed;
+      }
+      obs::count("serve.idle_closed");
+      close_conn(id);
+    }
+  }
+
+  // Health mirror: draining wins; recent watchdog stalls or a backlog at 3/4
+  // of the server cap report degraded; otherwise ready.
+  WireHealth h = WireHealth::kReady;
+  const auto stalls = engine_.watchdog_stats().stalls;
+  if (stalls != seen_stalls_) {
+    seen_stalls_ = stalls;
+    last_stall_ = now;
+  }
+  if (drain_active_) {
+    h = WireHealth::kDraining;
+  } else if ((stalls > 0 && now - last_stall_ < std::chrono::seconds(10)) ||
+             queued_total_ >= (cfg_.max_queued_total / 4) * 3) {
+    h = WireHealth::kDegraded;
+  }
+  health_state_.store(static_cast<int>(h), std::memory_order_relaxed);
+}
+
+void NufftServer::fail_all_live(ErrorCode code, const std::string& why) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pendings_.size());
+  for (const auto& [id, p] : pendings_) ids.push_back(id);
+  std::vector<std::string> touched;
+  for (const auto id : ids) {
+    auto it = pendings_.find(id);
+    if (it == pendings_.end()) continue;
+    Pending& p = it->second;
+    auto tit = tenants_.find(p.tenant);
+    if (tit != tenants_.end()) {
+      if (p.inflight) {
+        --tit->second.inflight;
+      } else {
+        auto& q = tit->second.queue;
+        q.erase(std::remove(q.begin(), q.end(), id), q.end());
+      }
+      update_tenant_gauges(tit->second);
+    }
+    if (p.inflight) {
+      --inflight_total_;
+    } else {
+      --queued_total_;
+    }
+    // NOT cached for replay: the work did not run to a result, so a
+    // resubmission after reconnect should execute, not replay kCancelled.
+    erase_live(p);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.failed;
+      ++stats_.drain_cancelled;
+      ++tenant_stats_[p.tenant].failed;
+    }
+    obs::count("serve.drain_cancelled");
+    auto cit = conns_.find(p.conn_id);
+    if (cit != conns_.end()) send_error(cit->second, p.request_id, code, why);
+    release_payload(p);
+    touched.push_back(p.tenant);
+    // In-flight engine jobs keep running against p.io (held alive by
+    // JobOptions::keepalive); their late completion finds no Pending and is
+    // a no-op in finalize().
+    pendings_.erase(it);
+  }
+  for (const auto& tn : touched) maybe_gc_tenant(tn);
+}
+
+void NufftServer::erase_live(const Pending& p) {
+  if (p.client_id == 0) return;
+  auto tit = tenants_.find(p.tenant);
+  if (tit == tenants_.end()) return;
+  auto& live = tit->second.live_by_rid;
+  auto it = live.find({p.client_id, p.request_id});
+  // Only erase our own index entry — a buggy client reusing a request id
+  // could have replaced it with a newer pending's.
+  if (it != live.end() && it->second == p.id) live.erase(it);
+}
+
+void NufftServer::cache_response(const std::string& tenant, std::uint64_t client_id,
+                                 std::uint64_t request_id, const Bytes& frame) {
+  if (client_id == 0 || cfg_.replay_cache_entries == 0) return;
+  auto tit = tenants_.find(tenant);
+  if (tit == tenants_.end()) return;
+  Tenant& t = tit->second;
+  const auto key = std::make_pair(client_id, request_id);
+  auto [it, inserted] = t.replay.emplace(key, frame);
+  if (!inserted) return;  // first outcome wins — that IS the exactly-once answer
+  t.replay_bytes += frame.size();
+  t.replay_order.push_back(key);
+  while (!t.replay_order.empty() &&
+         (t.replay.size() > cfg_.replay_cache_entries ||
+          (cfg_.replay_cache_bytes != 0 && t.replay_bytes > cfg_.replay_cache_bytes))) {
+    const auto victim = t.replay_order.front();
+    t.replay_order.pop_front();
+    auto vit = t.replay.find(victim);
+    if (vit != t.replay.end()) {
+      t.replay_bytes -= std::min(t.replay_bytes, vit->second.size());
+      t.replay.erase(vit);
+    }
+  }
 }
 
 // --- stats ------------------------------------------------------------------
@@ -981,6 +1365,16 @@ std::vector<std::pair<std::string, std::uint64_t>> NufftServer::stat_counters() 
   out.emplace_back("deadline_missed", s.deadline_missed);
   out.emplace_back("orphaned", s.orphaned);
   out.emplace_back("plans_dropped", s.plans_dropped);
+  out.emplace_back("idle_closed", s.idle_closed);
+  out.emplace_back("slow_reader_closed", s.slow_reader_closed);
+  out.emplace_back("drain_rejected", s.drain_rejected);
+  out.emplace_back("drain_cancelled", s.drain_cancelled);
+  out.emplace_back("replays", s.replays);
+  out.emplace_back("rebinds", s.rebinds);
+  const auto wd = engine_.watchdog_stats();
+  out.emplace_back("watchdog_stalls", wd.stalls);
+  out.emplace_back("watchdog_quarantines", wd.quarantines);
+  out.emplace_back("watchdog_replacements", wd.replacements);
   out.emplace_back("queue_wait_p50_us", obs::histogram_quantile_ns(wait_hist_, 0.50) / 1000);
   out.emplace_back("queue_wait_p99_us", obs::histogram_quantile_ns(wait_hist_, 0.99) / 1000);
   for (const auto& [name, t] : ts) {

@@ -89,6 +89,33 @@ struct ServeConfig {
   // Queue-wait histogram warm-up: deadline-aware shedding stays off until
   // this many completions have been observed (a cold server sheds nothing).
   std::uint64_t min_wait_samples = 32;
+
+  // --- resilience ------------------------------------------------------------
+  // Close a connection with no traffic in either direction for this long,
+  // unless it has live (queued or in-flight) requests. Negative: disabled.
+  std::chrono::milliseconds idle_timeout{-1};
+  // Slow-reader cap: outbound bytes a connection may queue *behind* the
+  // frame currently being written. A peer that stops reading while results
+  // stream costs its connection (slow_reader_closed stat), never unbounded
+  // server memory. The frame at the head is exempt so a single response
+  // larger than the cap still flushes. 0 = unlimited.
+  std::size_t max_wbuf_bytes = 64u << 20;
+  // Default budget for a graceful drain (Drain message with deadline_ms <= 0,
+  // or SIGTERM): admitted work gets this long to flush before the remainder
+  // is failed kCancelled (retryable-after-reconnect).
+  std::chrono::milliseconds drain_deadline{5000};
+  // Install a SIGTERM handler in start() that begins a graceful drain. The
+  // flag is process-global: every server polling it drains. Off by default —
+  // a library must not take signals without being asked.
+  bool drain_on_sigterm = false;
+  // Per-tenant response-replay cache (exactly-once across reconnects):
+  // finished responses for clients with a non-zero client_id are kept so a
+  // resubmitted (client_id, request_id) replays the original outcome instead
+  // of re-executing. Bounded per tenant by entries and bytes; the cache dies
+  // with the tenant record (a fully idle tenant's resubmission after GC
+  // re-executes — idempotent, so still exactly-once as observed per request).
+  std::size_t replay_cache_entries = 128;
+  std::size_t replay_cache_bytes = 32u << 20;
 };
 
 struct TenantStats {
@@ -115,6 +142,12 @@ struct ServerStats {
   std::uint64_t deadline_missed = 0;
   std::uint64_t orphaned = 0;       // completions whose connection had closed
   std::uint64_t plans_dropped = 0;  // LRU plan-handle drops (TenantPolicy::max_plans)
+  std::uint64_t idle_closed = 0;        // connections reaped by idle_timeout
+  std::uint64_t slow_reader_closed = 0; // connections over max_wbuf_bytes
+  std::uint64_t drain_rejected = 0;     // submits/registers refused while draining
+  std::uint64_t drain_cancelled = 0;    // live requests failed at the drain deadline
+  std::uint64_t replays = 0;            // responses served from the replay cache
+  std::uint64_t rebinds = 0;            // live requests re-homed to a new connection
 };
 
 class NufftServer {
@@ -152,6 +185,28 @@ class NufftServer {
   /// registry usually makes that a cache hit. Observational (tests/monitoring).
   std::size_t tenant_count() const { return tenant_count_.load(std::memory_order_relaxed); }
 
+  /// Current lifecycle state, as reported by the Health RPC: ready →
+  /// degraded (watchdog stalls in the last 10 s, or backlog at 3/4 of the
+  /// global cap) → draining.
+  WireHealth health() const {
+    return static_cast<WireHealth>(health_state_.load(std::memory_order_relaxed));
+  }
+
+  /// Begin a graceful drain from any thread (what SIGTERM and the Drain RPC
+  /// call): stop admitting submits/registers (kUnavailable) and new
+  /// connections, flush admitted work for `deadline` (<= 0 uses
+  /// ServeConfig::drain_deadline), then fail the remainder kCancelled.
+  /// The server stays up afterwards — delivering errors, answering
+  /// Ping/Health — until stop().
+  void drain(std::chrono::milliseconds deadline = std::chrono::milliseconds{-1});
+
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  /// True once a requested drain has flushed or failed every live request.
+  bool drain_complete() const { return drain_complete_.load(std::memory_order_relaxed); }
+
+  /// Engine watchdog counters (stalls, quarantines, replacements).
+  exec::WatchdogStats watchdog_stats() const { return engine_.watchdog_stats(); }
+
  private:
   struct Conn;
   struct Tenant;
@@ -180,9 +235,29 @@ class NufftServer {
   void handle_register(Conn& c, Frame&& f);
   void handle_submit(Conn& c, Frame&& f);
   void handle_stats(Conn& c, const Frame& f);
+  void handle_health(Conn& c, const Frame& f);
+  void handle_drain(Conn& c, const Frame& f);
   void send_frame(Conn& c, MsgType type, std::uint64_t request_id, const Bytes& body);
+  // Queue an already-encoded frame on a connection (the replay path and
+  // send_frame share the wbuf accounting and slow-reader enforcement).
+  void send_raw(Conn& c, Bytes frame);
   void send_error(Conn& c, std::uint64_t request_id, ErrorCode code, const std::string& msg);
   void close_conn(std::uint64_t conn_id);
+  // Lifecycle (poll thread): pick up drain requests/SIGTERM, advance the
+  // drain, enforce idle timeouts, refresh the health mirror.
+  void lifecycle_tick();
+  // Poll-thread half of drain(): flip into the draining state (idempotent).
+  void begin_drain(std::chrono::milliseconds deadline);
+  // Fail every live Pending (queued or in-flight) with `code` — the drain
+  // deadline's last resort. In-flight engine jobs keep running against
+  // keepalive-pinned buffers; their later completions find no Pending and
+  // are no-ops.
+  void fail_all_live(ErrorCode code, const std::string& why);
+  // Store a finished response for (tenant, client_id, request_id) replay.
+  void cache_response(const std::string& tenant, std::uint64_t client_id,
+                      std::uint64_t request_id, const Bytes& frame);
+  // Remove a Pending's live_by_rid index entry (if it still points at it).
+  void erase_live(const Pending& p);
 
   Tenant& tenant_for(const std::string& name);
   // Drop a tenant record (plans, queues, gauges, rotation slot) once it has
@@ -248,6 +323,20 @@ class NufftServer {
   std::atomic<bool> stop_flag_{false};
   mutable std::mutex run_mu_;
   bool running_ = false;
+
+  // Lifecycle. drain()/SIGTERM only flip atomics; the poll thread owns the
+  // actual transition (lifecycle_tick) like every other piece of state.
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<std::int64_t> drain_deadline_ms_{-1};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drain_complete_{false};
+  std::atomic<int> health_state_{0};  // WireHealth mirror for observers
+  bool drain_active_ = false;                        // poll thread
+  std::chrono::steady_clock::time_point drain_until_{};  // poll thread
+  // Degraded-state memory: last watchdog stall count and when it changed.
+  std::uint64_t seen_stalls_ = 0;
+  std::chrono::steady_clock::time_point last_stall_{};
+  bool sigterm_installed_ = false;
 };
 
 }  // namespace nufft::serve

@@ -59,6 +59,12 @@ void expect_graceful(const Bytes& stream, std::uint64_t seed) {
         case MsgType::kError: decode_error(f.body); break;
         case MsgType::kStats: break;
         case MsgType::kStatsAck: decode_stats_ack(f.body); break;
+        case MsgType::kPing: break;
+        case MsgType::kPong: break;
+        case MsgType::kHealth: break;
+        case MsgType::kHealthAck: decode_health_ack(f.body); break;
+        case MsgType::kDrain: decode_drain(f.body); break;
+        case MsgType::kDrainAck: decode_drain_ack(f.body); break;
       }
     }
   } catch (const Error& e) {
@@ -81,10 +87,32 @@ Bytes valid_stream(Rng& rng) {
   Bytes out;
   const int frames = 1 + static_cast<int>(rng.next_u64() % 3);
   for (int i = 0; i < frames; ++i) {
-    const auto type = static_cast<MsgType>(1 + rng.next_u64() % 9);
+    const auto type = static_cast<MsgType>(1 + rng.next_u64() % 15);
     const Bytes body = random_bytes(rng, rng.next_u64() % 512);
     encode_frame(out, type, rng.next_u64(), body);
   }
+  return out;
+}
+
+// A lifecycle conversation — Ping, Health, a Drain exchange, a straggling
+// Submit — as one stream, for mid-drain truncation and corruption: a server
+// dying partway through its drain handshake must leave the decoder with a
+// typed error or a "need more bytes", never a crash.
+Bytes drain_stream(Rng& rng) {
+  Bytes out;
+  encode_frame(out, MsgType::kPing, rng.next_u64(), Bytes{});
+  encode_frame(out, MsgType::kHealth, rng.next_u64(), Bytes{});
+  DrainMsg d;
+  d.deadline_ms = static_cast<std::int64_t>(rng.next_u64() % 1000) - 1;
+  encode_frame(out, MsgType::kDrain, rng.next_u64(), encode(d));
+  DrainAckMsg ack;
+  ack.state = WireHealth::kDraining;
+  ack.inflight = rng.next_u64() % 64;
+  encode_frame(out, MsgType::kDrainAck, rng.next_u64(), encode(ack));
+  HealthAckMsg h;
+  h.state = static_cast<WireHealth>(rng.next_u64() % 3);
+  h.accepting = static_cast<std::uint8_t>(rng.next_u64() % 2);
+  encode_frame(out, MsgType::kHealthAck, rng.next_u64(), encode(h));
   return out;
 }
 
@@ -93,7 +121,7 @@ TEST(ProtocolFuzz, HostileStreamsNeverCrash) {
   for (std::int64_t i = 0; i < iterations(); ++i) {
     const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
     Rng rng(seed);
-    switch (rng.next_u64() % 3) {
+    switch (rng.next_u64() % 5) {
       case 0: {  // pure noise
         expect_graceful(random_bytes(rng, rng.next_u64() % 2048), seed);
         break;
@@ -105,9 +133,22 @@ TEST(ProtocolFuzz, HostileStreamsNeverCrash) {
         expect_graceful(s, seed);
         break;
       }
-      default: {  // valid stream truncated mid-frame
+      case 2: {  // valid stream truncated mid-frame
         Bytes s = valid_stream(rng);
         s.resize(rng.next_u64() % (s.size() + 1));
+        expect_graceful(s, seed);
+        break;
+      }
+      case 3: {  // drain conversation truncated mid-handshake
+        Bytes s = drain_stream(rng);
+        s.resize(rng.next_u64() % (s.size() + 1));
+        expect_graceful(s, seed);
+        break;
+      }
+      default: {  // drain conversation with one flipped bit
+        Bytes s = drain_stream(rng);
+        const std::size_t pos = rng.next_u64() % s.size();
+        s[pos] ^= static_cast<std::uint8_t>(1u << (rng.next_u64() % 8));
         expect_graceful(s, seed);
         break;
       }
@@ -148,11 +189,45 @@ TEST(ProtocolFuzz, RandomMessagesRoundTripExactly) {
         << "seed " << seed;
 
     ErrorMsg err;
-    err.code = static_cast<std::int32_t>(rng.next_u64() % 8);
+    err.code = static_cast<std::int32_t>(rng.next_u64() %
+                                         static_cast<std::uint64_t>(kErrorCodeCount));
     err.message = std::string(rng.next_u64() % 64, 'x');
     const ErrorMsg eback = decode_error(encode(err));
     EXPECT_EQ(eback.code, err.code) << "seed " << seed;
     EXPECT_EQ(eback.message, err.message) << "seed " << seed;
+
+    HelloMsg hello;
+    hello.tenant = std::string(1 + rng.next_u64() % 16, 't');
+    hello.client_id = rng.next_u64();
+    const HelloMsg hback = decode_hello(encode(hello));
+    EXPECT_EQ(hback.tenant, hello.tenant) << "seed " << seed;
+    EXPECT_EQ(hback.client_id, hello.client_id) << "seed " << seed;
+
+    HealthAckMsg health;
+    health.state = static_cast<WireHealth>(rng.next_u64() % 3);
+    health.accepting = static_cast<std::uint8_t>(rng.next_u64() % 2);
+    health.connections = rng.next_u64();
+    health.inflight = rng.next_u64();
+    health.queued = rng.next_u64();
+    health.watchdog_stalls = rng.next_u64();
+    const HealthAckMsg hb = decode_health_ack(encode(health));
+    EXPECT_EQ(hb.state, health.state) << "seed " << seed;
+    EXPECT_EQ(hb.accepting, health.accepting) << "seed " << seed;
+    EXPECT_EQ(hb.connections, health.connections) << "seed " << seed;
+    EXPECT_EQ(hb.inflight, health.inflight) << "seed " << seed;
+    EXPECT_EQ(hb.queued, health.queued) << "seed " << seed;
+    EXPECT_EQ(hb.watchdog_stalls, health.watchdog_stalls) << "seed " << seed;
+
+    DrainMsg drain;
+    drain.deadline_ms = static_cast<std::int64_t>(rng.next_u64() % 100000) - 1;
+    EXPECT_EQ(decode_drain(encode(drain)).deadline_ms, drain.deadline_ms) << "seed " << seed;
+
+    DrainAckMsg dack;
+    dack.state = static_cast<WireHealth>(rng.next_u64() % 3);
+    dack.inflight = rng.next_u64();
+    const DrainAckMsg db = decode_drain_ack(encode(dack));
+    EXPECT_EQ(db.state, dack.state) << "seed " << seed;
+    EXPECT_EQ(db.inflight, dack.inflight) << "seed " << seed;
   }
 }
 

@@ -1,0 +1,367 @@
+// Chaos suite (ctest label: chaos; requires -DNUFFT_FAULT_INJECT=ON).
+//
+// Where test_faults.cpp arms sites around individual components, this suite
+// injects faults through the full serving path — decode, admission, build,
+// dispatch, completion handoff, and a wedged apply — and checks the
+// system-level contract: every request reaches exactly one outcome, the
+// documented ErrorCode surfaces at the client, connections and accounting
+// survive, and a resilient client recovers without duplicating work.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "core/nufft.hpp"
+#include "datasets/trajectory.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "test_util.hpp"
+
+static_assert(nufft::fault::enabled(),
+              "test_chaos.cpp requires -DNUFFT_FAULT_INJECT=ON");
+
+namespace nufft::serve {
+namespace {
+
+using datasets::TrajectoryType;
+
+std::string unique_socket_path(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const auto dir = std::filesystem::temp_directory_path();
+  return (dir / ("nufft_chaos_" + std::to_string(::getpid()) + "_" + tag + "_" +
+                 std::to_string(counter++) + ".sock"))
+      .string();
+}
+
+struct Fixture {
+  GridDesc g;
+  datasets::SampleSet set;
+  PlanConfig cfg;
+  std::vector<cfloat> image;
+};
+
+Fixture make_fixture(std::uint64_t seed = 7) {
+  Fixture f;
+  const index_t n = 16;
+  f.g = make_grid(2, n, 2.0);
+  f.set = testing::small_trajectory(TrajectoryType::kRadial, 2, n, 300, seed);
+  f.cfg.threads = 1;
+  f.cfg.use_simd = false;
+  const auto img = testing::random_image(f.g.image_elems(), seed + 1);
+  f.image.assign(img.begin(), img.end());
+  return f;
+}
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+bool write_some(int fd, const Bytes& b) {
+  std::size_t off = 0;
+  while (off < b.size()) {
+    const auto n = ::send(fd, b.data() + off, b.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<Frame> read_frames(int fd, std::size_t want) {
+  std::vector<Frame> out;
+  Bytes rx;
+  std::uint8_t chunk[65536];
+  while (out.size() < want) {
+    const auto n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    rx.insert(rx.end(), chunk, chunk + n);
+    std::size_t off = 0;
+    Frame f;
+    while (off < rx.size()) {
+      const std::size_t c = try_decode_frame(rx.data() + off, rx.size() - off, f);
+      if (c == 0) break;
+      off += c;
+      out.push_back(f);
+    }
+    rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  return out;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+// A corrupted inbound stream costs that connection (kIoCorruption, stream
+// poisoned, closed) — and the resilient client re-establishes a session and
+// completes the work on the next attempt.
+TEST_F(ChaosTest, DecodeFaultCostsTheConnectionButTheClientRecovers) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("decode");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "decode-tenant");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  fault::arm("serve.decode", 1);
+  try {
+    client.forward(plan_id, fx.image);
+    FAIL() << "expected poisoned-stream error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoCorruption);
+  }
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+
+  // The server hung up; the next RPC reconnects transparently. The tenant
+  // record died with the connection, so the plan is re-registered first —
+  // the content-keyed registry makes that a cache hit.
+  const auto plan_id2 = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto res = client.forward(plan_id2, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+  server.stop();
+}
+
+TEST_F(ChaosTest, AdmissionFaultShedsAsOverloaded) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("admit");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "admit-tenant");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  fault::arm("serve.admission", 1);
+  try {
+    client.forward(plan_id, fx.image);
+    FAIL() << "expected injected admission shed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+    EXPECT_TRUE(is_retryable(e.code()));
+  }
+  // A shed is an answer, not a transport failure: same connection retries.
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_EQ(server.stats().shed_overload, 1u);
+  server.stop();
+}
+
+TEST_F(ChaosTest, BuildFaultSurfacesAsBuildFailure) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("build");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "build-tenant");
+  fault::arm("serve.build", 1);
+  try {
+    client.register_plan(fx.g, fx.set, fx.cfg);
+    FAIL() << "expected injected build failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBuildFailure);
+  }
+  // The trigger is consumed and nothing broken was cached.
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  server.stop();
+}
+
+TEST_F(ChaosTest, DispatchFaultSurfacesAsResourceExhausted) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("dispatch");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "dispatch-tenant");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  fault::arm("serve.dispatch", 1);
+  try {
+    client.forward(plan_id, fx.image);
+    FAIL() << "expected injected dispatch failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+    EXPECT_TRUE(is_retryable(e.code()));
+  }
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  const auto st = server.stats();
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.failed, 1u);
+  server.stop();
+}
+
+// A dropped completion wake must delay a result, never lose it: the poll
+// loop's bounded timeout sweeps the completion queue regardless.
+TEST_F(ChaosTest, DroppedCompletionWakeDelaysButNeverLosesTheResult) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("wake");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "wake-tenant");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  Nufft direct(fx.g, fx.set, fx.cfg);
+  std::vector<cfloat> want(static_cast<std::size_t>(fx.set.count()));
+  direct.forward(fx.image.data(), want.data());
+
+  fault::arm("serve.complete.drop_wake", 1);
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(fault::fired("serve.complete.drop_wake"), 1u);
+  ASSERT_EQ(res.output.size(), want.size());
+  EXPECT_EQ(std::memcmp(res.output.data(), want.data(), want.size() * sizeof(cfloat)), 0);
+  EXPECT_EQ(server.stats().completed, 1u);
+  server.stop();
+}
+
+// The exactly-once contract under a mid-flight reconnect: the client dies
+// while its request executes, reconnects under the same identity, and
+// resubmits — the live job is re-homed to the new connection instead of
+// running twice.
+TEST_F(ChaosTest, InFlightWorkIsReboundAcrossReconnectExactlyOnce) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("rebind");
+  sc.engine.workers = 1;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient anchor;  // keeps the tenant alive across the raw reconnect
+  anchor.connect(sc.socket_path, "rebind-tenant");
+  const auto plan_id = anchor.register_plan(fx.g, fx.set, fx.cfg);
+
+  Nufft direct(fx.g, fx.set, fx.cfg);
+  std::vector<cfloat> want(static_cast<std::size_t>(fx.set.count()));
+  direct.forward(fx.image.data(), want.data());
+
+  HelloMsg hello;
+  hello.tenant = "rebind-tenant";
+  hello.client_id = 77;
+  SubmitMsg sub;
+  sub.plan_id = plan_id;
+  sub.op = WireOp::kForward;
+  sub.batch = 1;
+  sub.input.assign(fx.image.begin(), fx.image.end());
+  Bytes submit_frame;
+  encode_frame(submit_frame, MsgType::kSubmit, 9, encode(sub));
+
+  // Wedge the apply long enough for the crash-and-resubmit to happen while
+  // the first execution is still in flight.
+  fault::arm("engine.apply.stall", 1, 0, /*stall ms=*/500);
+
+  {
+    const int fd = raw_connect(sc.socket_path);
+    Bytes wire;
+    encode_frame(wire, MsgType::kHello, 1, encode(hello));
+    wire.insert(wire.end(), submit_frame.begin(), submit_frame.end());
+    ASSERT_TRUE(write_some(fd, wire));
+    (void)read_frames(fd, 1);  // HelloAck; then "crash" without reading more
+    ::close(fd);
+  }
+
+  const int fd = raw_connect(sc.socket_path);
+  Bytes wire;
+  encode_frame(wire, MsgType::kHello, 2, encode(hello));
+  wire.insert(wire.end(), submit_frame.begin(), submit_frame.end());
+  ASSERT_TRUE(write_some(fd, wire));
+  const auto frames = read_frames(fd, 2);
+  ::close(fd);
+
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MsgType::kHelloAck);
+  ASSERT_EQ(frames[1].type, MsgType::kResult);
+  EXPECT_EQ(frames[1].request_id, 9u);
+  const ResultMsg r = decode_result(frames[1].body);
+  ASSERT_EQ(r.output.size(), want.size());
+  EXPECT_EQ(std::memcmp(r.output.data(), want.data(), want.size() * sizeof(cfloat)), 0);
+
+  const auto st = server.stats();
+  EXPECT_EQ(st.completed, 1u);  // exactly one execution, never two
+  // Raced against the stall: almost always a live rebind, but if the first
+  // execution finished before the resubmission arrived it is a cache replay.
+  EXPECT_EQ(st.rebinds + st.replays, 1u);
+  server.stop();
+}
+
+// A small randomized soak across the non-destructive serve sites: with
+// probabilistic admission/dispatch/wake faults armed, every request must
+// reach exactly one outcome and the server's books must balance.
+TEST_F(ChaosTest, MixedFaultSoakKeepsAccountingExact) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("soak");
+  sc.engine.workers = 2;
+  NufftServer server(sc);
+  server.start();
+
+  fault::arm_prob("serve.admission", 0.15, /*budget=*/6);
+  fault::arm_prob("serve.dispatch", 0.15, /*budget=*/6);
+  fault::arm_prob("serve.complete.drop_wake", 0.25, /*budget=*/6);
+
+  constexpr int kThreads = 2;
+  constexpr int kReqs = 25;
+  std::atomic<int> ok{0}, rejected{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      NufftClient client;
+      client.connect(sc.socket_path, "soak-" + std::to_string(t));
+      const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+      for (int i = 0; i < kReqs; ++i) {
+        try {
+          const auto res = client.forward(plan_id, fx.image);
+          if (res.output.size() == static_cast<std::size_t>(fx.set.count())) ++ok;
+        } catch (const Error& e) {
+          EXPECT_TRUE(is_retryable(e.code())) << error_code_name(e.code());
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto st = server.stats();
+  EXPECT_EQ(ok.load() + rejected.load(), kThreads * kReqs);
+  EXPECT_EQ(st.completed, static_cast<std::uint64_t>(ok.load()));
+  EXPECT_EQ(st.accepted, st.completed + st.failed);
+  EXPECT_EQ(st.shed_overload + st.failed, static_cast<std::uint64_t>(rejected.load()));
+  EXPECT_GT(st.completed, 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nufft::serve

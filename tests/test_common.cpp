@@ -177,6 +177,42 @@ TEST(Error, CheckThrowsWithContext) {
 
 TEST(Error, CheckPassesSilently) { EXPECT_NO_THROW(NUFFT_CHECK(1 + 1 == 2)); }
 
+// Every ErrorCode value must carry a name and a retry classification. A new
+// enum value added without extending the switches in error.hpp hits the "?"
+// fallback here (the retry_class switch is additionally covered by -Wswitch
+// at compile time). kErrorCodeCount must track the last enumerator.
+TEST(ErrorTaxonomy, EveryCodeIsClassified) {
+  std::set<std::string> names;
+  for (int i = 0; i < kErrorCodeCount; ++i) {
+    const auto code = static_cast<ErrorCode>(i);
+    const std::string name = error_code_name(code);
+    EXPECT_NE(name, "?") << "ErrorCode " << i << " has no name — extend error.hpp";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name for ErrorCode " << i;
+    const RetryClass rc = retry_class(code);
+    EXPECT_TRUE(rc == RetryClass::kTerminal || rc == RetryClass::kTransient ||
+                rc == RetryClass::kAfterReconnect)
+        << "ErrorCode " << i << " has no retry classification";
+    // is_retryable() is defined as the transient class; keep them in lock-step.
+    EXPECT_EQ(is_retryable(code), rc == RetryClass::kTransient) << name;
+  }
+}
+
+// Pin the externally observable classification: serving clients and the
+// engine retry loop both depend on these exact values.
+TEST(ErrorTaxonomy, RetryabilityContract) {
+  EXPECT_TRUE(is_retryable(ErrorCode::kResourceExhausted));
+  EXPECT_TRUE(is_retryable(ErrorCode::kIoCorruption));
+  EXPECT_TRUE(is_retryable(ErrorCode::kOverloaded));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInternal));
+  EXPECT_FALSE(is_retryable(ErrorCode::kInvalidInput));
+  EXPECT_FALSE(is_retryable(ErrorCode::kBuildFailure));
+  EXPECT_FALSE(is_retryable(ErrorCode::kCancelled));
+  EXPECT_FALSE(is_retryable(ErrorCode::kTimeout));
+  EXPECT_FALSE(is_retryable(ErrorCode::kUnavailable));
+  EXPECT_EQ(retry_class(ErrorCode::kCancelled), RetryClass::kAfterReconnect);
+  EXPECT_EQ(retry_class(ErrorCode::kUnavailable), RetryClass::kAfterReconnect);
+}
+
 TEST(Types, ZeroComplexClearsBuffer) {
   cvecf v(100, cfloat(1.0f, -2.0f));
   zero_complex(v.data(), v.size());

@@ -264,6 +264,106 @@ TEST_F(FaultTest, RetryBudgetExhaustionSurfacesResourceExhausted) {
   EXPECT_EQ(fault::fired("engine.apply.transient"), 2u);
 }
 
+// --- Engine watchdog --------------------------------------------------------
+
+TEST_F(FaultTest, WatchdogResolvesHungJobAndQuarantinesThePlan) {
+  Fixture f = make_fixture();
+  PlanConfig cfg;
+  cfg.threads = 1;
+  PlanRegistry registry;
+  const auto plan = registry.acquire(f.g, f.set, cfg);
+
+  exec::EngineConfig ec;
+  ec.workers = 1;
+  ec.stall_threshold = std::chrono::milliseconds(50);
+  ec.watchdog_poll = std::chrono::milliseconds(5);
+  ec.watchdog_registry = &registry;
+  NufftEngine engine(ec);
+
+  cvecf got(static_cast<std::size_t>(f.set.count()));
+  fault::arm("engine.apply.stall", 1, 0, /*stall ms=*/400);
+  auto hung = engine.submit(exec::Op::kForward, plan, f.images[0].data(), got.data());
+  try {
+    hung.get();
+    FAIL() << "expected watchdog timeout";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+
+  // The future resolves before the watchdog finishes its bookkeeping
+  // (quarantine, replacement worker) — poll briefly instead of racing it.
+  exec::WatchdogStats wd;
+  for (int i = 0; i < 500; ++i) {
+    wd = engine.watchdog_stats();
+    if (wd.quarantines >= 1 && wd.replacements >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(wd.stalls, 1u);
+  EXPECT_EQ(wd.quarantines, 1u);
+  EXPECT_EQ(wd.replacements, 1u);
+
+  // The stalled plan is quarantined: re-acquiring its key fails fast instead
+  // of handing the next job the same hazard.
+  try {
+    registry.acquire(f.g, f.set, cfg);
+    FAIL() << "expected quarantine rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_GE(registry.stats().watchdog_quarantines, 1u);
+
+  // Capacity survived the wedged thread: the replacement worker serves the
+  // next job while the expelled one is still asleep inside the stall.
+  const auto set2 = testing::small_trajectory(TrajectoryType::kSpiral, 2, f.g.n[0], 400);
+  auto plan2 = std::make_shared<const Nufft>(f.g, set2, cfg);
+  cvecf out2(static_cast<std::size_t>(set2.count()));
+  engine.submit(exec::Op::kForward, plan2, f.images[0].data(), out2.data()).get();
+  EXPECT_EQ(engine.workers(), 2);  // original (wedged) + replacement
+
+  // When the stall finally returns, the claimed job counts as a late
+  // completion — the apply ran against keepalive-pinned buffers to the end.
+  for (int i = 0; i < 500 && engine.watchdog_stats().late_completions == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(engine.watchdog_stats().late_completions, 1u);
+}
+
+// --- Runtime fault configuration --------------------------------------------
+
+TEST_F(FaultTest, DeterministicSpecSkipsThenFires) {
+  fault::arm("chaos.skip", 2, /*skip=*/3);
+  int hits = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (fault::should_fail("chaos.skip")) ++hits;
+  }
+  EXPECT_EQ(hits, 2);  // three clean passes, two injected failures, then done
+  EXPECT_EQ(fault::fired("chaos.skip"), 2u);
+}
+
+TEST_F(FaultTest, ProbabilisticSpecHonoursBudget) {
+  fault::arm_prob("chaos.always", 1.0, /*budget=*/3);
+  int fired = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (fault::should_fail("chaos.always")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(fault::fired_total(), 3u);
+}
+
+TEST_F(FaultTest, EnvProbSpecArmsSites) {
+  ::setenv("NUFFT_FAULT", "env.prob:p1.0:2", 1);
+  ::setenv("NUFFT_FAULT_SEED", "123", 1);
+  fault::reset();  // re-read the environment on the next hit
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (fault::should_fail("env.prob")) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  ::unsetenv("NUFFT_FAULT");
+  ::unsetenv("NUFFT_FAULT_SEED");
+  fault::reset();
+}
+
 // --- BatchNufft graceful degradation ---------------------------------------
 
 TEST_F(FaultTest, SimdAllocFailureDegradesToScalarWithinTolerance) {

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -68,6 +69,51 @@ std::uint64_t counter_value(const std::vector<std::pair<std::string, std::uint64
   }
   ADD_FAILURE() << "counter not found: " << name;
   return 0;
+}
+
+// Raw-socket helpers for tests that need frame-level control (pipelining,
+// identity reuse, deliberately unread responses).
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+// Write as much as the peer accepts; false once the stream dies (the
+// slow-reader test keeps pushing after the server has hung up on it).
+bool write_some(int fd, const Bytes& b) {
+  std::size_t off = 0;
+  while (off < b.size()) {
+    const auto n = ::send(fd, b.data() + off, b.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<Frame> read_frames(int fd, std::size_t want) {
+  std::vector<Frame> out;
+  Bytes rx;
+  std::uint8_t chunk[65536];
+  while (out.size() < want) {
+    const auto n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    rx.insert(rx.end(), chunk, chunk + n);
+    std::size_t off = 0;
+    Frame f;
+    while (off < rx.size()) {
+      const std::size_t c = try_decode_frame(rx.data() + off, rx.size() - off, f);
+      if (c == 0) break;
+      off += c;
+      out.push_back(f);
+    }
+    rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  return out;
 }
 
 // --- wire protocol ----------------------------------------------------------
@@ -668,6 +714,261 @@ TEST(ServeE2E, ConcurrentMixedLoadKeepsAccountingConsistent) {
   EXPECT_EQ(st.shed_overload, static_cast<std::uint64_t>(shed.load()));
   EXPECT_EQ(st.accepted, st.completed + st.failed);
   EXPECT_GT(st.completed, 0u);
+  server.stop();
+}
+
+// --- lifecycle & resilience -------------------------------------------------
+
+TEST(ServeLifecycle, PingHealthAndGracefulDrain) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("drain");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "life");
+  client.ping();
+  const auto ready = client.health();
+  EXPECT_EQ(ready.state, WireHealth::kReady);
+  EXPECT_EQ(ready.accepting, 1);
+  EXPECT_EQ(ready.connections, 1u);
+
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto ack = client.drain_server(200);
+  EXPECT_EQ(ack.state, WireHealth::kDraining);
+  EXPECT_TRUE(server.draining());
+
+  // No new work while draining — rejected with the reconnect-retryable code.
+  try {
+    client.forward(plan_id, fx.image);
+    FAIL() << "expected drain rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+    EXPECT_EQ(retry_class(e.code()), RetryClass::kAfterReconnect);
+  }
+
+  // Liveness endpoints keep answering on existing connections...
+  client.ping();
+  const auto draining = client.health();
+  EXPECT_EQ(draining.state, WireHealth::kDraining);
+  EXPECT_EQ(draining.accepting, 0);
+
+  // ...but new connections are refused outright.
+  NufftClient late;
+  EXPECT_THROW(late.connect(sc.socket_path, "late"), Error);
+
+  for (int i = 0; i < 500 && !server.drain_complete(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(server.drain_complete());
+  EXPECT_EQ(server.health(), WireHealth::kDraining);
+  EXPECT_GE(server.stats().drain_rejected, 1u);
+  server.stop();
+}
+
+TEST(ServeLifecycle, DrainDeadlineCancelsBacklogExactlyOnce) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("cancel");
+  sc.engine.workers = 1;
+  sc.engine.threads_per_worker = 1;
+  NufftServer server(sc);
+  server.start();
+
+  // Register through a normal client; plan handles are per tenant, so the
+  // raw connection below can submit against the returned id.
+  NufftClient reg;
+  reg.connect(sc.socket_path, "cancel-tenant");
+  const auto plan_id = reg.register_plan(fx.g, fx.set, fx.cfg);
+
+  // Pipeline Hello + a deep backlog + Drain{1 ms} in one write: the drain is
+  // handled with the submits still queued, and a 1 ms budget cannot flush
+  // them — the remainder must come back kCancelled, one response per submit.
+  constexpr std::uint32_t kBatch = 8;
+  constexpr std::uint64_t kReqs = 48;
+  HelloMsg hello;
+  hello.tenant = "cancel-tenant";
+  hello.client_id = 0;  // no replay identity: every response goes to the wire
+  Bytes wire;
+  encode_frame(wire, MsgType::kHello, 1, encode(hello));
+  SubmitMsg sub;
+  sub.plan_id = plan_id;
+  sub.op = WireOp::kForward;
+  sub.batch = kBatch;
+  sub.input.assign(static_cast<std::size_t>(kBatch) *
+                       static_cast<std::size_t>(fx.g.image_elems()),
+                   cfloat{1.0f, 0.0f});
+  const Bytes sub_body = encode(sub);
+  for (std::uint64_t r = 0; r < kReqs; ++r) {
+    encode_frame(wire, MsgType::kSubmit, 100 + r, sub_body);
+  }
+  DrainMsg d;
+  d.deadline_ms = 1;
+  encode_frame(wire, MsgType::kDrain, 2, encode(d));
+
+  const int fd = raw_connect(sc.socket_path);
+  ASSERT_TRUE(write_some(fd, wire));
+  const auto frames = read_frames(fd, kReqs + 2);
+  ::close(fd);
+  ASSERT_EQ(frames.size(), kReqs + 2);
+
+  std::uint64_t results = 0, cancelled = 0;
+  bool saw_drain_ack = false;
+  for (const auto& f : frames) {
+    if (f.type == MsgType::kResult) ++results;
+    if (f.type == MsgType::kDrainAck) saw_drain_ack = true;
+    if (f.type == MsgType::kError) {
+      const auto e = decode_error(f.body);
+      EXPECT_EQ(static_cast<ErrorCode>(e.code), ErrorCode::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_TRUE(saw_drain_ack);
+  // Exactly one response per submit — nothing lost, nothing duplicated.
+  EXPECT_EQ(results + cancelled, kReqs);
+  EXPECT_GT(cancelled, 0u);
+
+  for (int i = 0; i < 500 && !server.drain_complete(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(server.drain_complete());
+  const auto st = server.stats();
+  EXPECT_EQ(st.completed, results);
+  EXPECT_EQ(st.drain_cancelled, cancelled);
+  server.stop();
+}
+
+TEST(ServeLifecycle, SigtermTriggersGracefulDrain) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("sigterm");
+  sc.drain_on_sigterm = true;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "sig");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  for (int i = 0; i < 500 && !server.draining(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(server.draining());
+  try {
+    client.forward(plan_id, fx.image);
+    FAIL() << "expected drain rejection after SIGTERM";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnavailable);
+  }
+  for (int i = 0; i < 500 && !server.drain_complete(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(server.drain_complete());
+  server.stop();
+}
+
+TEST(ServeLifecycle, IdleConnectionsAreReapedAndTheClientReconnects) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("idle");
+  sc.idle_timeout = std::chrono::milliseconds(100);
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "idler");
+  for (int i = 0; i < 500 && server.stats().idle_closed == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().idle_closed, 1u);
+
+  // The next RPC hits the dead transport, reconnects under the same
+  // client_id with backoff, and completes transparently.
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  EXPECT_GE(client.reconnects(), 1u);
+  server.stop();
+}
+
+TEST(ServeLifecycle, SlowReadersAreDisconnectedAtTheWriteBufferCap) {
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("slow");
+  sc.max_wbuf_bytes = 4096;
+  NufftServer server(sc);
+  server.start();
+
+  // Thousands of pipelined Stats requests without reading a byte back: once
+  // the kernel socket buffer fills, the server-side write buffer crosses the
+  // cap and the connection is cut instead of growing without bound.
+  Bytes wire;
+  encode_frame(wire, MsgType::kHello, 1, encode(HelloMsg{"slow"}));
+  for (std::uint64_t r = 2; r < 4002; ++r) {
+    encode_frame(wire, MsgType::kStats, r, Bytes{});
+  }
+  const int fd = raw_connect(sc.socket_path);
+  write_some(fd, wire);  // may fail mid-write once the server hangs up
+  for (int i = 0; i < 500 && server.stats().slow_reader_closed == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.stats().slow_reader_closed, 1u);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServeLifecycle, ReplayCacheMakesResubmissionExactlyOnce) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("replay");
+  NufftServer server(sc);
+  server.start();
+
+  // An anchor connection keeps the tenant record (and with it the replay
+  // cache) alive across the raw connection's crash-and-reconnect below.
+  NufftClient anchor;
+  anchor.connect(sc.socket_path, "replay-tenant");
+  const auto plan_id = anchor.register_plan(fx.g, fx.set, fx.cfg);
+
+  HelloMsg hello;
+  hello.tenant = "replay-tenant";
+  hello.client_id = 42;
+  SubmitMsg sub;
+  sub.plan_id = plan_id;
+  sub.op = WireOp::kForward;
+  sub.batch = 1;
+  sub.input.assign(fx.image.begin(), fx.image.end());
+  Bytes submit_frame;
+  encode_frame(submit_frame, MsgType::kSubmit, 7, encode(sub));
+
+  auto round = [&]() -> Bytes {
+    const int fd = raw_connect(sc.socket_path);
+    Bytes wire;
+    encode_frame(wire, MsgType::kHello, 1, encode(hello));
+    wire.insert(wire.end(), submit_frame.begin(), submit_frame.end());
+    EXPECT_TRUE(write_some(fd, wire));
+    const auto frames = read_frames(fd, 2);
+    ::close(fd);
+    if (frames.size() != 2 || frames[1].type != MsgType::kResult) {
+      ADD_FAILURE() << "expected HelloAck + Result, got " << frames.size() << " frames";
+      return {};
+    }
+    EXPECT_EQ(frames[1].request_id, 7u);
+    return frames[1].body;
+  };
+
+  // Same identity, same request id, fresh connection: the duplicate must be
+  // served from the replay cache — byte-identical, without re-executing.
+  const Bytes first = round();
+  const Bytes second = round();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  const auto st = server.stats();
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.replays, 1u);
   server.stop();
 }
 

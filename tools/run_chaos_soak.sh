@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Chaos-under-sanitizers sweep: build with the fault hooks compiled in
+# (-DNUFFT_FAULT_INJECT=ON) under AddressSanitizer and ThreadSanitizer, run
+# the chaos + faults test suites (`ctest -L 'faults|chaos'`), then run the
+# bench_chaos_soak harness — fault-sweep phases ending in a SIGTERM drain,
+# with hard exit-code gates on exactly-once accounting, bounded p99, and
+# drain-within-deadline (see bench/bench_chaos_soak.cpp).
+#
+# This is the "prove it under instrumentation" companion to
+# tools/run_fuzz_sanitized.sh: the soak's reconnect storms, watchdog
+# expulsions and drain cancellations are exactly the paths where a data race
+# or use-after-free would hide.
+#
+# Env knobs forwarded to the soak: NUFFT_CHAOS_MS (per-phase duration,
+# default 1200), NUFFT_CHAOS_CLIENTS (default 4), NUFFT_CHAOS_P99_MS
+# (latency gate; the default 5000 is generous because sanitizer
+# instrumentation inflates latency).
+#
+# Usage: tools/run_chaos_soak.sh [address] [thread]
+#        (no arguments = address + thread)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address thread)
+fi
+
+for san in "${sanitizers[@]}"; do
+  build="build-chaos-${san}san"
+  echo "=== chaos/${san}: configuring ${build} ==="
+  cmake -B "${build}" -S . \
+    -DNUFFT_SANITIZE="${san}" -DNUFFT_FAULT_INJECT=ON \
+    -DNUFFT_BUILD_BENCH=ON -DNUFFT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${build}" -j --target nufft_fault_tests --target nufft_chaos_tests \
+    --target bench_chaos_soak
+  echo "=== chaos/${san}: ctest -L 'faults|chaos' ==="
+  (cd "${build}" && ctest -L 'faults|chaos' --output-on-failure)
+  echo "=== chaos/${san}: bench_chaos_soak ==="
+  (cd "${build}/bench" && ./bench_chaos_soak)
+done
+
+echo "All chaos soaks passed: exactly-once held, drain met its deadline."

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Run the differential fuzz harness (`ctest -L fuzz`, including the serving
-# wire-protocol fuzz), the parallel-preprocessing suite (`ctest -L preproc`)
-# and the serving-layer suite (`ctest -L serve`) under AddressSanitizer and
+# wire-protocol fuzz), the parallel-preprocessing suite (`ctest -L preproc`),
+# the serving-layer suite (`ctest -L serve`) and the chaos suite
+# (`ctest -L chaos`, fault hooks compiled in) under AddressSanitizer and
 # UndefinedBehaviorSanitizer, as CI does; pass `thread` to race-check the
 # preprocessing scatter/radix passes and the server's poll/builder/engine
 # thread handoff under TSan. The sweep seeds are fixed
@@ -14,7 +15,9 @@
 # Sanitizer builds also compile in the library's debug invariant assertions
 # (NUFFT_DASSERT via NUFFT_DEBUG_ASSERTS — see the NUFFT_SANITIZE block in
 # the top-level CMakeLists.txt), so window-length and scheduler invariants
-# are checked alongside the memory/UB instrumentation.
+# are checked alongside the memory/UB instrumentation. Fault injection
+# (NUFFT_FAULT_INJECT) is enabled so the chaos suite exists; it is inert for
+# every other suite unless a NUFFT_FAULT env spec arms a site.
 #
 # Usage: tools/run_fuzz_sanitized.sh [address] [undefined] [thread]
 #        (no arguments = address + undefined)
@@ -31,12 +34,12 @@ for san in "${sanitizers[@]}"; do
   build="build-${san}san"
   echo "=== ${san} sanitizer: configuring ${build} ==="
   cmake -B "${build}" -S . \
-    -DNUFFT_SANITIZE="${san}" \
+    -DNUFFT_SANITIZE="${san}" -DNUFFT_FAULT_INJECT=ON \
     -DNUFFT_BUILD_BENCH=OFF -DNUFFT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "${build}" -j --target nufft_fuzz_tests --target nufft_preproc_tests \
-    --target nufft_serve_tests
-  echo "=== ${san} sanitizer: ctest -L 'fuzz|preproc|serve' ==="
-  (cd "${build}" && ctest -L 'fuzz|preproc|serve' --output-on-failure)
+    --target nufft_serve_tests --target nufft_chaos_tests
+  echo "=== ${san} sanitizer: ctest -L 'fuzz|preproc|serve|chaos' ==="
+  (cd "${build}" && ctest -L 'fuzz|preproc|serve|chaos' --output-on-failure)
 done
 
-echo "All sanitized fuzz + preproc + serve runs passed."
+echo "All sanitized fuzz + preproc + serve + chaos runs passed."
