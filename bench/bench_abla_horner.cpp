@@ -1,0 +1,56 @@
+// Ablation: Part 1 weight computation via the piecewise-polynomial Horner
+// evaluator versus the linear-interpolation LUT, for the ES kernel the
+// tolerance-driven planner pairs with Horner. The LUT gathers 2·dim·(2W+1)
+// table entries per sample; Horner recomputes the whole last-dim weight row
+// from one shared abscissa with nseg fused multiply-adds per degree.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/convolution.hpp"
+#include "kernels/es_kernel.hpp"
+#include "kernels/horner.hpp"
+#include "kernels/lut.hpp"
+
+using namespace nufft;
+using namespace nufft::bench;
+
+int main() {
+  print_header("Ablation — Horner vs LUT window evaluation (ES kernel, Part 1)");
+  const auto row = default_row_scaled();
+  const auto set = make_set(datasets::TrajectoryType::kRandom, row);
+  const GridDesc g = make_grid(3, row.n, 2.0);
+
+  std::printf("%-5s %6s %14s %14s %12s\n", "W", "degree", "LUT (s)", "Horner (s)",
+              "Horner gain");
+  for (const double W : {2.0, 3.0, 4.0}) {
+    const kernels::EsKernel es(W, 2.0);
+    const kernels::KernelLut lut(es, 1024);
+    const kernels::KernelHorner horner(es);
+
+    WindowEval lut_ev;
+    lut_ev.lut = &lut;
+    WindowEval horner_ev;
+    horner_ev.horner = &horner;
+
+    volatile float sink = 0.0f;
+    const auto time_eval = [&](const WindowEval& ev) {
+      return time_call([&] {
+        WindowBuf wb;
+        float acc = 0.0f;
+        for (index_t p = 0; p < set.count(); ++p) {
+          float coord[3] = {set.coords[0][static_cast<std::size_t>(p)],
+                            set.coords[1][static_cast<std::size_t>(p)],
+                            set.coords[2][static_cast<std::size_t>(p)]};
+          compute_window(g, ev, coord, 3, false, wb);
+          acc += wb.win[0][0];
+        }
+        sink = sink + acc;
+      });
+    };
+    const double t_lut = time_eval(lut_ev);
+    const double t_horner = time_eval(horner_ev);
+    std::printf("%-5.0f %6d %14.4f %14.4f %11.2fx\n", W, horner.degree(), t_lut, t_horner,
+                t_lut / t_horner);
+  }
+  return 0;
+}

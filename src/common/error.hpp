@@ -26,6 +26,7 @@ enum class ErrorCode : int {
   kResourceExhausted,     // allocation or capacity failure
   kOverloaded,            // admission shed: server or tenant over capacity
   kUnavailable,           // endpoint draining, quarantined or unreachable
+  kUnachievableAccuracy,  // plan(tolerance): no calibrated configuration meets it
 };
 
 /// Number of ErrorCode values. Every classification switch below must cover
@@ -33,7 +34,7 @@ enum class ErrorCode : int {
 /// (tests/test_common.cpp) walks [0, kErrorCodeCount) and fails when a new
 /// enum value lands without a name/retryability entry, and -Wswitch flags
 /// the switches at compile time (they have no default case on purpose).
-inline constexpr int kErrorCodeCount = static_cast<int>(ErrorCode::kUnavailable) + 1;
+inline constexpr int kErrorCodeCount = static_cast<int>(ErrorCode::kUnachievableAccuracy) + 1;
 
 constexpr const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -46,6 +47,7 @@ constexpr const char* error_code_name(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "resource-exhausted";
     case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kUnachievableAccuracy: return "unachievable-accuracy";
   }
   return "?";
 }
@@ -82,6 +84,9 @@ constexpr RetryClass retry_class(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return RetryClass::kTransient;
     case ErrorCode::kOverloaded: return RetryClass::kTransient;
     case ErrorCode::kUnavailable: return RetryClass::kAfterReconnect;
+    // No retry or reconnect changes what the calibration table can deliver;
+    // the caller must loosen the tolerance (or widen the kernel manually).
+    case ErrorCode::kUnachievableAccuracy: return RetryClass::kTerminal;
   }
   return RetryClass::kTerminal;
 }

@@ -20,7 +20,15 @@ namespace nufft {
 
 void compute_window(const GridDesc& g, const kernels::KernelLut& lut, const float* coord,
                     int dim, bool fill_dup, WindowBuf& wb) {
-  const float W = lut.radius();
+  WindowEval ev;
+  ev.lut = &lut;
+  compute_window(g, ev, coord, dim, fill_dup, wb);
+}
+
+void compute_window(const GridDesc& g, const WindowEval& ev, const float* coord, int dim,
+                    bool fill_dup, WindowBuf& wb) {
+  const kernels::KernelLut* lut = ev.lut;
+  const float W = ev.radius();
   for (int d = 0; d < dim; ++d) {
     const float k = coord[d];
     auto x1 = static_cast<index_t>(std::ceil(k - W));
@@ -54,7 +62,13 @@ void compute_window(const GridDesc& g, const kernels::KernelLut& lut, const floa
         if (wrapped < 0) wrapped += m;
       }
       wb.idx[d][i] = wrapped;
-      wb.win[d][i] = lut(std::fabs(static_cast<float>(nx) - k));
+      if (lut != nullptr) wb.win[d][i] = (*lut)(std::fabs(static_cast<float>(nx) - k));
+    }
+    if (lut == nullptr) {
+      // Horner batch path: every neighbour shares the abscissa
+      // z = x1 − k + W ∈ [0, 1] and neighbour i sits at distance z − W + i,
+      // which is exactly the per-segment parameterization the fit used.
+      ev.horner->eval_window(static_cast<float>(x1) - k + W, l, wb.win[d]);
     }
   }
   const int last = dim - 1;

@@ -27,6 +27,7 @@
 
 #include "common/types.hpp"
 #include "core/grid.hpp"
+#include "kernels/horner.hpp"
 #include "kernels/lut.hpp"
 
 namespace nufft {
@@ -60,6 +61,22 @@ struct WindowBuf {
 ///     correct periodic convolution.
 void compute_window(const GridDesc& g, const kernels::KernelLut& lut, const float* coord,
                     int dim, bool fill_dup, WindowBuf& wb);
+
+/// Non-owning view over whichever weight evaluator the plan selected:
+/// exactly one of `lut` / `horner` is set. The LUT is the paper's path; the
+/// Horner evaluator computes the whole last-dim weight row from one shared
+/// abscissa (see kernels/horner.hpp) and is what tolerance-driven plans use
+/// for the ES kernel at tight accuracies, where a float LUT's interpolation
+/// error would dominate.
+struct WindowEval {
+  const kernels::KernelLut* lut = nullptr;
+  const kernels::KernelHorner* horner = nullptr;
+  float radius() const { return lut != nullptr ? lut->radius() : horner->radius(); }
+};
+
+/// Part 1 against either evaluator; identical contract to the LUT overload.
+void compute_window(const GridDesc& g, const WindowEval& ev, const float* coord, int dim,
+                    bool fill_dup, WindowBuf& wb);
 
 /// Part 2, adjoint (scatter): add val·weights into the grid.
 template <int DIM>

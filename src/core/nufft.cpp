@@ -7,6 +7,7 @@
 #include "common/timer.hpp"
 #include "core/convolution.hpp"
 #include "core/convolution_avx2.hpp"
+#include "core/tolerance.hpp"
 #include "kernels/rolloff.hpp"
 #include "obs/trace.hpp"
 
@@ -48,6 +49,10 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
 Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg,
              Preprocessed restored)
     : g_(g), cfg_(cfg), nsamples_(samples.count()) {
+  // Tolerance-driven plans resolve their kernel parameters first, so every
+  // check and table below sees the resolved width/eval. Deterministic, so a
+  // restored plan preprocessed under the same cfg resolves identically.
+  apply_tolerance(cfg_, g.alpha);
   // Reject degenerate input before preprocessing touches it: NaN/Inf or
   // out-of-range coordinates would silently corrupt the histogram pass.
   datasets::validate_samples(samples);
@@ -60,7 +65,7 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
   // grid cells and the rolloff correction meaningless; reject it for every
   // construction path — in particular the restored-plan constructor below,
   // which skips preprocess() and its identical check.
-  const auto footprint = 2 * static_cast<index_t>(std::ceil(cfg.kernel_radius)) + 1;
+  const auto footprint = 2 * static_cast<index_t>(std::ceil(cfg_.kernel_radius)) + 1;
   for (int d = 0; d < g.dim; ++d) {
     NUFFT_CHECK_MSG(g.m[static_cast<std::size_t>(d)] >= footprint,
                     "grid dimension " << d << " (m = " << g.m[static_cast<std::size_t>(d)]
@@ -68,7 +73,7 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
                                       << footprint
                                       << "); shrink kernel_radius or enlarge the grid");
   }
-  pool_ = std::make_unique<ThreadPool>(cfg.threads);
+  pool_ = std::make_unique<ThreadPool>(cfg_.threads);
   if (restored.graph != nullptr) {
     NUFFT_CHECK_MSG(static_cast<index_t>(restored.orig_index.size()) == nsamples_,
                     "restored plan does not match the sample set");
@@ -84,7 +89,7 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
 
   // Rolloff precompensation with the ±1 chop baked in per dimension:
   // scale[d][i] = (−1)^(i − N/2) / apodization(i − N/2).
-  const auto kernel = kernels::make_kernel(cfg.kernel, cfg.kernel_radius, g.alpha);
+  const auto kernel = kernels::make_kernel(cfg_.kernel, cfg_.kernel_radius, g.alpha);
   for (int d = 0; d < g.dim; ++d) {
     const index_t n = g.n[static_cast<std::size_t>(d)];
     const index_t m = g.m[static_cast<std::size_t>(d)];
@@ -99,15 +104,20 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
     scale_[static_cast<std::size_t>(d)] = std::move(s);
   }
 
-  // The LUT lives in the plan for the whole lifetime.
-  lut_ = std::make_unique<kernels::KernelLut>(*kernel, cfg.lut_samples_per_unit);
+  // The LUT lives in the plan for the whole lifetime; Horner plans fit their
+  // piecewise polynomials alongside it (the LUT stays available for
+  // diagnostics and the radius bookkeeping).
+  lut_ = std::make_unique<kernels::KernelLut>(*kernel, cfg_.lut_samples_per_unit);
+  if (cfg_.eval == kernels::KernelEval::kHorner) {
+    horner_ = std::make_unique<kernels::KernelHorner>(*kernel);
+  }
 
   // Resolve the vector path once. kAuto prefers AVX2 when the CPU has it;
   // an explicit kAvx2 request on an unsupported CPU is a caller error.
-  if (!cfg.use_simd) {
+  if (!cfg_.use_simd) {
     conv_mode_ = ConvMode::kScalar;
-  } else if (cfg.isa == SimdIsa::kAvx2 ||
-             (cfg.isa == SimdIsa::kAuto && avx2_available())) {
+  } else if (cfg_.isa == SimdIsa::kAvx2 ||
+             (cfg_.isa == SimdIsa::kAuto && avx2_available())) {
     NUFFT_CHECK_MSG(avx2_available(), "AVX2 kernels requested on a CPU without AVX2+FMA");
     conv_mode_ = ConvMode::kAvx2;
   } else {
@@ -237,6 +247,7 @@ void Nufft::interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfl
                        int ntasks, ThreadPool& pool) const {
   const ConvMode mode = conv_mode_;
   const bool fill_dup = mode != ConvMode::kScalar;
+  const WindowEval ev = window_eval();
   pool.parallel_for_tid(ntasks, 1, [&](int, index_t kb, index_t ke) {
     WindowBuf wb;
     for (index_t k = kb; k < ke; ++k) {
@@ -246,7 +257,7 @@ void Nufft::interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfl
         for (int d = 0; d < DIM; ++d) {
           coord[d] = pp_.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
         }
-        compute_window(g_, *lut_, coord, DIM, fill_dup, wb);
+        compute_window(g_, ev, coord, DIM, fill_dup, wb);
         cfloat v;
         switch (mode) {
           case ConvMode::kScalar:
@@ -280,6 +291,7 @@ void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, Work
   cfloat* grid = ws.grid.data();
   const ConvMode mode = conv_mode_;
   const bool fill_dup = mode != ConvMode::kScalar;
+  const WindowEval ev = window_eval();
 
   // Convolve one task's samples into `dst` (the global grid, or a private
   // box with box-local indices).
@@ -291,7 +303,7 @@ void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, Work
       for (int d = 0; d < DIM; ++d) {
         coord[d] = pp_.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
       }
-      compute_window(g_, *lut_, coord, DIM, fill_dup, wb);
+      compute_window(g_, ev, coord, DIM, fill_dup, wb);
       if (box_local) {
         // Rebase neighbour indices into the private box; the box covers the
         // partition plus the kernel radius, so no wrapping can occur.

@@ -34,11 +34,13 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/convolution.hpp"
 #include "core/grid.hpp"
 #include "core/preprocess.hpp"
 #include "core/stats.hpp"
 #include "datasets/trajectory.hpp"
 #include "fft/fftnd.hpp"
+#include "kernels/horner.hpp"
 #include "kernels/lut.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -137,6 +139,18 @@ class Nufft {
  private:
   friend class exec::BatchNufft;
 
+  /// The weight evaluator this plan resolved (LUT or Horner) as the view
+  /// compute_window consumes.
+  WindowEval window_eval() const {
+    WindowEval ev;
+    if (horner_ != nullptr) {
+      ev.horner = horner_.get();
+    } else {
+      ev.lut = lut_.get();
+    }
+    return ev;
+  }
+
   void clear_grid(Workspace& ws, ThreadPool& pool) const;
   void image_to_grid(const cfloat* image, Workspace& ws, ThreadPool& pool) const;
   void grid_to_image(cfloat* image, const Workspace& ws, ThreadPool& pool) const;
@@ -160,6 +174,7 @@ class Nufft {
   std::array<fvec, 3> scale_;          // rolloff × chop, one array per dim
   std::array<std::vector<index_t>, 3> wrap_;  // image index → grid index per dim
   std::unique_ptr<kernels::KernelLut> lut_;
+  std::unique_ptr<kernels::KernelHorner> horner_;  // set iff cfg_.eval == kHorner
   ConvMode conv_mode_ = ConvMode::kSse;
   Workspace ws_;  // the plan-owned workspace behind the convenience API
 };

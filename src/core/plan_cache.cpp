@@ -6,13 +6,17 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/tolerance.hpp"
 
 namespace nufft {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4E554657;  // "NUFW"
-constexpr std::uint32_t kVersion = 1;
+// v2 added the resolved kernel identity (family, radius, LUT density, weight
+// evaluator) after the grid geometry: two plans differing only in kernel
+// must never restore interchangeably. v1 blobs are rejected as stale.
+constexpr std::uint32_t kVersion = 2;
 
 // On-disk container framing (save_plan/load_plan): a checksummed header in
 // front of the serialized blob, so a truncated or bit-flipped spill file is
@@ -90,13 +94,26 @@ class Reader {
 
 }  // namespace
 
-std::vector<std::uint8_t> serialize_plan(const Preprocessed& pp, const GridDesc& g) {
+std::vector<std::uint8_t> serialize_plan(const Preprocessed& pp, const GridDesc& g,
+                                         const PlanConfig& cfg) {
+  // Canonicalize: a tolerance-driven config and its resolved equivalent name
+  // the same plan, so both serialize the same identity.
+  PlanConfig rc = cfg;
+  apply_tolerance(rc, g.alpha);
   std::vector<std::uint8_t> out;
   Writer w(out);
   w.put(kMagic);
   w.put(kVersion);
   w.put(static_cast<std::int32_t>(g.dim));
   for (int d = 0; d < g.dim; ++d) w.put(g.m[static_cast<std::size_t>(d)]);
+
+  // Kernel identity (resolved). The radius shapes the task boxes, so a
+  // mismatch is structural; family/eval/LUT density are keyed so two plans
+  // differing only in kernel never dedupe to one cache entry.
+  w.put(static_cast<std::int32_t>(rc.kernel));
+  w.put(rc.kernel_radius);
+  w.put(static_cast<std::int32_t>(rc.lut_samples_per_unit));
+  w.put(static_cast<std::int32_t>(rc.eval));
 
   // Partition layout.
   for (int d = 0; d < g.dim; ++d) {
@@ -118,8 +135,10 @@ std::vector<std::uint8_t> serialize_plan(const Preprocessed& pp, const GridDesc&
 }
 
 Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const GridDesc& g,
-                              const datasets::SampleSet& samples) {
+                              const datasets::SampleSet& samples, const PlanConfig& cfg) {
   Timer total;
+  PlanConfig rc = cfg;
+  apply_tolerance(rc, g.alpha);
   Reader r(data, size);
   NUFFT_CHECK_CODE(r.get<std::uint32_t>() == kMagic, ErrorCode::kIoCorruption,
                    "not a NUFFT plan blob");
@@ -130,6 +149,14 @@ Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const 
     NUFFT_CHECK_MSG(r.get<index_t>() == g.m[static_cast<std::size_t>(d)],
                     "plan built for a different grid size");
   }
+  NUFFT_CHECK_MSG(r.get<std::int32_t>() == static_cast<std::int32_t>(rc.kernel),
+                  "plan built for a different kernel family");
+  NUFFT_CHECK_MSG(r.get<double>() == rc.kernel_radius,
+                  "plan built for a different kernel radius");
+  NUFFT_CHECK_MSG(r.get<std::int32_t>() == static_cast<std::int32_t>(rc.lut_samples_per_unit),
+                  "plan built for a different LUT density");
+  NUFFT_CHECK_MSG(r.get<std::int32_t>() == static_cast<std::int32_t>(rc.eval),
+                  "plan built for a different weight evaluator");
 
   Preprocessed pp;
   pp.layout.dim = g.dim;
@@ -200,8 +227,9 @@ Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const 
   return pp;
 }
 
-void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& g) {
-  const auto blob = serialize_plan(pp, g);
+void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& g,
+               const PlanConfig& cfg) {
+  const auto blob = serialize_plan(pp, g, cfg);
   FileHeader h;
   h.magic = kFileMagic;
   h.version = kFileVersion;
@@ -215,7 +243,7 @@ void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& 
 }
 
 Preprocessed load_plan(const std::string& path, const GridDesc& g,
-                       const datasets::SampleSet& samples) {
+                       const datasets::SampleSet& samples, const PlanConfig& cfg) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   NUFFT_CHECK_MSG(f.good(), "cannot open plan file for reading");
   const auto size = static_cast<std::size_t>(f.tellg());
@@ -234,7 +262,7 @@ Preprocessed load_plan(const std::string& path, const GridDesc& g,
   NUFFT_CHECK_MSG(f.good(), "plan file read failed");
   NUFFT_CHECK_CODE(fnv1a_bytes(blob.data(), blob.size()) == h.checksum,
                    ErrorCode::kIoCorruption, "plan file checksum mismatch");
-  return deserialize_plan(blob.data(), blob.size(), g, samples);
+  return deserialize_plan(blob.data(), blob.size(), g, samples, cfg);
 }
 
 std::size_t plan_resident_bytes(const Preprocessed& pp, const GridDesc& g) {

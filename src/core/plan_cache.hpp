@@ -31,18 +31,25 @@
 
 namespace nufft {
 
-/// Serialize a preprocessing result to a self-contained byte blob.
-std::vector<std::uint8_t> serialize_plan(const Preprocessed& pp, const GridDesc& g);
+/// Serialize a preprocessing result to a self-contained byte blob. `cfg` is
+/// the plan's configuration; its resolved kernel identity (family, radius,
+/// LUT density, weight evaluator) is part of the blob, so two plans
+/// differing only in kernel never alias. Tolerance-driven configs are
+/// canonicalized (core/tolerance.hpp) before the identity is written.
+std::vector<std::uint8_t> serialize_plan(const Preprocessed& pp, const GridDesc& g,
+                                         const PlanConfig& cfg);
 
-/// Restore a plan against the trajectory it was built for. Throws
-/// nufft::Error on any mismatch or corruption.
+/// Restore a plan against the trajectory and configuration it was built
+/// for. Throws nufft::Error on any mismatch or corruption — in particular
+/// when the blob's kernel identity differs from `cfg`'s resolved identity.
 Preprocessed deserialize_plan(const std::uint8_t* data, std::size_t size, const GridDesc& g,
-                              const datasets::SampleSet& samples);
+                              const datasets::SampleSet& samples, const PlanConfig& cfg);
 
 /// File convenience wrappers.
-void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& g);
+void save_plan(const std::string& path, const Preprocessed& pp, const GridDesc& g,
+               const PlanConfig& cfg);
 Preprocessed load_plan(const std::string& path, const GridDesc& g,
-                       const datasets::SampleSet& samples);
+                       const datasets::SampleSet& samples, const PlanConfig& cfg);
 
 /// Approximate heap bytes a restored plan keeps resident (reordered
 /// coordinates, permutation, task list, weights, marks). Used by

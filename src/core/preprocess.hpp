@@ -48,6 +48,17 @@ struct PlanConfig {
   int lut_samples_per_unit = 1024;
   int threads = 1;
 
+  /// Requested relative L2 accuracy vs exact NUDFT; 0 (default) keeps the
+  /// manual parameters above. When > 0, plan construction resolves
+  /// kernel_radius / lut_samples_per_unit / eval from the calibration table
+  /// for the selected kernel family (core/tolerance.hpp) and throws
+  /// Error(kUnachievableAccuracy) when no calibrated row meets the request.
+  double tolerance = 0.0;
+  /// Weight evaluation: the paper's interpolated LUT, or FINUFFT-style
+  /// piecewise Horner polynomials (required to hit the tightest tolerances
+  /// with the ES kernel).
+  kernels::KernelEval eval = kernels::KernelEval::kLut;
+
   bool use_simd = true;                  // Fig. 13 ablation (false = scalar Part 2)
   SimdIsa isa = SimdIsa::kSse;           // which vector ISA when use_simd
   bool reorder = true;                   // Fig. 9 "Reorder"

@@ -1,0 +1,109 @@
+#include "core/tolerance.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft {
+
+namespace {
+
+struct Row {
+  double tolerance;        // the request bucket this row serves
+  double kernel_radius;
+  int lut_samples_per_unit;
+  kernels::KernelEval eval;
+  double calibrated_error;  // worst relative L2 error over the sweep, with margin
+};
+
+// Calibrated at α = 2 by the accuracy harness (NUFFT_ACCURACY_CALIBRATE=1
+// prints the measured sweep; EXPERIMENTS.md records it). calibrated_error is
+// the worst case over dims {1,2,3} × both directions, rounded up.
+//
+// Kaiser-Bessel rides the paper's LUT path; samples-per-unit grows with the
+// tolerance so the LUT's O(spu⁻²) interpolation error stays below the
+// kernel's own aliasing error.
+// Worst measured over the sweep (dims {1,2,3} × both directions, two seeds):
+// 1.1e-3 / 1.1e-4 / 1.0e-5 / 1.1e-6 / 4.7e-7 top to bottom; calibrated_error
+// pins roughly 2× that.
+constexpr Row kKbTable[] = {
+    {1e-2, 2.0, 512, kernels::KernelEval::kLut, 2.5e-3},
+    {1e-3, 2.5, 1024, kernels::KernelEval::kLut, 2.5e-4},
+    {1e-4, 3.0, 2048, kernels::KernelEval::kLut, 2.5e-5},
+    {1e-5, 3.5, 4096, kernels::KernelEval::kLut, 2.5e-6},
+    {1e-6, 4.0, 8192, kernels::KernelEval::kLut, 9e-7},
+};
+
+// ES at the FINUFFT β matches Kaiser-Bessel accuracy at the same width (the
+// sweep measured 1.6e-3 / 1.7e-4 / 1.3e-5 / 1.3e-6 / 4.6e-7 at these rows),
+// so each tolerance is met at a width no larger than the KB row's while the
+// Horner evaluation stays cheaper than the LUT's gather. Horner has no LUT
+// quantization term; lut_samples_per_unit only sizes the auxiliary LUT kept
+// for diagnostics.
+constexpr Row kEsTable[] = {
+    {1e-2, 2.0, 1024, kernels::KernelEval::kHorner, 4e-3},
+    {1e-3, 2.5, 1024, kernels::KernelEval::kHorner, 4e-4},
+    {1e-4, 3.0, 1024, kernels::KernelEval::kHorner, 4e-5},
+    {1e-5, 3.5, 1024, kernels::KernelEval::kHorner, 4e-6},
+    {1e-6, 4.0, 1024, kernels::KernelEval::kHorner, 9e-7},
+};
+
+ResolvedAccuracy from_row(const Row& r) {
+  ResolvedAccuracy out;
+  out.kernel_radius = r.kernel_radius;
+  out.lut_samples_per_unit = r.lut_samples_per_unit;
+  out.eval = r.eval;
+  out.calibrated_error = r.calibrated_error;
+  return out;
+}
+
+}  // namespace
+
+ResolvedAccuracy resolve_tolerance(double tolerance, kernels::KernelType family) {
+  NUFFT_CHECK_MSG(std::isfinite(tolerance) && tolerance > 0.0,
+                  "tolerance must be a positive finite relative error");
+  const Row* table = nullptr;
+  std::size_t rows = 0;
+  switch (family) {
+    case kernels::KernelType::kKaiserBessel:
+      table = kKbTable;
+      rows = sizeof(kKbTable) / sizeof(kKbTable[0]);
+      break;
+    case kernels::KernelType::kEs:
+      table = kEsTable;
+      rows = sizeof(kEsTable) / sizeof(kEsTable[0]);
+      break;
+    case kernels::KernelType::kGaussian:
+      throw Error(
+          "tolerance-driven planning is calibrated for Kaiser-Bessel and ES "
+          "kernels only; pick explicit parameters for the Gaussian kernel",
+          ErrorCode::kUnachievableAccuracy);
+  }
+  // Rows are ordered loosest → tightest; take the first (cheapest) one whose
+  // calibrated error meets the request.
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (table[i].calibrated_error <= tolerance) return from_row(table[i]);
+  }
+  throw Error("requested tolerance " + std::to_string(tolerance) +
+                  " is tighter than the tightest calibrated configuration (" +
+                  std::to_string(table[rows - 1].calibrated_error) +
+                  " relative L2 in single precision); loosen the tolerance or "
+                  "configure the kernel manually",
+              ErrorCode::kUnachievableAccuracy);
+}
+
+void apply_tolerance(PlanConfig& cfg, double alpha) {
+  if (cfg.tolerance <= 0.0) return;
+  if (alpha + 1e-9 < kCalibratedAlpha) {
+    throw Error("tolerance-driven planning is calibrated at oversampling alpha >= " +
+                    std::to_string(kCalibratedAlpha) + "; this grid has alpha = " +
+                    std::to_string(alpha),
+                ErrorCode::kUnachievableAccuracy);
+  }
+  const ResolvedAccuracy r = resolve_tolerance(cfg.tolerance, cfg.kernel);
+  cfg.kernel_radius = r.kernel_radius;
+  cfg.lut_samples_per_unit = r.lut_samples_per_unit;
+  cfg.eval = r.eval;
+}
+
+}  // namespace nufft

@@ -1,0 +1,47 @@
+// Tolerance-driven planning: map a requested relative L2 accuracy (against
+// the exact NUDFT) to concrete kernel parameters.
+//
+// The mapping is an empirically calibrated table, measured by the accuracy
+// harness (tests/test_accuracy.cpp, `ctest -L accuracy`) against exact NUDFT
+// across dims {1,2,3} and both transform directions at oversampling α = 2.
+// Each row records the error the configuration actually achieved (worst case
+// over the calibration sweep, with margin); resolve_tolerance() picks the
+// cheapest row whose calibrated error is at or below the request.
+//
+// Two families are calibrated: Kaiser-Bessel evaluated through the paper's
+// LUT (samples-per-unit scaled with the tolerance so interpolation error
+// stays subdominant), and the FINUFFT "exponential of semicircle" kernel
+// evaluated by piecewise Horner polynomials — which reaches each tolerance
+// at a width no larger than the KB row's.
+#pragma once
+
+#include "core/preprocess.hpp"
+#include "kernels/kernel.hpp"
+
+namespace nufft {
+
+/// One calibration-table row, resolved for a caller's tolerance.
+struct ResolvedAccuracy {
+  double kernel_radius = 0.0;        // W, oversampled-grid units
+  int lut_samples_per_unit = 0;      // meaningful for eval == kLut
+  kernels::KernelEval eval = kernels::KernelEval::kLut;
+  double calibrated_error = 0.0;     // worst relative L2 error measured
+};
+
+/// Oversampling ratio the table was calibrated at; plans requesting a
+/// tolerance must provide at least this α.
+inline constexpr double kCalibratedAlpha = 2.0;
+
+/// Cheapest calibrated configuration achieving `tolerance` for `family`.
+/// Throws Error(kUnachievableAccuracy) when the tolerance is tighter than
+/// the tightest calibrated row or the family has no calibration (Gaussian).
+ResolvedAccuracy resolve_tolerance(double tolerance, kernels::KernelType family);
+
+/// Resolve cfg.tolerance (when > 0) in place: overwrites kernel_radius,
+/// lut_samples_per_unit and eval from the calibration table. `alpha` is the
+/// grid's oversampling ratio; below kCalibratedAlpha the table's guarantees
+/// do not hold and the request fails kUnachievableAccuracy. A tolerance of 0
+/// (the default) leaves the manual parameters untouched.
+void apply_tolerance(PlanConfig& cfg, double alpha);
+
+}  // namespace nufft

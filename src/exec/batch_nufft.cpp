@@ -187,6 +187,7 @@ void BatchNufft::batch_interp(cfloat* const* raws, index_t nb, ThreadPool& pool)
   const int ntasks = static_cast<int>(pp.tasks.size());
   const Nufft::ConvMode mode = conv_mode_;
   const bool fill_dup = mode != Nufft::ConvMode::kScalar;
+  const WindowEval ev = plan_->window_eval();
   pool.parallel_for_tid(ntasks, 1, [&](int, index_t kb, index_t ke) {
     // Sample-block × slab-group order: consecutive sorted samples' windows
     // overlap heavily, so sweeping a block of samples over a small group of
@@ -204,7 +205,7 @@ void BatchNufft::batch_interp(cfloat* const* raws, index_t nb, ThreadPool& pool)
           for (int d = 0; d < DIM; ++d) {
             coord[d] = pp.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(s0 + i)];
           }
-          compute_window(plan_->g_, *plan_->lut_, coord, DIM, fill_dup,
+          compute_window(plan_->g_, ev, coord, DIM, fill_dup,
                          wbs[static_cast<std::size_t>(i)]);
           ois[static_cast<std::size_t>(i)] =
               pp.orig_index[static_cast<std::size_t>(s0 + i)];
@@ -248,6 +249,7 @@ void BatchNufft::batch_spread(const cfloat* const* raws, index_t nb, ThreadPool&
   const PlanConfig& cfg = plan_->cfg_;
   const Nufft::ConvMode mode = conv_mode_;
   const bool fill_dup = mode != Nufft::ConvMode::kScalar;
+  const WindowEval ev = plan_->window_eval();
 
   auto convolve_range = [&](const ConvTask& task, cfloat* dst0, std::size_t sstride,
                             const std::array<index_t, 3>& strides, bool box_local) {
@@ -267,7 +269,7 @@ void BatchNufft::batch_spread(const cfloat* const* raws, index_t nb, ThreadPool&
         for (int d = 0; d < DIM; ++d) {
           coord[d] = pp.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(s0 + i)];
         }
-        compute_window(plan_->g_, *plan_->lut_, coord, DIM, fill_dup, wb);
+        compute_window(plan_->g_, ev, coord, DIM, fill_dup, wb);
         if (box_local) {
           for (int d = 0; d < DIM; ++d) {
             for (int t = 0; t < wb.len[d]; ++t) {

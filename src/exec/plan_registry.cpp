@@ -63,6 +63,12 @@ std::string PlanRegistry::make_key(const GridDesc& g, const datasets::SampleSet&
   append_pod(key, cfg.kernel_radius);
   append_pod(key, static_cast<std::int32_t>(cfg.kernel));
   append_pod(key, static_cast<std::int32_t>(cfg.lut_samples_per_unit));
+  // Kernel identity beyond the family: the requested accuracy and the weight
+  // evaluator both change what the plan computes, so they are part of the
+  // key (a KB plan and an ES plan with identical geometry, or a LUT plan and
+  // a Horner plan, must never dedupe to one entry).
+  append_pod(key, cfg.tolerance);
+  append_pod(key, static_cast<std::int32_t>(cfg.eval));
   append_pod(key, static_cast<std::int32_t>(cfg.threads));
   append_pod(key, static_cast<std::int32_t>(cfg.use_simd));
   append_pod(key, static_cast<std::int32_t>(cfg.isa));
@@ -157,7 +163,7 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
       const std::string path = spill_path(key);
       if (std::filesystem::exists(path)) {
         try {
-          Preprocessed pp = load_plan(path, g, samples);
+          Preprocessed pp = load_plan(path, g, samples, cfg);
           plan = std::make_shared<Nufft>(g, samples, cfg, std::move(pp));
           restored = true;
         } catch (const Error& e) {
@@ -296,7 +302,7 @@ void PlanRegistry::evict_locked(const std::string& keep_key) {
       const auto plan = victim->second.plan.get();
       std::filesystem::create_directories(cfg_.spill_dir);
       const std::string path = spill_path(victim->first);
-      save_plan(path, plan->plan(), plan->grid_desc());
+      save_plan(path, plan->plan(), plan->grid_desc(), plan->config());
       if (fault::should_fail("registry.spill.corrupt")) corrupt_spill_file(path);
       ++stats_.spills;
       obs::count("registry.spills");

@@ -1,0 +1,93 @@
+#include "kernels/es_kernel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace nufft::kernels {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Enough nodes that the quadrature error sits far below the kernel's own
+// aliasing floor for every width the planner selects (W ≤ 8): the integrand
+// is φ (analytic on (−W, W)) times a cosine with at most ~W periods over the
+// support, and 64-node Gauss–Legendre resolves that to ~1e-15.
+constexpr int kQuadNodes = 64;
+
+// Gauss–Legendre nodes/weights on [-1, 1] by Newton iteration on the
+// Legendre polynomial recurrence (standard Numerical-Recipes scheme).
+void gauss_legendre(int n, std::vector<double>& x, std::vector<double>& w) {
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  w.assign(static_cast<std::size_t>(n), 0.0);
+  const int half = (n + 1) / 2;
+  for (int i = 0; i < half; ++i) {
+    double z = std::cos(kPi * (static_cast<double>(i) + 0.75) / (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int it = 0; it < 100; ++it) {
+      double p0 = 1.0;
+      double p1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * j + 1.0) * z * p1 - static_cast<double>(j) * p2) / (j + 1.0);
+      }
+      pp = static_cast<double>(n) * (z * p0 - p1) / (z * z - 1.0);
+      const double dz = p0 / pp;
+      z -= dz;
+      if (std::fabs(dz) < 1e-15) break;
+    }
+    x[static_cast<std::size_t>(i)] = -z;
+    x[static_cast<std::size_t>(n - 1 - i)] = z;
+    const double wi = 2.0 / ((1.0 - z * z) * pp * pp);
+    w[static_cast<std::size_t>(i)] = wi;
+    w[static_cast<std::size_t>(n - 1 - i)] = wi;
+  }
+}
+
+}  // namespace
+
+double EsKernel::es_beta(double W, double alpha) {
+  // FINUFFT's width→shape rule: β = 2W·0.97π·(1 − 1/(2α)). At the library's
+  // default α = 2 this is β ≈ 2.2855·(2W).
+  return 2.0 * W * 0.97 * kPi * (1.0 - 1.0 / (2.0 * alpha));
+}
+
+EsKernel::EsKernel(double W, double alpha) : W_(W), beta_(es_beta(W, alpha)) {
+  NUFFT_CHECK_MSG(W > 0.0, "ES kernel radius must be positive");
+  NUFFT_CHECK_MSG(alpha > 0.5, "ES kernel needs oversampling alpha > 0.5");
+  std::vector<double> x01;
+  gauss_legendre(kQuadNodes, x01, qw_);
+  qx_.resize(x01.size());
+  for (std::size_t i = 0; i < x01.size(); ++i) {
+    // Map [-1, 1] → [0, W]; fold the Jacobian W/2 into the weights.
+    qx_[i] = 0.5 * W_ * (x01[i] + 1.0);
+    qw_[i] *= 0.5 * W_;
+  }
+}
+
+double EsKernel::value(double d) const {
+  const double r = d / W_;
+  const double arg = 1.0 - r * r;
+  if (arg < 0.0) return 0.0;  // outside the support
+  return std::exp(beta_ * (std::sqrt(arg) - 1.0));
+}
+
+std::string EsKernel::name() const {
+  return "es(W=" + std::to_string(W_) + ",beta=" + std::to_string(beta_) + ")";
+}
+
+double EsKernel::rolloff_fourier(double n, double M) const {
+  // φ̂(n/M) = 2·∫₀^W φ(d)·cos(2πnd/M) dd (φ is even), by the cached
+  // Gauss–Legendre rule. Matches the scale of the discrete cosine sum the
+  // other kernels use, so rolloff_1d can invert it identically.
+  const double omega = 2.0 * kPi * n / M;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < qx_.size(); ++i) {
+    acc += qw_[i] * value(qx_[i]) * std::cos(omega * qx_[i]);
+  }
+  return 2.0 * acc;
+}
+
+}  // namespace nufft::kernels

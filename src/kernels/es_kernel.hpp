@@ -1,0 +1,46 @@
+// "Exponential of semicircle" kernel (Barnett–Magland–af Klinteberg, the
+// FINUFFT kernel):
+//
+//   φ(d) = exp(β·(sqrt(1 − (d/W)²) − 1)),  |d| ≤ W,  else 0.
+//
+// Numerically indistinguishable in accuracy from Kaiser-Bessel at the same
+// width once β is tuned, but cheaper to evaluate directly (one exp, no
+// Bessel) and a natural fit for piecewise-polynomial Horner evaluation. Its
+// Fourier transform has no closed form, so the rolloff/deapodization samples
+// come from Gauss–Legendre quadrature of 2·∫₀^W φ(d)·cos(2πnd/M) dd,
+// cached per kernel instance.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace nufft::kernels {
+
+class EsKernel final : public Kernel1d {
+ public:
+  /// β defaults to the FINUFFT parameterization for oversampling α:
+  ///   β = 2W · 0.97π · (1 − 1/(2α))
+  /// (≈ 2.30·(2W) at α = 2), which the calibration table in core/tolerance
+  /// was measured against.
+  EsKernel(double W, double alpha);
+
+  double radius() const override { return W_; }
+  double value(double d) const override;
+  std::string name() const override;
+  double rolloff_fourier(double n, double M) const override;
+
+  double beta() const { return beta_; }
+
+  static double es_beta(double W, double alpha);
+
+ private:
+  double W_;
+  double beta_;
+  // Gauss–Legendre nodes/weights mapped to [0, W], fixed at construction so
+  // every rolloff sample reuses them.
+  std::vector<double> qx_;
+  std::vector<double> qw_;
+};
+
+}  // namespace nufft::kernels

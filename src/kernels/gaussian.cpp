@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "kernels/es_kernel.hpp"
 #include "kernels/kaiser_bessel.hpp"
 
 namespace nufft::kernels {
@@ -41,6 +42,8 @@ std::unique_ptr<Kernel1d> make_kernel(KernelType type, double W, double alpha) {
       return std::make_unique<KaiserBessel>(KaiserBessel::with_beatty_beta(W, alpha));
     case KernelType::kGaussian:
       return std::make_unique<GaussianKernel>(GaussianKernel::with_gl_tau(W, alpha));
+    case KernelType::kEs:
+      return std::make_unique<EsKernel>(W, alpha);
   }
   throw Error("unknown kernel type");
 }

@@ -1,0 +1,52 @@
+// FINUFFT-style piecewise-polynomial kernel evaluation.
+//
+// A sample at fractional position k touches the oversampled-grid neighbours
+// x1..x1+len−1 with x1 = ceil(k − W), so neighbour i sits at distance
+// d_i = (x1 + i) − k = z − W + i where z = x1 − k + W ∈ [0, 1) is shared by
+// the whole window. Fitting one polynomial P_i(z) ≈ φ(z − W + i) per
+// neighbour offset turns the window evaluation into nseg Horner recurrences
+// at a single abscissa — with the coefficients stored transposed
+// (coef[degree][segment]) the inner loop over segments is a contiguous
+// float stream the compiler auto-vectorizes.
+//
+// Coefficients come from Chebyshev interpolation of φ on each unit segment
+// (degree-d nodes, exact DCT of the samples, then a change of basis to
+// monomials in t = 2z − 1), fitted in double and stored in float.
+#pragma once
+
+#include <vector>
+
+#include "kernels/kernel.hpp"
+
+namespace nufft::kernels {
+
+class KernelHorner {
+ public:
+  /// Fit piecewise polynomials for `kernel`. Requires 2·radius to be an
+  /// integer so segment boundaries align with the support edge (every width
+  /// the planner or fuzzer selects is a multiple of 0.5). `degree` 0 picks
+  /// a width-scaled default that holds the fit error below the kernel's own
+  /// aliasing floor.
+  explicit KernelHorner(const Kernel1d& kernel, int degree = 0);
+
+  float radius() const { return radius_; }
+  int degree() const { return degree_; }
+  int segments() const { return nseg_; }
+
+  /// Window batch evaluation: weights for neighbours x1..x1+len−1 of a
+  /// sample with shared abscissa z = x1 − k + W ∈ [0, 1]. len ≤ segments().
+  void eval_window(float z, int len, float* out) const;
+
+  /// Scalar reference path (tests, spot checks): kernel value at signed
+  /// distance d, |d| ≤ radius.
+  float operator()(float d) const;
+
+ private:
+  std::vector<float> coef_;  // coef_[k*stride_ + i]: t^(degree_-k) coefficient of segment i
+  float radius_ = 0.0f;
+  int nseg_ = 0;
+  int degree_ = 0;
+  int stride_ = 0;
+};
+
+}  // namespace nufft::kernels

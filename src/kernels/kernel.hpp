@@ -5,6 +5,7 @@
 // kernels are the Kronecker/tensor product of 1D evaluations (paper §II).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -23,11 +24,36 @@ class Kernel1d {
 
   /// Human-readable identification for logs and bench output.
   virtual std::string name() const = 0;
+
+  /// Continuous Fourier transform sample φ̂(n/M) = ∫ φ(d)·cos(2πnd/M) dd for
+  /// the rolloff/deapodization map. Kernels without a trustworthy transform
+  /// return NaN, which tells the rolloff layer to fall back to the discrete
+  /// cosine sum over integer grid offsets. The ES kernel overrides this with
+  /// Gauss–Legendre quadrature (its transform has no closed form).
+  virtual double rolloff_fourier(double n, double M) const {
+    (void)n;
+    (void)M;
+    return kNoAnalyticFourier;
+  }
+
+ protected:
+  // Sentinel: use the discrete rolloff path.
+  static constexpr double kNoAnalyticFourier = std::numeric_limits<double>::quiet_NaN();
 };
 
 enum class KernelType {
   kKaiserBessel,  // the paper's choice
   kGaussian,      // Greengard–Lee style alternative
+  kEs,            // FINUFFT's "exponential of semicircle"
+};
+
+/// How the spreader evaluates kernel weights for a window: the paper's
+/// linearly interpolated lookup table, or FINUFFT-style piecewise Horner
+/// polynomials (one polynomial per neighbour offset, all sharing one
+/// abscissa — see KernelHorner).
+enum class KernelEval {
+  kLut,
+  kHorner,
 };
 
 /// Factory for the kernels this library ships.

@@ -18,7 +18,11 @@ KernelLut::KernelLut(const Kernel1d& kernel, int samples_per_unit)
   table_.resize(n + 1);
   for (std::size_t i = 0; i <= n; ++i) {
     const double d = static_cast<double>(i) / samples_per_unit;
-    table_[i] = static_cast<float>(d <= W ? kernel.value(d) : 0.0);
+    // Guard entries past the support hold the one-sided value φ(W), not 0:
+    // kernels with an edge discontinuity (Kaiser-Bessel has φ(W) = 1/I0(β))
+    // would otherwise see interpolation in the last cell ramp toward zero
+    // and underestimate every weight near the support edge.
+    table_[i] = static_cast<float>(kernel.value(std::min(d, W)));
   }
 }
 

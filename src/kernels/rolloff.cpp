@@ -8,8 +8,21 @@ namespace nufft::kernels {
 
 dvec apodization_1d(const Kernel1d& kernel, index_t N, index_t M) {
   NUFFT_CHECK(N >= 1 && M >= N);
-  const auto U = static_cast<index_t>(std::ceil(kernel.radius()));
   dvec c(static_cast<std::size_t>(N));
+  // Kernels that expose a trustworthy continuous Fourier transform (the ES
+  // kernel, via quadrature) are deapodized from it directly; a NaN probe
+  // selects the discrete cosine sum over the integer grid offsets, which is
+  // the historical path for Kaiser-Bessel and Gaussian and keeps their
+  // pinned rolloff values bit-stable.
+  if (std::isfinite(kernel.rolloff_fourier(0.0, static_cast<double>(M)))) {
+    for (index_t i = 0; i < N; ++i) {
+      const index_t n = i - N / 2;
+      c[static_cast<std::size_t>(i)] =
+          kernel.rolloff_fourier(static_cast<double>(n), static_cast<double>(M));
+    }
+    return c;
+  }
+  const auto U = static_cast<index_t>(std::ceil(kernel.radius()));
   for (index_t i = 0; i < N; ++i) {
     const index_t n = i - N / 2;
     double acc = kernel.value(0.0);

@@ -48,6 +48,10 @@ void put_config(Writer& w, const PlanConfig& c) {
   w.pod(c.privatization_factor);
   w.pod(static_cast<std::int64_t>(c.reorder_tile));
   w.pod(static_cast<std::int32_t>(c.record_trace));
+  // v2: tolerance-driven planning crosses the wire — the server resolves
+  // the tolerance against its calibration table at plan construction.
+  w.pod(c.tolerance);
+  w.pod(static_cast<std::int32_t>(c.eval));
 }
 
 PlanConfig get_config(Reader& r) {
@@ -67,6 +71,11 @@ PlanConfig get_config(Reader& r) {
   c.privatization_factor = r.pod<double>();
   c.reorder_tile = r.pod<std::int64_t>();
   c.record_trace = r.pod<std::int32_t>() != 0;
+  c.tolerance = r.pod<double>();
+  const auto eval = r.pod<std::int32_t>();
+  NUFFT_CHECK_CODE(eval >= 0 && eval <= static_cast<std::int32_t>(kernels::KernelEval::kHorner),
+                   ErrorCode::kInvalidInput, "kernel evaluator out of range: " << eval);
+  c.eval = static_cast<kernels::KernelEval>(eval);
   return c;
 }
 

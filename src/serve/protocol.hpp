@@ -38,7 +38,10 @@
 namespace nufft::serve {
 
 inline constexpr std::uint32_t kMagic = 0x5346554Eu;  // "NUFS" on the wire
-inline constexpr std::uint16_t kProtocolVersion = 1;
+// v2 appended PlanConfig.tolerance + eval to the register-plan body. The
+// config fields sit in the middle of RegisterPlanMsg (samples follow), so a
+// trailing-field legacy decode is impossible and the version bumps instead.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 /// Body cap: a frame claiming more than this is corrupt (or hostile), not
 /// merely large — reject before allocating.
 inline constexpr std::uint32_t kMaxBody = 256u << 20;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "core/tolerance.hpp"
 
 namespace nufft::fuzz {
 
@@ -52,7 +53,8 @@ double FuzzConfig::nudft_tolerance() const {
   }
   // The Gaussian kernel is markedly less accurate than Kaiser–Bessel at
   // equal width, and tiny grids (few cells per footprint) sit closer to
-  // the aliasing floor.
+  // the aliasing floor. (The ES kernel matches KB at equal width — no
+  // adjustment.)
   if (kernel == kernels::KernelType::kGaussian) tol *= 10.0;
   if (m < 16) tol *= 5.0;
   return std::min(tol, 0.5);
@@ -61,9 +63,13 @@ double FuzzConfig::nudft_tolerance() const {
 std::string FuzzConfig::describe() const {
   std::ostringstream os;
   os << "seed=" << seed << " dim=" << dim << " n=" << n << " m=" << m << " alpha=" << alpha
-     << " W=" << kernel_radius
-     << " kernel=" << (kernel == kernels::KernelType::kKaiserBessel ? "kb" : "gauss")
-     << " threads=" << threads << " count=" << count << " style=" << coord_style_name(style)
+     << " W=" << kernel_radius << " kernel="
+     << (kernel == kernels::KernelType::kKaiserBessel
+             ? "kb"
+             : (kernel == kernels::KernelType::kEs ? "es" : "gauss"))
+     << " eval=" << (eval == kernels::KernelEval::kHorner ? "horner" : "lut");
+  if (tolerance > 0.0) os << " tol=" << tolerance;
+  os << " threads=" << threads << " count=" << count << " style=" << coord_style_name(style)
      << " batch=" << batch << " pq=" << priority_queue << " priv=" << selective_privatization
      << " barrier=" << color_barrier_schedule << " varpart=" << variable_partitions
      << " reorder=" << reorder << " pfac=" << privatization_factor;
@@ -133,9 +139,33 @@ FuzzConfig make_fuzz_config(std::uint64_t seed) {
   c.m = static_cast<index_t>(std::llround(gc.alpha * static_cast<double>(gc.n)));
 
   c.kernel_radius = kRadii[rng.below(std::size(kRadii))];
-  c.kernel = rng.below(4) == 0 ? kernels::KernelType::kGaussian
-                               : kernels::KernelType::kKaiserBessel;
+  const auto kpick = rng.below(8);
+  c.kernel = kpick < 2 ? kernels::KernelType::kGaussian
+                       : (kpick < 5 ? kernels::KernelType::kKaiserBessel
+                                    : kernels::KernelType::kEs);
   c.lut_samples_per_unit = rng.below(2) == 0 ? 1024 : 512;
+  // Every radius in kRadii is a multiple of 0.5, so the Horner evaluator's
+  // 2W-integer precondition always holds; ES leans on Horner (its production
+  // pairing), KB exercises it as the minority path, Gaussian stays on the
+  // LUT (no Horner calibration).
+  if (c.kernel == kernels::KernelType::kEs) {
+    c.eval = rng.below(4) != 0 ? kernels::KernelEval::kHorner : kernels::KernelEval::kLut;
+  } else if (c.kernel == kernels::KernelType::kKaiserBessel) {
+    c.eval = rng.below(4) == 0 ? kernels::KernelEval::kHorner : kernels::KernelEval::kLut;
+  }
+
+  // A share of KB/ES seeds on calibrated grids (α = 2) go through
+  // tolerance-driven planning. The resolved row is written back into the
+  // config so the footprint/rejection logic and the error model see the
+  // true kernel width the plan will use.
+  if (c.alpha == 2.0 && c.kernel != kernels::KernelType::kGaussian && rng.below(4) == 0) {
+    constexpr double kTols[] = {1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
+    c.tolerance = kTols[rng.below(std::size(kTols))];
+    const auto row = resolve_tolerance(c.tolerance, c.kernel);
+    c.kernel_radius = row.kernel_radius;
+    c.lut_samples_per_unit = row.lut_samples_per_unit;
+    c.eval = row.eval;
+  }
 
   c.threads = static_cast<int>(rng.below(4)) + 1;
 

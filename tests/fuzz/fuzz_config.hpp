@@ -47,6 +47,12 @@ struct FuzzConfig {
   double kernel_radius = 4.0;
   kernels::KernelType kernel = kernels::KernelType::kKaiserBessel;
   int lut_samples_per_unit = 1024;
+  kernels::KernelEval eval = kernels::KernelEval::kLut;
+  /// > 0: tolerance-driven planning — kernel_radius / lut_samples_per_unit /
+  /// eval above were pre-resolved from the calibration table at config-gen
+  /// time (so the footprint logic sees the true width), and the plan itself
+  /// re-resolves the same row from the tolerance.
+  double tolerance = 0.0;
 
   int threads = 1;
   index_t count = 0;  // total samples (single interleave)

@@ -222,6 +222,37 @@ TEST(PlanRegistry, DistinctConfigsGetDistinctPlans) {
   EXPECT_EQ(registry.acquire(f.g, f.set, a).get(), pa.get());
 }
 
+TEST(PlanRegistry, KernelFamilyIsPartOfPlanIdentity) {
+  // Kaiser-Bessel and exponential-of-semicircle plans over the same grid and
+  // trajectory must never alias — the kernel family, radius, LUT density and
+  // weight evaluator are all part of the content hash.
+  Fixture f = make_fixture(2);
+  PlanRegistry registry;
+  PlanConfig kb;
+  kb.threads = 1;
+  PlanConfig es = kb;
+  es.kernel = kernels::KernelType::kEs;
+  es.eval = kernels::KernelEval::kHorner;
+  EXPECT_NE(PlanRegistry::make_key(f.g, f.set, kb), PlanRegistry::make_key(f.g, f.set, es));
+
+  const auto pa = registry.acquire(f.g, f.set, kb);
+  const auto pb = registry.acquire(f.g, f.set, es);
+  EXPECT_NE(pa.get(), pb.get());
+  EXPECT_EQ(registry.resident_count(), 2u);
+  // Re-acquiring each family hits its own entry.
+  EXPECT_EQ(registry.acquire(f.g, f.set, kb).get(), pa.get());
+  EXPECT_EQ(registry.acquire(f.g, f.set, es).get(), pb.get());
+
+  // Tolerance-driven configs key on the tolerance too: the same family at a
+  // different tolerance is a different plan.
+  PlanConfig tol_a = kb;
+  tol_a.tolerance = 1e-3;
+  PlanConfig tol_b = kb;
+  tol_b.tolerance = 1e-4;
+  EXPECT_NE(PlanRegistry::make_key(f.g, f.set, tol_a),
+            PlanRegistry::make_key(f.g, f.set, tol_b));
+}
+
 TEST(PlanRegistry, LruEvictionSpillsAndRestores) {
   Fixture f = make_fixture(2);
   const auto set2 =

@@ -1,12 +1,18 @@
 // Tests for the interpolation kernels, Bessel I0, LUT, and rolloff maps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "core/preprocess.hpp"
+#include "core/tolerance.hpp"
 #include "kernels/bessel.hpp"
+#include "kernels/es_kernel.hpp"
 #include "kernels/gaussian.hpp"
+#include "kernels/horner.hpp"
 #include "kernels/kaiser_bessel.hpp"
 #include "kernels/lut.hpp"
 #include "kernels/rolloff.hpp"
@@ -22,6 +28,36 @@ TEST(Bessel, KnownValues) {
   EXPECT_NEAR(bessel_i0(5.0), 27.239871823604442, 1e-10);
   EXPECT_NEAR(bessel_i0(10.0) / 2815.7166284662558, 1.0, 1e-12);
   EXPECT_NEAR(bessel_i0(20.0) / 4.355828255955355e7, 1.0, 1e-12);
+}
+
+TEST(Bessel, AsymptoticMatchesHighPrecisionReferences) {
+  // References computed with 60-digit decimal arithmetic from the
+  // all-positive-term power series (so no cancellation in the reference
+  // itself). The set straddles the series/asymptotic crossover at x = 50.
+  struct Ref {
+    double x, i0;
+  };
+  constexpr Ref kRefs[] = {
+      {10.0, 2.81571662846625441e+03},  {25.0, 5.77456060646631050e+09},
+      {45.0, 2.08341407517731482e+18},  {49.5, 1.78769054175389778e+20},
+      {50.0, 2.93255378384933618e+20},  {50.5, 4.81084726658070544e+20},
+      {60.0, 5.89407705560980121e+24},  {80.0, 2.47517840433417042e+33},
+      {100.0, 1.07375170713107380e+42}, {150.0, 4.54359746627057885e+63},
+      {200.0, 2.03968717340972447e+85},
+  };
+  for (const auto& r : kRefs) {
+    EXPECT_NEAR(bessel_i0(r.x) / r.i0, 1.0, 1e-13) << "x=" << r.x;
+  }
+}
+
+TEST(Bessel, ContinuousAcrossAsymptoticCrossover) {
+  // The series→asymptotic switch at x = 50 must not introduce a jump: with
+  // I0'(x) ≈ I0(x) at large x, evaluations h apart differ by ≈ 2h·I0, and
+  // any branch mismatch would show up far above that.
+  const double h = 1e-9;
+  const double below = bessel_i0(50.0 - h);
+  const double above = bessel_i0(50.0 + h);
+  EXPECT_NEAR(above / below, 1.0, 1e-8);
 }
 
 TEST(Bessel, MonotoneIncreasing) {
@@ -113,6 +149,232 @@ TEST(KernelFactory, ProducesRequestedTypes) {
   EXPECT_EQ(gs->radius(), 4.0);
 }
 
+// ---- exponential-of-semicircle ----
+
+TEST(EsKernel, PeakEvennessAndSupport) {
+  const EsKernel es(2.0, 2.0);
+  EXPECT_NEAR(es.value(0.0), 1.0, 1e-15);
+  EXPECT_EQ(es.value(2.0001), 0.0);
+  EXPECT_EQ(es.value(-7.0), 0.0);
+  EXPECT_GT(es.value(1.9999), 0.0);
+  for (double d = 0.0; d <= 2.0; d += 0.13) {
+    ASSERT_EQ(es.value(d), es.value(-d));
+    if (d > 0.13) {
+      ASSERT_LT(es.value(d), es.value(d - 0.13));
+    }
+  }
+}
+
+TEST(EsKernel, BetaMatchesFinufftParameterization) {
+  // β = 2W · 0.97π · (1 − 1/(2α)).
+  for (double W : {1.5, 2.0, 3.0, 4.0}) {
+    const double expect = 2.0 * W * 0.97 * kPi * (1.0 - 1.0 / 4.0);
+    EXPECT_NEAR(EsKernel::es_beta(W, 2.0), expect, 1e-12) << "W=" << W;
+    EXPECT_NEAR(EsKernel(W, 2.0).beta(), expect, 1e-12) << "W=" << W;
+  }
+}
+
+TEST(EsKernel, ValueMatchesClosedForm) {
+  const EsKernel es(3.0, 2.0);
+  const double beta = es.beta();
+  for (double d = 0.0; d < 3.0; d += 0.07) {
+    const double expect = std::exp(beta * (std::sqrt(1.0 - (d / 3.0) * (d / 3.0)) - 1.0));
+    ASSERT_NEAR(es.value(d), expect, 1e-15) << "d=" << d;
+  }
+}
+
+TEST(EsKernel, RolloffFourierMatchesDenseQuadrature) {
+  // The cached 64-node Gauss–Legendre transform must agree with an
+  // independent dense Simpson integration of 2·∫₀^W φ(d)·cos(2πnd/M) dd.
+  const double W = 2.0, M = 128.0;
+  const EsKernel es(W, 2.0);
+  const int S = 20000;  // Simpson panels (even)
+  for (double n : {0.0, 1.0, 8.0, 31.0, 64.0}) {
+    const double h = W / S;
+    double acc = 0.0;
+    for (int i = 0; i <= S; ++i) {
+      const double d = i * h;
+      const double f = es.value(d) * std::cos(kTwoPi * n * d / M);
+      const double w = (i == 0 || i == S) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+      acc += w * f;
+    }
+    const double dense = 2.0 * acc * h / 3.0;
+    const double dc = es.rolloff_fourier(0.0, M);
+    // The integrand's one-sided sqrt singularity at d = W limits both rules'
+    // agreement to ~1e-9 — orders of magnitude below the tightest (1e-6)
+    // calibrated tolerance the deapodization serves.
+    ASSERT_NEAR(es.rolloff_fourier(n, M) / dc, dense / dc, 1e-7) << "n=" << n;
+  }
+}
+
+TEST(KernelFactory, ProducesEsKernel) {
+  const auto es = make_kernel(KernelType::kEs, 2.0, 2.0);
+  EXPECT_NE(es->name().find("es"), std::string::npos);
+  EXPECT_EQ(es->radius(), 2.0);
+  // The virtual rolloff hook: ES has a quadrature transform, KB and
+  // Gaussian report no-analytic (NaN sentinel) and keep the discrete path.
+  EXPECT_TRUE(std::isfinite(es->rolloff_fourier(0.0, 64.0)));
+  const auto kb = make_kernel(KernelType::kKaiserBessel, 2.0, 2.0);
+  EXPECT_FALSE(std::isfinite(kb->rolloff_fourier(0.0, 64.0)));
+}
+
+// ---- piecewise-Horner evaluation ----
+
+class HornerFit : public ::testing::TestWithParam<double> {};
+
+TEST_P(HornerFit, MatchesEsKernelValues) {
+  const double W = GetParam();
+  const EsKernel es(W, 2.0);
+  const KernelHorner h(es);
+  double max_err = 0.0;
+  for (double d = -W; d <= W; d += W / 1777.0) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(h(static_cast<float>(d))) -
+                                         es.value(d)));
+  }
+  // φ has a sqrt singularity at |d| = W, so the polynomial misfit there
+  // bottoms out at a fraction of the edge value exp(−β) — which is the
+  // truncation-error scale the β tuning already commits the kernel to.
+  // Away from the edge the fit sits at the float round-off floor (2e-6).
+  EXPECT_LT(max_err, 2e-6 + 0.7 * std::exp(-es.beta())) << "W=" << W;
+}
+
+TEST_P(HornerFit, MatchesKaiserBesselValues) {
+  const double W = GetParam();
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelHorner h(kb);
+  double max_err = 0.0;
+  for (double d = -W; d <= W; d += W / 1777.0) {
+    max_err = std::max(max_err, std::abs(static_cast<double>(h(static_cast<float>(d))) -
+                                         kb.value(d)));
+  }
+  EXPECT_LT(max_err, 2e-6) << "W=" << W;
+}
+
+TEST_P(HornerFit, WindowBatchAgreesWithScalarPath) {
+  const double W = GetParam();
+  const EsKernel es(W, 2.0);
+  const KernelHorner h(es);
+  float win[64];
+  for (double z = 0.0; z < 1.0; z += 0.0625) {
+    // The length the convolution actually requests: neighbours of a sample
+    // at k = x1 + W − z are x1..floor(k + W), i.e. floor(2W − z) + 1 slots.
+    // (Trailing segments beyond that are never read.)
+    const int len = static_cast<int>(std::floor(2.0 * W - z)) + 1;
+    ASSERT_LE(len, h.segments());
+    h.eval_window(static_cast<float>(z), len, win);
+    for (int i = 0; i < len; ++i) {
+      const double d = z - W + i;
+      const double expect = (std::abs(d) <= W) ? es.value(d) : 0.0;
+      // Same edge-singularity floor as MatchesEsKernelValues: window slots
+      // landing exactly on |d| = W carry the sqrt-point misfit.
+      ASSERT_NEAR(static_cast<double>(win[i]), expect, 2e-6 + 0.7 * std::exp(-es.beta()))
+          << "W=" << W << " z=" << z << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HornerFit, ::testing::Values(1.5, 2.0, 2.5, 3.0, 4.0),
+                         [](const auto& info) {
+                           return "W" + std::to_string(static_cast<int>(info.param * 10));
+                         });
+
+TEST(Horner, ZeroOutsideSupport) {
+  const EsKernel es(2.0, 2.0);
+  const KernelHorner h(es);
+  EXPECT_EQ(h(2.5f), 0.0f);
+  EXPECT_EQ(h(-9.0f), 0.0f);
+}
+
+TEST(Horner, RejectsNonHalfIntegerWidth) {
+  const GaussianKernel g(1.7, 2.0);
+  EXPECT_THROW(KernelHorner h(g), Error);
+}
+
+// ---- tolerance-driven planning ----
+
+TEST(Tolerance, ResolvesCheapestCalibratedRow) {
+  // A looser request must never get a wider kernel than a tighter one.
+  double prev_kb = 0.0, prev_es = 0.0;
+  for (double tol : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
+    const auto kb = resolve_tolerance(tol, KernelType::kKaiserBessel);
+    const auto es = resolve_tolerance(tol, KernelType::kEs);
+    ASSERT_GE(kb.kernel_radius, prev_kb);
+    ASSERT_GE(es.kernel_radius, prev_es);
+    ASSERT_LE(kb.calibrated_error, tol);
+    ASSERT_LE(es.calibrated_error, tol);
+    // The ISSUE's headline claim: ES reaches every tolerance at a width no
+    // larger than the KB row's.
+    ASSERT_LE(es.kernel_radius, kb.kernel_radius) << "tol=" << tol;
+    ASSERT_EQ(es.eval, KernelEval::kHorner);
+    ASSERT_EQ(kb.eval, KernelEval::kLut);
+    prev_kb = kb.kernel_radius;
+    prev_es = es.kernel_radius;
+  }
+}
+
+TEST(Tolerance, UncalibratedRequestsThrowUnachievable) {
+  const auto code_of = [](auto&& fn) {
+    try {
+      fn();
+    } catch (const Error& e) {
+      return e.code();
+    }
+    return ErrorCode::kInternal;
+  };
+  // Tighter than the tightest row.
+  EXPECT_EQ(code_of([] { resolve_tolerance(1e-9, KernelType::kKaiserBessel); }),
+            ErrorCode::kUnachievableAccuracy);
+  // Gaussian has no calibration table.
+  EXPECT_EQ(code_of([] { resolve_tolerance(1e-3, KernelType::kGaussian); }),
+            ErrorCode::kUnachievableAccuracy);
+  // Nonsense tolerances are caller mistakes, not calibration gaps.
+  EXPECT_EQ(code_of([] { resolve_tolerance(0.0, KernelType::kEs); }),
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(code_of([] { resolve_tolerance(-1.0, KernelType::kEs); }),
+            ErrorCode::kInvalidInput);
+}
+
+TEST(Tolerance, ApplyOverwritesKernelParameters) {
+  PlanConfig cfg;
+  cfg.kernel = KernelType::kEs;
+  cfg.tolerance = 1e-4;
+  cfg.kernel_radius = 99.0;  // must be replaced by the calibrated row
+  apply_tolerance(cfg, 2.0);
+  const auto row = resolve_tolerance(1e-4, KernelType::kEs);
+  EXPECT_EQ(cfg.kernel_radius, row.kernel_radius);
+  EXPECT_EQ(cfg.lut_samples_per_unit, row.lut_samples_per_unit);
+  EXPECT_EQ(cfg.eval, row.eval);
+}
+
+TEST(Tolerance, ApplyIsIdempotentAndIgnoresZeroTolerance) {
+  PlanConfig cfg;
+  cfg.kernel_radius = 3.5;
+  cfg.lut_samples_per_unit = 333;
+  apply_tolerance(cfg, 2.0);  // tolerance == 0: manual parameters untouched
+  EXPECT_EQ(cfg.kernel_radius, 3.5);
+  EXPECT_EQ(cfg.lut_samples_per_unit, 333);
+
+  cfg.kernel = KernelType::kEs;
+  cfg.tolerance = 1e-3;
+  apply_tolerance(cfg, 2.0);
+  PlanConfig twice = cfg;
+  apply_tolerance(twice, 2.0);
+  EXPECT_EQ(twice.kernel_radius, cfg.kernel_radius);
+  EXPECT_EQ(twice.eval, cfg.eval);
+}
+
+TEST(Tolerance, RejectsUndersampledGrid) {
+  PlanConfig cfg;
+  cfg.kernel = KernelType::kEs;
+  cfg.tolerance = 1e-3;
+  try {
+    apply_tolerance(cfg, 1.25);  // below kCalibratedAlpha
+    FAIL() << "expected kUnachievableAccuracy";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnachievableAccuracy);
+  }
+}
+
 // ---- LUT ----
 
 class LutAccuracy : public ::testing::TestWithParam<double> {};
@@ -151,6 +413,51 @@ TEST(Lut, EdgeValueAtRadiusDefined) {
   // d == W must read a defined table slot (guard entries).
   EXPECT_NEAR(lut(4.0f), kb.value(4.0), 1e-5);
 }
+
+class LutSupportEdge : public ::testing::TestWithParam<std::pair<double, int>> {};
+
+TEST_P(LutSupportEdge, GuardEntryHoldsTrueEdgeValue) {
+  // Regression for the guard-entry bug: table slots past W·spu used to be
+  // zeroed, so a lookup just inside the support edge interpolated toward 0
+  // instead of toward the kernel's true (discontinuous) one-sided value
+  // φ(W) — for KB that is 1/I0(β), not 0. Fractional W·spu products make
+  // the last in-support slot land mid-interval, which is where the zeroed
+  // guard hurt most.
+  const auto [W, spu] = GetParam();
+  const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+  const KernelLut lut(kb, spu);
+  double max_err = 0.0;
+  // Walk the last two sample intervals up to and including d == W.
+  const double h = 1.0 / spu;
+  for (double d = W - 2.0 * h; d <= W; d += h / 64.0) {
+    const double dd = std::min(d, W);
+    max_err = std::max(max_err, std::abs(static_cast<double>(lut(static_cast<float>(dd))) -
+                                         kb.value(dd)));
+  }
+  // When W·spu is fractional the last cell straddles the support edge:
+  // linear interpolation across the in-support/clamped-flat seam errs by
+  // O(h·|φ′(W)|), not the O(h²·φ″) of interior cells. Bound by the
+  // one-sided slope; the zeroed-guard bug erred by φ(W)/2 — orders larger.
+  const double slope = std::abs(kb.value(W) - kb.value(W - h)) / h;
+  EXPECT_LT(max_err, 5e-6 + 0.75 * h * slope) << "W=" << W << " spu=" << spu;
+  // The lookup exactly at the support edge must track the true one-sided
+  // value φ(W) = 1/I0(β): the straddling cell costs at most a few percent
+  // (slope · h relative to φ(W)), where zeroed guards lost 50% of it at
+  // frac = 0.5 and all of it at integer W·spu.
+  EXPECT_NEAR(static_cast<double>(lut(static_cast<float>(W))) / kb.value(W), 1.0, 3e-2)
+      << "W=" << W << " spu=" << spu;
+}
+
+INSTANTIATE_TEST_SUITE_P(FractionalEdges, LutSupportEdge,
+                         ::testing::Values(std::pair<double, int>{2.5, 511},
+                                           std::pair<double, int>{2.5, 1024},
+                                           std::pair<double, int>{3.0, 333},
+                                           std::pair<double, int>{4.0, 1000},
+                                           std::pair<double, int>{1.5, 777}),
+                         [](const auto& info) {
+                           return "W" + std::to_string(static_cast<int>(info.param.first * 10)) +
+                                  "spu" + std::to_string(info.param.second);
+                         });
 
 TEST(Lut, StoresRadiusAndResolution) {
   const auto kb = KaiserBessel::with_beatty_beta(3.0, 2.0);

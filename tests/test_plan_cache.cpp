@@ -9,6 +9,7 @@
 #include "common/timer.hpp"
 #include "core/nufft.hpp"
 #include "core/plan_cache.hpp"
+#include "core/tolerance.hpp"
 #include "test_util.hpp"
 
 namespace nufft {
@@ -31,8 +32,8 @@ struct Fixture {
 TEST(PlanCache, RoundTripPreservesEveryField) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  const auto blob = serialize_plan(pp, f.g);
-  const auto back = deserialize_plan(blob.data(), blob.size(), f.g, f.set);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
+  const auto back = deserialize_plan(blob.data(), blob.size(), f.g, f.set, f.cfg);
 
   ASSERT_EQ(back.layout.dim, pp.layout.dim);
   for (int d = 0; d < f.g.dim; ++d) {
@@ -58,11 +59,11 @@ TEST(PlanCache, RoundTripPreservesEveryField) {
 TEST(PlanCache, RestoredPlanProducesIdenticalTransforms) {
   Fixture f;
   auto pp = preprocess(f.g, f.set, f.cfg);
-  const auto blob = serialize_plan(pp, f.g);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
 
   Nufft fresh(f.g, f.set, f.cfg);
   Nufft restored(f.g, f.set, f.cfg,
-                 deserialize_plan(blob.data(), blob.size(), f.g, f.set));
+                 deserialize_plan(blob.data(), blob.size(), f.g, f.set, f.cfg));
 
   const cvecf img = testing::random_image(f.g.image_elems(), 1);
   const cvecf raw = testing::random_raw(f.set.count(), 2);
@@ -84,8 +85,8 @@ TEST(PlanCache, FileRoundTrip) {
   Fixture f(3, 12, 500);
   const auto pp = preprocess(f.g, f.set, f.cfg);
   const auto path = std::filesystem::temp_directory_path() / "nufft_plan_test.bin";
-  save_plan(path.string(), pp, f.g);
-  const auto back = load_plan(path.string(), f.g, f.set);
+  save_plan(path.string(), pp, f.g, f.cfg);
+  const auto back = load_plan(path.string(), f.g, f.set, f.cfg);
   EXPECT_EQ(back.orig_index, pp.orig_index);
   std::filesystem::remove(path);
 }
@@ -93,58 +94,95 @@ TEST(PlanCache, FileRoundTrip) {
 TEST(PlanCache, RejectsWrongGrid) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  const auto blob = serialize_plan(pp, f.g);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
   const GridDesc other = make_grid(2, 64, 2.0);
-  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), other, f.set), Error);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), other, f.set, f.cfg), Error);
 }
 
 TEST(PlanCache, RejectsWrongDimension) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  const auto blob = serialize_plan(pp, f.g);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
   const GridDesc g3 = make_grid(3, 32, 2.0);
   const auto set3 = testing::small_trajectory(TrajectoryType::kRadial, 3, 32, 3000);
-  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), g3, set3), Error);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), g3, set3, f.cfg), Error);
+}
+
+TEST(PlanCache, RejectsDifferentKernelIdentity) {
+  // A blob serialized under one kernel must not restore under another: the
+  // v2 format carries the resolved kernel identity precisely so two plans
+  // differing only in kernel never alias through the cache.
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
+
+  PlanConfig es = f.cfg;
+  es.kernel = kernels::KernelType::kEs;
+  es.eval = kernels::KernelEval::kHorner;
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, es), Error);
+
+  PlanConfig wider = f.cfg;
+  wider.kernel_radius = f.cfg.kernel_radius + 0.5;
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, wider), Error);
+
+  PlanConfig denser = f.cfg;
+  denser.lut_samples_per_unit = 2 * f.cfg.lut_samples_per_unit;
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, denser), Error);
+}
+
+TEST(PlanCache, ToleranceConfigCanonicalizesToResolvedIdentity) {
+  // Serializing under an explicit config and restoring under the
+  // tolerance-driven config that resolves to the same parameters must work:
+  // both name the same plan.
+  Fixture f;
+  f.cfg.kernel = kernels::KernelType::kEs;
+  f.cfg.tolerance = 1e-3;
+  PlanConfig resolved = f.cfg;
+  apply_tolerance(resolved, f.g.alpha);
+  const auto pp = preprocess(f.g, f.set, resolved);
+  const auto blob = serialize_plan(pp, f.g, resolved);
+  const auto back = deserialize_plan(blob.data(), blob.size(), f.g, f.set, f.cfg);
+  EXPECT_EQ(back.orig_index, pp.orig_index);
 }
 
 TEST(PlanCache, RejectsWrongSampleCount) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  const auto blob = serialize_plan(pp, f.g);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
   const auto other = testing::small_trajectory(TrajectoryType::kRadial, 2, 32, 500);
-  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, other), Error);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, other, f.cfg), Error);
 }
 
 TEST(PlanCache, RejectsTruncatedBlob) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  auto blob = serialize_plan(pp, f.g);
+  auto blob = serialize_plan(pp, f.g, f.cfg);
   blob.resize(blob.size() / 2);
-  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set), Error);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, f.cfg), Error);
 }
 
 TEST(PlanCache, RejectsCorruptPermutation) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  auto blob = serialize_plan(pp, f.g);
+  auto blob = serialize_plan(pp, f.g, f.cfg);
   // The permutation occupies the blob tail; duplicate one entry.
   auto* tail = reinterpret_cast<index_t*>(blob.data() + blob.size() - 2 * sizeof(index_t));
   tail[0] = tail[1];
-  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set), Error);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, f.cfg), Error);
 }
 
 TEST(PlanCache, RejectsGarbageMagic) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  auto blob = serialize_plan(pp, f.g);
+  auto blob = serialize_plan(pp, f.g, f.cfg);
   blob[0] ^= 0xFF;
-  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set), Error);
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, f.cfg), Error);
 }
 
 ErrorCode load_error_code(const std::string& path, const GridDesc& g,
-                          const datasets::SampleSet& set) {
+                          const datasets::SampleSet& set, const PlanConfig& cfg) {
   try {
-    load_plan(path, g, set);
+    load_plan(path, g, set, cfg);
   } catch (const Error& e) {
     return e.code();
   }
@@ -156,7 +194,7 @@ TEST(PlanCache, CorruptSpillFileIsDetectedByChecksum) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
   const auto path = std::filesystem::temp_directory_path() / "nufft_plan_corrupt.bin";
-  save_plan(path.string(), pp, f.g);
+  save_plan(path.string(), pp, f.g, f.cfg);
 
   // Flip one payload byte in the middle of the file: the structural checks
   // may or may not notice, but the file checksum always must.
@@ -170,7 +208,7 @@ TEST(PlanCache, CorruptSpillFileIsDetectedByChecksum) {
     file.seekp(static_cast<std::streamoff>(size / 2));
     file.write(&byte, 1);
   }
-  EXPECT_EQ(load_error_code(path.string(), f.g, f.set), ErrorCode::kIoCorruption);
+  EXPECT_EQ(load_error_code(path.string(), f.g, f.set, f.cfg), ErrorCode::kIoCorruption);
   std::filesystem::remove(path);
 }
 
@@ -178,26 +216,26 @@ TEST(PlanCache, TruncatedSpillFileIsRejected) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
   const auto path = std::filesystem::temp_directory_path() / "nufft_plan_trunc.bin";
-  save_plan(path.string(), pp, f.g);
+  save_plan(path.string(), pp, f.g, f.cfg);
   const auto size = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, size / 2);
-  EXPECT_EQ(load_error_code(path.string(), f.g, f.set), ErrorCode::kIoCorruption);
+  EXPECT_EQ(load_error_code(path.string(), f.g, f.set, f.cfg), ErrorCode::kIoCorruption);
   // Even a file shorter than the header must fail cleanly.
   std::filesystem::resize_file(path, 3);
-  EXPECT_EQ(load_error_code(path.string(), f.g, f.set), ErrorCode::kIoCorruption);
+  EXPECT_EQ(load_error_code(path.string(), f.g, f.set, f.cfg), ErrorCode::kIoCorruption);
   std::filesystem::remove(path);
 }
 
 TEST(PlanCache, ErrorCodesDistinguishCorruptionFromStaleGeometry) {
   Fixture f;
   const auto pp = preprocess(f.g, f.set, f.cfg);
-  const auto blob = serialize_plan(pp, f.g);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
 
   // Blob-integrity failures carry kIoCorruption...
   auto truncated = blob;
   truncated.resize(truncated.size() / 2);
   try {
-    deserialize_plan(truncated.data(), truncated.size(), f.g, f.set);
+    deserialize_plan(truncated.data(), truncated.size(), f.g, f.set, f.cfg);
     FAIL() << "expected Error";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kIoCorruption);
@@ -207,7 +245,7 @@ TEST(PlanCache, ErrorCodesDistinguishCorruptionFromStaleGeometry) {
   const GridDesc other = make_grid(2, 64, 2.0);
   const auto other_set = testing::small_trajectory(datasets::TrajectoryType::kRadial, 2, 64, 3000);
   try {
-    deserialize_plan(blob.data(), blob.size(), other, other_set);
+    deserialize_plan(blob.data(), blob.size(), other, other_set, f.cfg);
     FAIL() << "expected Error";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
@@ -219,9 +257,9 @@ TEST(PlanCache, RestorationIsFasterThanPreprocessing) {
   Timer t;
   const auto pp = preprocess(f.g, f.set, f.cfg);
   const double fresh_s = t.seconds();
-  const auto blob = serialize_plan(pp, f.g);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
   t.reset();
-  const auto back = deserialize_plan(blob.data(), blob.size(), f.g, f.set);
+  const auto back = deserialize_plan(blob.data(), blob.size(), f.g, f.set, f.cfg);
   const double restore_s = t.seconds();
   // Restoring skips histogramming, partitioning, binning, and sorting; it
   // should comfortably beat a fresh preprocess on a nontrivial set.

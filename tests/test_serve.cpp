@@ -467,6 +467,64 @@ TEST(ServeE2E, InvalidSubmitsAreRejectedWithoutKillingTheSession) {
   server.stop();
 }
 
+TEST(ServeE2E, TolerancePlannedRequestMatchesDirectExecutionBitwise) {
+  // Accuracy-first planning over the wire: the client ships only the kernel
+  // family and a tolerance; the server resolves both to the calibrated
+  // kernel parameters and the result must be bitwise identical to the same
+  // tolerance-planned transform run in-process.
+  Fixture fx = make_fixture();
+  fx.cfg.kernel = kernels::KernelType::kEs;
+  fx.cfg.tolerance = 1e-4;
+
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("tolplan");
+  NufftServer server(sc);
+  server.start();
+
+  Nufft direct(fx.g, fx.set, fx.cfg);
+  std::vector<cfloat> want_fwd(static_cast<std::size_t>(fx.set.count()));
+  direct.forward(fx.image.data(), want_fwd.data());
+
+  NufftClient client;
+  client.connect(sc.socket_path, "tol-tenant");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto fwd = client.forward(plan_id, fx.image);
+  ASSERT_EQ(fwd.output.size(), want_fwd.size());
+  EXPECT_EQ(std::memcmp(fwd.output.data(), want_fwd.data(), want_fwd.size() * sizeof(cfloat)),
+            0);
+  server.stop();
+}
+
+TEST(ServeE2E, UnachievableToleranceFailsOverTheWireAsTerminal) {
+  // A tolerance tighter than the calibration table must come back across
+  // the wire carrying kUnachievableAccuracy — and the taxonomy classifies
+  // it terminal, so the resilient client will not retry it.
+  Fixture fx = make_fixture();
+  fx.cfg.tolerance = 1e-12;
+
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("toobright");
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "tol-tenant");
+  try {
+    client.register_plan(fx.g, fx.set, fx.cfg);
+    FAIL() << "expected unachievable-tolerance rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnachievableAccuracy);
+    EXPECT_EQ(retry_class(e.code()), RetryClass::kTerminal);
+  }
+
+  // The session survives; a sane tolerance registers fine afterwards.
+  fx.cfg.tolerance = 1e-3;
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+  const auto res = client.forward(plan_id, fx.image);
+  EXPECT_EQ(res.output.size(), static_cast<std::size_t>(fx.set.count()));
+  server.stop();
+}
+
 TEST(ServeE2E, GarbageBytesGetAnErrorReplyAndTheConnectionCloses) {
   ServeConfig sc;
   sc.socket_path = unique_socket_path("garbage");
