@@ -1,12 +1,26 @@
 // Ablation: Part 1 weight computation via the piecewise-polynomial Horner
 // evaluator versus the linear-interpolation LUT, for the ES kernel the
-// tolerance-driven planner pairs with Horner. The LUT gathers 2·dim·(2W+1)
-// table entries per sample; Horner recomputes the whole last-dim weight row
-// from one shared abscissa with nseg fused multiply-adds per degree.
+// tolerance-driven planner pairs with Horner — plus the dispatch-registry
+// specializations of the same loop (core/conv_variants.hpp): the constexpr-W
+// scalar variant and the AVX2 row evaluator that computes the whole weight
+// row from one shared abscissa, 8 segments per instruction
+// (kernels/horner_avx2.cpp). The second half times full forward/adjoint
+// executions with the registry enabled and disabled (PlanConfig
+// specialize_conv) on the LUT and Horner configurations; results go to
+// BENCH_abla_horner.json (window rows "w4".."w8", pipeline rows
+// "<kernel>.d<dim>").
+//
+// This TU is deliberately compiled at the baseline ISA (see
+// core/conv_variants.hpp rule 2): including the variant templates from an
+// -mavx2 TU would let the compiler contract the weight arithmetic into FMA
+// and measure a loop the library never runs.
 #include <cstdio>
+#include <string>
 
 #include "common.hpp"
+#include "core/conv_variants.hpp"
 #include "core/convolution.hpp"
+#include "core/convolution_avx2.hpp"
 #include "kernels/es_kernel.hpp"
 #include "kernels/horner.hpp"
 #include "kernels/lut.hpp"
@@ -14,43 +28,136 @@
 using namespace nufft;
 using namespace nufft::bench;
 
+namespace {
+
+volatile float g_sink = 0.0f;
+
+/// Time one Part-1 sweep over every sample: `fn(coord, wb)` fills the window.
+template <typename Fn>
+double time_window(const datasets::SampleSet& set, const Fn& fn) {
+  return time_call([&] {
+    WindowBuf wb;
+    float acc = 0.0f;
+    for (index_t p = 0; p < set.count(); ++p) {
+      float coord[3] = {set.coords[0][static_cast<std::size_t>(p)],
+                        set.coords[1][static_cast<std::size_t>(p)],
+                        set.coords[2][static_cast<std::size_t>(p)]};
+      fn(coord, wb);
+      acc += wb.win[0][0];
+    }
+    g_sink = g_sink + acc;
+  });
+}
+
+template <int W2, bool AVX2ROW>
+double time_spec(const GridDesc& g, const WindowEval& ev, const datasets::SampleSet& set) {
+  return time_window(set, [&](const float* coord, WindowBuf& wb) {
+    detail::window_spec<3, W2, true, AVX2ROW>(g, ev, coord, false, wb);
+  });
+}
+
+template <bool AVX2ROW>
+double time_spec_for(int w2, const GridDesc& g, const WindowEval& ev,
+                     const datasets::SampleSet& set) {
+  switch (w2) {
+    case 4: return time_spec<4, AVX2ROW>(g, ev, set);
+    case 5: return time_spec<5, AVX2ROW>(g, ev, set);
+    case 6: return time_spec<6, AVX2ROW>(g, ev, set);
+    case 7: return time_spec<7, AVX2ROW>(g, ev, set);
+    default: return time_spec<8, AVX2ROW>(g, ev, set);
+  }
+}
+
+}  // namespace
+
 int main() {
   print_header("Ablation — Horner vs LUT window evaluation (ES kernel, Part 1)");
   const auto row = default_row_scaled();
   const auto set = make_set(datasets::TrajectoryType::kRandom, row);
   const GridDesc g = make_grid(3, row.n, 2.0);
+  const bool avx2 = avx2_available();
+  BenchReport report("abla_horner");
 
-  std::printf("%-5s %6s %14s %14s %12s\n", "W", "degree", "LUT (s)", "Horner (s)",
-              "Horner gain");
-  for (const double W : {2.0, 3.0, 4.0}) {
+  std::printf("%-5s %6s %12s %12s %12s %12s %10s\n", "W", "degree", "LUT gen", "Horner gen",
+              "Horner spec", "Horner avx2", "avx2 gain");
+  for (int w2 = ConvDispatch::kMinWidth2; w2 <= ConvDispatch::kMaxWidth2; ++w2) {
+    const double W = 0.5 * w2;
     const kernels::EsKernel es(W, 2.0);
     const kernels::KernelLut lut(es, 1024);
     const kernels::KernelHorner horner(es);
-
     WindowEval lut_ev;
     lut_ev.lut = &lut;
     WindowEval horner_ev;
     horner_ev.horner = &horner;
 
-    volatile float sink = 0.0f;
-    const auto time_eval = [&](const WindowEval& ev) {
-      return time_call([&] {
-        WindowBuf wb;
-        float acc = 0.0f;
-        for (index_t p = 0; p < set.count(); ++p) {
-          float coord[3] = {set.coords[0][static_cast<std::size_t>(p)],
-                            set.coords[1][static_cast<std::size_t>(p)],
-                            set.coords[2][static_cast<std::size_t>(p)]};
-          compute_window(g, ev, coord, 3, false, wb);
-          acc += wb.win[0][0];
-        }
-        sink = sink + acc;
-      });
-    };
-    const double t_lut = time_eval(lut_ev);
-    const double t_horner = time_eval(horner_ev);
-    std::printf("%-5.0f %6d %14.4f %14.4f %11.2fx\n", W, horner.degree(), t_lut, t_horner,
-                t_lut / t_horner);
+    const double t_lut = time_window(set, [&](const float* coord, WindowBuf& wb) {
+      compute_window(g, lut_ev, coord, 3, false, wb);
+    });
+    const double t_horner = time_window(set, [&](const float* coord, WindowBuf& wb) {
+      compute_window(g, horner_ev, coord, 3, false, wb);
+    });
+    const double t_spec = time_spec_for<false>(w2, g, horner_ev, set);
+    const double t_avx2 = avx2 ? time_spec_for<true>(w2, g, horner_ev, set) : 0.0;
+    const double avx2_gain = avx2 ? t_horner / t_avx2 : 0.0;
+    std::printf("%-5.1f %6d %12.4f %12.4f %12.4f %12.4f %9.2fx\n", W, horner.degree(), t_lut,
+                t_horner, t_spec, t_avx2, avx2_gain);
+    report.add("w" + std::to_string(w2),
+               {{"W", W},
+                {"degree", static_cast<double>(horner.degree())},
+                {"lut_generic_s", t_lut},
+                {"horner_generic_s", t_horner},
+                {"horner_spec_s", t_spec},
+                {"horner_spec_avx2_s", t_avx2},
+                {"spec_gain", t_horner / t_spec},
+                {"avx2_row_gain", avx2_gain},
+                {"lut_vs_avx2_gain", avx2 ? t_lut / t_avx2 : 0.0}});
   }
+
+  // Full pipeline: the registry on versus the generic loop, on the two
+  // calibrated evaluator pairings (KB+LUT, ES+Horner), dims 2 and 3.
+  std::printf("\n%-12s %12s %12s %8s %12s %12s %8s\n", "shape", "fwd spec", "fwd gen", "gain",
+              "adj spec", "adj gen", "gain");
+  for (const int dim : {2, 3}) {
+    const auto dset = make_set(datasets::TrajectoryType::kRandom, row, dim);
+    const GridDesc dg = make_grid(dim, row.n, 2.0);
+    const cvecf img = random_values(dg.image_elems(), 1);
+    const cvecf raw = random_values(dset.count(), 2);
+    cvecf out_raw(raw.size());
+    cvecf out_img(img.size());
+    for (const bool use_horner : {false, true}) {
+      PlanConfig cfg = optimized_config(bench_threads());
+      cfg.isa = SimdIsa::kAuto;
+      if (use_horner) {
+        cfg.kernel = kernels::KernelType::kEs;
+        cfg.eval = kernels::KernelEval::kHorner;
+      }
+      PlanConfig gen_cfg = cfg;
+      gen_cfg.specialize_conv = false;
+      Nufft spec(dg, dset, cfg);
+      Nufft generic(dg, dset, gen_cfg);
+      const double fwd_spec =
+          time_call([&] { spec.forward(img.data(), out_raw.data()); });
+      const double fwd_gen =
+          time_call([&] { generic.forward(img.data(), out_raw.data()); });
+      const double adj_spec =
+          time_call([&] { spec.adjoint(raw.data(), out_img.data()); });
+      const double adj_gen =
+          time_call([&] { generic.adjoint(raw.data(), out_img.data()); });
+      const std::string label =
+          std::string(use_horner ? "horner" : "lut") + ".d" + std::to_string(dim);
+      std::printf("%-12s %12.4f %12.4f %7.2fx %12.4f %12.4f %7.2fx\n", label.c_str(), fwd_spec,
+                  fwd_gen, fwd_gen / fwd_spec, adj_spec, adj_gen, adj_gen / adj_spec);
+      report.add(label, {{"dim", static_cast<double>(dim)},
+                         {"horner", use_horner ? 1.0 : 0.0},
+                         {"specialized", spec.plan_stats().conv_specialized ? 1.0 : 0.0},
+                         {"forward_spec_s", fwd_spec},
+                         {"forward_generic_s", fwd_gen},
+                         {"forward_gain", fwd_gen / fwd_spec},
+                         {"adjoint_spec_s", adj_spec},
+                         {"adjoint_generic_s", adj_gen},
+                         {"adjoint_gain", adj_gen / adj_spec}});
+    }
+  }
+  report.write();
   return 0;
 }

@@ -1,0 +1,137 @@
+// Backend dispatch registry for the convolution hot path.
+//
+// The paper's core claim is that spreading/interpolation dominates NUFFT
+// runtime and is won or lost in the inner loop. The generic path
+// (core/convolution.cpp + the per-sample `switch (mode)` in core/nufft.cpp)
+// is generic over (backend, dim, W, evaluator); this registry holds
+// pre-instantiated template variants for the hot combinations so a plan can
+// bind the whole (Part 1 window + Part 2 gather/scatter) sample loop to one
+// function pointer at construction time:
+//
+//   key = (backend ∈ {scalar, SSE, AVX2},
+//          dim ∈ {1, 2, 3},
+//          width2 = 2W ∈ {4, 5, 6, 7, 8}   — the calibrated widths of
+//                                            core/tolerance.cpp,
+//          evaluator ∈ {LUT, Horner})
+//
+// Selection happens once in the Nufft constructor (after the tolerance and
+// ISA resolution), is recorded in PlanStats / the plan-cache blob / an obs
+// counter, and falls back to the generic loop for every uncovered shape
+// (non-half-integer W, W outside the calibrated set, dim > 3, or the
+// `PlanConfig::specialize_conv = false` ablation). Specialized and generic
+// paths are bit-identical by contract — enforced by the `dispatch` test
+// label — so the fallback is a pure performance decision.
+//
+// Adding a backend (AVX-512, fp64, a bin-sorted GPU-style path) means: a new
+// ConvBackend enumerator, one conv_variants_<backend>.cpp TU defining
+// append_<backend>_variants() (compiled at the *baseline* ISA — see the
+// FP-contraction note in conv_variants.hpp), and a line in the ConvDispatch
+// constructor. Call sites never change. See DESIGN.md §14.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/convolution.hpp"
+#include "core/grid.hpp"
+
+namespace nufft {
+
+struct PlanConfig;
+
+/// Part-2 instruction set of a registered variant. Matches the resolution
+/// of Nufft::ConvMode (use_simd / isa / CPU) one-to-one.
+enum class ConvBackend : std::uint8_t { kScalar = 0, kSse = 1, kAvx2 = 2 };
+
+const char* conv_backend_name(ConvBackend b);
+
+/// Registry key: one entry per (backend, dim, 2W, evaluator) combination.
+struct ConvVariantKey {
+  ConvBackend backend = ConvBackend::kScalar;
+  std::uint8_t dim = 0;     // 1..3
+  std::uint8_t width2 = 0;  // 2·kernel_radius, exact
+  kernels::KernelEval eval = kernels::KernelEval::kLut;
+
+  /// Packed identity, stable across runs (recorded in PlanStats and usable
+  /// in logs/benches): backend<<24 | dim<<16 | width2<<8 | eval.
+  std::uint32_t id() const {
+    return (static_cast<std::uint32_t>(backend) << 24) |
+           (static_cast<std::uint32_t>(dim) << 16) |
+           (static_cast<std::uint32_t>(width2) << 8) | static_cast<std::uint32_t>(eval);
+  }
+
+  bool operator==(const ConvVariantKey& o) const {
+    return backend == o.backend && dim == o.dim && width2 == o.width2 && eval == o.eval;
+  }
+};
+
+/// PlanStats::conv_variant_id of a plan running the generic loop.
+inline constexpr std::uint32_t kGenericConvVariantId = 0xFFFFFFFFu;
+
+/// Everything a specialized sample-range call needs. Mirrors the captures of
+/// the generic convolve_range lambda in core/nufft.cpp: the reordered
+/// coordinate arrays, the reordered→original index map, one task's sample
+/// range, and (for privatized tasks) the box origin for index rebasing.
+struct ConvRange {
+  const GridDesc* g = nullptr;
+  WindowEval ev;                                        // lut or horner set
+  std::array<const float*, 3> coords{nullptr, nullptr, nullptr};
+  const index_t* orig_index = nullptr;
+  index_t begin = 0;
+  index_t end = 0;
+  /// Non-null for privatized tasks: neighbour indices are rebased to
+  /// idx − box_lo[d] (box-local, never wrapping) exactly like the generic
+  /// path does before scattering into the private buffer.
+  const index_t* box_lo = nullptr;
+};
+
+/// Adjoint Part 1+2 over one sample range: scatter raw[orig_index[i]]·window
+/// into dst.
+using ConvSpreadFn = void (*)(const ConvRange&, const cfloat* raw, cfloat* dst,
+                              const std::array<index_t, 3>& strides);
+/// Forward Part 1+2 over one sample range: gather the weighted neighbour sum
+/// of each sample from grid into out[orig_index[i]].
+using ConvInterpFn = void (*)(const ConvRange&, const cfloat* grid,
+                              const std::array<index_t, 3>& strides, cfloat* out);
+
+struct ConvVariant {
+  ConvVariantKey key;
+  std::string name;  // "avx2.d3.w8.horner" — also the obs counter suffix
+  ConvSpreadFn spread = nullptr;
+  ConvInterpFn interp = nullptr;
+};
+
+/// The process-wide variant table, built once on first use. Immutable and
+/// lock-free to read; plan construction does one linear probe.
+class ConvDispatch {
+ public:
+  static constexpr std::uint8_t kMinWidth2 = 4;  // W = 2.0
+  static constexpr std::uint8_t kMaxWidth2 = 8;  // W = 4.0
+
+  static const ConvDispatch& instance();
+
+  /// The registered variant for `key`, or nullptr (→ generic loop).
+  const ConvVariant* find(const ConvVariantKey& key) const;
+
+  const std::vector<ConvVariant>& variants() const { return variants_; }
+
+ private:
+  ConvDispatch();
+  std::vector<ConvVariant> variants_;
+};
+
+/// 2·kernel_radius when the radius is one of the calibrated half-integer
+/// widths the registry instantiates, 0 otherwise (→ no registry match).
+std::uint8_t conv_width2(double kernel_radius);
+
+/// Backend-agnostic dispatch identity of a resolved PlanConfig on a dim-d
+/// grid, recorded in the plan-cache blob (v3): packs (specialize_conv, dim,
+/// width2, eval). The backend is deliberately excluded — it is re-resolved
+/// per CPU at plan construction, and a cached plan must restore on a machine
+/// with a different vector ISA.
+std::uint32_t conv_dispatch_id(const PlanConfig& cfg, int dim);
+
+}  // namespace nufft

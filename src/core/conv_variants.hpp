@@ -1,0 +1,191 @@
+// Template bodies of the specialized convolution variants — included by the
+// three per-backend registration TUs (conv_variants_{scalar,sse,avx2}.cpp)
+// and instantiable from benches/tests for Part-1 micro-measurement.
+//
+// Bit-identity contract with the generic path (core/convolution.cpp +
+// core/nufft.cpp): for every key, the specialized spread/interp must produce
+// bit-identical results to the generic loop on the same plan. Three rules
+// keep that true:
+//
+//   1. The window geometry (float-rounding trim, modular wrap) comes from
+//      the SAME inline helpers the generic compute_window uses
+//      (core/window_span.hpp), never re-derived.
+//   2. Every TU including this header is compiled at the baseline ISA. On a
+//      TU built with -mavx2 -mfma the compiler may contract the a·b+c shapes
+//      in the window/weight arithmetic into FMA, which changes rounding and
+//      silently breaks the bit-match against the baseline-compiled generic
+//      path. AVX2 work is reached only through *extern* functions that were
+//      themselves audited for lane-exactness: the Part-2 kernels of
+//      core/convolution_avx2.cpp (the very same functions the generic AVX2
+//      mode calls), and kernels::eval_window_avx2 (explicit mul+add
+//      intrinsics, never fmadd — see kernels/horner_avx2.cpp).
+//   3. The per-sample body mirrors the generic convolve_range / interp loop
+//      statement for statement (box rebase included); only the compile-time
+//      constants (dim, W, evaluator, backend) differ.
+//
+// What specialization buys (paper Part 1, the dominant phase at small W):
+// constexpr W feeds the trim, the per-element `lut != nullptr` branch and
+// the per-sample backend switch disappear, the dim loops unroll, and the
+// AVX2+Horner combination evaluates the whole weight row 8 segments per
+// instruction instead of riding the scalar recurrence.
+#pragma once
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "core/conv_dispatch.hpp"
+#include "core/convolution.hpp"
+#include "core/convolution_avx2.hpp"
+#include "core/window_span.hpp"
+#include "kernels/horner.hpp"
+
+namespace nufft::detail {
+
+/// Part 1 with compile-time dim/width/evaluator. `AVX2ROW` routes the Horner
+/// row evaluation through the AVX2 evaluator (only set for the AVX2 backend,
+/// whose availability the plan already verified).
+template <int DIM, int W2, bool HORNER, bool AVX2ROW>
+inline void window_spec(const GridDesc& g, const WindowEval& ev, const float* coord,
+                        bool fill_dup, WindowBuf& wb) {
+  constexpr float W = static_cast<float>(W2) * 0.5f;  // exact for half-integer widths
+  for (int d = 0; d < DIM; ++d) {
+    const float k = coord[d];
+    const WindowSpan sp = window_span(k, W);
+    NUFFT_DASSERT(sp.len <= WindowBuf::kMaxLen);
+    const index_t m = g.m[static_cast<std::size_t>(d)];
+    wb.start[d] = sp.x1;
+    wb.len[d] = sp.len;
+    if constexpr (!HORNER) {
+      const kernels::KernelLut& lut = *ev.lut;
+      for (int i = 0; i < sp.len; ++i) {
+        const index_t nx = sp.x1 + i;
+        wb.idx[d][i] = wrap_grid_index(nx, m);
+        wb.win[d][i] = lut(std::fabs(static_cast<float>(nx) - k));
+      }
+    } else {
+      for (int i = 0; i < sp.len; ++i) wb.idx[d][i] = wrap_grid_index(sp.x1 + i, m);
+      // Shared abscissa z = x1 − k + W ∈ [0, 1]; one row evaluation covers
+      // the whole window (see kernels/horner.hpp).
+      const float z = static_cast<float>(sp.x1) - k + W;
+      if constexpr (AVX2ROW) {
+        kernels::eval_window_avx2(*ev.horner, z, sp.len, wb.win[d]);
+      } else {
+        ev.horner->eval_window(z, sp.len, wb.win[d]);
+      }
+    }
+  }
+  constexpr int last = DIM - 1;
+  wb.inner_contiguous = wb.start[last] >= 0 &&
+                        wb.start[last] + wb.len[last] <= g.m[static_cast<std::size_t>(last)];
+  if (fill_dup) {
+    for (int i = 0; i < wb.len[last]; ++i) {
+      wb.win_dup[2 * i] = wb.win[last][i];
+      wb.win_dup[2 * i + 1] = wb.win[last][i];
+    }
+  }
+}
+
+/// Rebase neighbour indices into a privatized task's box — identical to the
+/// generic path's rebase (core/nufft.cpp convolve_range).
+template <int DIM>
+inline void rebase_box(const index_t* box_lo, WindowBuf& wb) {
+  for (int d = 0; d < DIM; ++d) {
+    for (int t = 0; t < wb.len[d]; ++t) {
+      wb.idx[d][t] = wb.start[d] + t - box_lo[d];
+    }
+  }
+  wb.inner_contiguous = true;
+}
+
+template <ConvBackend B, int DIM, int W2, bool HORNER>
+void spread_range(const ConvRange& a, const cfloat* raw, cfloat* dst,
+                  const std::array<index_t, 3>& strides) {
+  constexpr bool kFillDup = B != ConvBackend::kScalar;
+  WindowBuf wb;
+  for (index_t i = a.begin; i < a.end; ++i) {
+    float coord[3];
+    for (int d = 0; d < DIM; ++d) {
+      coord[d] = a.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+    }
+    window_spec<DIM, W2, HORNER, B == ConvBackend::kAvx2 && HORNER>(*a.g, a.ev, coord,
+                                                                    kFillDup, wb);
+    if (a.box_lo != nullptr) rebase_box<DIM>(a.box_lo, wb);
+    const cfloat v = raw[a.orig_index[static_cast<std::size_t>(i)]];
+    if constexpr (B == ConvBackend::kScalar) {
+      adj_scatter_scalar<DIM>(dst, strides, wb, v);
+    } else if constexpr (B == ConvBackend::kSse) {
+      adj_scatter_simd<DIM>(dst, strides, wb, v);
+    } else {
+      adj_scatter_avx2<DIM>(dst, strides, wb, v);
+    }
+  }
+}
+
+template <ConvBackend B, int DIM, int W2, bool HORNER>
+void interp_range(const ConvRange& a, const cfloat* grid, const std::array<index_t, 3>& strides,
+                  cfloat* out) {
+  constexpr bool kFillDup = B != ConvBackend::kScalar;
+  WindowBuf wb;
+  for (index_t i = a.begin; i < a.end; ++i) {
+    float coord[3];
+    for (int d = 0; d < DIM; ++d) {
+      coord[d] = a.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+    }
+    window_spec<DIM, W2, HORNER, B == ConvBackend::kAvx2 && HORNER>(*a.g, a.ev, coord,
+                                                                    kFillDup, wb);
+    cfloat v;
+    if constexpr (B == ConvBackend::kScalar) {
+      v = fwd_gather_scalar<DIM>(grid, strides, wb);
+    } else if constexpr (B == ConvBackend::kSse) {
+      v = fwd_gather_simd<DIM>(grid, strides, wb);
+    } else {
+      v = fwd_gather_avx2<DIM>(grid, strides, wb);
+    }
+    out[a.orig_index[static_cast<std::size_t>(i)]] = v;
+  }
+}
+
+template <ConvBackend B, int DIM, int W2, bool HORNER>
+ConvVariant make_variant() {
+  ConvVariant v;
+  v.key.backend = B;
+  v.key.dim = static_cast<std::uint8_t>(DIM);
+  v.key.width2 = static_cast<std::uint8_t>(W2);
+  v.key.eval = HORNER ? kernels::KernelEval::kHorner : kernels::KernelEval::kLut;
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s.d%d.w%d.%s", conv_backend_name(B), DIM, W2,
+                HORNER ? "horner" : "lut");
+  v.name = name;
+  v.spread = &spread_range<B, DIM, W2, HORNER>;
+  v.interp = &interp_range<B, DIM, W2, HORNER>;
+  return v;
+}
+
+template <ConvBackend B, int DIM, int W2>
+void add_width(std::vector<ConvVariant>& out) {
+  out.push_back(make_variant<B, DIM, W2, false>());
+  out.push_back(make_variant<B, DIM, W2, true>());
+}
+
+template <ConvBackend B, int DIM>
+void add_dim(std::vector<ConvVariant>& out) {
+  add_width<B, DIM, 4>(out);
+  add_width<B, DIM, 5>(out);
+  add_width<B, DIM, 6>(out);
+  add_width<B, DIM, 7>(out);
+  add_width<B, DIM, 8>(out);
+}
+
+/// Instantiate every (dim, width2, evaluator) combination of one backend.
+template <ConvBackend B>
+void register_backend(std::vector<ConvVariant>& out) {
+  add_dim<B, 1>(out);
+  add_dim<B, 2>(out);
+  add_dim<B, 3>(out);
+}
+
+void append_scalar_variants(std::vector<ConvVariant>& out);
+void append_sse_variants(std::vector<ConvVariant>& out);
+void append_avx2_variants(std::vector<ConvVariant>& out);
+
+}  // namespace nufft::detail

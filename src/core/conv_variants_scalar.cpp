@@ -1,0 +1,11 @@
+// Scalar-backend variant instantiations. Baseline-compiled (no -mavx2); see
+// the FP-contraction note in conv_variants.hpp.
+#include "core/conv_variants.hpp"
+
+namespace nufft::detail {
+
+void append_scalar_variants(std::vector<ConvVariant>& out) {
+  register_backend<ConvBackend::kScalar>(out);
+}
+
+}  // namespace nufft::detail

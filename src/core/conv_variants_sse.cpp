@@ -1,0 +1,13 @@
+// SSE-backend variant instantiations. Part 2 routes to the adj_scatter_simd /
+// fwd_gather_simd kernels of core/convolution.cpp (baseline SSE2 — the TU
+// itself stays baseline-compiled; see the FP-contraction note in
+// conv_variants.hpp).
+#include "core/conv_variants.hpp"
+
+namespace nufft::detail {
+
+void append_sse_variants(std::vector<ConvVariant>& out) {
+  register_backend<ConvBackend::kSse>(out);
+}
+
+}  // namespace nufft::detail

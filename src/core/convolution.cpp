@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/window_span.hpp"
 #include "simd/vec4f.hpp"
 
 // The scalar Part-2 kernels are the reference point of the paper's SIMD
@@ -31,44 +32,24 @@ void compute_window(const GridDesc& g, const WindowEval& ev, const float* coord,
   const float W = ev.radius();
   for (int d = 0; d < dim; ++d) {
     const float k = coord[d];
-    auto x1 = static_cast<index_t>(std::ceil(k - W));
-    auto x2 = static_cast<index_t>(std::floor(k + W));
-    // Float rounding of k ± W can admit a neighbour just outside the kernel
-    // support (|nx − k| > W): for half-integer coordinates that makes the
-    // window 2W+2 wide, which overruns kMaxLen at W = 9.5, reads the LUT
-    // past its guard entries, and — on the privatized path — indexes one
-    // cell past the task's write box. Trim with the same float expression
-    // the weight lookup evaluates, so len ≤ 2W+1 holds in the arithmetic
-    // that matters.
-    if (std::fabs(static_cast<float>(x1) - k) > W) ++x1;
-    if (std::fabs(static_cast<float>(x2) - k) > W) --x2;
-    const int l = std::max(0, static_cast<int>(x2 - x1 + 1));
-    NUFFT_DASSERT(l <= WindowBuf::kMaxLen);
+    // Window geometry (float-rounding trim + wrap) is shared with the
+    // specialized dispatch variants via core/window_span.hpp — both paths
+    // must stay byte-identical (see that header's contract).
+    const WindowSpan sp = window_span(k, W);
+    NUFFT_DASSERT(sp.len <= WindowBuf::kMaxLen);
     const index_t m = g.m[static_cast<std::size_t>(d)];
-    wb.start[d] = x1;
-    wb.len[d] = l;
-    for (int i = 0; i < l; ++i) {
-      const index_t nx = x1 + i;
-      // One conditional wrap covers |nx| < 2m, which holds whenever the
-      // window fits the grid (2⌈W⌉+1 ≤ m — enforced at plan construction).
-      // The baselines accept arbitrary GridDescs, so a window wider than
-      // the grid falls back to a full modular wrap: the kernel tail then
-      // legitimately revisits cells, which is the periodic convolution.
-      index_t wrapped = nx;
-      if (wrapped < 0) wrapped += m;
-      if (wrapped >= m) wrapped -= m;
-      if (wrapped < 0 || wrapped >= m) {
-        wrapped = nx % m;
-        if (wrapped < 0) wrapped += m;
-      }
-      wb.idx[d][i] = wrapped;
+    wb.start[d] = sp.x1;
+    wb.len[d] = sp.len;
+    for (int i = 0; i < sp.len; ++i) {
+      const index_t nx = sp.x1 + i;
+      wb.idx[d][i] = wrap_grid_index(nx, m);
       if (lut != nullptr) wb.win[d][i] = (*lut)(std::fabs(static_cast<float>(nx) - k));
     }
     if (lut == nullptr) {
       // Horner batch path: every neighbour shares the abscissa
       // z = x1 − k + W ∈ [0, 1] and neighbour i sits at distance z − W + i,
       // which is exactly the per-segment parameterization the fit used.
-      ev.horner->eval_window(static_cast<float>(x1) - k + W, l, wb.win[d]);
+      ev.horner->eval_window(static_cast<float>(sp.x1) - k + W, sp.len, wb.win[d]);
     }
   }
   const int last = dim - 1;

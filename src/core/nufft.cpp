@@ -5,10 +5,12 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/conv_dispatch.hpp"
 #include "core/convolution.hpp"
 #include "core/convolution_avx2.hpp"
 #include "core/tolerance.hpp"
 #include "kernels/rolloff.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace nufft {
@@ -96,10 +98,28 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
     fvec s = kernels::rolloff_1d(*kernel, n, m);
     auto& wrap = wrap_[static_cast<std::size_t>(d)];
     wrap.resize(static_cast<std::size_t>(n));
+    // Inverse map for the fused scale pass: grid index → image index, −1 on
+    // the zero-padding cells the image never touches.
+    auto& inv = inv_wrap_[static_cast<std::size_t>(d)];
+    inv.assign(static_cast<std::size_t>(m), static_cast<index_t>(-1));
     for (index_t i = 0; i < n; ++i) {
       const index_t centered = i - n / 2;
       if ((centered & 1) != 0) s[static_cast<std::size_t>(i)] = -s[static_cast<std::size_t>(i)];
       wrap[static_cast<std::size_t>(i)] = centered >= 0 ? centered : centered + m;
+      inv[static_cast<std::size_t>(wrap[static_cast<std::size_t>(i)])] = i;
+    }
+    // Collapse the inverse map into maximal contiguous runs so the fused
+    // scale pass can stream each stretch instead of looking up every cell.
+    auto& runs = wrap_runs_[static_cast<std::size_t>(d)];
+    for (index_t gidx = 0; gidx < m; ++gidx) {
+      const index_t img = inv[static_cast<std::size_t>(gidx)];
+      if (img < 0) continue;
+      if (!runs.empty() && runs.back().g_end == gidx &&
+          runs.back().i_begin + (gidx - runs.back().g_begin) == img) {
+        runs.back().g_end = gidx + 1;
+      } else {
+        runs.push_back({gidx, gidx + 1, img});
+      }
     }
     scale_[static_cast<std::size_t>(d)] = std::move(s);
   }
@@ -124,11 +144,48 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
     conv_mode_ = ConvMode::kSse;
   }
 
+  // Bind the convolution hot path to a specialized dispatch variant when the
+  // resolved (backend, dim, W, evaluator) shape is registered; every
+  // uncovered shape — non-half-integer W, W outside the calibrated set, or
+  // the specialize_conv ablation — keeps the generic loop. The two paths are
+  // bit-identical by contract (tests/test_dispatch.cpp), so this is purely a
+  // performance decision.
+  if (cfg_.specialize_conv) {
+    ConvVariantKey key;
+    key.backend = conv_mode_ == ConvMode::kScalar  ? ConvBackend::kScalar
+                  : conv_mode_ == ConvMode::kSse   ? ConvBackend::kSse
+                                                   : ConvBackend::kAvx2;
+    key.dim = static_cast<std::uint8_t>(g_.dim);
+    key.width2 = conv_width2(cfg_.kernel_radius);
+    key.eval = cfg_.eval;
+    if (key.width2 != 0) conv_variant_ = ConvDispatch::instance().find(key);
+  }
+  if (conv_variant_ != nullptr) {
+    plan_stats_.conv_specialized = true;
+    plan_stats_.conv_variant_id = conv_variant_->key.id();
+    plan_stats_.conv_variant = conv_variant_->name;
+  }
+  obs::count(std::string("nufft.conv.variant.") + plan_stats_.conv_variant);
+
   // The plan-owned workspace backing the convenience (non-const) API.
   ws_ = make_workspace();
 }
 
 Nufft::~Nufft() = default;
+
+ConvRange Nufft::conv_range(const ConvTask& task, bool box_local) const {
+  ConvRange r;
+  r.g = &g_;
+  r.ev = window_eval();
+  for (int d = 0; d < g_.dim; ++d) {
+    r.coords[static_cast<std::size_t>(d)] = pp_.coords[static_cast<std::size_t>(d)].data();
+  }
+  r.orig_index = pp_.orig_index.data();
+  r.begin = task.begin;
+  r.end = task.end;
+  r.box_lo = box_local ? task.box_lo.data() : nullptr;
+  return r;
+}
 
 Workspace Nufft::make_workspace() const {
   Workspace ws;
@@ -160,6 +217,75 @@ void Nufft::clear_grid(Workspace& ws, ThreadPool& pool) const {
 void Nufft::clear_grid() { clear_grid(ws_, *pool_); }
 
 void Nufft::image_to_grid(const cfloat* image, Workspace& ws, ThreadPool& pool) const {
+  // Specialized plans take the fused scale pass: one sweep over the grid
+  // writing every cell exactly once (zero padding or scaled image value)
+  // instead of clear_grid + scatter — the grid is touched once, not twice.
+  // The innermost dimension walks the precomputed wrap runs (contiguous
+  // grid↔image stretches), so the hot loop is a straight copy-scale with no
+  // per-element lookup or branch. Bit-identical to the two-pass path: the
+  // written cells use the same multiply grouping, and untouched cells are the
+  // same +0.0f the clear writes. Gated on the dispatch binding so the
+  // specialize_conv=false ablation measures (and the bit-match tests compare)
+  // the original passes.
+  if (conv_variant_ != nullptr) {
+    const int dim = g_.dim;
+    const auto st = g_.grid_strides();
+    const index_t m0 = g_.m[0];
+    const index_t m1 = dim >= 2 ? g_.m[1] : 1;
+    const index_t m2 = dim >= 3 ? g_.m[2] : 1;
+    const index_t n1 = dim >= 2 ? g_.n[1] : 1;
+    const index_t n2 = dim >= 3 ? g_.n[2] : 1;
+    const fvec& s0 = scale_[0];
+    const fvec* s1 = dim >= 2 ? &scale_[1] : nullptr;
+    const fvec* s2 = dim >= 3 ? &scale_[2] : nullptr;
+    // Stream one row's runs: gaps zeroed, each run a lookup-free copy-scale.
+    // Same multiply grouping as the generic scatter (src · (f · scale)).
+    const auto stream_row = [&](cfloat* row, index_t m, const std::vector<WrapRun>& runs,
+                                const cfloat* src, float f, const fvec& scale) {
+      index_t gcur = 0;
+      for (const WrapRun& r : runs) {
+        zero_complex(row + gcur, static_cast<std::size_t>(r.g_begin - gcur));
+        const index_t len = r.g_end - r.g_begin;
+        cfloat* out = row + r.g_begin;
+        const cfloat* in = src + r.i_begin;
+        const float* sc = scale.data() + r.i_begin;
+        for (index_t j = 0; j < len; ++j) out[j] = in[j] * (f * sc[j]);
+        gcur = r.g_end;
+      }
+      zero_complex(row + gcur, static_cast<std::size_t>(m - gcur));
+    };
+    pool.parallel_for(m0, [&](index_t b, index_t e) {
+      for (index_t g0 = b; g0 < e; ++g0) {
+        cfloat* slab = ws.grid.data() + g0 * st[0];
+        const index_t i0 = inv_wrap_[0][static_cast<std::size_t>(g0)];
+        if (i0 < 0) {
+          zero_complex(slab, static_cast<std::size_t>(st[0]));
+          continue;
+        }
+        const float f0 = s0[static_cast<std::size_t>(i0)];
+        if (dim == 1) {
+          slab[0] = image[i0] * f0;
+          continue;
+        }
+        if (dim == 2) {
+          stream_row(slab, m1, wrap_runs_[1], image + i0 * n1, f0, *s1);
+          continue;
+        }
+        for (index_t g1 = 0; g1 < m1; ++g1) {
+          cfloat* row = slab + g1 * st[1];
+          const index_t i1 = inv_wrap_[1][static_cast<std::size_t>(g1)];
+          if (i1 < 0) {
+            zero_complex(row, static_cast<std::size_t>(st[1]));
+            continue;
+          }
+          const float f01 = f0 * (*s1)[static_cast<std::size_t>(i1)];
+          stream_row(row, m2, wrap_runs_[2], image + (i0 * n1 + i1) * n2, f01, *s2);
+        }
+      }
+    });
+    return;
+  }
+
   clear_grid(ws, pool);
   const int dim = g_.dim;
   const auto st = g_.grid_strides();
@@ -245,6 +371,17 @@ void Nufft::interp(cfloat* raw) { interp(raw, ws_, *pool_); }
 template <int DIM>
 void Nufft::interp_dim(const cfloat* grid, const std::array<index_t, 3>& st, cfloat* raw,
                        int ntasks, ThreadPool& pool) const {
+  if (conv_variant_ != nullptr) {
+    // Specialized dispatch: the whole per-sample loop (Part 1 window + Part 2
+    // gather) is one pre-instantiated function bound at plan time.
+    const ConvInterpFn fn = conv_variant_->interp;
+    pool.parallel_for_tid(ntasks, 1, [&](int, index_t kb, index_t ke) {
+      for (index_t k = kb; k < ke; ++k) {
+        fn(conv_range(pp_.tasks[static_cast<std::size_t>(k)], false), grid, st, raw);
+      }
+    });
+    return;
+  }
   const ConvMode mode = conv_mode_;
   const bool fill_dup = mode != ConvMode::kScalar;
   const WindowEval ev = window_eval();
@@ -297,6 +434,13 @@ void Nufft::spread_dim(const cfloat* raw, const std::array<index_t, 3>& st, Work
   // box with box-local indices).
   auto convolve_range = [&](const ConvTask& task, cfloat* dst,
                             const std::array<index_t, 3>& strides, bool box_local) {
+    if (conv_variant_ != nullptr) {
+      // Specialized dispatch: Part 1 + Part 2 for the whole range in one
+      // pre-instantiated call. Scheduling, privatization, and reduction
+      // around this are unchanged.
+      conv_variant_->spread(conv_range(task, box_local), raw, dst, strides);
+      return;
+    }
     WindowBuf wb;
     for (index_t i = task.begin; i < task.end; ++i) {
       float coord[3];

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/conv_dispatch.hpp"
 #include "core/convolution.hpp"
 #include "core/grid.hpp"
 #include "core/preprocess.hpp"
@@ -136,6 +137,9 @@ class Nufft {
   enum class ConvMode { kScalar, kSse, kAvx2 };
   ConvMode conv_mode() const { return conv_mode_; }
 
+  /// Plan-time decisions (specialized convolution variant binding).
+  const PlanStats& plan_stats() const { return plan_stats_; }
+
  private:
   friend class exec::BatchNufft;
 
@@ -150,6 +154,11 @@ class Nufft {
     }
     return ev;
   }
+
+  /// View of one task's sample range as the specialized dispatch variants
+  /// consume it (core/conv_dispatch.hpp). box_local → indices rebased into
+  /// the task's private box.
+  ConvRange conv_range(const ConvTask& task, bool box_local) const;
 
   void clear_grid(Workspace& ws, ThreadPool& pool) const;
   void image_to_grid(const cfloat* image, Workspace& ws, ThreadPool& pool) const;
@@ -173,9 +182,21 @@ class Nufft {
   std::unique_ptr<fft::FftNd<float>> fft_inv_;
   std::array<fvec, 3> scale_;          // rolloff × chop, one array per dim
   std::array<std::vector<index_t>, 3> wrap_;  // image index → grid index per dim
+  std::array<std::vector<index_t>, 3> inv_wrap_;  // grid index → image index, −1 = pad
+  /// Maximal contiguous stretches of inv_wrap_: grid [g_begin, g_end) maps to
+  /// image i_begin + (g − g_begin). Lets the fused scale pass stream each
+  /// stretch without per-element lookups; gaps between runs are zero padding.
+  struct WrapRun {
+    index_t g_begin = 0;
+    index_t g_end = 0;
+    index_t i_begin = 0;
+  };
+  std::array<std::vector<WrapRun>, 3> wrap_runs_;
   std::unique_ptr<kernels::KernelLut> lut_;
   std::unique_ptr<kernels::KernelHorner> horner_;  // set iff cfg_.eval == kHorner
   ConvMode conv_mode_ = ConvMode::kSse;
+  const ConvVariant* conv_variant_ = nullptr;  // bound dispatch variant, or generic
+  PlanStats plan_stats_;
   Workspace ws_;  // the plan-owned workspace behind the convenience API
 };
 

@@ -3,9 +3,24 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace nufft {
+
+/// Plan-time decisions frozen at Nufft construction, queryable via
+/// Nufft::plan_stats(). Complements the per-apply OperatorStats below.
+struct PlanStats {
+  /// True when the convolution hot path bound to a specialized dispatch
+  /// variant (core/conv_dispatch.hpp); false → generic loop.
+  bool conv_specialized = false;
+  /// ConvVariantKey::id() of the bound variant, or the generic sentinel
+  /// kGenericConvVariantId (0xFFFFFFFF) when unspecialized.
+  std::uint32_t conv_variant_id = 0xFFFFFFFFu;
+  /// Human-readable variant name ("avx2.d3.w8.horner"), "generic" otherwise.
+  /// Also emitted as the obs counter "nufft.conv.variant.<name>".
+  std::string conv_variant = "generic";
+};
 
 /// Timing breakdown for one operator application, in seconds.
 ///

@@ -1,6 +1,7 @@
 #include "core/tolerance.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.hpp"
 
@@ -95,10 +96,15 @@ ResolvedAccuracy resolve_tolerance(double tolerance, kernels::KernelType family)
 void apply_tolerance(PlanConfig& cfg, double alpha) {
   if (cfg.tolerance <= 0.0) return;
   if (alpha + 1e-9 < kCalibratedAlpha) {
-    throw Error("tolerance-driven planning is calibrated at oversampling alpha >= " +
-                    std::to_string(kCalibratedAlpha) + "; this grid has alpha = " +
-                    std::to_string(alpha),
-                ErrorCode::kUnachievableAccuracy);
+    // The rejection must name BOTH the α the caller actually passed and the
+    // calibrated minimum (pinned by tests/test_accuracy.cpp), formatted %g so
+    // the caller sees "1.5", not "1.500000".
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "tolerance-driven planning is calibrated at oversampling alpha >= %.6g; "
+                  "the requested grid has alpha = %.6g",
+                  kCalibratedAlpha, alpha);
+    throw Error(msg, ErrorCode::kUnachievableAccuracy);
   }
   const ResolvedAccuracy r = resolve_tolerance(cfg.tolerance, cfg.kernel);
   cfg.kernel_radius = r.kernel_radius;

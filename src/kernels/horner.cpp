@@ -10,7 +10,6 @@ namespace nufft::kernels {
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
-constexpr int kMaxStride = 32;
 
 }  // namespace
 
@@ -22,7 +21,11 @@ KernelHorner::KernelHorner(const Kernel1d& kernel, int degree) {
                   "boundaries align with the support edge");
   radius_ = static_cast<float>(W);
   nseg_ = 2 * static_cast<int>(std::ceil(W)) + 1;
-  stride_ = (nseg_ + 3) & ~3;
+  // Pad the segment stride to a multiple of 8 so vector evaluators can read
+  // whole coefficient rows in 8-float chunks. The padded entries stay zero
+  // and only ever feed lanes past `len`, which eval_window discards —
+  // numerically the padding is invisible.
+  stride_ = (nseg_ + 7) & ~7;
   NUFFT_CHECK_MSG(stride_ <= kMaxStride, "kernel too wide for Horner evaluation");
   // Degree scales with width like FINUFFT's (full-width + 3) rule, with a
   // small margin since the fit is stored in float; capped where float

@@ -22,6 +22,11 @@ namespace nufft::kernels {
 
 class KernelHorner {
  public:
+  /// Upper bound on the padded segment stride (W ≤ 9.5 → nseg ≤ 21 → stride
+  /// ≤ 24). Sizes the row-evaluation scratch in both the scalar and the AVX2
+  /// evaluators.
+  static constexpr int kMaxStride = 32;
+
   /// Fit piecewise polynomials for `kernel`. Requires 2·radius to be an
   /// integer so segment boundaries align with the support edge (every width
   /// the planner or fuzzer selects is a multiple of 0.5). `degree` 0 picks
@@ -32,6 +37,13 @@ class KernelHorner {
   float radius() const { return radius_; }
   int degree() const { return degree_; }
   int segments() const { return nseg_; }
+
+  /// Transposed coefficient table: coefficients()[k*stride() + i] is the
+  /// t^(degree−k) coefficient of segment i. stride() is a multiple of 8 and
+  /// the padded tail of every row is zero-filled, so a vector evaluator may
+  /// process whole rows in 8-float chunks (kernels/horner_avx2.cpp).
+  const float* coefficients() const { return coef_.data(); }
+  int stride() const { return stride_; }
 
   /// Window batch evaluation: weights for neighbours x1..x1+len−1 of a
   /// sample with shared abscissa z = x1 − k + W ∈ [0, 1]. len ≤ segments().
@@ -48,5 +60,12 @@ class KernelHorner {
   int degree_ = 0;
   int stride_ = 0;
 };
+
+/// AVX2 window batch evaluation — lane-exact with KernelHorner::eval_window:
+/// the recurrence acc = acc·t + row uses explicit mul+add intrinsics (never
+/// FMA), so each lane performs the identical float operation sequence and the
+/// results are bit-identical to the scalar path. Defined in horner_avx2.cpp
+/// (compiled -mavx2 -ffp-contract=off); call only when AVX2 is available.
+void eval_window_avx2(const KernelHorner& h, float z, int len, float* out);
 
 }  // namespace nufft::kernels

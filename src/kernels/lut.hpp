@@ -5,6 +5,18 @@
 // the interpolation itself. The LUT samples the kernel densely on [0, W]
 // and reconstructs values with linear interpolation (error O(h²·max|g''|),
 // bounded by tests).
+//
+// Guard-entry contract (authoritative — ROADMAP and DESIGN.md agree; any
+// statement elsewhere that the guards are zeroed is stale): the table holds
+// ceil(W·spu) + 3 entries, and every entry at or past the support edge
+// stores the ONE-SIDED edge value φ(W) = lim_{d→W⁻} φ(d), NOT zero. Zeroed
+// guards would make the interpolated value collapse toward 0 across the
+// final partial cell [last interior sample, W] — exactly where a
+// boundary-straddling window evaluates — biasing edge weights low by up to
+// the whole edge value. With φ(W) guards, operator() at d == W (and at
+// d == W ± 1 ulp, which the float-rounding trim in compute_window can
+// legitimately produce) is a defined read returning ≈ φ(W). Pinned by
+// tests/test_kernels.cpp (Lut.GuardContractAtEdgeOneUlp).
 #pragma once
 
 #include <cstddef>

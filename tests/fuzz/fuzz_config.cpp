@@ -72,7 +72,8 @@ std::string FuzzConfig::describe() const {
   os << " threads=" << threads << " count=" << count << " style=" << coord_style_name(style)
      << " batch=" << batch << " pq=" << priority_queue << " priv=" << selective_privatization
      << " barrier=" << color_barrier_schedule << " varpart=" << variable_partitions
-     << " reorder=" << reorder << " pfac=" << privatization_factor;
+     << " reorder=" << reorder << " pfac=" << privatization_factor
+     << " spec=" << specialize_conv;
   return os.str();
 }
 
@@ -201,6 +202,10 @@ FuzzConfig make_fuzz_config(std::uint64_t seed) {
   c.reorder = rng.below(2) == 0;
   // Factor < 1 lowers the Eq. 6 threshold → more privatized tasks.
   c.privatization_factor = rng.below(3) == 0 ? 0.25 : 1.0;
+  // Mostly exercise the specialized dispatch (the production default), but
+  // keep the generic-loop ablation in the pool so divergences between the
+  // two paths keep getting hunted.
+  c.specialize_conv = rng.below(4) != 0;
 
   return c;
 }

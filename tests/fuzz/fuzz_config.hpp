@@ -66,6 +66,7 @@ struct FuzzConfig {
   bool variable_partitions = true;
   bool reorder = true;
   double privatization_factor = 1.0;
+  bool specialize_conv = true;  // dispatch-registry ablation (generic loop when false)
 
   /// True when the kernel footprint exceeds the grid: plan construction
   /// must reject the config, and only the raw kernel-level baselines

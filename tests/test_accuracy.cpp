@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "baselines/nudft.hpp"
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "core/grid.hpp"
 #include "core/nufft.hpp"
@@ -141,6 +142,26 @@ TEST(ToleranceContract, CalibrationSweep) {
       std::printf("%s  %8.0e  W=%.1f  %.3e\n",
                   family == KernelType::kEs ? "es" : "kb", tol, row.kernel_radius, worst);
     }
+  }
+}
+
+TEST(ToleranceAlpha, RejectionNamesRequestedAndCalibratedAlpha) {
+  // The α-rejection must tell the caller BOTH numbers they need to act on:
+  // the α their grid actually has and the calibrated minimum. A message
+  // naming only one of them sends the user back to the source to find the
+  // other.
+  PlanConfig cfg;
+  cfg.tolerance = 1e-3;
+  try {
+    apply_tolerance(cfg, 1.5);
+    FAIL() << "apply_tolerance accepted alpha below the calibrated minimum";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnachievableAccuracy);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("alpha >= 2"), std::string::npos)
+        << "message must name the calibrated minimum: " << msg;
+    EXPECT_NE(msg.find("alpha = 1.5"), std::string::npos)
+        << "message must name the requested alpha: " << msg;
   }
 }
 

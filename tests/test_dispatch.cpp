@@ -1,0 +1,408 @@
+// Convolution dispatch registry (`ctest -L dispatch`).
+//
+// The registry's load-bearing promise is BIT-identity: a plan bound to a
+// specialized (backend, dim, W, evaluator) variant must produce exactly the
+// grids and sample values the generic loop produces — the fallback is a pure
+// performance decision, never a numerical one. These tests enforce that
+// promise variant by variant (spread, interp, and the fused forward scale
+// pass), sweep the boundary coordinates where the float-rounding window trim
+// diverges first, pin the fallback rules, and check the plan-time selection
+// is observable (PlanStats + the obs counter).
+//
+// Everything runs at threads = 1: the work-stealing scheduler makes halo
+// accumulation order nondeterministic across runs at higher widths, which
+// would break bitwise comparison between two plans for reasons unrelated to
+// the dispatch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/conv_dispatch.hpp"
+#include "core/convolution_avx2.hpp"
+#include "core/grid.hpp"
+#include "core/nufft.hpp"
+#include "core/tolerance.hpp"
+#include "datasets/trajectory.hpp"
+#include "kernels/es_kernel.hpp"
+#include "kernels/horner.hpp"
+#include "obs/metrics.hpp"
+#include "test_util.hpp"
+
+namespace nufft {
+namespace {
+
+using datasets::SampleSet;
+using datasets::TrajectoryType;
+using kernels::KernelEval;
+
+// ---- plan-construction helpers -------------------------------------------
+
+index_t image_n_for(int dim) { return dim == 3 ? 10 : (dim == 2 ? 20 : 64); }
+
+index_t count_for(int dim) { return dim == 3 ? 400 : (dim == 2 ? 350 : 300); }
+
+/// PlanConfig that resolves exactly to `key` at plan time (modulo the
+/// specialize_conv switch, which picks specialized vs generic).
+PlanConfig cfg_for(const ConvVariantKey& key, bool specialize) {
+  PlanConfig cfg;
+  cfg.kernel = key.eval == KernelEval::kHorner ? kernels::KernelType::kEs
+                                               : kernels::KernelType::kKaiserBessel;
+  cfg.eval = key.eval;
+  cfg.kernel_radius = static_cast<double>(key.width2) / 2.0;
+  cfg.lut_samples_per_unit = 512;
+  cfg.threads = 1;
+  cfg.specialize_conv = specialize;
+  switch (key.backend) {
+    case ConvBackend::kScalar:
+      cfg.use_simd = false;
+      break;
+    case ConvBackend::kSse:
+      cfg.use_simd = true;
+      cfg.isa = SimdIsa::kSse;
+      break;
+    case ConvBackend::kAvx2:
+      cfg.use_simd = true;
+      cfg.isa = SimdIsa::kAvx2;
+      break;
+  }
+  return cfg;
+}
+
+/// Coordinates adjacent to cell boundaries: exact integers, exact
+/// half-integers, and ±1-ulp perturbations of both — the inputs where the
+/// k ± W float-rounding trim admits or rejects an edge neighbour, which is
+/// exactly where a re-derived trim diverges first (satellite bugfix 3).
+SampleSet boundary_samples(int dim, index_t m, index_t count) {
+  SampleSet set;
+  set.dim = dim;
+  set.m = m;
+  set.k = count;
+  set.s = 1;
+  const auto mf = static_cast<float>(m);
+  for (int d = 0; d < dim; ++d) {
+    fvec& c = set.coords[static_cast<std::size_t>(d)];
+    c.resize(static_cast<std::size_t>(count));
+    for (index_t i = 0; i < count; ++i) {
+      // March cells with a dim-dependent stride so the dims decorrelate.
+      const float cell =
+          static_cast<float>((static_cast<index_t>(i) * (d + 1) + d) % m);
+      float v;
+      switch (i % 8) {
+        case 0: v = cell; break;                                      // integer
+        case 1: v = cell + 0.5f; break;                               // half-integer
+        case 2: v = std::nextafterf(cell + 0.5f, 0.0f); break;        // half − 1 ulp
+        case 3: v = std::nextafterf(cell + 0.5f, mf); break;          // half + 1 ulp
+        case 4: v = std::nextafterf(cell, mf); break;                 // int + 1 ulp
+        case 5: v = cell > 0.0f ? std::nextafterf(cell, 0.0f) : 0.0f; break;
+        case 6: v = std::nextafterf(mf, 0.0f); break;                 // domain edge
+        default: v = mf - 0.5f; break;
+      }
+      if (!(v >= 0.0f && v < mf)) v = 0.0f;
+      c[static_cast<std::size_t>(i)] = v;
+    }
+  }
+  return set;
+}
+
+/// Clustered samples: a tight blob in one corner so at least one task
+/// crosses the (lowered) Eq. 6 privatization threshold — covers the
+/// box-rebased spread path of the specialized variants.
+SampleSet clustered_samples(int dim, index_t m, index_t count) {
+  SampleSet set;
+  set.dim = dim;
+  set.m = m;
+  set.k = count;
+  set.s = 1;
+  const auto mf = static_cast<float>(m);
+  for (int d = 0; d < dim; ++d) {
+    fvec& c = set.coords[static_cast<std::size_t>(d)];
+    c.resize(static_cast<std::size_t>(count));
+    for (index_t i = 0; i < count; ++i) {
+      // Deterministic pseudo-random offsets inside a 3-cell blob near the
+      // domain edge (so windows also wrap).
+      const auto h = static_cast<float>((i * 2654435761u + d * 40503u) % 3000u) / 1000.0f;
+      float v = mf - 1.5f + h;  // [m − 1.5, m + 1.5) before wrap
+      if (v >= mf) v -= mf;
+      c[static_cast<std::size_t>(i)] = v;
+    }
+  }
+  return set;
+}
+
+struct PairResult {
+  cvecf spec;
+  cvecf gen;
+};
+
+void expect_bitwise_equal(const cvecf& a, const cvecf& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(cfloat)), 0)
+      << what << ": specialized and generic outputs differ bitwise";
+}
+
+/// Build the specialized/generic plan pair for `key` over `set` and compare
+/// spread grids, interp outputs, and full forward outputs bitwise.
+void compare_variant(const ConvVariantKey& key, const GridDesc& g, const SampleSet& set,
+                     double privatization_factor = 1.0) {
+  PlanConfig spec_cfg = cfg_for(key, true);
+  PlanConfig gen_cfg = cfg_for(key, false);
+  spec_cfg.privatization_factor = privatization_factor;
+  gen_cfg.privatization_factor = privatization_factor;
+
+  Nufft spec(g, set, spec_cfg);
+  Nufft gen(g, set, gen_cfg);
+
+  const ConvVariant* v = ConvDispatch::instance().find(key);
+  ASSERT_NE(v, nullptr) << "variant not registered";
+  ASSERT_TRUE(spec.plan_stats().conv_specialized) << v->name;
+  ASSERT_EQ(spec.plan_stats().conv_variant, v->name);
+  ASSERT_EQ(spec.plan_stats().conv_variant_id, key.id());
+  ASSERT_FALSE(gen.plan_stats().conv_specialized);
+  ASSERT_EQ(gen.plan_stats().conv_variant, "generic");
+  ASSERT_EQ(gen.plan_stats().conv_variant_id, kGenericConvVariantId);
+
+  const index_t count = set.count();
+  const cvecf raw = testing::random_raw(count, 7);
+  const cvecf img = testing::random_image(g.image_elems(), 8);
+
+  // Adjoint Part 1+2 (spread), including the privatize/reduce machinery.
+  spec.spread(raw.data());
+  gen.spread(raw.data());
+  {
+    cvecf gs(spec.grid_data(), spec.grid_data() + g.grid_elems());
+    cvecf gg(gen.grid_data(), gen.grid_data() + g.grid_elems());
+    expect_bitwise_equal(gs, gg, v->name + " spread");
+  }
+
+  // Forward Part 1+2 (interp) from identical grids.
+  {
+    cvecf rs(static_cast<std::size_t>(count)), rg(static_cast<std::size_t>(count));
+    spec.interp(rs.data());
+    gen.interp(rg.data());
+    expect_bitwise_equal(rs, rg, v->name + " interp");
+  }
+
+  // Full forward: also exercises the fused image_to_grid scale pass the
+  // specialized plans take versus the generic clear+scatter passes.
+  {
+    cvecf rs(static_cast<std::size_t>(count)), rg(static_cast<std::size_t>(count));
+    spec.forward(img.data(), rs.data());
+    gen.forward(img.data(), rg.data());
+    expect_bitwise_equal(rs, rg, v->name + " forward");
+  }
+}
+
+bool backend_available(ConvBackend b) {
+  return b != ConvBackend::kAvx2 || avx2_available();
+}
+
+// ---- registry shape -------------------------------------------------------
+
+TEST(ConvDispatchRegistry, CoversEveryCalibratedCombination) {
+  const auto& variants = ConvDispatch::instance().variants();
+  EXPECT_EQ(variants.size(), 90u);  // 3 backends × 3 dims × 5 widths × 2 evals
+
+  for (const ConvBackend b :
+       {ConvBackend::kScalar, ConvBackend::kSse, ConvBackend::kAvx2}) {
+    for (std::uint8_t dim = 1; dim <= 3; ++dim) {
+      for (std::uint8_t w2 = ConvDispatch::kMinWidth2; w2 <= ConvDispatch::kMaxWidth2; ++w2) {
+        for (const KernelEval e : {KernelEval::kLut, KernelEval::kHorner}) {
+          const ConvVariantKey key{b, dim, w2, e};
+          const ConvVariant* v = ConvDispatch::instance().find(key);
+          ASSERT_NE(v, nullptr)
+              << conv_backend_name(b) << " d" << int(dim) << " w" << int(w2);
+          EXPECT_TRUE(v->key == key);
+          EXPECT_NE(v->spread, nullptr);
+          EXPECT_NE(v->interp, nullptr);
+          EXPECT_EQ(v->key.id(), key.id());
+        }
+      }
+    }
+  }
+}
+
+TEST(ConvDispatchRegistry, UnknownKeysFindNothing) {
+  const auto& reg = ConvDispatch::instance();
+  EXPECT_EQ(reg.find({ConvBackend::kScalar, 1, 3, KernelEval::kLut}), nullptr);   // W=1.5
+  EXPECT_EQ(reg.find({ConvBackend::kScalar, 1, 9, KernelEval::kLut}), nullptr);   // W=4.5
+  EXPECT_EQ(reg.find({ConvBackend::kAvx2, 4, 8, KernelEval::kHorner}), nullptr);  // dim 4
+  EXPECT_EQ(reg.find({ConvBackend::kAvx2, 0, 8, KernelEval::kHorner}), nullptr);
+}
+
+TEST(ConvDispatchRegistry, Width2RecognizesOnlyCalibratedHalfIntegerWidths) {
+  EXPECT_EQ(conv_width2(2.0), 4);
+  EXPECT_EQ(conv_width2(2.5), 5);
+  EXPECT_EQ(conv_width2(4.0), 8);
+  EXPECT_EQ(conv_width2(1.5), 0);   // below the calibrated set
+  EXPECT_EQ(conv_width2(4.5), 0);   // above it
+  EXPECT_EQ(conv_width2(2.3), 0);   // not half-integer
+  EXPECT_EQ(conv_width2(0.0), 0);
+}
+
+// ---- the AVX2 Horner row evaluator ---------------------------------------
+
+TEST(HornerAvx2, LaneExactWithScalarRecurrence) {
+  if (!avx2_available()) GTEST_SKIP() << "no AVX2+FMA on this CPU";
+  for (const double W : {2.0, 2.5, 3.0, 4.0}) {
+    const kernels::EsKernel es(W, 2.0);
+    const kernels::KernelHorner h(es);
+    ASSERT_EQ(h.stride() % 8, 0) << "AVX2 row evaluation needs 8-float rows";
+    const int len = h.segments();
+    float ref[kernels::KernelHorner::kMaxStride];
+    float got[kernels::KernelHorner::kMaxStride];
+    for (int s = 0; s <= 64; ++s) {
+      const float z = static_cast<float>(s) / 64.0f;
+      h.eval_window(z, len, ref);
+      kernels::eval_window_avx2(h, z, len, got);
+      for (int i = 0; i < len; ++i) {
+        ASSERT_EQ(std::memcmp(&ref[i], &got[i], sizeof(float)), 0)
+            << "W=" << W << " z=" << z << " lane " << i
+            << ": scalar=" << ref[i] << " avx2=" << got[i];
+      }
+    }
+  }
+}
+
+// ---- the bit-match matrix -------------------------------------------------
+
+TEST(ConvDispatchBitMatch, EveryVariantMatchesGenericOnRandomPlans) {
+  for (const ConvVariant& v : ConvDispatch::instance().variants()) {
+    if (!backend_available(v.key.backend)) continue;
+    const int dim = v.key.dim;
+    const index_t n = image_n_for(dim);
+    const GridDesc g = make_grid(dim, n, 2.0);
+    const auto set = testing::small_trajectory(TrajectoryType::kRandom, dim, n,
+                                               count_for(dim), 31 + v.key.id() % 17);
+    SCOPED_TRACE(v.name);
+    compare_variant(v.key, g, set);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ConvDispatchBitMatch, BoundaryCoordinateSweep) {
+  // Satellite bugfix 3: the float-rounding trim must behave identically in
+  // every specialized variant, so coordinates pinned to (and 1 ulp around)
+  // cell boundaries — where the trim decides whether the edge neighbour is
+  // in or out — must produce bitwise-equal grids.
+  for (const ConvVariant& v : ConvDispatch::instance().variants()) {
+    if (!backend_available(v.key.backend)) continue;
+    const int dim = v.key.dim;
+    const index_t n = image_n_for(dim);
+    const GridDesc g = make_grid(dim, n, 2.0);
+    const auto set = boundary_samples(dim, g.m[0], count_for(dim));
+    SCOPED_TRACE(v.name);
+    compare_variant(v.key, g, set);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ConvDispatchBitMatch, PrivatizedTasksMatchGeneric) {
+  // Clustered samples + a lowered threshold push tasks onto the privatized
+  // (box-local, rebased-index) spread path at threads = 1, deterministically.
+  for (const ConvBackend b :
+       {ConvBackend::kScalar, ConvBackend::kSse, ConvBackend::kAvx2}) {
+    if (!backend_available(b)) continue;
+    for (const KernelEval e : {KernelEval::kLut, KernelEval::kHorner}) {
+      const ConvVariantKey key{b, 2, 8, e};
+      const index_t n = image_n_for(2);
+      const GridDesc g = make_grid(2, n, 2.0);
+      const auto set = clustered_samples(2, g.m[0], 600);
+      SCOPED_TRACE(std::string(conv_backend_name(b)) +
+                   (e == KernelEval::kHorner ? ".horner" : ".lut"));
+      compare_variant(key, g, set, /*privatization_factor=*/0.25);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---- fallback rules --------------------------------------------------------
+
+TEST(ConvDispatchFallback, UncoveredShapesRouteToGeneric) {
+  const int dim = 2;
+  const index_t n = image_n_for(dim);
+  const GridDesc g = make_grid(dim, n, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRadial, dim, n, 300);
+
+  // W below the calibrated set.
+  {
+    PlanConfig cfg;
+    cfg.kernel_radius = 1.5;
+    cfg.threads = 1;
+    Nufft plan(g, set, cfg);
+    EXPECT_FALSE(plan.plan_stats().conv_specialized);
+    EXPECT_EQ(plan.plan_stats().conv_variant, "generic");
+    EXPECT_EQ(plan.plan_stats().conv_variant_id, kGenericConvVariantId);
+  }
+  // Non-half-integer W (LUT — Horner requires half-integer widths anyway).
+  {
+    PlanConfig cfg;
+    cfg.kernel_radius = 2.3;
+    cfg.threads = 1;
+    Nufft plan(g, set, cfg);
+    EXPECT_FALSE(plan.plan_stats().conv_specialized);
+  }
+  // The explicit ablation switch.
+  {
+    PlanConfig cfg;
+    cfg.specialize_conv = false;
+    cfg.threads = 1;
+    Nufft plan(g, set, cfg);
+    EXPECT_FALSE(plan.plan_stats().conv_specialized);
+    EXPECT_EQ(plan.plan_stats().conv_variant, "generic");
+  }
+  // A covered shape binds — and to the key the config implies, with the
+  // kAuto ISA resolving to the widest available backend.
+  {
+    PlanConfig cfg;
+    cfg.threads = 1;  // default W = 4.0, KB + LUT
+    cfg.isa = SimdIsa::kAuto;
+    Nufft plan(g, set, cfg);
+    EXPECT_TRUE(plan.plan_stats().conv_specialized);
+    const char* backend = avx2_available() ? "avx2" : "sse";
+    EXPECT_EQ(plan.plan_stats().conv_variant, std::string(backend) + ".d2.w8.lut");
+  }
+}
+
+// ---- plan-time observability -----------------------------------------------
+
+TEST(ConvDispatchObs, ToleranceDrivenEsPlanSelectsHornerVariantAndCounts) {
+  // Acceptance criterion: a tolerance-planned ES config must bind the
+  // Horner variant (AVX2 on this hardware) and the selection must be
+  // observable through the obs counter.
+  const int dim = 3;
+  const index_t n = image_n_for(dim);
+  const GridDesc g = make_grid(dim, n, 2.0);
+  const auto set = testing::small_trajectory(TrajectoryType::kRandom, dim, n, 300);
+
+  PlanConfig cfg;
+  cfg.kernel = kernels::KernelType::kEs;
+  cfg.tolerance = 1e-6;  // calibration table: W = 4.0, Horner
+  cfg.threads = 1;
+  cfg.isa = SimdIsa::kAuto;
+
+  obs::set_metrics_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+  Nufft plan(g, set, cfg);
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  obs::set_metrics_enabled(false);
+
+  ASSERT_TRUE(plan.plan_stats().conv_specialized);
+  const std::string expected_backend = avx2_available() ? "avx2" : "sse";
+  EXPECT_EQ(plan.plan_stats().conv_variant, expected_backend + ".d3.w8.horner");
+
+  const std::string counter = "nufft.conv.variant." + plan.plan_stats().conv_variant;
+  bool found = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == counter) {
+      found = true;
+      EXPECT_GE(value, 1u);
+    }
+  }
+  EXPECT_TRUE(found) << "selection counter " << counter << " was not recorded";
+}
+
+}  // namespace
+}  // namespace nufft

@@ -414,6 +414,37 @@ TEST(Lut, EdgeValueAtRadiusDefined) {
   EXPECT_NEAR(lut(4.0f), kb.value(4.0), 1e-5);
 }
 
+TEST(Lut, GuardContractAtEdgeOneUlp) {
+  // Pins the guard-entry contract spelled out in lut.hpp: the guards hold
+  // the one-sided edge value φ(W), NOT zero, so the lookup at exactly
+  // d == W — and one float ulp to either side, distances the compute_window
+  // float-rounding trim can legitimately admit — is a defined read
+  // returning ≈ φ(W). Under the historical zeroed-guard bug, d ≥ the last
+  // in-support sample interpolated toward 0, so lut(W ± 1 ulp) lost up to
+  // the whole edge value; the EXPECT_GT below is the direct detector.
+  for (const double W : {2.0, 2.5, 4.0}) {
+    for (const int spu : {512, 777}) {
+      const auto kb = KaiserBessel::with_beatty_beta(W, 2.0);
+      const KernelLut lut(kb, spu);
+      const auto Wf = static_cast<float>(W);
+      const float below = std::nextafterf(Wf, 0.0f);
+      const float above = std::nextafterf(Wf, 2.0f * Wf);
+      const double edge = kb.value(W);
+      // Same seam bound as GuardEntryHoldsTrueEdgeValue: the straddling
+      // cell interpolates across the in-support/clamped-flat seam, erring
+      // by O(h·|φ′(W)|) when W·spu is fractional.
+      const double h = 1.0 / spu;
+      const double seam = 5e-6 + 0.75 * std::abs(kb.value(W) - kb.value(W - h));
+      EXPECT_NEAR(lut(Wf), edge, seam) << "W=" << W << " spu=" << spu;
+      EXPECT_NEAR(lut(below), edge, seam) << "W=" << W << " spu=" << spu << " (W - 1 ulp)";
+      EXPECT_NEAR(lut(above), edge, seam) << "W=" << W << " spu=" << spu << " (W + 1 ulp)";
+      EXPECT_GT(lut(above), 0.5f * static_cast<float>(edge))
+          << "zeroed-guard regression: lookup just past the edge collapsed toward 0 "
+          << "(W=" << W << " spu=" << spu << ")";
+    }
+  }
+}
+
 class LutSupportEdge : public ::testing::TestWithParam<std::pair<double, int>> {};
 
 TEST_P(LutSupportEdge, GuardEntryHoldsTrueEdgeValue) {

@@ -130,6 +130,21 @@ TEST(PlanCache, RejectsDifferentKernelIdentity) {
   EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, denser), Error);
 }
 
+TEST(PlanCache, DispatchIdentityMismatchRejected) {
+  // v3 records the convolution dispatch identity (specialize_conv, dim,
+  // calibrated width2, evaluator): a blob serialized under the specialized
+  // hot path must not restore into a plan configured for the generic loop
+  // (or vice versa) — that plan would silently run a different convolution
+  // path than the one it was validated with.
+  Fixture f;
+  const auto pp = preprocess(f.g, f.set, f.cfg);
+  const auto blob = serialize_plan(pp, f.g, f.cfg);
+
+  PlanConfig other = f.cfg;
+  other.specialize_conv = !other.specialize_conv;
+  EXPECT_THROW(deserialize_plan(blob.data(), blob.size(), f.g, f.set, other), Error);
+}
+
 TEST(PlanCache, ToleranceConfigCanonicalizesToResolvedIdentity) {
   // Serializing under an explicit config and restoring under the
   // tolerance-driven config that resolves to the same parameters must work:

@@ -2,6 +2,8 @@
 # Run the differential fuzz harness (`ctest -L fuzz`, including the serving
 # wire-protocol fuzz), the tolerance-contract harness (`ctest -L accuracy`),
 # the parallel-preprocessing suite (`ctest -L preproc`),
+# the convolution-dispatch suite (`ctest -L dispatch`, the specialized-vs-
+# generic bit-match matrix and the boundary-coordinate trim sweep),
 # the serving-layer suite (`ctest -L serve`) and the chaos suite
 # (`ctest -L chaos`, fault hooks compiled in) under AddressSanitizer and
 # UndefinedBehaviorSanitizer, as CI does; pass `thread` to race-check the
@@ -38,9 +40,10 @@ for san in "${sanitizers[@]}"; do
     -DNUFFT_SANITIZE="${san}" -DNUFFT_FAULT_INJECT=ON \
     -DNUFFT_BUILD_BENCH=OFF -DNUFFT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "${build}" -j --target nufft_fuzz_tests --target nufft_accuracy_tests \
-    --target nufft_preproc_tests --target nufft_serve_tests --target nufft_chaos_tests
-  echo "=== ${san} sanitizer: ctest -L 'fuzz|accuracy|preproc|serve|chaos' ==="
-  (cd "${build}" && ctest -L 'fuzz|accuracy|preproc|serve|chaos' --output-on-failure)
+    --target nufft_preproc_tests --target nufft_dispatch_tests \
+    --target nufft_serve_tests --target nufft_chaos_tests
+  echo "=== ${san} sanitizer: ctest -L 'fuzz|accuracy|preproc|dispatch|serve|chaos' ==="
+  (cd "${build}" && ctest -L 'fuzz|accuracy|preproc|dispatch|serve|chaos' --output-on-failure)
 done
 
-echo "All sanitized fuzz + accuracy + preproc + serve + chaos runs passed."
+echo "All sanitized fuzz + accuracy + preproc + dispatch + serve + chaos runs passed."
