@@ -2,9 +2,20 @@
 // +parallel (thread sweep) → +SMT-style oversubscription, reporting
 // convolution and whole-NUFFT speedups over the scalar baseline,
 // averaged over the three dataset types.
+//
+// Second section: streaming frames/sec trajectory mode. A plan tracks a
+// drifting trajectory across frames (1%/5%/20% of samples jittered by a
+// sub-cell amount per frame, the dynamic-MRI regime); each jitter level
+// compares the warm delta re-bin (Nufft::update_samples) against the cold
+// full-plan rebuild a non-streaming pipeline pays per frame, and the
+// warm/cold frames-per-second columns land in BENCH_fig9_frames.json.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
 
 using namespace nufft;
 using namespace nufft::bench;
@@ -27,6 +38,84 @@ Times run_pair(const GridDesc& g, const datasets::SampleSet& set, const PlanConf
   const auto& f = plan.last_forward_stats();
   const auto& a = plan.last_adjoint_stats();
   return Times{f.conv_s + a.conv_s, f.total_s + a.total_s};
+}
+
+// One frame of trajectory drift: perturb `fraction` of the samples by a
+// sub-cell amount (|delta| < 0.5 grid cells), clamped to the valid range.
+datasets::SampleSet jitter_frame(const datasets::SampleSet& base, double fraction, Rng& rng) {
+  datasets::SampleSet out = base;
+  const auto count = static_cast<std::size_t>(base.count());
+  const auto mf = static_cast<float>(base.m);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.uniform(0.0, 1.0) >= fraction) continue;
+    for (int d = 0; d < base.dim; ++d) {
+      auto& x = out.coords[static_cast<std::size_t>(d)][i];
+      x = std::clamp(x + static_cast<float>(rng.uniform(-0.5, 0.5)), 0.0f,
+                     std::nextafter(mf, 0.0f));
+    }
+  }
+  return out;
+}
+
+void run_frames_mode(const GridDesc& g, const datasets::SampleSet& base) {
+  std::printf("\nStreaming frames mode — warm update_samples vs cold rebuild per frame\n");
+  // Fixed partition layout: a drifting trajectory shifts per-cell histograms
+  // slightly every frame, and the variable-width boundary walk would then
+  // legitimately fall back to a cold rebuild whenever a boundary moves. A
+  // streaming deployment pins the layout for exactly this reason.
+  PlanConfig cfg = optimized_config(bench_threads());
+  cfg.variable_partitions = false;
+
+  const int frames = static_cast<int>(env_int("NUFFT_BENCH_FRAMES", 8));
+  BenchReport report("fig9_frames");
+  std::printf("%-10s %12s %12s %12s %12s %10s\n", "jitter", "warm f/s", "cold f/s",
+              "warm (s)", "cold (s)", "fallbacks");
+
+  for (const double frac : {0.01, 0.05, 0.20}) {
+    // The same deterministic frame sequence feeds both columns.
+    Rng rng(static_cast<std::uint64_t>(frac * 1000) + 17);
+    std::vector<datasets::SampleSet> frames_sets;
+    frames_sets.reserve(static_cast<std::size_t>(frames));
+    const datasets::SampleSet* prev = &base;
+    for (int i = 0; i < frames; ++i) {
+      frames_sets.push_back(jitter_frame(*prev, frac, rng));
+      prev = &frames_sets.back();
+    }
+
+    Nufft plan(g, base, cfg);
+    double warm_s = 0;
+    int fallbacks = 0;
+    for (const auto& set : frames_sets) {
+      Timer t;
+      const UpdatePath path = plan.update_samples(set);
+      warm_s += t.seconds();
+      if (path == UpdatePath::kRebuild) ++fallbacks;
+    }
+
+    double cold_s = 0;
+    for (const auto& set : frames_sets) {
+      Timer t;
+      Nufft cold(g, set, cfg);
+      cold_s += t.seconds();
+    }
+
+    const double warm_fps = frames / warm_s;
+    const double cold_fps = frames / cold_s;
+    char label[32];
+    std::snprintf(label, sizeof(label), "jitter_%g%%", frac * 100);
+    report.add(label, {{"jitter_fraction", frac},
+                       {"frames", static_cast<double>(frames)},
+                       {"warm_fps", warm_fps},
+                       {"cold_fps", cold_fps},
+                       {"speedup", warm_fps / cold_fps},
+                       {"warm_s", warm_s},
+                       {"cold_s", cold_s},
+                       {"fallbacks", static_cast<double>(fallbacks)}});
+    std::printf("%-10.0f%% %11.1f %12.1f %12.4f %12.4f %10d\n", frac * 100, warm_fps,
+                cold_fps, warm_s, cold_s, fallbacks);
+  }
+  const auto path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -91,5 +180,7 @@ int main() {
                 base.conv / sum.conv, base.nufft / sum.nufft);
   }
   std::printf("(paper, 40 cores: Reorder 1.07x, SIMD 3.4x, 40C ~129x conv, SMT +7%%)\n");
+
+  run_frames_mode(g, sets[0]);
   return 0;
 }

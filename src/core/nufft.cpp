@@ -86,8 +86,8 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
 
   std::vector<std::size_t> dims;
   for (int d = 0; d < g.dim; ++d) dims.push_back(static_cast<std::size_t>(g.m[static_cast<std::size_t>(d)]));
-  fft_fwd_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kForward);
-  fft_inv_ = std::make_unique<fft::FftNd<float>>(dims, fft::Direction::kInverse);
+  fft_fwd_ = std::make_shared<fft::FftNd<float>>(dims, fft::Direction::kForward);
+  fft_inv_ = std::make_shared<fft::FftNd<float>>(dims, fft::Direction::kInverse);
 
   // Rolloff precompensation with the ±1 chop baked in per dimension:
   // scale[d][i] = (−1)^(i − N/2) / apodization(i − N/2).
@@ -127,9 +127,9 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
   // The LUT lives in the plan for the whole lifetime; Horner plans fit their
   // piecewise polynomials alongside it (the LUT stays available for
   // diagnostics and the radius bookkeeping).
-  lut_ = std::make_unique<kernels::KernelLut>(*kernel, cfg_.lut_samples_per_unit);
+  lut_ = std::make_shared<kernels::KernelLut>(*kernel, cfg_.lut_samples_per_unit);
   if (cfg_.eval == kernels::KernelEval::kHorner) {
-    horner_ = std::make_unique<kernels::KernelHorner>(*kernel);
+    horner_ = std::make_shared<kernels::KernelHorner>(*kernel);
   }
 
   // Resolve the vector path once. kAuto prefers AVX2 when the CPU has it;
@@ -169,6 +169,65 @@ Nufft::Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanCo
 
   // The plan-owned workspace backing the convenience (non-const) API.
   ws_ = make_workspace();
+}
+
+Nufft::Nufft(const Nufft& src, const datasets::SampleSet& new_samples, const UpdateOptions& opts)
+    : g_(src.g_),
+      cfg_(src.cfg_),  // already tolerance-resolved — do NOT re-apply
+      nsamples_(new_samples.count()) {
+  datasets::validate_samples(new_samples);
+  NUFFT_CHECK(new_samples.dim == g_.dim);
+  for (int d = 0; d < g_.dim; ++d) {
+    NUFFT_CHECK_MSG(new_samples.m == g_.m[static_cast<std::size_t>(d)],
+                    "sample set generated for a different grid size");
+  }
+  pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+  pp_ = clone_preprocessed(src.pp_);
+  const UpdatePath path = update_preprocessed(pp_, g_, new_samples, cfg_, *pool_, opts);
+
+  // Everything below depends only on (grid, cfg), both preserved verbatim —
+  // share the immutable tables instead of rebuilding them.
+  fft_fwd_ = src.fft_fwd_;
+  fft_inv_ = src.fft_inv_;
+  scale_ = src.scale_;
+  wrap_ = src.wrap_;
+  inv_wrap_ = src.inv_wrap_;
+  wrap_runs_ = src.wrap_runs_;
+  lut_ = src.lut_;
+  horner_ = src.horner_;
+  conv_mode_ = src.conv_mode_;
+  conv_variant_ = src.conv_variant_;
+  plan_stats_ = src.plan_stats_;
+  if (path != UpdatePath::kNoop) ++plan_stats_.generation;
+  plan_stats_.warm_updated = path == UpdatePath::kWarm;
+
+  ws_ = make_workspace();
+}
+
+UpdatePath Nufft::update_samples(const datasets::SampleSet& new_samples,
+                                 const UpdateOptions& opts) {
+  datasets::validate_samples(new_samples);
+  NUFFT_CHECK(new_samples.dim == g_.dim);
+  for (int d = 0; d < g_.dim; ++d) {
+    NUFFT_CHECK_MSG(new_samples.m == g_.m[static_cast<std::size_t>(d)],
+                    "sample set generated for a different grid size");
+  }
+  const UpdatePath path = update_preprocessed(pp_, g_, new_samples, cfg_, *pool_, opts);
+  if (path == UpdatePath::kNoop) return path;
+  nsamples_ = new_samples.count();
+  ++plan_stats_.generation;
+  plan_stats_.warm_updated = path == UpdatePath::kWarm;
+  // Reconcile the plan-owned workspace with the new privatization marks:
+  // keep already-sized buffers, size newly privatized ones, release the rest.
+  ws_.private_bufs.resize(pp_.tasks.size());
+  for (std::size_t k = 0; k < pp_.tasks.size(); ++k) {
+    if (pp_.privatized[k]) {
+      ws_.private_bufs[k].resize(static_cast<std::size_t>(pp_.tasks[k].box_elems(g_.dim)));
+    } else if (!ws_.private_bufs[k].empty()) {
+      cvecf().swap(ws_.private_bufs[k]);
+    }
+  }
+  return path;
 }
 
 Nufft::~Nufft() = default;

@@ -73,6 +73,17 @@ class Nufft {
   /// — skips the histogram/partition/bin/reorder pass entirely.
   Nufft(const GridDesc& g, const datasets::SampleSet& samples, const PlanConfig& cfg,
         Preprocessed restored);
+
+  /// Warm derivation: plan `new_samples` by delta-updating a clone of `src`'s
+  /// preprocessing (update_preprocessed) instead of a cold preprocess().
+  /// Grid, config, FFT plans, scale tables and kernel evaluators are shared
+  /// with the source plan (all immutable); `src` keeps serving concurrent
+  /// applies untouched. The derived plan is bit-identical to a cold
+  /// Nufft(grid, new_samples, config) in everything an apply reads —
+  /// plan_stats().warm_updated records which path built it, and generation
+  /// is src's + 1 (unless the update was a bitwise no-op).
+  Nufft(const Nufft& src, const datasets::SampleSet& new_samples,
+        const UpdateOptions& opts = {});
   ~Nufft();
 
   Nufft(const Nufft&) = delete;
@@ -105,6 +116,19 @@ class Nufft {
 
   /// raw (sample values, caller order) → image (N^dim).
   void adjoint(const cfloat* raw, cfloat* image);
+
+  // --- streaming trajectory update (exclusive-owner API) ---
+
+  /// Re-plan this operator for `new_samples` in place, preferring the delta
+  /// path (update_preprocessed) over a cold rebuild. NOT part of the
+  /// concurrency contract above: the caller must guarantee no apply is in
+  /// flight on this plan — shared plans (PlanRegistry) use the warm-derive
+  /// constructor instead, which never mutates the source. On kNoop nothing
+  /// changes (generation included); otherwise plan_stats().generation is
+  /// bumped and the plan-owned workspace's private buffers are reconciled
+  /// with the new privatization marks.
+  UpdatePath update_samples(const datasets::SampleSet& new_samples,
+                            const UpdateOptions& opts = {});
 
   // --- component entry points for benchmarking and tests ---
   // These operate on the plan-owned workspace (not re-entrant).
@@ -178,8 +202,11 @@ class Nufft {
   index_t nsamples_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   Preprocessed pp_;
-  std::unique_ptr<fft::FftNd<float>> fft_fwd_;
-  std::unique_ptr<fft::FftNd<float>> fft_inv_;
+  // shared_ptr (not unique): a warm-derived plan shares these immutable
+  // tables with its source — they depend only on (grid, cfg), which the
+  // derivation preserves.
+  std::shared_ptr<fft::FftNd<float>> fft_fwd_;
+  std::shared_ptr<fft::FftNd<float>> fft_inv_;
   std::array<fvec, 3> scale_;          // rolloff × chop, one array per dim
   std::array<std::vector<index_t>, 3> wrap_;  // image index → grid index per dim
   std::array<std::vector<index_t>, 3> inv_wrap_;  // grid index → image index, −1 = pad
@@ -192,8 +219,8 @@ class Nufft {
     index_t i_begin = 0;
   };
   std::array<std::vector<WrapRun>, 3> wrap_runs_;
-  std::unique_ptr<kernels::KernelLut> lut_;
-  std::unique_ptr<kernels::KernelHorner> horner_;  // set iff cfg_.eval == kHorner
+  std::shared_ptr<kernels::KernelLut> lut_;
+  std::shared_ptr<kernels::KernelHorner> horner_;  // set iff cfg_.eval == kHorner
   ConvMode conv_mode_ = ConvMode::kSse;
   const ConvVariant* conv_variant_ = nullptr;  // bound dispatch variant, or generic
   PlanStats plan_stats_;

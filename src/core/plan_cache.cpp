@@ -285,6 +285,17 @@ std::size_t plan_resident_bytes(const Preprocessed& pp, const GridDesc& g) {
   bytes += pp.tasks.size() * sizeof(ConvTask);
   bytes += pp.weights.size() * sizeof(index_t);
   bytes += pp.privatized.size() * sizeof(char);
+  if (pp.delta != nullptr) {
+    bytes += pp.delta->task_of.size() * sizeof(std::int32_t);
+    for (int d = 0; d < g.dim; ++d) {
+      bytes += pp.delta->cell_counts[static_cast<std::size_t>(d)].size() * sizeof(index_t);
+      bytes += pp.delta->prev_coords[static_cast<std::size_t>(d)].size() * sizeof(float);
+      bytes += pp.delta->coords_scratch[static_cast<std::size_t>(d)].size() * sizeof(float);
+    }
+    bytes += pp.delta->orig_scratch.size() * sizeof(index_t);
+    bytes += pp.delta->keys.size() * sizeof(std::uint64_t);
+    bytes += pp.delta->keys_scratch.size() * sizeof(std::uint64_t);
+  }
   return bytes;
 }
 

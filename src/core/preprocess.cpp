@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "core/preprocess_detail.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -22,82 +23,23 @@ index_t privatization_threshold(index_t total_samples, int threads, int dim, dou
 
 namespace {
 
-// Auto partition count per dimension: aim for ~16·threads tasks in total so
-// the priority queue has slack to balance, rounded to an even count.
-int auto_partitions_per_dim(int threads, int dim) {
-  const double total_tasks = 16.0 * std::max(1, threads);
-  int p = static_cast<int>(std::llround(std::pow(total_tasks, 1.0 / dim)));
-  p = std::max(2, p);
-  if (p % 2 != 0) ++p;
-  return p;
-}
-
-int bits_for(std::uint64_t maxval) {
-  return maxval == 0 ? 0 : 64 - __builtin_clzll(maxval);
-}
-
-// Bit layout of the tile-scan reorder key: tile coordinates (scan-line order
-// over tiles), then cell coordinates within the tile (scan-line order again)
-// — "simple scan-line order with one level of tiling" (paper §III-D). Field
-// widths are derived from the grid extent and tile edge: a fixed width would
-// silently alias tile coordinates on wide grids (the old 10-bit packing broke
-// past 1023 tiles per dimension) and quietly destroy reorder locality.
-struct KeyPacking {
-  std::array<int, 3> tile_bits{0, 0, 0};
-  std::array<int, 3> cell_bits{0, 0, 0};
-  int total_bits = 0;
-};
-
-KeyPacking make_key_packing(int dim, const std::array<index_t, 3>& extent, index_t tile) {
-  KeyPacking p;
-  for (int d = 0; d < dim; ++d) {
-    const auto sd = static_cast<std::size_t>(d);
-    const index_t ntiles = (extent[sd] + tile - 1) / tile;
-    p.tile_bits[sd] = bits_for(static_cast<std::uint64_t>(ntiles - 1));
-    p.cell_bits[sd] = bits_for(static_cast<std::uint64_t>(tile - 1));
-    p.total_bits += p.tile_bits[sd] + p.cell_bits[sd];
-  }
-  NUFFT_CHECK_MSG(p.total_bits <= 64,
-                  "tile-reorder key needs " << p.total_bits
-                                            << " bits; grid too large for a 64-bit key");
-  return p;
-}
-
-std::uint64_t reorder_key(const std::array<index_t, 3>& cell, int dim, index_t tile,
-                          const KeyPacking& pk) {
-  std::uint64_t key = 0;
-  for (int d = 0; d < dim; ++d) {
-    const auto sd = static_cast<std::size_t>(d);
-    key = (key << pk.tile_bits[sd]) | static_cast<std::uint64_t>(cell[sd] / tile);
-  }
-  for (int d = 0; d < dim; ++d) {
-    const auto sd = static_cast<std::size_t>(d);
-    key = (key << pk.cell_bits[sd]) | static_cast<std::uint64_t>(cell[sd] % tile);
-  }
-  return key;
-}
+using detail::KeyIdx;
+using detail::KeyPacking;
+using detail::auto_partitions_per_dim;
+using detail::make_key_packing;
+using detail::reorder_key;
+using detail::sort_task_small;
 
 // --- per-task reorder sort -------------------------------------------------
 //
-// The reordered position of a sample within its task is determined by
-// (key, orig_index) ascending — a total order, so any correct sort produces
-// the same permutation the old comparator std::sort did, independent of
-// which context sorts which task.
-
-struct KeyIdx {
-  std::uint64_t key;
-  index_t idx;
-};
+// The shared (key, orig_index) total order and the comparator sort live in
+// preprocess_detail.hpp; the LSD radix variant below stays private — it
+// additionally requires idx-ascending input (the stable counting-sort
+// order), which only the cold pipeline guarantees.
 
 // Below this an LSD pass costs more in counter zeroing than the comparison
 // sort it replaces.
 constexpr index_t kRadixCutoff = 128;
-
-void sort_task_small(KeyIdx* a, index_t n) {
-  std::sort(a, a + n, [](const KeyIdx& x, const KeyIdx& y) {
-    return x.key != y.key ? x.key < y.key : x.idx < y.idx;
-  });
-}
 
 // Stable LSD radix sort over the low `key_bits` bits in 8-bit digits. The
 // input arrives idx-ascending (stable counting-sort order), so stability
@@ -148,6 +90,7 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
   Preprocessed pp;
   Timer total;
   pp.stats.threads_used = pool.size();
+  pp.delta = std::make_unique<PlanDeltaState>();
 
   std::array<const float*, 3> cptr{nullptr, nullptr, nullptr};
   for (int d = 0; d < dim; ++d) cptr[static_cast<std::size_t>(d)] = samples.coords[static_cast<std::size_t>(d)].data();
@@ -164,9 +107,25 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
     obs::Span span("prep.partition", "prep", count);
     const int target = cfg.partitions_per_dim > 0 ? cfg.partitions_per_dim
                                                   : auto_partitions_per_dim(cfg.threads, dim);
-    pp.layout = cfg.variable_partitions
-                    ? make_variable_layout(dim, g.m, cptr, count, target, min_width, &pool)
-                    : make_fixed_layout(dim, g.m, target, min_width);
+    if (cfg.variable_partitions) {
+      // Keep the per-cell counts behind the cumulative histograms: the
+      // delta-update path patches them ±1 per moved sample and re-runs the
+      // identical boundary walk to detect layout changes.
+      std::array<std::vector<index_t>, 3> hists;
+      for (int d = 0; d < dim; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        hists[sd] = cumulative_histogram(cptr[sd], count, g.m[sd], &pool);
+        auto& cc = pp.delta->cell_counts[sd];
+        cc.resize(static_cast<std::size_t>(g.m[sd]));
+        for (index_t i = 0; i < g.m[sd]; ++i) {
+          cc[static_cast<std::size_t>(i)] = hists[sd][static_cast<std::size_t>(i) + 1] -
+                                            hists[sd][static_cast<std::size_t>(i)];
+        }
+      }
+      pp.layout = make_variable_layout_from_hists(dim, g.m, hists, count, target, min_width);
+    } else {
+      pp.layout = make_fixed_layout(dim, g.m, target, min_width);
+    }
   }
   pp.stats.partition_s = t.seconds();
 
@@ -178,7 +137,10 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
   // orig_index, bit for bit.
   t.reset();
   const int ntasks = pp.layout.total_parts();
-  std::vector<std::int32_t> task_of(static_cast<std::size_t>(count));
+  // The task assignment outlives the build inside the delta state — it is
+  // exactly what an update must diff against.
+  std::vector<std::int32_t>& task_of = pp.delta->task_of;
+  task_of.resize(static_cast<std::size_t>(count));
   std::vector<index_t> offset(static_cast<std::size_t>(ntasks) + 1, 0);
   {
     obs::Span span("prep.bin", "prep", count);
@@ -218,6 +180,11 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
 
   // --- per-task tile reorder for cache reuse (§III-D) ---
   t.reset();
+  // Sorted keys are retained position-indexed in the delta state so a later
+  // update can merge retained runs without recomputing them (all zero when
+  // the reorder is disabled — every sort below degenerates to idx order).
+  std::vector<std::uint64_t>& sorted_keys = pp.delta->keys;
+  sorted_keys.assign(static_cast<std::size_t>(count), 0);
   if (cfg.reorder && count > 0) {
     obs::Span span("prep.reorder", "prep", ntasks);
     const index_t tile = std::max<index_t>(1, cfg.reorder_tile);
@@ -255,7 +222,12 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
         const int k = order[static_cast<std::size_t>(j)];
         const index_t begin = offset[static_cast<std::size_t>(k)];
         const index_t n = offset[static_cast<std::size_t>(k) + 1] - begin;
-        if (n <= 1) continue;
+        if (n == 0) continue;
+        if (n == 1) {
+          sorted_keys[static_cast<std::size_t>(begin)] =
+              keys[static_cast<std::size_t>(base[begin])];
+          continue;
+        }
         buf.resize(static_cast<std::size_t>(n));
         for (index_t i = 0; i < n; ++i) {
           const index_t idx = base[begin + i];
@@ -267,7 +239,10 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
           tmp.resize(static_cast<std::size_t>(n));
           sort_task_radix(buf.data(), tmp.data(), n, pk.total_bits);
         }
-        for (index_t i = 0; i < n; ++i) base[begin + i] = buf[static_cast<std::size_t>(i)].idx;
+        for (index_t i = 0; i < n; ++i) {
+          base[begin + i] = buf[static_cast<std::size_t>(i)].idx;
+          sorted_keys[static_cast<std::size_t>(begin + i)] = buf[static_cast<std::size_t>(i)].key;
+        }
       }
     });
   }
@@ -291,6 +266,12 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
     });
   }
   pp.stats.gather_s = t.seconds();
+
+  // Original-order coordinate snapshot for the delta path's sequential diff.
+  for (int d = 0; d < dim; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    pp.delta->prev_coords[sd].assign(cptr[sd], cptr[sd] + count);
+  }
 
   // --- task table, weights, privatization ---
   t.reset();

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -88,6 +89,36 @@ struct ConvTask {
   }
 };
 
+/// Per-plan bookkeeping retained by preprocess() so a later
+/// update_preprocessed() can diff a perturbed trajectory against the plan
+/// and patch it in place instead of rebuilding. Never serialized (plan-cache
+/// blobs stay format-stable); a restored plan rebuilds it lazily on its
+/// first update from tasks/orig_index/coords alone.
+struct PlanDeltaState {
+  /// Original sample index → owning task, the cold bin pass's assignment.
+  std::vector<std::int32_t> task_of;
+  /// Per-dimension per-grid-cell sample counts (variable layouts only) —
+  /// patched ±1 per moved sample so the boundary-placement walk can re-run
+  /// without touching the unmoved samples.
+  std::array<std::vector<index_t>, 3> cell_counts;
+  /// The plan's current coordinates in the caller's original sample order.
+  /// Lets the update diff two contiguous arrays sequentially instead of
+  /// chasing orig_index indirections through the reordered copy — the diff
+  /// pass is the one part of an update that always touches every sample.
+  std::array<fvec, 3> prev_coords;
+  /// Reorder key per *reordered* position (all zero when !cfg.reorder). A
+  /// retained sample's key is bitwise-reproducible from its coordinates, so
+  /// keeping the sorted key array turns the dirty-task merge's per-retained
+  /// key recomputation (two integer div/mods by the runtime tile edge per
+  /// dimension) into one sequential 8-byte read.
+  std::vector<std::uint64_t> keys;
+  /// Double buffers for the swap-based update: after the first update the
+  /// steady state allocates nothing.
+  std::array<fvec, 3> coords_scratch;
+  std::vector<index_t> orig_scratch;
+  std::vector<std::uint64_t> keys_scratch;
+};
+
 struct Preprocessed {
   PartitionLayout layout;
   std::unique_ptr<TaskGraph> graph;
@@ -101,6 +132,10 @@ struct Preprocessed {
   // original sample index.
   std::array<fvec, 3> coords;
   std::vector<index_t> orig_index;
+
+  // Delta-update bookkeeping; null on plans restored from a serialized blob
+  // until their first update_preprocessed call rebuilds it.
+  std::unique_ptr<PlanDeltaState> delta;
 
   PreprocessStats stats;
 };
@@ -118,5 +153,48 @@ Preprocessed preprocess(const GridDesc& g, const datasets::SampleSet& samples,
 
 /// The Eq. 6 privatization threshold: M_samples / (P · 2^{d+1}).
 index_t privatization_threshold(index_t total_samples, int threads, int dim, double factor);
+
+/// How update_preprocessed satisfied a trajectory update.
+enum class UpdatePath {
+  kNoop,     // every coordinate bitwise-identical — nothing touched
+  kWarm,     // delta path: only dirty tasks re-binned/re-sorted/re-gathered
+  kRebuild,  // fallback: full cold preprocess() (delta exceeded the
+             // threshold, the partition layout moved, or the sample count
+             // changed)
+};
+
+/// Tuning for the delta path. Deliberately NOT part of PlanConfig: the
+/// threshold only picks between two bit-identical execution strategies, so
+/// it must not contaminate plan identity (registry keys, cache blobs).
+struct UpdateOptions {
+  /// Moved-sample fraction above which a delta update is assumed to cost
+  /// more than the cold rebuild it replaces (the dirty-task rebuild work
+  /// grows superlinearly with spread-out movement).
+  double rebuild_fraction = 0.3;
+};
+
+/// Diff `new_samples` against the plan in `pp` (which must describe the same
+/// grid and cfg) and patch it in place. "Moved" is bitwise coordinate
+/// inequality — a −0.0 → +0.0 flip counts as moved, so the patched arrays
+/// match a cold gather bit for bit. On kWarm only tasks that lost, gained or
+/// internally moved samples are re-sorted and re-gathered; everything else
+/// is block-copied at its (possibly shifted) new offset. Falls back to a
+/// full preprocess() — still assigned into `pp` — when the moved fraction
+/// exceeds opts.rebuild_fraction, when a partition boundary would move, or
+/// when the sample count changed.
+///
+/// Postcondition (the determinism contract extended): whatever the path,
+/// `pp` is bit-identical to preprocess(g, new_samples, cfg, any pool) in
+/// every field except `stats`/`delta`, at any pool width.
+UpdatePath update_preprocessed(Preprocessed& pp, const GridDesc& g,
+                               const datasets::SampleSet& new_samples, const PlanConfig& cfg,
+                               ThreadPool& pool, const UpdateOptions& opts = {});
+
+/// Deep copy: the task graph is reconstructed from the layout (it is a pure
+/// function of it) and the delta scratch buffers start empty. The source's
+/// reorder/gather arrays, marks and delta bookkeeping are copied verbatim —
+/// the clone is a valid warm-update base for a derived plan while the
+/// source keeps serving concurrent applies.
+Preprocessed clone_preprocessed(const Preprocessed& src);
 
 }  // namespace nufft

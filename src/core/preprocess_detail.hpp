@@ -1,0 +1,90 @@
+// Internal helpers shared by the cold preprocessing pipeline
+// (preprocess.cpp) and the delta-update path (preprocess_update.cpp).
+//
+// The two TUs must agree bit for bit: the update path recomputes partition
+// targets, reorder keys and per-task sort orders for the samples it touches,
+// and the determinism contract promises the result equals a cold rebuild.
+// Keeping the shared arithmetic in one header makes that agreement
+// structural instead of copy-paste.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace nufft::detail {
+
+// Auto partition count per dimension: aim for ~16·threads tasks in total so
+// the priority queue has slack to balance, rounded to an even count.
+inline int auto_partitions_per_dim(int threads, int dim) {
+  const double total_tasks = 16.0 * std::max(1, threads);
+  int p = static_cast<int>(std::llround(std::pow(total_tasks, 1.0 / dim)));
+  p = std::max(2, p);
+  if (p % 2 != 0) ++p;
+  return p;
+}
+
+inline int bits_for(std::uint64_t maxval) {
+  return maxval == 0 ? 0 : 64 - __builtin_clzll(maxval);
+}
+
+// Bit layout of the tile-scan reorder key: tile coordinates (scan-line order
+// over tiles), then cell coordinates within the tile (scan-line order again)
+// — "simple scan-line order with one level of tiling" (paper §III-D). Field
+// widths are derived from the grid extent and tile edge: a fixed width would
+// silently alias tile coordinates on wide grids (the old 10-bit packing broke
+// past 1023 tiles per dimension) and quietly destroy reorder locality.
+struct KeyPacking {
+  std::array<int, 3> tile_bits{0, 0, 0};
+  std::array<int, 3> cell_bits{0, 0, 0};
+  int total_bits = 0;
+};
+
+inline KeyPacking make_key_packing(int dim, const std::array<index_t, 3>& extent, index_t tile) {
+  KeyPacking p;
+  for (int d = 0; d < dim; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    const index_t ntiles = (extent[sd] + tile - 1) / tile;
+    p.tile_bits[sd] = bits_for(static_cast<std::uint64_t>(ntiles - 1));
+    p.cell_bits[sd] = bits_for(static_cast<std::uint64_t>(tile - 1));
+    p.total_bits += p.tile_bits[sd] + p.cell_bits[sd];
+  }
+  NUFFT_CHECK_MSG(p.total_bits <= 64,
+                  "tile-reorder key needs " << p.total_bits
+                                            << " bits; grid too large for a 64-bit key");
+  return p;
+}
+
+inline std::uint64_t reorder_key(const std::array<index_t, 3>& cell, int dim, index_t tile,
+                                 const KeyPacking& pk) {
+  std::uint64_t key = 0;
+  for (int d = 0; d < dim; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    key = (key << pk.tile_bits[sd]) | static_cast<std::uint64_t>(cell[sd] / tile);
+  }
+  for (int d = 0; d < dim; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    key = (key << pk.cell_bits[sd]) | static_cast<std::uint64_t>(cell[sd] % tile);
+  }
+  return key;
+}
+
+// The reordered position of a sample within its task is determined by
+// (key, orig_index) ascending — a total order, so any correct sort produces
+// the same permutation regardless of algorithm or which context runs it.
+struct KeyIdx {
+  std::uint64_t key;
+  index_t idx;
+};
+
+inline void sort_task_small(KeyIdx* a, index_t n) {
+  std::sort(a, a + n, [](const KeyIdx& x, const KeyIdx& y) {
+    return x.key != y.key ? x.key < y.key : x.idx < y.idx;
+  });
+}
+
+}  // namespace nufft::detail

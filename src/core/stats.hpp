@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace nufft {
 
 /// Plan-time decisions frozen at Nufft construction, queryable via
@@ -20,6 +22,13 @@ struct PlanStats {
   /// Human-readable variant name ("avx2.d3.w8.horner"), "generic" otherwise.
   /// Also emitted as the obs counter "nufft.conv.variant.<name>".
   std::string conv_variant = "generic";
+  /// Trajectory generation of this plan: 0 for a cold build, incremented by
+  /// every non-no-op update_samples / warm derivation. A no-op update
+  /// (bitwise-identical coordinates) never bumps it.
+  std::uint64_t generation = 0;
+  /// True when this plan's preprocessing came out of the delta path
+  /// (update_preprocessed → kWarm) rather than a cold preprocess().
+  bool warm_updated = false;
 };
 
 /// Timing breakdown for one operator application, in seconds.
@@ -85,6 +94,15 @@ struct PreprocessStats {
   int tasks = 0;
   int privatized_tasks = 0;
   int threads_used = 1;      // pool width the pipeline actually ran on
+
+  // Delta-update path (update_preprocessed). A warm update reports its cost
+  // in update_s with the cold stage timings above left zero, so update and
+  // cold-build timings are never conflated in one field; a cold build (or a
+  // fallback rebuild) leaves warm_update false and update_s zero.
+  bool warm_update = false;      // these stats describe a delta update
+  double update_s = 0.0;         // wall-clock of the whole delta pass
+  index_t rebinned_samples = 0;  // samples whose task assignment changed
+  int dirty_tasks = 0;           // tasks whose sample range was rebuilt
 };
 
 }  // namespace nufft

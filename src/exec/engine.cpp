@@ -119,6 +119,26 @@ std::future<JobResult> NufftEngine::submit(Op op, PlanRegistry& registry, const 
   return enqueue(std::move(job));
 }
 
+std::future<JobResult> NufftEngine::submit_update(
+    PlanRegistry& registry, const GridDesc& g, std::string old_key,
+    std::shared_ptr<const datasets::SampleSet> new_samples, const PlanConfig& cfg,
+    std::shared_ptr<PlanUpdateResult> result, const std::string& tenant,
+    const JobOptions& opts) {
+  NUFFT_CHECK(new_samples != nullptr);
+  Job job;
+  job.op = Op::kForward;  // unused: plan_only jobs never apply
+  job.plan_only = true;
+  job.resolve_plan = [&registry, g, key = std::move(old_key), s = std::move(new_samples), cfg,
+                      tenant, r = std::move(result)] {
+    PlanUpdateResult upd = registry.update_plan(g, key, *s, cfg, tenant);
+    if (r != nullptr) *r = upd;
+    return upd.plan;
+  };
+  job.options = opts;
+  obs::count("engine.plan_updates_submitted");
+  return enqueue(std::move(job));
+}
+
 std::future<JobResult> NufftEngine::enqueue(Job job) {
   auto fut = job.promise.get_future();
   job.submitted = std::chrono::steady_clock::now();
@@ -339,6 +359,8 @@ JobResult NufftEngine::run_job(Job& job, ThreadPool& pool, Running& rec) {
   // Chaos site: a hung apply, from the watchdog's point of view. The stall
   // duration comes from the site's param (milliseconds).
   fault::maybe_stall("engine.apply.stall");
+  // Plan-update jobs are done once the plan resolved — nothing to apply.
+  if (job.plan_only) return JobResult{};
   JobResult result;
   if (job.batch == 1) {
     auto ws = lease_workspace(plan);

@@ -159,6 +159,24 @@ class NufftEngine {
                                 const PlanConfig& cfg, const cfloat* in, cfloat* out,
                                 index_t batch = 1, const JobOptions& opts = {});
 
+  /// Enqueue a streaming trajectory update: a worker runs
+  /// PlanRegistry::update_plan(g, old_key, *new_samples, cfg, tenant) —
+  /// warm delta derivation when the old plan is resident, content-hash
+  /// no-op short-circuit, cold fallback otherwise — without applying a
+  /// transform. The full PlanUpdateResult is written to *result (when
+  /// non-null) before the future resolves, so the caller can rebind its
+  /// handle to the new key. Plan-update work shares the job machinery:
+  /// queue admission, deadline, retry, watchdog heartbeat during the
+  /// (possibly expensive) rebuild. The registry, sample set and result
+  /// must outlive the future.
+  std::future<JobResult> submit_update(PlanRegistry& registry, const GridDesc& g,
+                                       std::string old_key,
+                                       std::shared_ptr<const datasets::SampleSet> new_samples,
+                                       const PlanConfig& cfg,
+                                       std::shared_ptr<PlanUpdateResult> result,
+                                       const std::string& tenant = std::string(),
+                                       const JobOptions& opts = {});
+
   /// Block until every submitted job has completed.
   void wait_idle();
 
@@ -188,6 +206,9 @@ class NufftEngine {
     const cfloat* in = nullptr;
     cfloat* out = nullptr;
     index_t batch = 1;
+    // Plan-update jobs: resolve_plan does all the work (registry update /
+    // derivation); no workspace is leased and no transform runs.
+    bool plan_only = false;
     JobOptions options;
     // Deadline stamped at submission time from options.timeout.
     bool has_deadline = false;

@@ -97,6 +97,116 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
                                                    const PlanConfig& cfg,
                                                    const std::string& tenant) {
   const std::string key = make_key(g, samples, cfg);
+  return acquire_impl(key, g, samples, tenant, [&]() {
+    std::shared_ptr<Nufft> plan;
+    if (!cfg_.spill_dir.empty()) {
+      const std::string path = spill_path(key);
+      if (std::filesystem::exists(path)) {
+        try {
+          Preprocessed pp = load_plan(path, g, samples, cfg);
+          plan = std::make_shared<Nufft>(g, samples, cfg, std::move(pp));
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.spill_restores;
+          obs::count("registry.spill_restores");
+        } catch (const Error& e) {
+          // A stale or corrupt spill file is not an error — drop the file
+          // so the rebuilt plan can re-spill cleanly, and rebuild.
+          std::error_code ec;
+          std::filesystem::remove(path, ec);
+          if (e.code() == ErrorCode::kIoCorruption) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.corrupt_spills;
+            obs::count("registry.corrupt_spills");
+          }
+        } catch (...) {
+          std::error_code ec;
+          std::filesystem::remove(path, ec);
+        }
+      }
+    }
+    if (!plan) {
+      fault::inject("registry.build", ErrorCode::kBuildFailure);
+      plan = std::make_shared<Nufft>(g, samples, cfg);
+    }
+    return plan;
+  });
+}
+
+PlanUpdateResult PlanRegistry::update_plan(const GridDesc& g, const std::string& old_key,
+                                           const datasets::SampleSet& new_samples,
+                                           const PlanConfig& cfg, const std::string& tenant) {
+  PlanUpdateResult r;
+  r.key = make_key(g, new_samples, cfg);
+  if (r.key == old_key) {
+    // Content-hash short-circuit: a bitwise-identical trajectory keys
+    // identically, so the resident plan is already the right one. Serve it
+    // as a hit — LRU tick and tenant charge refreshed, generation untouched,
+    // no build and no eviction pressure.
+    obs::count("registry.plan_update_noops");
+    r.noop = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.plan_update_noops;
+      sweep_zombies_locked();
+      auto it = entries_.find(r.key);
+      if (it != entries_.end() && it->second.ready) {
+        charge_tenant_locked(it->second, tenant, it->second.bytes);
+        ++stats_.hits;
+        obs::count("registry.hits");
+        it->second.tick = ++tick_;
+        r.plan = it->second.plan.get();
+        return r;
+      }
+    }
+    // Evicted or mid-build — the standard acquire path restores/joins it.
+    r.plan = acquire(g, new_samples, cfg, tenant);
+    return r;
+  }
+
+  // The diff base: the old key's plan, if it is still resident and ready. A
+  // pending build is not joined — deriving from a plan that does not exist
+  // yet would serialize the update behind it; the cold fallback is correct
+  // and no slower than what that wait would cost.
+  std::shared_ptr<const Nufft> old_plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.plan_updates;
+    auto it = entries_.find(old_key);
+    if (it != entries_.end() && it->second.ready) old_plan = it->second.plan.get();
+  }
+  obs::count("registry.plan_updates");
+
+  bool built = false;
+  bool warm = false;
+  r.plan = acquire_impl(r.key, g, new_samples, tenant, [&]() {
+    built = true;
+    fault::inject("registry.build", ErrorCode::kBuildFailure);
+    std::shared_ptr<Nufft> p;
+    if (old_plan != nullptr) {
+      // Copy-on-write derivation: the old plan is shared with concurrent
+      // applies and is never mutated — the delta update runs on a clone.
+      p = std::make_shared<Nufft>(*old_plan, new_samples);
+      warm = p->plan_stats().warm_updated;
+    } else {
+      p = std::make_shared<Nufft>(g, new_samples, cfg);
+    }
+    return p;
+  });
+  // built == false means another thread already registered the new key —
+  // a plain hit, neither warm nor a fallback.
+  r.warm = built && warm;
+  r.fallback = built && !warm;
+  if (r.fallback) {
+    obs::count("registry.plan_update_fallbacks");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.plan_update_fallbacks;
+  }
+  return r;
+}
+
+std::shared_ptr<const Nufft> PlanRegistry::acquire_impl(
+    const std::string& key, const GridDesc& g, const datasets::SampleSet& samples,
+    const std::string& tenant, const std::function<std::shared_ptr<Nufft>()>& build_fn) {
   const std::size_t reservation = estimate_plan_bytes(g, samples);
 
   std::promise<std::shared_ptr<const Nufft>> prom;
@@ -159,41 +269,10 @@ std::shared_ptr<const Nufft> PlanRegistry::acquire(const GridDesc& g,
   std::shared_ptr<Nufft> plan;
   try {
     obs::Span build_span("registry.build", "registry");
-    bool restored = false;
-    if (!cfg_.spill_dir.empty()) {
-      const std::string path = spill_path(key);
-      if (std::filesystem::exists(path)) {
-        try {
-          Preprocessed pp = load_plan(path, g, samples, cfg);
-          plan = std::make_shared<Nufft>(g, samples, cfg, std::move(pp));
-          restored = true;
-        } catch (const Error& e) {
-          // A stale or corrupt spill file is not an error — drop the file
-          // so the rebuilt plan can re-spill cleanly, and rebuild.
-          std::error_code ec;
-          std::filesystem::remove(path, ec);
-          if (e.code() == ErrorCode::kIoCorruption) {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.corrupt_spills;
-            obs::count("registry.corrupt_spills");
-          }
-        } catch (...) {
-          std::error_code ec;
-          std::filesystem::remove(path, ec);
-        }
-      }
-    }
-    if (!plan) {
-      fault::inject("registry.build", ErrorCode::kBuildFailure);
-      plan = std::make_shared<Nufft>(g, samples, cfg);
-    }
+    plan = build_fn();
     std::size_t bytes = plan_resident_bytes(plan->plan(), g) + plan->workspace_bytes();
 
     std::lock_guard<std::mutex> lock(mu_);
-    if (restored) {
-      ++stats_.spill_restores;
-      obs::count("registry.spill_restores");
-    }
     auto it = entries_.find(key);
     it->second.ready = true;
     it->second.bytes = bytes;

@@ -42,6 +42,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -89,6 +90,20 @@ struct RegistryStats {
   std::uint64_t corrupt_spills = 0;       // spill files rejected by validation
   std::uint64_t quota_rejects = 0;        // acquires rejected by tenant quota
   std::uint64_t watchdog_quarantines = 0; // plans quarantined via quarantine_plan
+  std::uint64_t plan_updates = 0;           // update_plan calls with changed content
+  std::uint64_t plan_update_noops = 0;      // update_plan short-circuits (same key)
+  std::uint64_t plan_update_fallbacks = 0;  // updates that cold-rebuilt instead
+};
+
+/// What PlanRegistry::update_plan did and the plan it produced. `key` is the
+/// new registry key — the caller's handle must rebind to it for the next
+/// update's diff base.
+struct PlanUpdateResult {
+  std::shared_ptr<const Nufft> plan;
+  std::string key;
+  bool noop = false;      // identical content hash: old plan returned as-is
+  bool warm = false;      // delta derivation from the old plan (kWarm)
+  bool fallback = false;  // a cold build ran (no old plan, or delta too large)
 };
 
 class PlanRegistry {
@@ -110,6 +125,27 @@ class PlanRegistry {
   std::shared_ptr<const Nufft> acquire(const GridDesc& g, const datasets::SampleSet& samples,
                                        const PlanConfig& cfg,
                                        const std::string& tenant = std::string());
+
+  /// Generation-aware streaming update: register the plan for `new_samples`,
+  /// preferring a warm delta derivation from the resident plan under
+  /// `old_key` (typically a previous acquire/update's key) over a cold
+  /// build. `cfg` must equal the configuration `old_key` was made with — the
+  /// derivation shares the old plan's config-derived tables verbatim.
+  ///
+  /// Content-hash short-circuit: when the new samples hash to `old_key`
+  /// exactly (a bitwise no-op update), the resident plan is returned
+  /// untouched — no generation bump, no build, no eviction pressure; the
+  /// entry's LRU tick and the tenant charge are refreshed as an acquire
+  /// would. Otherwise the new key goes through the standard single-flight
+  /// machinery (quota admission at reservation, true-up to the real
+  /// footprint once ready — a size change is charged correctly), with the
+  /// builder deriving from the old plan when it is still resident and
+  /// falling back to a cold build when it is not or when the delta exceeds
+  /// the warm path's threshold. The old entry stays resident under its own
+  /// key until LRU pressure evicts it. Thread-safe.
+  PlanUpdateResult update_plan(const GridDesc& g, const std::string& old_key,
+                               const datasets::SampleSet& new_samples, const PlanConfig& cfg,
+                               const std::string& tenant = std::string());
 
   /// Quarantine the resident entry holding `plan` — the engine watchdog's
   /// path for a plan whose apply hung. The entry is dropped from the registry
@@ -144,6 +180,15 @@ class PlanRegistry {
                               const PlanConfig& cfg);
 
  private:
+  /// The single-flight core shared by acquire() and update_plan(): entry
+  /// lookup, quota admission, pending-entry install, quarantine check, then
+  /// `build_fn` outside the lock, ready/true-up/evict on success and
+  /// refund/erase/failure-record on throw. `build_fn` produces the plan —
+  /// spill-restore + cold build for acquire, warm derivation for update_plan.
+  std::shared_ptr<const Nufft> acquire_impl(
+      const std::string& key, const GridDesc& g, const datasets::SampleSet& samples,
+      const std::string& tenant, const std::function<std::shared_ptr<Nufft>()>& build_fn);
+
   struct Entry {
     std::shared_future<std::shared_ptr<const Nufft>> plan;
     std::uint64_t tick = 0;   // last-acquire stamp for LRU

@@ -77,6 +77,20 @@ PartitionLayout make_variable_layout(int dim, const std::array<index_t, 3>& exte
                                      const std::array<const float*, 3>& coords, index_t count,
                                      int target_parts, index_t min_width, ThreadPool* pool) {
   NUFFT_CHECK(dim >= 1 && dim <= 3);
+  std::array<std::vector<index_t>, 3> hists;
+  for (int d = 0; d < dim; ++d) {
+    hists[static_cast<std::size_t>(d)] =
+        cumulative_histogram(coords[static_cast<std::size_t>(d)], count,
+                             extent[static_cast<std::size_t>(d)], pool);
+  }
+  return make_variable_layout_from_hists(dim, extent, hists, count, target_parts, min_width);
+}
+
+PartitionLayout make_variable_layout_from_hists(int dim, const std::array<index_t, 3>& extent,
+                                                const std::array<std::vector<index_t>, 3>& hists,
+                                                index_t count, int target_parts,
+                                                index_t min_width) {
+  NUFFT_CHECK(dim >= 1 && dim <= 3);
   NUFFT_CHECK(target_parts >= 1);
   NUFFT_CHECK(min_width >= 1);
   PartitionLayout layout;
@@ -87,7 +101,8 @@ PartitionLayout make_variable_layout(int dim, const std::array<index_t, 3>& exte
   const index_t avg = std::max<index_t>(1, count / target_parts);
   for (int d = 0; d < dim; ++d) {
     const index_t M = extent[static_cast<std::size_t>(d)];
-    const auto hist = cumulative_histogram(coords[static_cast<std::size_t>(d)], count, M, pool);
+    const auto& hist = hists[static_cast<std::size_t>(d)];
+    NUFFT_CHECK(static_cast<index_t>(hist.size()) == M + 1);
     auto& b = layout.bounds[static_cast<std::size_t>(d)];
     b.push_back(0);
     index_t start = 0;

@@ -62,6 +62,17 @@ PartitionLayout make_variable_layout(int dim, const std::array<index_t, 3>& exte
                                      int target_parts, index_t min_width,
                                      ThreadPool* pool = nullptr);
 
+/// Variable-width boundary placement from precomputed cumulative histograms
+/// (hists[d] must equal cumulative_histogram(coords[d], count, extent[d])).
+/// make_variable_layout delegates here; the delta-update path
+/// (core/preprocess update_preprocessed) re-runs the identical walk on
+/// incrementally patched counts to decide whether a trajectory change moved
+/// any partition boundary — the two entry points must stay one algorithm.
+PartitionLayout make_variable_layout_from_hists(int dim, const std::array<index_t, 3>& extent,
+                                                const std::array<std::vector<index_t>, 3>& hists,
+                                                index_t count, int target_parts,
+                                                index_t min_width);
+
 /// Fixed-width layout: equal cuts of width max(min_width, extent/target).
 PartitionLayout make_fixed_layout(int dim, const std::array<index_t, 3>& extent,
                                   int target_parts, index_t min_width);

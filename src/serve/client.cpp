@@ -148,6 +148,17 @@ std::uint64_t NufftClient::register_plan(const GridDesc& grid,
   return r.plan_id;
 }
 
+UpdateAckMsg NufftClient::update_samples(std::uint64_t plan_id,
+                                         const datasets::SampleSet& samples) {
+  UpdateSamplesMsg m;
+  m.plan_id = plan_id;
+  m.samples = samples;
+  const Frame ack = rpc(MsgType::kUpdateSamples, encode(m), MsgType::kUpdateAck);
+  const UpdateAckMsg r = decode_update_ack(ack.body);
+  last_plan_bytes_ = r.resident_bytes;
+  return r;
+}
+
 RunResult NufftClient::forward(std::uint64_t plan_id,
                                             const std::vector<cfloat>& input,
                                             std::uint32_t batch, const RunOptions& opts) {

@@ -96,7 +96,17 @@ class NufftClient {
   std::uint64_t register_plan(const GridDesc& grid, const datasets::SampleSet& samples,
                               const PlanConfig& cfg);
 
-  /// Resident bytes reported by the most recent register_plan ack.
+  /// Stream new trajectory coordinates into an existing plan handle
+  /// (UpdateSamples/UpdateAck, protocol v3). The server diffs against the
+  /// resident plan and prefers a warm delta re-bin over a cold rebuild; the
+  /// handle stays valid and later forward()/adjoint() calls see the new
+  /// trajectory. The ack reports the plan generation and which path ran.
+  /// Throws the server-side error verbatim (kInvalidInput for an unknown
+  /// handle or mismatched sample geometry).
+  UpdateAckMsg update_samples(std::uint64_t plan_id, const datasets::SampleSet& samples);
+
+  /// Resident bytes reported by the most recent register_plan or
+  /// update_samples ack.
   std::uint64_t last_plan_bytes() const { return last_plan_bytes_; }
 
   /// Type-2 transform: uniform image(s) in, nonuniform samples out.

@@ -8,7 +8,7 @@ namespace {
 
 bool known_type(std::uint16_t t) {
   return t >= static_cast<std::uint16_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint16_t>(MsgType::kDrainAck);
+         t <= static_cast<std::uint16_t>(MsgType::kUpdateAck);
 }
 
 void put_grid(Writer& w, const GridDesc& g) {
@@ -377,6 +377,45 @@ DrainAckMsg decode_drain_ack(const Bytes& b) {
                    "health state out of range: " << int{state});
   m.state = static_cast<WireHealth>(state);
   m.inflight = r.pod<std::uint64_t>();
+  return m;
+}
+
+Bytes encode(const UpdateSamplesMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.plan_id);
+  put_samples(w, m.samples);
+  return b;
+}
+
+UpdateSamplesMsg decode_update_samples(const Bytes& b) {
+  Reader r(b);
+  UpdateSamplesMsg m;
+  m.plan_id = r.pod<std::uint64_t>();
+  m.samples = get_samples(r);
+  return m;
+}
+
+Bytes encode(const UpdateAckMsg& m) {
+  Bytes b;
+  Writer w(b);
+  w.pod(m.plan_id);
+  w.pod(m.generation);
+  w.pod(static_cast<std::uint8_t>(m.path));
+  w.pod(m.resident_bytes);
+  return b;
+}
+
+UpdateAckMsg decode_update_ack(const Bytes& b) {
+  Reader r(b);
+  UpdateAckMsg m;
+  m.plan_id = r.pod<std::uint64_t>();
+  m.generation = r.pod<std::uint64_t>();
+  const auto path = r.pod<std::uint8_t>();
+  NUFFT_CHECK_CODE(path <= 2, ErrorCode::kInvalidInput,
+                   "update path out of range: " << int{path});
+  m.path = static_cast<WireUpdatePath>(path);
+  m.resident_bytes = r.pod<std::uint64_t>();
   return m;
 }
 

@@ -41,7 +41,9 @@ inline constexpr std::uint32_t kMagic = 0x5346554Eu;  // "NUFS" on the wire
 // v2 appended PlanConfig.tolerance + eval to the register-plan body. The
 // config fields sit in the middle of RegisterPlanMsg (samples follow), so a
 // trailing-field legacy decode is impossible and the version bumps instead.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+// v3 added the streaming pair kUpdateSamples/kUpdateAck — a v2 peer would
+// reject the new message types as corruption, so the version bumps again.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// Body cap: a frame claiming more than this is corrupt (or hostile), not
 /// merely large — reject before allocating.
 inline constexpr std::uint32_t kMaxBody = 256u << 20;
@@ -62,6 +64,8 @@ enum class MsgType : std::uint16_t {
   kHealthAck,        // server → client
   kDrain,            // client → server: begin a graceful drain
   kDrainAck,         // server → client
+  kUpdateSamples,    // client → server: stream new coordinates into a plan handle
+  kUpdateAck,        // server → client: generation + update path taken
 };
 
 struct FrameHeader {
@@ -115,6 +119,7 @@ class Writer {
   void array(const T* data, std::size_t count) {
     static_assert(std::is_trivially_copyable_v<T>);
     pod(static_cast<std::uint64_t>(count));
+    if (count == 0) return;  // data may be null for an empty vector
     const auto* p = reinterpret_cast<const std::uint8_t*>(data);
     out_.insert(out_.end(), p, p + count * sizeof(T));
   }
@@ -148,7 +153,9 @@ class Reader {
     using T = typename Vec::value_type;
     const auto count = length(sizeof(T));
     Vec v(count);
-    std::memcpy(v.data(), p_ + off_, count * sizeof(T));
+    // An empty vector's data() may be null, and memcpy's pointer arguments
+    // must never be null even for a zero count.
+    if (count != 0) std::memcpy(v.data(), p_ + off_, count * sizeof(T));
     off_ += count * sizeof(T);
     return v;
   }
@@ -263,6 +270,26 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// Streaming plan update (v3): replace the trajectory behind an existing plan
+/// handle. The server diffs the new coordinates against the resident plan and
+/// prefers a warm delta re-bin over a cold preprocessing pass; the handle's
+/// plan_id stays valid and subsequent kSubmit frames run against the updated
+/// trajectory. Sample geometry (dim, grid size, count) must match the handle.
+struct UpdateSamplesMsg {
+  std::uint64_t plan_id = 0;
+  datasets::SampleSet samples;
+};
+
+/// How an update was applied on the wire. Mirrors core UpdatePath.
+enum class WireUpdatePath : std::uint8_t { kNoop = 0, kWarm = 1, kRebuild = 2 };
+
+struct UpdateAckMsg {
+  std::uint64_t plan_id = 0;
+  std::uint64_t generation = 0;  // plan generation after the update
+  WireUpdatePath path = WireUpdatePath::kNoop;
+  std::uint64_t resident_bytes = 0;
+};
+
 struct StatsAckMsg {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
@@ -282,6 +309,8 @@ Bytes encode(const StatsAckMsg& m);
 Bytes encode(const HealthAckMsg& m);
 Bytes encode(const DrainMsg& m);
 Bytes encode(const DrainAckMsg& m);
+Bytes encode(const UpdateSamplesMsg& m);
+Bytes encode(const UpdateAckMsg& m);
 
 HelloMsg decode_hello(const Bytes& b);
 HelloAckMsg decode_hello_ack(const Bytes& b);
@@ -294,5 +323,7 @@ StatsAckMsg decode_stats_ack(const Bytes& b);
 HealthAckMsg decode_health_ack(const Bytes& b);
 DrainMsg decode_drain(const Bytes& b);
 DrainAckMsg decode_drain_ack(const Bytes& b);
+UpdateSamplesMsg decode_update_samples(const Bytes& b);
+UpdateAckMsg decode_update_ack(const Bytes& b);
 
 }  // namespace nufft::serve

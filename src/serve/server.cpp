@@ -61,6 +61,12 @@ struct NufftServer::Tenant {
   struct PlanHandle {
     std::shared_ptr<const Nufft> plan;
     std::uint64_t last_use = 0;  // LRU stamp for the max_plans handle cap
+    // Registration inputs, kept so UpdateSamples can hand the registry the
+    // old content key (warm-diff base) and the exact config/grid it was
+    // built with. `key` rebinds to the new content key after each update.
+    std::string key;
+    GridDesc grid;
+    PlanConfig config;
   };
   std::map<std::uint64_t, PlanHandle> plans;
   std::deque<std::uint64_t> queue;  // admitted pending ids, FIFO per tenant
@@ -498,6 +504,9 @@ void NufftServer::handle_frame(Conn& c, Frame&& f) {
       case MsgType::kRegisterPlan:
         handle_register(c, std::move(f));
         return;
+      case MsgType::kUpdateSamples:
+        handle_update(c, std::move(f));
+        return;
       case MsgType::kSubmit:
         handle_submit(c, std::move(f));
         return;
@@ -615,6 +624,73 @@ void NufftServer::handle_register(Conn& c, Frame&& f) {
       try {
         fault::inject("serve.build", ErrorCode::kBuildFailure);
         reg.plan = registry_.acquire(msg->grid, msg->samples, msg->config, tenant);
+        reg.key = exec::PlanRegistry::make_key(msg->grid, msg->samples, msg->config);
+        reg.grid = msg->grid;
+        reg.config = msg->config;
+      } catch (const Error& e) {
+        reg.code = e.code();
+        reg.error = e.what();
+      } catch (const std::exception& e) {
+        reg.code = ErrorCode::kBuildFailure;
+        reg.error = e.what();
+      }
+      {
+        std::lock_guard<std::mutex> out_lock(out_mu_);
+        registrations_.push_back(std::move(reg));
+      }
+      wake();
+    });
+  }
+  build_cv_.notify_one();
+}
+
+void NufftServer::handle_update(Conn& c, Frame&& f) {
+  NUFFT_CHECK_CODE(!c.tenant.empty(), ErrorCode::kInvalidInput,
+                   "session has no tenant: send Hello first");
+  if (drain_active_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.drain_rejected;
+    }
+    obs::count("serve.drain_rejected");
+    throw Error("server is draining; reconnect and retry elsewhere",
+                ErrorCode::kUnavailable);
+  }
+  auto msg = std::make_shared<UpdateSamplesMsg>(decode_update_samples(f.body));
+  Tenant& t = tenant_for(c.tenant);
+  auto pit = t.plans.find(msg->plan_id);
+  NUFFT_CHECK_CODE(pit != t.plans.end(), ErrorCode::kInvalidInput,
+                   "unknown plan handle " << msg->plan_id << " for tenant " << c.tenant);
+  // Snapshot the handle's diff base on the poll thread; the builder runs the
+  // registry update against it. Submits racing the update keep hitting the
+  // handle's current (old) plan — both plans are immutable once published,
+  // the handle rebinds atomically in finalize_completions.
+  const auto conn_id = c.id;
+  const auto request_id = f.request_id;
+  const auto tenant = c.tenant;
+  const auto plan_id = msg->plan_id;
+  const std::string old_key = pit->second.key;
+  const GridDesc grid = pit->second.grid;
+  const PlanConfig config = pit->second.config;
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    build_q_.push_back([this, conn_id, request_id, tenant, plan_id, old_key, grid, config, msg] {
+      Registration reg;
+      reg.conn_id = conn_id;
+      reg.request_id = request_id;
+      reg.tenant = tenant;
+      reg.update_plan_id = plan_id;
+      reg.grid = grid;
+      reg.config = config;
+      try {
+        fault::inject("serve.build", ErrorCode::kBuildFailure);
+        exec::PlanUpdateResult upd =
+            registry_.update_plan(grid, old_key, msg->samples, config, tenant);
+        reg.plan = upd.plan;
+        reg.key = upd.key;
+        reg.path = upd.noop   ? WireUpdatePath::kNoop
+                   : upd.warm ? WireUpdatePath::kWarm
+                              : WireUpdatePath::kRebuild;
       } catch (const Error& e) {
         reg.code = e.code();
         reg.error = e.what();
@@ -1005,8 +1081,37 @@ void NufftServer::finalize_completions() {
       continue;
     }
     Tenant& t = tenant_for(reg.tenant);
+    if (reg.update_plan_id != 0) {
+      // Streaming update: rebind the existing handle to the derived plan.
+      auto hit = t.plans.find(reg.update_plan_id);
+      if (hit == t.plans.end()) {
+        // The handle was LRU-dropped while the update built. The derived
+        // plan stays content-keyed in the registry for a future acquire; the
+        // client must re-register to get a handle back.
+        send_error(c, reg.request_id, ErrorCode::kInvalidInput,
+                   "plan handle dropped while the update ran; re-register");
+        continue;
+      }
+      hit->second.plan = reg.plan;
+      hit->second.key = reg.key;
+      hit->second.last_use = ++t.use_tick;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.plans_updated;
+      }
+      obs::count("serve.plans_updated");
+      UpdateAckMsg ack;
+      ack.plan_id = reg.update_plan_id;
+      ack.generation = reg.plan->plan_stats().generation;
+      ack.path = reg.path;
+      ack.resident_bytes = plan_resident_bytes(reg.plan->plan(), reg.plan->grid_desc()) +
+                           reg.plan->workspace_bytes();
+      send_frame(c, MsgType::kUpdateAck, reg.request_id, encode(ack));
+      continue;
+    }
     const auto plan_id = next_plan_++;
-    t.plans.emplace(plan_id, Tenant::PlanHandle{reg.plan, ++t.use_tick});
+    t.plans.emplace(plan_id,
+                    Tenant::PlanHandle{reg.plan, ++t.use_tick, reg.key, reg.grid, reg.config});
     if (t.policy.max_plans != 0 && t.plans.size() > t.policy.max_plans) {
       // Over the handle cap: drop the least-recently-used handle (never the
       // one just registered — it carries the newest stamp). The dropped
@@ -1356,6 +1461,7 @@ std::vector<std::pair<std::string, std::uint64_t>> NufftServer::stat_counters() 
   out.emplace_back("rejected_connections", s.rejected_connections);
   out.emplace_back("protocol_errors", s.protocol_errors);
   out.emplace_back("plans_registered", s.plans_registered);
+  out.emplace_back("plans_updated", s.plans_updated);
   out.emplace_back("accepted", s.accepted);
   out.emplace_back("completed", s.completed);
   out.emplace_back("failed", s.failed);

@@ -133,6 +133,7 @@ struct ServerStats {
   std::uint64_t rejected_connections = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t plans_registered = 0;
+  std::uint64_t plans_updated = 0;   // UpdateSamples handled (any path)
   std::uint64_t accepted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
@@ -212,8 +213,9 @@ class NufftServer {
   struct Tenant;
   struct Pending;
 
-  // A plan registration finished by the builder thread, applied to tenant
-  // state by the poll thread (tenant maps are poll-thread-owned).
+  // A plan registration or streaming update finished by the builder thread,
+  // applied to tenant state by the poll thread (tenant maps are
+  // poll-thread-owned).
   struct Registration {
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
@@ -221,6 +223,15 @@ class NufftServer {
     std::shared_ptr<const Nufft> plan;  // null on failure
     ErrorCode code = ErrorCode::kInternal;
     std::string error;
+    // Content key + construction inputs, remembered on the plan handle so a
+    // later UpdateSamples can diff against the resident plan.
+    std::string key;
+    GridDesc grid;
+    PlanConfig config;
+    // Nonzero: this is an UpdateSamples result for that handle, not a fresh
+    // registration. `path` reports which update path the registry took.
+    std::uint64_t update_plan_id = 0;
+    WireUpdatePath path = WireUpdatePath::kRebuild;
   };
 
   void poll_loop();
@@ -233,6 +244,7 @@ class NufftServer {
   void handle_frame(Conn& c, Frame&& f);
   void handle_hello(Conn& c, const Frame& f);
   void handle_register(Conn& c, Frame&& f);
+  void handle_update(Conn& c, Frame&& f);
   void handle_submit(Conn& c, Frame&& f);
   void handle_stats(Conn& c, const Frame& f);
   void handle_health(Conn& c, const Frame& f);

@@ -74,6 +74,9 @@ std::string FuzzConfig::describe() const {
      << " barrier=" << color_barrier_schedule << " varpart=" << variable_partitions
      << " reorder=" << reorder << " pfac=" << privatization_factor
      << " spec=" << specialize_conv;
+  if (update_frames > 0) {
+    os << " frames=" << update_frames << " jitter=" << jitter_fraction;
+  }
   return os.str();
 }
 
@@ -206,6 +209,16 @@ FuzzConfig make_fuzz_config(std::uint64_t seed) {
   // keep the generic-loop ablation in the pool so divergences between the
   // two paths keep getting hunted.
   c.specialize_conv = rng.below(4) != 0;
+
+  // Streaming trajectory deltas ride on a share of the seeds. These draws
+  // come LAST so every field above keeps its value for a given seed — the
+  // pinned regression seeds in test_fuzz.cpp were scanned against the
+  // pre-streaming generator and must keep their shapes.
+  if (rng.below(3) == 0) {
+    c.update_frames = 1 + static_cast<int>(rng.below(3));
+    constexpr double kJitter[] = {0.0, 0.02, 0.05, 0.3, 1.0};
+    c.jitter_fraction = kJitter[rng.below(std::size(kJitter))];
+  }
 
   return c;
 }

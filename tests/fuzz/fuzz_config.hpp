@@ -68,6 +68,16 @@ struct FuzzConfig {
   double privatization_factor = 1.0;
   bool specialize_conv = true;  // dispatch-registry ablation (generic loop when false)
 
+  /// > 0: after the main battery, stream this many jittered trajectory
+  /// frames through Nufft::update_samples, checking each updated plan
+  /// against the exact NUDFT on the new coordinates and — exactly, to the
+  /// bit — against a cold plan of the same frame (the §15 determinism
+  /// contract at the operator level).
+  int update_frames = 0;
+  /// Fraction of samples perturbed per frame: 0 exercises the bitwise
+  /// no-op short-circuit, 1 the rebuild-fallback regime.
+  double jitter_fraction = 0.0;
+
   /// True when the kernel footprint exceeds the grid: plan construction
   /// must reject the config, and only the raw kernel-level baselines
   /// (which rely on compute_window's full modular wrap) run on it.

@@ -65,6 +65,8 @@ void expect_graceful(const Bytes& stream, std::uint64_t seed) {
         case MsgType::kHealthAck: decode_health_ack(f.body); break;
         case MsgType::kDrain: decode_drain(f.body); break;
         case MsgType::kDrainAck: decode_drain_ack(f.body); break;
+        case MsgType::kUpdateSamples: decode_update_samples(f.body); break;
+        case MsgType::kUpdateAck: decode_update_ack(f.body); break;
       }
     }
   } catch (const Error& e) {
@@ -87,7 +89,7 @@ Bytes valid_stream(Rng& rng) {
   Bytes out;
   const int frames = 1 + static_cast<int>(rng.next_u64() % 3);
   for (int i = 0; i < frames; ++i) {
-    const auto type = static_cast<MsgType>(1 + rng.next_u64() % 15);
+    const auto type = static_cast<MsgType>(1 + rng.next_u64() % 17);
     const Bytes body = random_bytes(rng, rng.next_u64() % 512);
     encode_frame(out, type, rng.next_u64(), body);
   }
@@ -183,10 +185,12 @@ TEST(ProtocolFuzz, RandomMessagesRoundTripExactly) {
     EXPECT_EQ(back.deadline_ms, sub.deadline_ms) << "seed " << seed;
     EXPECT_EQ(back.flags, sub.flags) << "seed " << seed;
     ASSERT_EQ(back.input.size(), sub.input.size()) << "seed " << seed;
-    EXPECT_EQ(std::memcmp(back.input.data(), sub.input.data(),
-                          sub.input.size() * sizeof(cfloat)),
-              0)
-        << "seed " << seed;
+    if (!sub.input.empty()) {  // empty vectors have null data(), UB for memcmp
+      EXPECT_EQ(std::memcmp(back.input.data(), sub.input.data(),
+                            sub.input.size() * sizeof(cfloat)),
+                0)
+          << "seed " << seed;
+    }
 
     ErrorMsg err;
     err.code = static_cast<std::int32_t>(rng.next_u64() %
@@ -228,6 +232,41 @@ TEST(ProtocolFuzz, RandomMessagesRoundTripExactly) {
     const DrainAckMsg db = decode_drain_ack(encode(dack));
     EXPECT_EQ(db.state, dack.state) << "seed " << seed;
     EXPECT_EQ(db.inflight, dack.inflight) << "seed " << seed;
+
+    UpdateSamplesMsg upd;
+    upd.plan_id = rng.next_u64();
+    upd.samples.dim = 1 + static_cast<int>(rng.next_u64() % 3);
+    upd.samples.m = 8;
+    upd.samples.k = 1 + static_cast<index_t>(rng.next_u64() % 8);
+    upd.samples.s = 1 + static_cast<index_t>(rng.next_u64() % 8);
+    for (int d = 0; d < upd.samples.dim; ++d) {
+      auto& coords = upd.samples.coords[static_cast<std::size_t>(d)];
+      coords.resize(static_cast<std::size_t>(upd.samples.count()));
+      for (auto& x : coords) x = static_cast<float>(rng.uniform(0.0, 8.0));
+    }
+    const UpdateSamplesMsg ub = decode_update_samples(encode(upd));
+    EXPECT_EQ(ub.plan_id, upd.plan_id) << "seed " << seed;
+    EXPECT_EQ(ub.samples.dim, upd.samples.dim) << "seed " << seed;
+    EXPECT_EQ(ub.samples.count(), upd.samples.count()) << "seed " << seed;
+    for (int d = 0; d < upd.samples.dim; ++d) {
+      const auto& a = upd.samples.coords[static_cast<std::size_t>(d)];
+      const auto& b2 = ub.samples.coords[static_cast<std::size_t>(d)];
+      ASSERT_EQ(b2.size(), a.size()) << "seed " << seed;
+      if (a.empty()) continue;  // empty vectors have null data(), UB for memcmp
+      EXPECT_EQ(std::memcmp(b2.data(), a.data(), a.size() * sizeof(float)), 0)
+          << "seed " << seed;
+    }
+
+    UpdateAckMsg uack;
+    uack.plan_id = rng.next_u64();
+    uack.generation = rng.next_u64();
+    uack.path = static_cast<WireUpdatePath>(rng.next_u64() % 3);
+    uack.resident_bytes = rng.next_u64();
+    const UpdateAckMsg ab = decode_update_ack(encode(uack));
+    EXPECT_EQ(ab.plan_id, uack.plan_id) << "seed " << seed;
+    EXPECT_EQ(ab.generation, uack.generation) << "seed " << seed;
+    EXPECT_EQ(ab.path, uack.path) << "seed " << seed;
+    EXPECT_EQ(ab.resident_bytes, uack.resident_bytes) << "seed " << seed;
   }
 }
 

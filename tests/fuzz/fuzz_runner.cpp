@@ -449,6 +449,56 @@ void run_full(const FuzzConfig& c, Report& rep) {
                   rel_err(priv_grid.data(), plan_grid, g.grid_elems()), spread_tol);
   }
 
+  // Streaming trajectory deltas (DESIGN.md §15): jitter a fraction of the
+  // samples per frame, stream the frames through update_samples on one
+  // resident plan, and hold the warm path to both contracts at once — the
+  // accuracy contract (forward/adjoint vs the exact NUDFT on the *new*
+  // coordinates) and the determinism contract (bit-exact agreement with a
+  // cold plan of the same frame; tol 0.0 means any nonzero diff fails).
+  if (c.update_frames > 0 && c.count > 0) {
+    const PlanConfig cfg = base_config(c);
+    Nufft stream(g, set, cfg);
+    datasets::SampleSet frame = set;
+    Rng jrng(c.seed ^ 0x9FB21C651E98DF25ull);
+    for (int f = 0; f < c.update_frames; ++f) {
+      for (index_t i = 0; i < c.count; ++i) {
+        if (!(jrng.uniform(0.0, 1.0) < c.jitter_fraction)) continue;
+        for (int d = 0; d < c.dim; ++d) {
+          auto& v = frame.coords[static_cast<std::size_t>(d)][static_cast<std::size_t>(i)];
+          v = clamp_coord(static_cast<double>(v) +
+                              jrng.normal(0.0, static_cast<double>(c.m) / 16.0),
+                          c.m);
+        }
+      }
+      stream.update_samples(frame);
+
+      std::vector<cdouble> ffwd(static_cast<std::size_t>(frame.count()));
+      std::vector<cdouble> fadj(static_cast<std::size_t>(g.image_elems()));
+      baselines::nudft_forward(g, frame, img_in.data(), ffwd.data(), pool);
+      baselines::nudft_adjoint(g, frame, raw_in.data(), fadj.data(), pool);
+
+      cvecf raw_out(static_cast<std::size_t>(frame.count()));
+      cvecf img_out(static_cast<std::size_t>(g.image_elems()));
+      stream.forward(img_in.data(), raw_out.data());
+      stream.adjoint(raw_in.data(), img_out.data());
+      const std::string tag = "frame " + std::to_string(f);
+      const std::string fn = "updated plan forward vs NUDFT (" + tag + ")";
+      const std::string an = "updated plan adjoint vs NUDFT (" + tag + ")";
+      rep.check_rel(fn.c_str(), rel_err(raw_out.data(), ffwd.data(), frame.count()), tol);
+      rep.check_rel(an.c_str(), rel_err(img_out.data(), fadj.data(), g.image_elems()), tol);
+
+      Nufft cold(g, frame, cfg);
+      cvecf raw_cold(static_cast<std::size_t>(frame.count()));
+      cvecf img_cold(static_cast<std::size_t>(g.image_elems()));
+      cold.forward(img_in.data(), raw_cold.data());
+      cold.adjoint(raw_in.data(), img_cold.data());
+      const std::string fx = "updated plan forward vs cold rebuild (" + tag + ", bit-exact)";
+      const std::string ax = "updated plan adjoint vs cold rebuild (" + tag + ", bit-exact)";
+      rep.check_rel(fx.c_str(), rel_err(raw_out.data(), raw_cold.data(), frame.count()), 0.0);
+      rep.check_rel(ax.c_str(), rel_err(img_out.data(), img_cold.data(), g.image_elems()), 0.0);
+    }
+  }
+
   // The full-grid-privatization reference operator (Kaiser–Bessel only —
   // its constructor hard-codes the paper's kernel).
   if (c.kernel == kernels::KernelType::kKaiserBessel) {

@@ -53,16 +53,21 @@ TEST(Fuzz, DifferentialSweep) {
                                                        static_cast<std::int64_t>(kBaseSeed)));
   const auto n = env_int("NUFFT_FUZZ_CONFIGS", 224);
   int rejected = 0;
+  int streamed = 0;
   for (std::int64_t i = 0; i < n; ++i) {
     const FuzzConfig c = make_fuzz_config(base + static_cast<std::uint64_t>(i));
     if (c.footprint_exceeds_grid()) ++rejected;
+    if (c.update_frames > 0 && c.count > 0 && !c.footprint_exceeds_grid()) ++streamed;
     const auto failures = run_differential(c);
     for (const auto& f : failures) ADD_FAILURE() << f;
   }
-  // The generator must keep exercising the rejection path; if the grid
-  // tables change and no config lands there, this sweep silently loses
-  // coverage — fail loudly instead.
-  if (n >= 100) EXPECT_GT(rejected, 0) << "no config exercised the tiny-grid rejection path";
+  // The generator must keep exercising the rejection path and the streaming
+  // trajectory-delta battery; if the tables change and no config lands
+  // there, this sweep silently loses coverage — fail loudly instead.
+  if (n >= 100) {
+    EXPECT_GT(rejected, 0) << "no config exercised the tiny-grid rejection path";
+    EXPECT_GT(streamed, 0) << "no config exercised the trajectory-delta battery";
+  }
 }
 
 // --- pinned regressions -----------------------------------------------------

@@ -10,8 +10,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "core/nufft.hpp"
 #include "datasets/trajectory.hpp"
 #include "serve/client.hpp"
@@ -60,6 +63,25 @@ Fixture make_fixture(std::uint64_t seed = 7) {
   f.image.assign(img.begin(), img.end());
   f.raw.assign(raw.begin(), raw.end());
   return f;
+}
+
+// Perturb a fraction of the samples by a sub-cell amount — the streaming
+// warm-update path's home turf (tests/test_streaming.cpp covers the core).
+datasets::SampleSet jitter_set(const datasets::SampleSet& base, double fraction,
+                               std::uint64_t seed) {
+  datasets::SampleSet out = base;
+  Rng rng(seed);
+  const auto count = static_cast<std::size_t>(base.count());
+  const auto mf = static_cast<float>(base.m);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.uniform(0.0, 1.0) >= fraction) continue;
+    for (int d = 0; d < base.dim; ++d) {
+      auto& x = out.coords[static_cast<std::size_t>(d)][i];
+      x = std::clamp(x + static_cast<float>(rng.uniform(-0.5, 0.5)), 0.0f,
+                     std::nextafter(mf, 0.0f));
+    }
+  }
+  return out;
 }
 
 std::uint64_t counter_value(const std::vector<std::pair<std::string, std::uint64_t>>& c,
@@ -247,6 +269,26 @@ TEST(Protocol, EveryMessageTypeRoundTrips) {
   ASSERT_EQ(st2.counters.size(), 2u);
   EXPECT_EQ(st2.counters[0].first, "accepted");
   EXPECT_EQ(st2.counters[1].second, 4u);
+
+  UpdateSamplesMsg upd;
+  upd.plan_id = 5;
+  upd.samples = fx.set;
+  const auto upd2 = decode_update_samples(encode(upd));
+  EXPECT_EQ(upd2.plan_id, 5u);
+  ASSERT_EQ(upd2.samples.count(), fx.set.count());
+  EXPECT_EQ(upd2.samples.coords[0], fx.set.coords[0]);
+  EXPECT_EQ(upd2.samples.coords[1], fx.set.coords[1]);
+
+  UpdateAckMsg uack;
+  uack.plan_id = 5;
+  uack.generation = 3;
+  uack.path = WireUpdatePath::kWarm;
+  uack.resident_bytes = 4096;
+  const auto uack2 = decode_update_ack(encode(uack));
+  EXPECT_EQ(uack2.plan_id, 5u);
+  EXPECT_EQ(uack2.generation, 3u);
+  EXPECT_EQ(uack2.path, WireUpdatePath::kWarm);
+  EXPECT_EQ(uack2.resident_bytes, 4096u);
 }
 
 TEST(Protocol, TruncatedBodiesAreRejectedNotOverRead) {
@@ -343,6 +385,69 @@ TEST(ServeE2E, TwoTenantsMatchDirectExecutionBitwise) {
 
   server.stop();
   EXPECT_FALSE(std::filesystem::exists(sc.socket_path));
+}
+
+TEST(ServeE2E, UpdateSamplesStreamsNewTrajectoryThroughTheHandle) {
+  Fixture fx = make_fixture();
+  ServeConfig sc;
+  sc.socket_path = unique_socket_path("upd");
+  sc.engine.workers = 1;
+  sc.engine.threads_per_worker = 1;
+  NufftServer server(sc);
+  server.start();
+
+  NufftClient client;
+  client.connect(sc.socket_path, "tenant-a");
+  const auto plan_id = client.register_plan(fx.g, fx.set, fx.cfg);
+
+  // Bitwise-identical coordinates are a no-op: same handle, generation 0.
+  const auto noop = client.update_samples(plan_id, fx.set);
+  EXPECT_EQ(noop.plan_id, plan_id);
+  EXPECT_EQ(noop.generation, 0u);
+  EXPECT_EQ(noop.path, WireUpdatePath::kNoop);
+
+  // Real update: jitter 5% of samples; the handle must then serve results
+  // bitwise-equal to a fresh in-process plan built on the new trajectory.
+  const auto moved = jitter_set(fx.set, 0.05, 99);
+  const auto ack = client.update_samples(plan_id, moved);
+  EXPECT_EQ(ack.plan_id, plan_id);
+  EXPECT_EQ(ack.generation, 1u);
+  EXPECT_NE(ack.path, WireUpdatePath::kNoop);
+  EXPECT_GT(ack.resident_bytes, 0u);
+  EXPECT_EQ(client.last_plan_bytes(), ack.resident_bytes);
+
+  Nufft direct(fx.g, moved, fx.cfg);
+  std::vector<cfloat> want_fwd(static_cast<std::size_t>(moved.count()));
+  std::vector<cfloat> want_adj(static_cast<std::size_t>(fx.g.image_elems()));
+  direct.forward(fx.image.data(), want_fwd.data());
+  direct.adjoint(fx.raw.data(), want_adj.data());
+
+  const auto fwd = client.forward(plan_id, fx.image);
+  ASSERT_EQ(fwd.output.size(), want_fwd.size());
+  EXPECT_EQ(std::memcmp(fwd.output.data(), want_fwd.data(), want_fwd.size() * sizeof(cfloat)),
+            0)
+      << "forward result differs from direct execution on the updated trajectory";
+
+  const auto adj = client.adjoint(plan_id, fx.raw);
+  ASSERT_EQ(adj.output.size(), want_adj.size());
+  EXPECT_EQ(std::memcmp(adj.output.data(), want_adj.data(), want_adj.size() * sizeof(cfloat)),
+            0)
+      << "adjoint result differs from direct execution on the updated trajectory";
+
+  // Unknown handles are rejected without killing the session.
+  try {
+    client.update_samples(plan_id + 41, moved);
+    FAIL() << "expected kInvalidInput for an unknown plan handle";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+  client.ping();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.plans_updated, 2u);  // no-op and real update both acked
+  EXPECT_EQ(counter_value(client.server_stats(), "plans_updated"), 2u);
+
+  server.stop();
 }
 
 TEST(ServeE2E, BacklogCapShedsWithOverloadedCode) {

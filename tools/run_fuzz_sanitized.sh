@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Run the differential fuzz harness (`ctest -L fuzz`, including the serving
-# wire-protocol fuzz), the tolerance-contract harness (`ctest -L accuracy`),
+# wire-protocol fuzz and the streaming trajectory-delta battery), the
+# tolerance-contract harness (`ctest -L accuracy`),
 # the parallel-preprocessing suite (`ctest -L preproc`),
 # the convolution-dispatch suite (`ctest -L dispatch`, the specialized-vs-
 # generic bit-match matrix and the boundary-coordinate trim sweep),
-# the serving-layer suite (`ctest -L serve`) and the chaos suite
-# (`ctest -L chaos`, fault hooks compiled in) under AddressSanitizer and
+# the streaming plan-update suite (`ctest -L streaming`, the warm-vs-cold
+# bit-match matrix — under TSan this races concurrent update-vs-apply paths
+# on the pool), the serving-layer suite (`ctest -L serve`) and the chaos
+# suite (`ctest -L chaos`, fault hooks compiled in) under AddressSanitizer and
 # UndefinedBehaviorSanitizer, as CI does; pass `thread` to race-check the
 # preprocessing scatter/radix passes and the server's poll/builder/engine
 # thread handoff under TSan. The sweep seeds are fixed
@@ -41,9 +44,9 @@ for san in "${sanitizers[@]}"; do
     -DNUFFT_BUILD_BENCH=OFF -DNUFFT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build "${build}" -j --target nufft_fuzz_tests --target nufft_accuracy_tests \
     --target nufft_preproc_tests --target nufft_dispatch_tests \
-    --target nufft_serve_tests --target nufft_chaos_tests
-  echo "=== ${san} sanitizer: ctest -L 'fuzz|accuracy|preproc|dispatch|serve|chaos' ==="
-  (cd "${build}" && ctest -L 'fuzz|accuracy|preproc|dispatch|serve|chaos' --output-on-failure)
+    --target nufft_streaming_tests --target nufft_serve_tests --target nufft_chaos_tests
+  echo "=== ${san} sanitizer: ctest -L 'fuzz|accuracy|preproc|dispatch|streaming|serve|chaos' ==="
+  (cd "${build}" && ctest -L 'fuzz|accuracy|preproc|dispatch|streaming|serve|chaos' --output-on-failure)
 done
 
-echo "All sanitized fuzz + accuracy + preproc + dispatch + serve + chaos runs passed."
+echo "All sanitized fuzz + accuracy + preproc + dispatch + streaming + serve + chaos runs passed."
